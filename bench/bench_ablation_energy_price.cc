@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Ablation: datacenter economics.  Sweeps electricity price and
+ * datacenter capex and reports how the TCO-optimal operating points
+ * and node crossovers move — cheap energy tilts designs toward high
+ * voltage and small dies; expensive energy buys silicon to save
+ * joules (Section 5.2's core trade-off).
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/sensitivity.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    const auto app = apps::litecoin();
+
+    std::cout << "=== Ablation: electricity price (Litecoin) ===\n";
+    for (double scale : {0.5, 1.0, 3.0}) {
+        core::Scenario s;
+        s.name = "electricity x" + fixed(scale, 1);
+        s.electricity_scale = scale;
+        core::ScenarioRunner runner(s);
+
+        std::cout << "\n-- " << s.name << " ($"
+                  << fixed(0.07 * scale, 3) << "/kWh) --\n";
+        TextTable t({"Tech", "Vdd", "W/MH/s", "$/MH/s", "TCO/MH/s"});
+        for (const auto &r : runner.optimizer().sweepNodes(app)) {
+            t.addRow({tech::to_string(r.node),
+                      fixed(r.optimal.config.vdd, 3),
+                      sig(r.optimal.watts_per_ops * 1e6, 4),
+                      sig(r.optimal.cost_per_ops * 1e6, 4),
+                      sig(r.optimal.tco_per_ops * 1e6, 4)});
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\n=== Ablation: datacenter capex (Litecoin, 28nm "
+                 "optimum) ===\n";
+    TextTable t({"DC capex scale", "Vdd", "W/MH/s", "TCO/MH/s"});
+    for (double scale : {0.5, 1.0, 2.0}) {
+        core::Scenario s;
+        s.name = "dc capex x" + fixed(scale, 1);
+        s.dc_capex_scale = scale;
+        core::ScenarioRunner runner(s);
+        for (const auto &r : runner.optimizer().sweepNodes(app)) {
+            if (r.node != tech::NodeId::N28)
+                continue;
+            t.addRow({s.name, fixed(r.optimal.config.vdd, 3),
+                      sig(r.optimal.watts_per_ops * 1e6, 4),
+                      sig(r.optimal.tco_per_ops * 1e6, 4)});
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

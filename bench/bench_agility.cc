@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Extension (Section 7.4): respin-cadence planning.  Quantifies
+ * "reduced NREs allow an ASIC Cloud to be more agile, updating ASICs
+ * more frequently to track evolving software": as software drift
+ * rises, the optimal strategy moves to older, cheaper-NRE nodes
+ * respun more often.
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/agility.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    auto &opt = bench::sharedOptimizer();
+    core::AgilityPlanner planner(opt);
+
+    for (const char *app_name : {"Bitcoin", "Video Transcode"}) {
+        const auto app = apps::appByName(app_name);
+        std::cout << "=== Agility study: " << app.name()
+                  << " (6-year horizon, $30M/yr workload) ===\n";
+        TextTable t({"drift/yr", "best node", "respin every",
+                     "tapeouts", "NRE total", "served TCO", "total",
+                     "vs baseline"});
+        for (double drift : {0.0, 0.15, 0.30, 0.60, 1.20}) {
+            core::AgilityParams p;
+            p.horizon_years = 6;
+            p.annual_workload_tco = 30e6;
+            p.software_drift_per_year = drift;
+            const auto best = planner.best(app, p);
+            const double base = core::AgilityPlanner::baselineCost(p);
+            t.addRow({percent(drift, 0),
+                      tech::to_string(best.node),
+                      std::to_string(best.respin_period_years) + "y",
+                      std::to_string(best.tapeouts),
+                      money(best.total_nre, 3),
+                      money(best.total_served_tco, 3),
+                      money(best.totalCost(), 3),
+                      percent(best.totalCost() / base)});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

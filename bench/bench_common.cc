@@ -1,0 +1,118 @@
+#include "bench_common.hh"
+
+#include <iostream>
+
+namespace moonwalk::bench {
+
+core::MoonwalkOptimizer &
+sharedOptimizer()
+{
+    static core::MoonwalkOptimizer opt;
+    return opt;
+}
+
+std::vector<std::string>
+nodeHeaders(const std::string &first_col)
+{
+    std::vector<std::string> h{first_col};
+    for (tech::NodeId id : tech::kAllNodes)
+        h.push_back(tech::to_string(id));
+    return h;
+}
+
+void
+printServerTable(const apps::AppSpec &app)
+{
+    auto &opt = sharedOptimizer();
+    const auto &sweep = opt.sweepNodes(app);
+    const double scale = app.rca.perf_unit_scale;
+
+    std::vector<std::string> headers{"Property"};
+    for (const auto &r : sweep)
+        headers.push_back(tech::to_string(r.node));
+    TextTable t(headers);
+    t.setTitle(app.name() + " TCO-optimal ASIC server across nodes");
+
+    auto row = [&](const std::string &name, auto getter, int decimals) {
+        std::vector<std::string> cells{name};
+        for (const auto &r : sweep)
+            cells.push_back(fixed(getter(r), decimals));
+        t.addRow(cells);
+    };
+    auto row_sig = [&](const std::string &name, auto getter,
+                       int digits) {
+        std::vector<std::string> cells{name};
+        for (const auto &r : sweep)
+            cells.push_back(sig(getter(r), digits));
+        t.addRow(cells);
+    };
+
+    row("RCAs per Die", [](const core::NodeResult &r) {
+        return double(r.optimal.config.rcas_per_die);
+    }, 0);
+    if (app.rca.bytes_per_op > 0) {
+        row("DRAMs per Die", [](const core::NodeResult &r) {
+            return double(r.optimal.config.drams_per_die);
+        }, 0);
+    }
+    row("Die Area (mm2)", [](const core::NodeResult &r) {
+        return r.optimal.die_area_mm2;
+    }, 0);
+    row("Die Cost ($)", [](const core::NodeResult &r) {
+        return r.optimal.die_cost;
+    }, 0);
+    row("Dies/Server", [](const core::NodeResult &r) {
+        return double(r.optimal.config.diesPerServer());
+    }, 0);
+    row("Logic Vdd", [](const core::NodeResult &r) {
+        return r.optimal.config.vdd;
+    }, 3);
+    row("Freq. (MHz)", [](const core::NodeResult &r) {
+        return r.optimal.freq_mhz;
+    }, 0);
+    row_sig(app.rca.perf_unit, [&](const core::NodeResult &r) {
+        return r.optimal.perf_ops / scale;
+    }, 4);
+    row("Power (W)", [](const core::NodeResult &r) {
+        return r.optimal.wall_power_w;
+    }, 0);
+    row_sig("Cost (K$)", [](const core::NodeResult &r) {
+        return r.optimal.server_cost / 1e3;
+    }, 3);
+    row_sig("W/" + app.rca.perf_unit, [&](const core::NodeResult &r) {
+        return r.optimal.watts_per_ops * scale;
+    }, 4);
+    row_sig("$/" + app.rca.perf_unit, [&](const core::NodeResult &r) {
+        return r.optimal.cost_per_ops * scale;
+    }, 4);
+    row_sig("TCO/" + app.rca.perf_unit, [&](const core::NodeResult &r) {
+        return r.optimal.tco_per_ops * scale;
+    }, 4);
+    row_sig("NRE (K$)", [](const core::NodeResult &r) {
+        return r.nre.total() / 1e3;
+    }, 4);
+
+    t.print(std::cout);
+}
+
+void
+printComparison(const std::string &metric, const PaperRow &paper,
+                const std::map<tech::NodeId, double> &model, int digits)
+{
+    std::vector<std::string> prow{"paper"};
+    std::vector<std::string> mrow{"model"};
+    for (tech::NodeId id : tech::kAllNodes) {
+        auto pit = paper.find(id);
+        prow.push_back(pit == paper.end() ? "-" : sig(pit->second,
+                                                      digits));
+        auto mit = model.find(id);
+        mrow.push_back(mit == model.end() ? "-" : sig(mit->second,
+                                                      digits));
+    }
+    TextTable cmp(nodeHeaders(metric));
+    cmp.addRow(prow);
+    cmp.addRow(mrow);
+    cmp.print(std::cout);
+}
+
+} // namespace moonwalk::bench

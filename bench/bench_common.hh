@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness: a process-wide optimizer
+ * (so multi-app benches share exploration caches), paper-style row
+ * printing, and paper reference values for side-by-side reporting.
+ */
+#ifndef MOONWALK_BENCH_COMMON_HH
+#define MOONWALK_BENCH_COMMON_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/optimizer.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+namespace moonwalk::bench {
+
+/** Shared optimizer at bench (full) resolution. */
+core::MoonwalkOptimizer &sharedOptimizer();
+
+/** "Tech" header row labels, oldest node first. */
+std::vector<std::string> nodeHeaders(const std::string &first_col);
+
+/**
+ * Paper reference values for one row of a Tables 7-10 style table,
+ * keyed by node; absent nodes print "-".
+ */
+using PaperRow = std::map<tech::NodeId, double>;
+
+/**
+ * Print a Tables 7-10 style server-properties table for @p app, one
+ * column per feasible node, with rows matching the paper's.
+ */
+void printServerTable(const apps::AppSpec &app);
+
+/**
+ * Print a two-line paper-vs-model comparison for a named metric.
+ */
+void printComparison(const std::string &metric, const PaperRow &paper,
+                     const std::map<tech::NodeId, double> &model,
+                     int digits = 4);
+
+} // namespace moonwalk::bench
+
+#endif // MOONWALK_BENCH_COMMON_HH

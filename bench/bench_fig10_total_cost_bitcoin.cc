@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 10: total cost (NRE + scaled TCO) of Bitcoin ASIC Clouds
+ * versus the workload's pre-ASIC (GPU) TCO, with the crossover points
+ * where each node becomes the cheapest option (paper: 250nm from
+ * $610K, 180nm from $867K, ... 16nm from $5.6B).
+ */
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    auto &opt = bench::sharedOptimizer();
+    const auto app = apps::bitcoin();
+    const auto lines = opt.totalCostLines(app);
+
+    std::cout << "=== Figure 10: Bitcoin total cost vs pre-ASIC TCO "
+                 "===\n";
+    // Sampled curves on a log grid of baseline TCO.
+    TextTable t(bench::nodeHeaders("Baseline TCO"));
+    for (double b = 1e5; b <= 1e10; b *= std::sqrt(10.0)) {
+        std::vector<std::string> row{money(b, 2)};
+        for (tech::NodeId id : tech::kAllNodes) {
+            for (const auto &l : lines) {
+                if (l.node && *l.node == id)
+                    row.push_back(money(l.at(b), 3));
+            }
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nCrossover points (node becomes cheapest overall):"
+              << "\n";
+    for (const auto &r : core::MoonwalkOptimizer::optimalNodeRanges(
+             lines)) {
+        const std::string who = r.line.node ?
+            tech::to_string(*r.line.node) : "GPU baseline";
+        std::cout << "  from " << money(r.b_low, 3) << ": " << who
+                  << "\n";
+    }
+    std::cout << "(paper: GPU < $610K, 250nm, 180nm from $867K, ..., "
+                 "28nm from $1.9B, 16nm from $5.6B)\n";
+    return 0;
+}

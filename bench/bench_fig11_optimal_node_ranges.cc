@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 11: normalized total cost for all four applications — for
+ * each pre-ASIC TCO, the ratio of each node's total cost to the best
+ * choice, and the resulting optimal-node ranges (paper examples:
+ * 180nm optimal for Bitcoin $860K-$10.6M; Deep Learning's 40nm
+ * optimal $3M-$326M).
+ */
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    auto &opt = bench::sharedOptimizer();
+
+    for (const auto &app : apps::allApps()) {
+        const auto lines = opt.totalCostLines(app);
+        std::cout << "=== Figure 11: " << app.name()
+                  << " normalized total cost ===\n";
+
+        std::vector<std::string> headers{"Baseline TCO", "best"};
+        for (const auto &l : lines) {
+            headers.push_back(l.node ? tech::to_string(*l.node)
+                                     : "baseline");
+        }
+        TextTable t(headers);
+        for (double b = 3e5; b <= 3e10; b *= std::sqrt(10.0)) {
+            double best = 1e300;
+            for (const auto &l : lines)
+                best = std::min(best, l.at(b));
+            std::vector<std::string> row{money(b, 2), money(best, 3)};
+            for (const auto &l : lines)
+                row.push_back(times(l.at(b) / best, 3));
+            t.addRow(row);
+        }
+        t.print(std::cout);
+
+        std::cout << "\nOptimal-node ranges:\n";
+        for (const auto &r :
+             core::MoonwalkOptimizer::optimalNodeRanges(lines)) {
+            const std::string who = r.line.node ?
+                tech::to_string(*r.line.node) : "baseline";
+            std::cout << "  " << who << ": " << money(r.b_low, 3)
+                      << " to "
+                      << (std::isinf(r.b_high) ? "inf"
+                                               : money(r.b_high, 3))
+                      << "\n";
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

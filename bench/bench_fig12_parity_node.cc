@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 12: optimal node selection from the workload TCO (x axis)
+ * and the application's *tech parity node* (key) — the node where the
+ * ASIC's TCO per op/s equals the pre-accelerated baseline's.  Parity
+ * keys "/N" are hypothetical baselines N times better than the 250nm
+ * ASIC.  Left chart: a low-IP-NRE app (Bitcoin-like); right chart: a
+ * medium-IP app (Video-Transcode-like).
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace moonwalk;
+
+namespace {
+
+void
+chart(const apps::AppSpec &app)
+{
+    auto &opt = bench::sharedOptimizer();
+    std::cout << "=== Figure 12: " << app.name()
+              << "-like NRE profile ===\n";
+
+    struct Parity { std::string label; tech::NodeId node; double scale; };
+    std::vector<Parity> parities;
+    for (const auto &r : opt.sweepNodes(app))
+        parities.push_back({tech::to_string(r.node), r.node, 1.0});
+    // Hypothetical baselines better than the oldest node (the /N keys).
+    const tech::NodeId oldest = opt.sweepNodes(app).front().node;
+    for (double n : {2.0, 4.0, 8.0}) {
+        parities.push_back({tech::to_string(oldest) + "/" +
+                            fixed(n, 0), oldest, n});
+    }
+
+    std::vector<std::string> headers{"Parity node"};
+    std::vector<double> tcos;
+    for (double b = 1e6; b <= 1e10; b *= 10.0) {
+        tcos.push_back(b);
+        headers.push_back(money(b, 2));
+    }
+    TextTable t(headers);
+    for (const auto &p : parities) {
+        std::vector<std::string> row{p.label};
+        for (double b : tcos) {
+            const auto pick =
+                opt.optimalNodeForParity(app, p.node, p.scale, b);
+            row.push_back(pick ? tech::to_string(*pick) : "baseline");
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    chart(apps::bitcoin());         // small IP NRE
+    chart(apps::videoTranscode());  // medium IP NRE
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Figure 1 + Tables 1/2: node technology trade-offs normalized to
+ * 250nm — mask cost (A), energy per op (B, with the Dennard dotted
+ * line), $ per op/s (C, power-limited and unlimited), maximum
+ * transistors per die (D), transistor frequency (E).
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+#include "tech/scaling.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    const tech::ScalingModel model;
+    const auto &db = model.database();
+
+    std::cout << "=== Figure 1: node trade-offs, normalized to 250nm "
+                 "===\n\n";
+
+    TextTable t(bench::nodeHeaders("Series"));
+    auto series = [&](const std::string &name, auto fn, int digits) {
+        std::vector<std::string> row{name};
+        for (tech::NodeId id : tech::kAllNodes)
+            row.push_back(sig((model.*fn)(id), digits));
+        t.addRow(row);
+    };
+    series("A mask cost (x)", &tech::ScalingModel::maskCostNorm, 4);
+    series("B energy/op (x)", &tech::ScalingModel::energyPerOpNorm, 4);
+    series("B dennard dotted",
+           &tech::ScalingModel::energyPerOpDennardNorm, 4);
+    series("C $/op/s power-lim",
+           &tech::ScalingModel::costPerOpsNormPowerLimited, 4);
+    series("C $/op/s unlimited",
+           &tech::ScalingModel::costPerOpsNormUnlimited, 4);
+    series("D max transistors (x)",
+           &tech::ScalingModel::maxTransistorsNorm, 4);
+    series("E frequency (x)", &tech::ScalingModel::frequencyNorm, 4);
+    t.print(std::cout);
+
+    std::cout << "\nSpans 250nm -> 16nm (paper: 89x mask, 152x "
+                 "energy, 28x / 558x $/op/s, 256x transistors, "
+                 "15.5x freq):\n";
+    auto span = [&](auto fn) {
+        const double a = (model.*fn)(tech::NodeId::N250);
+        const double b = (model.*fn)(tech::NodeId::N16);
+        return a > b ? a / b : b / a;
+    };
+    std::cout << "  mask cost   : "
+              << times(span(&tech::ScalingModel::maskCostNorm)) << "\n"
+              << "  energy/op   : "
+              << times(span(&tech::ScalingModel::energyPerOpNorm))
+              << "\n  $/op/s PL   : "
+              << times(span(
+                     &tech::ScalingModel::costPerOpsNormPowerLimited))
+              << "\n  $/op/s unl  : "
+              << times(span(
+                     &tech::ScalingModel::costPerOpsNormUnlimited))
+              << "\n  transistors : "
+              << times(span(&tech::ScalingModel::maxTransistorsNorm))
+              << "\n  frequency   : "
+              << times(span(&tech::ScalingModel::frequencyNorm))
+              << "\n";
+
+    std::cout << "\n=== Table 1: wafer and mask costs ===\n";
+    TextTable t1(bench::nodeHeaders("Quantity"));
+    std::vector<std::string> masks{"Mask cost ($)"};
+    std::vector<std::string> wafers{"Cost per wafer ($)"};
+    std::vector<std::string> diam{"Wafer diameter (mm)"};
+    std::vector<std::string> be{"Backend labor $/gate"};
+    for (tech::NodeId id : tech::kAllNodes) {
+        const auto &n = db.node(id);
+        masks.push_back(si(n.mask_cost));
+        wafers.push_back(fixed(n.wafer_cost, 0));
+        diam.push_back(fixed(n.wafer_diameter_mm, 0));
+        be.push_back(fixed(n.backend_cost_per_gate, 3));
+    }
+    t1.addRow(masks);
+    t1.addRow(wafers);
+    t1.addRow(diam);
+    t1.addRow(be);
+    t1.print(std::cout);
+
+    std::cout << "\n=== Table 2: nominal supply voltages ===\n";
+    TextTable t2(bench::nodeHeaders("Quantity"));
+    std::vector<std::string> vdd{"Nom. Vdd (V)"};
+    for (tech::NodeId id : tech::kAllNodes)
+        vdd.push_back(fixed(db.node(id).vdd_nominal, 1));
+    t2.addRow(vdd);
+    t2.print(std::cout);
+    return 0;
+}

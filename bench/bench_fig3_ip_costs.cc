@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 3 / Table 4: IP licensing costs across technology nodes.
+ * High-speed PHY blocks (DDR, PCI-E) rise exponentially with node.
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+#include "nre/ip_catalog.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    nre::IpCatalog cat;
+
+    std::cout << "=== Figure 3 / Table 4: IP licensing costs (K$) "
+                 "===\n";
+    TextTable t(bench::nodeHeaders("IP block"));
+    for (nre::IpBlock block : nre::kAllIpBlocks) {
+        std::vector<std::string> row{nre::to_string(block)};
+        for (tech::NodeId id : tech::kAllNodes) {
+            const auto c = cat.cost(block, id);
+            row.push_back(c ? fixed(*c / 1e3, 1) : "NA");
+        }
+        t.addRow(row);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPHY cost growth 130nm -> 16nm: DRAM PHY "
+              << times(*cat.cost(nre::IpBlock::DramPhy,
+                                 tech::NodeId::N16) /
+                       *cat.cost(nre::IpBlock::DramPhy,
+                                 tech::NodeId::N130))
+              << ", PCI-E PHY "
+              << times(*cat.cost(nre::IpBlock::PciePhy,
+                                 tech::NodeId::N16) /
+                       *cat.cost(nre::IpBlock::PciePhy,
+                                 tech::NodeId::N130))
+              << "\n";
+    return 0;
+}

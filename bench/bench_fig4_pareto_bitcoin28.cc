@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 4: design-space Pareto example for Bitcoin at 28nm with 9
+ * ASICs per lane.  One curve per die size; within a curve, points run
+ * from near-threshold voltage (left: cheap energy, costly silicon) to
+ * the thermally-capped maximum (right).
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+#include "dse/explorer.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    const auto app = apps::bitcoin();
+    dse::DesignSpaceExplorer explorer;
+    const auto &node = explorer.evaluator().scaling().database()
+        .node(tech::NodeId::N28);
+
+    std::cout << "=== Figure 4: Bitcoin 28nm voltage/die-area sweep, "
+                 "9 ASICs per lane ===\n"
+              << "(x = W/GH/s, y = $/GH/s; voltage increases along "
+                 "each curve)\n";
+
+    // Die areas spanning the feasible range; ~770 RCAs == the paper's
+    // 540mm^2 die.
+    const int rca_counts[] = {96, 192, 384, 576, 769, 900};
+    for (int rcas : rca_counts) {
+        const auto curve = explorer.sweepVoltage(
+            app.rca, tech::NodeId::N28, rcas, 9);
+        if (curve.empty())
+            continue;
+        std::cout << "\n-- die " << fixed(curve.front().die_area_mm2, 0)
+                  << " mm^2 (" << rcas << " RCAs) --\n";
+        TextTable t({"Vdd (V)", "W/GH/s", "$/GH/s", "TCO/GH/s",
+                     "GH/s"});
+        for (const auto &p : curve) {
+            t.addRow({fixed(p.config.vdd, 3),
+                      sig(p.watts_per_ops * 1e9, 4),
+                      sig(p.cost_per_ops * 1e9, 4),
+                      sig(p.tco_per_ops * 1e9, 4),
+                      fixed(p.perf_ops / 1e9, 0)});
+        }
+        t.print(std::cout);
+    }
+
+    const auto full = explorer.explore(app.rca, tech::NodeId::N28);
+    if (full.tco_optimal) {
+        const auto &p = *full.tco_optimal;
+        std::cout << "\nTCO-optimal point: " << p.config.rcas_per_die
+                  << " RCAs, " << fixed(p.die_area_mm2, 0) << " mm^2, "
+                  << p.config.dies_per_lane << " ASICs/lane, Vdd "
+                  << fixed(p.config.vdd, 3) << " -> TCO/GH/s "
+                  << sig(p.tco_per_ops * 1e9, 4)
+                  << " (paper: 769 RCAs, 540mm^2, 9/lane, 0.459V, "
+                     "2.912)\n";
+    }
+    (void)node;
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 5 + Tables 3/5: system-level (non-ASIC) NRE per application
+ * — PCB design, FPGA firmware and cloud-software development.
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    nre::NreModel model;
+    const auto &params = model.parameters();
+
+    std::cout << "=== Table 3: node-independent NRE parameters ===\n";
+    TextTable t3({"Parameter", "Value"});
+    t3.addRow({"Frontend labor salary", money(params.frontend_salary) +
+               "/yr"});
+    t3.addRow({"Frontend CAD licenses",
+               money(params.frontend_cad_per_mm) + "/Mm"});
+    t3.addRow({"Backend labor salary", money(params.backend_salary) +
+               "/yr"});
+    t3.addRow({"Backend CAD licenses",
+               money(params.backend_cad_per_month) + "/month"});
+    t3.addRow({"Overhead on salary", percent(params.overhead, 0)});
+    t3.addRow({"Top-level gates", si(params.top_level_gates)});
+    t3.addRow({"Flip-chip package NRE", money(params.package_nre)});
+    t3.print(std::cout);
+
+    std::cout << "\n=== Table 5: application-dependent NRE parameters "
+                 "===\n";
+    TextTable t5({"Application", "RCA gates", "FE CAD-months", "FE Mm",
+                  "FPGA job Mm", "FPGA BIOS Mm", "Cloud SW Mm",
+                  "PCB ($)"});
+    for (const auto &app : apps::allApps()) {
+        const auto &n = app.nre;
+        t5.addRow({n.app_name, si(n.rca_gate_count),
+                   fixed(n.frontend_cad_months, 0),
+                   fixed(n.frontend_mm, 1), fixed(
+                       n.fpga_job_distribution_mm, 0),
+                   fixed(n.fpga_bios_mm, 0),
+                   fixed(n.cloud_software_mm, 0),
+                   money(n.pcb_design_cost)});
+    }
+    t5.print(std::cout);
+
+    std::cout << "\n=== Figure 5: system-level (non-ASIC) NRE ===\n";
+    TextTable f5({"Application", "PCB design", "FPGA firmware",
+                  "Cloud software", "Total"});
+    for (const auto &app : apps::allApps()) {
+        const auto &n = app.nre;
+        const double fw = params.laborCost(
+            n.fpga_job_distribution_mm + n.fpga_bios_mm,
+            params.frontend_salary);
+        const double sw = params.laborCost(n.cloud_software_mm,
+                                           params.frontend_salary);
+        f5.addRow({n.app_name, money(n.pcb_design_cost), money(fw),
+                   money(sw), money(n.pcb_design_cost + fw + sw)});
+    }
+    f5.print(std::cout);
+    return 0;
+}

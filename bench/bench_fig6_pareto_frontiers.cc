@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 6: Pareto frontiers in (W per op/s, $ per op/s) for every
+ * technology node and application, against the GPU/CPU baseline, plus
+ * the consecutive-node improvement factors at the TCO-optimal points.
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    auto &opt = bench::sharedOptimizer();
+
+    for (const auto &app : apps::allApps()) {
+        const double scale = app.rca.perf_unit_scale;
+        std::cout << "=== Figure 6: " << app.name()
+                  << " Pareto frontiers (unit: " << app.rca.perf_unit
+                  << ") ===\n";
+
+        // Baseline point.
+        const auto &b = app.baseline;
+        std::cout << "baseline " << b.hardware << ": $/unit "
+                  << sig(b.cost / b.perf_ops * scale, 4) << ", W/unit "
+                  << sig(b.power_w / b.perf_ops * scale, 4) << "\n";
+
+        for (const auto &r : opt.sweepNodes(app)) {
+            const auto exploration = opt.explorer().explore(
+                app.rca, r.node);
+            std::cout << "\n-- " << tech::to_string(r.node) << " ("
+                      << exploration.pareto.size()
+                      << " Pareto points, subsampled; TCO-optimal "
+                         "marked *) --\n";
+            TextTable t({"$/unit", "W/unit", "Vdd", "opt"});
+            // Subsample the front to ~24 evenly spaced points so the
+            // output stays plottable by eye.
+            std::vector<dse::DesignPoint> shown;
+            const size_t n = exploration.pareto.size();
+            const size_t stride = n > 24 ? n / 24 : 1;
+            for (size_t i = 0; i < n; i += stride)
+                shown.push_back(exploration.pareto[i]);
+            if (!shown.empty() &&
+                shown.back().cost_per_ops !=
+                    exploration.pareto.back().cost_per_ops)
+                shown.push_back(exploration.pareto.back());
+            for (const auto &p : shown) {
+                const bool is_opt =
+                    p.config.rcas_per_die ==
+                        r.optimal.config.rcas_per_die &&
+                    p.config.vdd == r.optimal.config.vdd &&
+                    p.config.dies_per_lane ==
+                        r.optimal.config.dies_per_lane;
+                t.addRow({sig(p.cost_per_ops * scale, 4),
+                          sig(p.watts_per_ops * scale, 4),
+                          fixed(p.config.vdd, 3),
+                          is_opt ? "*" : ""});
+            }
+            t.print(std::cout);
+        }
+
+        std::cout << "\nTCO-optimal improvement per node step:\n";
+        const auto &sweep = opt.sweepNodes(app);
+        for (size_t i = 1; i < sweep.size(); ++i) {
+            const auto &prev = sweep[i - 1].optimal;
+            const auto &cur = sweep[i].optimal;
+            std::cout << "  " << tech::to_string(sweep[i - 1].node)
+                      << " -> " << tech::to_string(sweep[i].node)
+                      << ": cost/perf "
+                      << times(prev.cost_per_ops / cur.cost_per_ops)
+                      << ", power/perf "
+                      << times(prev.watts_per_ops / cur.watts_per_ops)
+                      << "\n";
+        }
+        // Oldest node vs baseline.
+        const auto &oldest = sweep.front().optimal;
+        std::cout << "  " << b.hardware << " -> "
+                  << tech::to_string(sweep.front().node) << ": TCO "
+                  << times(opt.baselineTcoPerOps(app) /
+                           oldest.tco_per_ops)
+                  << "\n\n";
+    }
+    return 0;
+}

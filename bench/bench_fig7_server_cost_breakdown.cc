@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 7: server-cost component breakdown across technology nodes
+ * for the TCO-optimal servers (silicon, package, cooling, power
+ * delivery, DRAM, and node-independent system parts).
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    auto &opt = bench::sharedOptimizer();
+
+    for (const auto &app : apps::allApps()) {
+        std::cout << "=== Figure 7: " << app.name()
+                  << " server cost breakdown ($) ===\n";
+        TextTable t({"Tech", "Silicon", "Package", "Cooling",
+                     "PowerDelivery", "DRAM", "System", "Total"});
+        for (const auto &r : opt.sweepNodes(app)) {
+            const auto &c = r.optimal.cost_breakdown;
+            t.addRow({tech::to_string(r.node), fixed(c.silicon, 0),
+                      fixed(c.package, 0), fixed(c.cooling, 0),
+                      fixed(c.power_delivery, 0), fixed(c.dram, 0),
+                      fixed(c.system, 0), fixed(c.total(), 0)});
+        }
+        t.print(std::cout);
+
+        // Section 6.3 headline: silicon dominates, system costs stay
+        // ~constant.
+        const auto &sweep = opt.sweepNodes(app);
+        if (!sweep.empty()) {
+            const auto &mid = sweep[sweep.size() / 2].optimal;
+            std::cout << "silicon share at "
+                      << tech::to_string(sweep[sweep.size() / 2].node)
+                      << ": "
+                      << percent(mid.cost_breakdown.silicon /
+                                 mid.cost_breakdown.total())
+                      << "\n\n";
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 8: NRE cost breakdown across technology nodes for all four
+ * applications.  Mask costs dominate at advanced nodes; IP, CAD tool
+ * and labor costs dominate at old nodes.
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    auto &opt = bench::sharedOptimizer();
+
+    for (const auto &app : apps::allApps()) {
+        std::cout << "=== Figure 8: " << app.name()
+                  << " NRE breakdown (K$) ===\n";
+        TextTable t({"Tech", "Mask", "Package", "FE labor", "FE CAD",
+                     "BE labor", "BE CAD", "IP", "System", "PCB",
+                     "Total"});
+        for (const auto &r : opt.sweepNodes(app)) {
+            const auto &n = r.nre;
+            auto k = [](double v) { return fixed(v / 1e3, 0); };
+            t.addRow({tech::to_string(r.node), k(n.mask), k(n.package),
+                      k(n.frontend_labor), k(n.frontend_cad),
+                      k(n.backend_labor), k(n.backend_cad), k(n.ip),
+                      k(n.system_labor), k(n.pcb_design),
+                      k(n.total())});
+        }
+        t.print(std::cout);
+
+        const auto &sweep = opt.sweepNodes(app);
+        const auto &newest = sweep.back().nre;
+        const auto &oldest = sweep.front().nre;
+        std::cout << "mask share: "
+                  << percent(oldest.mask / oldest.total()) << " at "
+                  << tech::to_string(sweep.front().node) << " -> "
+                  << percent(newest.mask / newest.total()) << " at "
+                  << tech::to_string(sweep.back().node) << "\n\n";
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 9: marginal NRE versus TCO per op/s improvement per node,
+ * normalized to the oldest feasible node.  The slope flips after 65nm:
+ * NRE starts growing faster than TCO/op/s improves (Section 7.1).
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    auto &opt = bench::sharedOptimizer();
+
+    for (const auto &app : apps::allApps()) {
+        const auto &sweep = opt.sweepNodes(app);
+        if (sweep.empty())
+            continue;
+        const double nre0 = sweep.front().nre.total();
+        const double tco0 = sweep.front().tcoPerOps();
+
+        std::cout << "=== Figure 9: " << app.name()
+                  << " (normalized to "
+                  << tech::to_string(sweep.front().node) << ") ===\n";
+        TextTable t({"Tech", "NRE (x)", "TCO/op/s gain (x)",
+                     "step NRE (x)", "step TCO gain (x)"});
+        for (size_t i = 0; i < sweep.size(); ++i) {
+            const double nre_x = sweep[i].nre.total() / nre0;
+            const double tco_x = tco0 / sweep[i].tcoPerOps();
+            std::string step_nre = "-";
+            std::string step_tco = "-";
+            if (i > 0) {
+                step_nre = times(sweep[i].nre.total() /
+                                 sweep[i - 1].nre.total());
+                step_tco = times(sweep[i - 1].tcoPerOps() /
+                                 sweep[i].tcoPerOps());
+            }
+            t.addRow({tech::to_string(sweep[i].node), times(nre_x),
+                      times(tco_x), step_nre, step_tco});
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Extension: does the paper's conclusion survive past 16nm?
+ * Projects hypothetical 10nm and 7nm nodes by continuing the
+ * database's 28->16nm log-log trends, substitutes them into the
+ * full pipeline (the projected node takes the 16nm slot of a cloned
+ * database), and reports Bitcoin TCO-optimal designs, NREs, and the
+ * workload scale at which each future node would first pay off —
+ * the "even more extreme scale" continuation of Figure 10.
+ */
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hh"
+#include "core/optimizer.hh"
+#include "tech/projection.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    const auto app = apps::bitcoin();
+    auto &base_opt = bench::sharedOptimizer();
+    const double base_tco = base_opt.baselineTcoPerOps(app);
+
+    // Real 16nm reference.
+    const core::NodeResult *r16 = nullptr;
+    for (const auto &r : base_opt.sweepNodes(app))
+        if (r.node == tech::NodeId::N16)
+            r16 = &r;
+
+    std::cout << "=== Projected future nodes (28->16nm trends "
+                 "continued) ===\n";
+    TextTable tp({"Node", "Mask cost", "Wafer cost", "Vdd", "Vth",
+                  "BE $/gate"});
+    for (double f : {10.0, 7.0}) {
+        const auto n = tech::projectNode(f);
+        tp.addRow({n.name, money(n.mask_cost, 3),
+                   fixed(n.wafer_cost, 0), fixed(n.vdd_nominal, 2),
+                   fixed(n.vth, 3),
+                   fixed(n.backend_cost_per_gate, 3)});
+    }
+    tp.print(std::cout);
+
+    std::cout << "\n=== Bitcoin on projected nodes (full pipeline) "
+                 "===\n";
+    TextTable t({"Node", "RCAs/die", "Vdd", "GH/s", "W", "TCO/GH/s",
+                 "NRE", "beats 16nm from"});
+    if (r16) {
+        t.addRow({"16nm (real)",
+                  std::to_string(r16->optimal.config.rcas_per_die),
+                  fixed(r16->optimal.config.vdd, 3),
+                  fixed(r16->optimal.perf_ops / 1e9, 0),
+                  fixed(r16->optimal.wall_power_w, 0),
+                  sig(r16->optimal.tco_per_ops * 1e9, 4),
+                  money(r16->nre.total(), 3), "-"});
+    }
+
+    for (double f : {10.0, 7.0}) {
+        // Substitute the projected node into the 16nm slot of a
+        // cloned database and rerun the whole flow.
+        auto db = std::make_unique<tech::TechDatabase>();
+        db->mutableNode(tech::NodeId::N16) = tech::projectNode(f);
+        dse::DesignSpaceExplorer explorer{
+            dse::ExplorerOptions{},
+            dse::ServerEvaluator{*db}};
+        const auto res = explorer.explore(app.rca,
+                                          tech::NodeId::N16);
+        if (!res.tco_optimal) {
+            t.addRow({tech::projectNode(f).name, "-", "-", "-", "-",
+                      "infeasible", "-", "-"});
+            continue;
+        }
+        const auto &p = *res.tco_optimal;
+
+        core::MoonwalkOptimizer opt{std::move(explorer)};
+        const auto nre = opt.nreOf(app, p);
+
+        std::string beats = "-";
+        if (r16) {
+            // Crossover workload where the projected node's total
+            // cost drops below real 16nm's.
+            const double r_new = p.tco_per_ops / base_tco;
+            const double r_old = r16->optimal.tco_per_ops / base_tco;
+            if (r_new < r_old) {
+                beats = money((nre.total() - r16->nre.total()) /
+                              (r_old - r_new), 3);
+            }
+        }
+        t.addRow({tech::projectNode(f).name,
+                  std::to_string(p.config.rcas_per_die),
+                  fixed(p.config.vdd, 3),
+                  fixed(p.perf_ops / 1e9, 0),
+                  fixed(p.wall_power_w, 0),
+                  sig(p.tco_per_ops * 1e9, 4), money(nre.total(), 3),
+                  beats});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nProjected PHY IP at future nodes (K$): DRAM PHY "
+              << fixed(nre::projectedIpCost(nre::IpBlock::DramPhy,
+                                            10.0) / 1e3, 0)
+              << " @10nm, "
+              << fixed(nre::projectedIpCost(nre::IpBlock::DramPhy,
+                                            7.0) / 1e3, 0)
+              << " @7nm; PCI-E PHY "
+              << fixed(nre::projectedIpCost(nre::IpBlock::PciePhy,
+                                            7.0) / 1e3, 0)
+              << " @7nm\n"
+              << "Reading: the paper's trend steepens — each future "
+                 "node demands a multi-billion-dollar workload "
+                 "before its NRE pays off.\n";
+    return 0;
+}

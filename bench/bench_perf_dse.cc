@@ -1,0 +1,93 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the engine itself: single
+ * design-point evaluation, thermal solves, Pareto extraction, and a
+ * full per-node exploration.
+ */
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.hh"
+#include "dse/explorer.hh"
+#include "thermal/lane.hh"
+
+using namespace moonwalk;
+
+namespace {
+
+void
+BM_EvaluateDesignPoint(benchmark::State &state)
+{
+    dse::ServerEvaluator eval;
+    const auto rca = apps::bitcoin().rca;
+    arch::ServerConfig cfg;
+    cfg.node = tech::NodeId::N28;
+    cfg.rcas_per_die = 769;
+    cfg.dies_per_lane = 9;
+    cfg.vdd = 0.459;
+    // Warm the thermal cache: steady-state evaluation cost.
+    (void)eval.evaluate(rca, cfg);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(eval.evaluate(rca, cfg));
+}
+BENCHMARK(BM_EvaluateDesignPoint);
+
+void
+BM_LaneThermalSolveCold(benchmark::State &state)
+{
+    const int dies = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        thermal::LaneThermalModel model;  // fresh cache each time
+        benchmark::DoNotOptimize(model.solve(dies, 540.0));
+    }
+}
+BENCHMARK(BM_LaneThermalSolveCold)->Arg(1)->Arg(8)->Arg(15);
+
+void
+BM_VoltageSweep(benchmark::State &state)
+{
+    dse::DesignSpaceExplorer explorer;
+    const auto rca = apps::bitcoin().rca;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(explorer.sweepVoltage(
+            rca, tech::NodeId::N28, 769, 9));
+    }
+}
+BENCHMARK(BM_VoltageSweep);
+
+void
+BM_ExploreNode(benchmark::State &state)
+{
+    dse::ExplorerOptions o;
+    o.voltage_steps = 16;
+    o.rca_count_steps = 16;
+    dse::DesignSpaceExplorer explorer{o};
+    const auto rca = apps::bitcoin().rca;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            explorer.explore(rca, tech::NodeId::N40));
+    }
+}
+BENCHMARK(BM_ExploreNode)->Unit(benchmark::kMillisecond);
+
+void
+BM_ParetoExtraction(benchmark::State &state)
+{
+    std::vector<dse::DesignPoint> pts(
+        static_cast<size_t>(state.range(0)));
+    uint64_t seed = 42;
+    for (auto &p : pts) {
+        seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+        p.cost_per_ops = 1.0 + (seed >> 40) * 1e-9;
+        seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+        p.watts_per_ops = 1.0 + (seed >> 40) * 1e-9;
+    }
+    for (auto _ : state) {
+        auto copy = pts;
+        benchmark::DoNotOptimize(dse::paretoFront(std::move(copy)));
+    }
+}
+BENCHMARK(BM_ParetoExtraction)->Arg(1000)->Arg(100000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Section 6.2, "How many ticks before a tock?": port each node's
+ * TCO-optimal die design (frozen RCAs/die, DRAMs/die; SLA frequency
+ * for Deep Learning) to every newer node, re-optimizing only voltage
+ * and lane packing, and report the TCO penalty versus the
+ * destination-native optimum.  Paper: 250nm -> 16nm porting costs
+ * 3.68x for Bitcoin, 2.14x Litecoin, 6.71x Video Transcode; one-step
+ * ports cost only ~1.05-1.08x.
+ */
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hh"
+#include "util/math.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    auto &opt = bench::sharedOptimizer();
+
+    for (const auto &app : apps::allApps()) {
+        const auto entries = opt.portingStudy(app);
+        if (entries.empty())
+            continue;
+        std::cout << "=== Porting study: " << app.name()
+                  << " (TCO penalty of ported design vs native "
+                     "optimum) ===\n";
+        TextTable t(bench::nodeHeaders("From \\ To"));
+        for (tech::NodeId from : tech::kAllNodes) {
+            std::vector<std::string> row{tech::to_string(from)};
+            bool any = false;
+            for (tech::NodeId to : tech::kAllNodes) {
+                std::string cell = "-";
+                for (const auto &e : entries) {
+                    if (e.from == from && e.to == to) {
+                        cell = times(e.tco_penalty, 3);
+                        any = true;
+                    }
+                }
+                row.push_back(cell);
+            }
+            if (any)
+                t.addRow(row);
+        }
+        t.print(std::cout);
+
+        // Single-step geometric mean (paper: 1.05-1.08x).
+        std::vector<double> single;
+        for (const auto &e : entries)
+            if (tech::nodeIndex(e.to) == tech::nodeIndex(e.from) + 1)
+                single.push_back(e.tco_penalty);
+        if (!single.empty()) {
+            std::cout << "one-step port geomean penalty: "
+                      << times(geomean(single), 3) << "\n";
+        }
+        // Full jump from the oldest feasible node to 16nm.
+        for (const auto &e : entries) {
+            if (e.from == opt.sweepNodes(app).front().node &&
+                e.to == tech::NodeId::N16) {
+                std::cout << "full jump "
+                          << tech::to_string(e.from) << " -> 16nm: "
+                          << times(e.tco_penalty, 3) << "\n";
+            }
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

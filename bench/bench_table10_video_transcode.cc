@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Table 10: Video Transcode TCO-optimal ASIC server properties.
+ * Servers saturate DRAM bandwidth and trade operating voltage
+ * against RCAs per ASIC; DRAM count per die grows with node.
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    auto &opt = bench::sharedOptimizer();
+    const auto app = apps::videoTranscode();
+
+    std::cout << "=== Table 10 ===\n";
+    bench::printServerTable(app);
+
+    bench::PaperRow paper = {
+        {tech::NodeId::N250, 14722}, {tech::NodeId::N180, 4411},
+        {tech::NodeId::N130, 2151}, {tech::NodeId::N90, 652.8},
+        {tech::NodeId::N65, 278.4}, {tech::NodeId::N40, 117.2},
+        {tech::NodeId::N28, 78.46}, {tech::NodeId::N16, 46.80},
+    };
+    std::map<tech::NodeId, double> model;
+    for (const auto &r : opt.sweepNodes(app))
+        model[r.node] = r.optimal.tco_per_ops * 1e3;
+    std::cout << "\nTCO/Kfps, paper vs model:\n";
+    bench::printComparison("TCO/Kfps", paper, model);
+
+    std::cout << "\nDRAM provisioning (paper: 1,1,1,1,1,3,6,9 per "
+                 "die; utilization < 1 when bandwidth-starved):\n";
+    for (const auto &r : opt.sweepNodes(app)) {
+        std::cout << "  " << tech::to_string(r.node) << ": "
+                  << r.optimal.config.drams_per_die
+                  << " DRAMs/die, compute utilization "
+                  << percent(r.optimal.compute_utilization) << ", "
+                  << r.optimal.config.dramsPerServer()
+                  << " DRAMs/server\n";
+    }
+    return 0;
+}

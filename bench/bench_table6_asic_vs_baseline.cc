@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table 6: 28nm ASIC Cloud servers versus the best non-ASIC
+ * alternative — performance, power, cost, and TCO per op/s.
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    auto &opt = bench::sharedOptimizer();
+
+    std::cout << "=== Table 6: ASIC servers vs best non-ASIC "
+                 "alternative (28nm) ===\n";
+    TextTable t({"App", "Cloud HW", "Perf", "Power (W)", "Cost ($)",
+                 "TCO/op/s", "ASIC gain"});
+
+    // Paper TCO/op/s reference values for the comparison column.
+    const double paper_gain[] = {2320 / 2.9, 2500 / 19.5,
+                                 791e3 / 78.5, 17580 / 44.3};
+    int i = 0;
+    for (const auto &app : apps::allApps()) {
+        const double scale = app.rca.perf_unit_scale;
+        const auto &b = app.baseline;
+        const double base_tco = opt.baselineTcoPerOps(app) * scale;
+        t.addRow({app.name(), b.hardware,
+                  sig(b.perf_ops / scale, 3) + " " + app.rca.perf_unit,
+                  fixed(b.power_w, 0), fixed(b.cost, 0),
+                  sig(base_tco, 4), ""});
+
+        const core::NodeResult *r28 = nullptr;
+        for (const auto &r : opt.sweepNodes(app))
+            if (r.node == tech::NodeId::N28)
+                r28 = &r;
+        if (!r28) {
+            t.addRow({app.name(), "28nm ASIC", "infeasible", "-", "-",
+                      "-", "-"});
+            continue;
+        }
+        const auto &p = r28->optimal;
+        const double gain = base_tco / (p.tco_per_ops * scale);
+        t.addRow({app.name(), "28nm ASIC",
+                  sig(p.perf_ops / scale, 4) + " " + app.rca.perf_unit,
+                  fixed(p.wall_power_w, 0), fixed(p.server_cost, 0),
+                  sig(p.tco_per_ops * scale, 4),
+                  times(gain, 3) + " (paper " +
+                      times(paper_gain[i], 3) + ")"});
+        ++i;
+    }
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table 7: Bitcoin TCO-optimal ASIC server properties across all
+ * eight technology nodes, with the paper's TCO/GH/s row for
+ * comparison.
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    auto &opt = bench::sharedOptimizer();
+    const auto app = apps::bitcoin();
+
+    std::cout << "=== Table 7 ===\n";
+    bench::printServerTable(app);
+
+    bench::PaperRow paper = {
+        {tech::NodeId::N250, 186.2}, {tech::NodeId::N180, 74.55},
+        {tech::NodeId::N130, 33.68}, {tech::NodeId::N90, 15.88},
+        {tech::NodeId::N65, 9.115}, {tech::NodeId::N40, 4.039},
+        {tech::NodeId::N28, 2.912}, {tech::NodeId::N16, 1.378},
+    };
+    std::map<tech::NodeId, double> model;
+    for (const auto &r : opt.sweepNodes(app))
+        model[r.node] = r.optimal.tco_per_ops * 1e9;
+    std::cout << "\nTCO/GH/s, paper vs model:\n";
+    bench::printComparison("TCO/GH/s", paper, model);
+    return 0;
+}

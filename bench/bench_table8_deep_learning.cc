@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table 8: Deep Learning (DaDianNao) TCO-optimal ASIC server
+ * properties.  The SLA-pinned 606 MHz clock restricts feasible nodes
+ * to 40/28/16nm.
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    auto &opt = bench::sharedOptimizer();
+    const auto app = apps::deepLearning();
+
+    std::cout << "=== Table 8 ===\n";
+    bench::printServerTable(app);
+
+    bench::PaperRow paper = {
+        {tech::NodeId::N40, 100.4}, {tech::NodeId::N28, 44.28},
+        {tech::NodeId::N16, 17.78},
+    };
+    std::map<tech::NodeId, double> model;
+    for (const auto &r : opt.sweepNodes(app))
+        model[r.node] = r.optimal.tco_per_ops * 1e12;
+    std::cout << "\nTCO/TOps/s, paper vs model:\n";
+    bench::printComparison("TCO/TOps/s", paper, model);
+
+    std::cout << "\nDark silicon at the optimum (paper: 15.5% at "
+                 "28nm, none at 16nm):\n";
+    for (const auto &r : opt.sweepNodes(app)) {
+        std::cout << "  " << tech::to_string(r.node) << ": "
+                  << percent(r.optimal.config.dark_silicon_fraction)
+                  << ", grid " << r.optimal.config.rcas_per_die
+                  << " nodes/die\n";
+    }
+    return 0;
+}

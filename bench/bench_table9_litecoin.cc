@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Table 9: Litecoin TCO-optimal ASIC server properties across nodes.
+ * SRAM-dominated, low power density: optimal voltages sit near
+ * nominal to exploit the available cooling headroom.
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    auto &opt = bench::sharedOptimizer();
+    const auto app = apps::litecoin();
+
+    std::cout << "=== Table 9 ===\n";
+    bench::printServerTable(app);
+
+    bench::PaperRow paper = {
+        {tech::NodeId::N250, 2214}, {tech::NodeId::N180, 854.8},
+        {tech::NodeId::N130, 388.5}, {tech::NodeId::N90, 156.8},
+        {tech::NodeId::N65, 79.97}, {tech::NodeId::N40, 32.94},
+        {tech::NodeId::N28, 19.49}, {tech::NodeId::N16, 8.353},
+    };
+    std::map<tech::NodeId, double> model;
+    for (const auto &r : opt.sweepNodes(app))
+        model[r.node] = r.optimal.tco_per_ops * 1e6;
+    std::cout << "\nTCO/MH/s, paper vs model:\n";
+    bench::printComparison("TCO/MH/s", paper, model);
+
+    // Caption check: voltage relative to nominal vs Bitcoin's.
+    const auto &btc = opt.sweepNodes(apps::bitcoin());
+    const auto &ltc = opt.sweepNodes(app);
+    std::cout << "\nVdd relative to nominal (Litecoin vs Bitcoin):\n";
+    for (size_t i = 0; i < ltc.size() && i < btc.size(); ++i) {
+        const auto &node = opt.explorer().evaluator().scaling()
+            .database().node(ltc[i].node);
+        std::cout << "  " << node.name << ": "
+                  << percent(ltc[i].optimal.config.vdd /
+                             node.vdd_nominal)
+                  << " vs "
+                  << percent(btc[i].optimal.config.vdd /
+                             node.vdd_nominal)
+                  << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Extension: Monte Carlo robustness of the node choice.  The paper's
+ * inputs are quotes and estimates; this bench perturbs them
+ * (lognormal: masks 20%, salaries 15%, IP 25%, electricity 30%,
+ * backend 20%, wafers 10%) and reports how often each node wins at
+ * three workload scales, plus the spread of total cost.
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/uncertainty.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    const auto app = apps::bitcoin();
+    core::UncertaintySpec spec;
+    spec.samples = 48;
+
+    std::cout << "=== Node-choice robustness under input "
+                 "uncertainty (Bitcoin, " << spec.samples
+              << " samples) ===\n";
+
+    for (double workload : {2e6, 25e6, 400e6}) {
+        core::UncertaintyAnalysis mc(spec);
+        const auto r = mc.run(app, workload);
+        std::cout << "\n-- workload " << money(workload) << " --\n";
+        TextTable t({"Choice", "wins"});
+        for (const auto &[name, frac] : r.choice_fraction)
+            t.addRow({name, percent(frac)});
+        t.print(std::cout);
+        std::cout << "modal choice: " << r.modal_choice
+                  << "; total cost p10/median/p90: "
+                  << money(r.total_cost.p10, 3) << " / "
+                  << money(r.total_cost.median, 3) << " / "
+                  << money(r.total_cost.p90, 3) << "\n";
+    }
+
+    std::cout << "\nReading: near range boundaries the choice "
+                 "splits between adjacent nodes, but never jumps "
+                 "across the menu — the envelope is robust to "
+                 "realistic quote noise.\n";
+    return 0;
+}

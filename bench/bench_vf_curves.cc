@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Characterization data behind the model: per-node voltage-frequency
+ * and voltage-energy curves of the calibrated alpha-power /
+ * CV^2 engine — the role the authors' SPICE/CAD characterization
+ * played.  Columns show frequency (normalized to the node's nominal
+ * point) and energy/op (normalized likewise) at fractions of
+ * nominal Vdd, plus the paper's published Bitcoin operating points
+ * as anchors.
+ */
+#include <iostream>
+
+#include "bench_common.hh"
+#include "tech/scaling.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    const tech::ScalingModel model;
+    const auto &db = model.database();
+
+    std::cout << "=== Voltage-frequency curves (f/f_nominal) ===\n";
+    std::vector<std::string> fracs_hdr{"Tech"};
+    const double fracs[] = {0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.2,
+                            1.5};
+    for (double f : fracs)
+        fracs_hdr.push_back(fixed(f, 1) + "xVdd");
+    TextTable tf(fracs_hdr);
+    for (const auto &n : db.nodes()) {
+        std::vector<std::string> row{n.name};
+        const double nominal = model.speedTerm(n, n.vdd_nominal);
+        for (double f : fracs) {
+            const double v = f * n.vdd_nominal;
+            row.push_back(v <= n.vth ? "-" :
+                          fixed(model.speedTerm(n, v) / nominal, 3));
+        }
+        tf.addRow(row);
+    }
+    tf.print(std::cout);
+
+    std::cout << "\n=== Voltage-energy curves (E/E_nominal, CV^2) "
+                 "===\n";
+    TextTable te(fracs_hdr);
+    for (const auto &n : db.nodes()) {
+        std::vector<std::string> row{n.name};
+        for (double f : fracs)
+            row.push_back(fixed(f * f, 3));
+        te.addRow(row);
+        break;  // identical for every node by construction
+    }
+    te.addRow({"(all nodes)", "", "", "", "", "", "", "", "", ""});
+    te.print(std::cout);
+
+    std::cout << "\n=== Calibration anchors: Bitcoin Table 7 "
+                 "operating points ===\n";
+    TextTable ta({"Tech", "paper Vdd", "paper MHz", "model MHz",
+                  "error"});
+    struct Anchor { tech::NodeId node; double vdd; double mhz; };
+    const Anchor anchors[] = {
+        {tech::NodeId::N250, 1.081, 37}, {tech::NodeId::N180, 0.857, 54},
+        {tech::NodeId::N130, 0.654, 77}, {tech::NodeId::N90, 0.563, 93},
+        {tech::NodeId::N65, 0.517, 100}, {tech::NodeId::N40, 0.433, 121},
+        {tech::NodeId::N28, 0.459, 149}, {tech::NodeId::N16, 0.424, 169},
+    };
+    for (const auto &a : anchors) {
+        const double f =
+            model.frequencyMhz(db.node(a.node), a.vdd, 557.0);
+        ta.addRow({tech::to_string(a.node), fixed(a.vdd, 3),
+                   fixed(a.mhz, 0), fixed(f, 1),
+                   percent(f / a.mhz - 1.0)});
+    }
+    ta.print(std::cout);
+    return 0;
+}

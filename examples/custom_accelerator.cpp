@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Define your own accelerator and find its NRE+TCO-optimal technology
+ * node — the workflow of Section 7.3 ("Picking the node") for an
+ * emerging application that is not in the paper's suite.
+ *
+ * The example models a genomics read-aligner ASIC Cloud.
+ *
+ * Build & run:  ./build/examples/custom_accelerator
+ */
+#include <iostream>
+
+#include "core/optimizer.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace moonwalk;
+
+namespace {
+
+apps::AppSpec
+genomicsAligner()
+{
+    apps::AppSpec app;
+    auto &r = app.rca;
+    r.name = "GenomeAlign";
+    r.perf_unit = "Mreads/s";
+    r.perf_unit_scale = 1e6;
+    r.gate_count = 1.2e6;          // systolic alignment array
+    r.ops_per_cycle = 1.0 / 2000;  // 2,000 cycles per aligned read
+    r.f_nominal_28_mhz = 650.0;
+    r.energy_per_op_28_j = 1.1e-6; // 1.1 uJ per read (28nm, 0.9V)
+    r.area_28_mm2 = 2.8;
+    r.sram_fraction = 0.5;         // reference index caches
+    r.bytes_per_op = 6e3;          // streaming reads from DRAM
+
+    auto &n = app.nre;
+    n.app_name = r.name;
+    n.rca_gate_count = r.gate_count;
+    n.frontend_cad_months = 18;
+    n.frontend_mm = 20;
+    n.fpga_job_distribution_mm = 2;
+    n.fpga_bios_mm = 1;
+    n.cloud_software_mm = 5;
+    n.pcb_design_cost = 45e3;
+
+    // Best software baseline: a dual-socket Xeon server.
+    app.baseline = {"2S Xeon E5", 0.9e6, 400.0, 6000.0};
+    return app;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto app = genomicsAligner();
+    core::MoonwalkOptimizer opt;
+
+    std::cout << "Application: " << app.name() << " (baseline "
+              << app.baseline.hardware << ", "
+              << sig(opt.baselineTcoPerOps(app) *
+                     app.rca.perf_unit_scale, 3)
+              << " $ per " << app.rca.perf_unit << ")\n\n";
+
+    TextTable t({"Tech", "RCAs/die", "Die mm^2", "DRAM/die", "Vdd",
+                 "MHz", app.rca.perf_unit, "Watts", "Server $",
+                 "TCO/unit", "NRE"});
+    t.setTitle("TCO-optimal " + app.name() + " servers across nodes");
+    for (const auto &r : opt.sweepNodes(app)) {
+        const auto &p = r.optimal;
+        t.addRow({
+            tech::to_string(r.node),
+            std::to_string(p.config.rcas_per_die),
+            fixed(p.die_area_mm2, 0),
+            std::to_string(p.config.drams_per_die),
+            fixed(p.config.vdd, 3),
+            fixed(p.freq_mhz, 0),
+            fixed(p.perf_ops / app.rca.perf_unit_scale, 1),
+            fixed(p.wall_power_w, 0),
+            money(p.server_cost),
+            sig(p.tco_per_ops * app.rca.perf_unit_scale, 4),
+            money(r.nre.total()),
+        });
+    }
+    t.print(std::cout);
+
+    std::cout << "\nNode recommendation by workload scale:\n";
+    for (const auto &range : opt.optimalNodeRanges(app)) {
+        const std::string who = range.line.node ?
+            tech::to_string(*range.line.node) : app.baseline.hardware;
+        std::cout << "  " << money(range.b_low) << " and up: " << who
+                  << "\n";
+    }
+
+    const double forecast = 40e6;  // $40M pre-ASIC TCO forecast
+    std::cout << "\nWith a " << money(forecast)
+              << " workload forecast, build at: ";
+    std::string pick = app.baseline.hardware;
+    for (const auto &range : opt.optimalNodeRanges(app)) {
+        if (forecast >= range.b_low && range.line.node)
+            pick = tech::to_string(*range.line.node);
+    }
+    std::cout << pick << "\n";
+    return 0;
+}

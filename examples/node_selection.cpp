@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Node selection for the paper's applications: give an application
+ * name and a forecast of the workload's pre-ASIC TCO, get the node
+ * that minimizes NRE + TCO (Section 7.2).
+ *
+ * Usage:  node_selection [app] [baseline_tco_dollars]
+ *         node_selection "Video Transcode" 50e6
+ * Defaults to Bitcoin at $25M.
+ */
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/optimizer.hh"
+#include "util/error.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace moonwalk;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app_name = argc > 1 ? argv[1] : "Bitcoin";
+    const double forecast = argc > 2 ? std::atof(argv[2]) : 25e6;
+
+    apps::AppSpec app;
+    try {
+        app = apps::appByName(app_name);
+    } catch (const ModelError &e) {
+        std::cerr << e.what()
+                  << " (try: Bitcoin, Litecoin, 'Video Transcode', "
+                     "'Deep Learning')\n";
+        return 1;
+    }
+
+    core::MoonwalkOptimizer opt;
+    const double base = opt.baselineTcoPerOps(app);
+
+    TextTable t({"Choice", "NRE", "TCO", "Total", "vs best"});
+    t.setTitle(app.name() + " @ " + money(forecast) +
+               " pre-ASIC TCO");
+
+    struct Row { std::string name; double nre, tco; };
+    std::vector<Row> rows;
+    rows.push_back({app.baseline.hardware + " (baseline)", 0.0,
+                    forecast});
+    for (const auto &r : opt.sweepNodes(app)) {
+        rows.push_back({tech::to_string(r.node), r.nre.total(),
+                        forecast * r.tcoPerOps() / base});
+    }
+
+    double best = 1e300;
+    for (const auto &r : rows)
+        best = std::min(best, r.nre + r.tco);
+
+    std::string winner;
+    for (const auto &r : rows) {
+        const double total = r.nre + r.tco;
+        if (total == best)
+            winner = r.name;
+        t.addRow({r.name, money(r.nre), money(r.tco), money(total),
+                  times(total / best)});
+    }
+    t.print(std::cout);
+    std::cout << "\nBuild at: " << winner << "\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Dump the Pareto frontier ($/op/s vs W/op/s) of an application at a
+ * node as CSV, for plotting — the raw data behind Figures 4 and 6.
+ *
+ * Usage:  pareto_explorer [app] [feature_nm]
+ *         pareto_explorer Litecoin 40 > litecoin_40nm.csv
+ * Defaults to Bitcoin at 28nm.
+ */
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "dse/explorer.hh"
+#include "apps/apps.hh"
+#include "util/table.hh"
+#include "util/format.hh"
+
+using namespace moonwalk;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app_name = argc > 1 ? argv[1] : "Bitcoin";
+    const double feature = argc > 2 ? std::atof(argv[2]) : 28.0;
+
+    const auto app = apps::appByName(app_name);
+    const auto &node =
+        tech::defaultTechDatabase().nodeByFeature(feature);
+
+    dse::DesignSpaceExplorer explorer;
+    const auto result = explorer.explore(app.rca, node.id);
+
+    const double scale = app.rca.perf_unit_scale;
+    TextTable t({"dollars_per_" + app.rca.perf_unit,
+                 "watts_per_" + app.rca.perf_unit, "vdd", "rcas_per_die",
+                 "dies_per_lane", "drams_per_die", "die_area_mm2",
+                 "tco_per_" + app.rca.perf_unit});
+    for (const auto &p : result.pareto) {
+        t.addRow({sig(p.cost_per_ops * scale, 6),
+                  sig(p.watts_per_ops * scale, 6),
+                  fixed(p.config.vdd, 3),
+                  std::to_string(p.config.rcas_per_die),
+                  std::to_string(p.config.dies_per_lane),
+                  std::to_string(p.config.drams_per_die),
+                  fixed(p.die_area_mm2, 0),
+                  sig(p.tco_per_ops * scale, 6)});
+    }
+    t.printCsv(std::cout);
+
+    if (result.tco_optimal) {
+        std::cerr << app.name() << " @ " << node.name << ": "
+                  << result.pareto.size() << " Pareto points, optimum "
+                  << sig(result.tco_optimal->tco_per_ops * scale, 4)
+                  << " $/" << app.rca.perf_unit << " ("
+                  << result.feasible << "/" << result.evaluated
+                  << " feasible)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: design a TCO-optimal 28nm Bitcoin ASIC Cloud server,
+ * price its NRE, and show when an ASIC beats the GPU baseline.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "core/optimizer.hh"
+#include "util/format.hh"
+
+using namespace moonwalk;
+
+int
+main()
+{
+    // 1. Pick an application (Bitcoin: the paper's running example).
+    const apps::AppSpec app = apps::bitcoin();
+
+    // 2. Explore the 28nm design space: RCAs per die, dies per lane,
+    //    logic voltage — under thermal / reticle / power constraints.
+    dse::DesignSpaceExplorer explorer;
+    const auto result = explorer.explore(app.rca, tech::NodeId::N28);
+    if (!result.tco_optimal) {
+        std::cerr << "no feasible design\n";
+        return 1;
+    }
+    const auto &p = *result.tco_optimal;
+    const double scale = app.rca.perf_unit_scale;
+
+    std::cout << "TCO-optimal 28nm Bitcoin server\n"
+              << "  RCAs per die     : " << p.config.rcas_per_die << "\n"
+              << "  die area         : " << fixed(p.die_area_mm2, 0)
+              << " mm^2\n"
+              << "  dies per server  : " << p.config.diesPerServer()
+              << "\n"
+              << "  logic Vdd        : " << fixed(p.config.vdd, 3)
+              << " V\n"
+              << "  clock            : " << fixed(p.freq_mhz, 0)
+              << " MHz\n"
+              << "  throughput       : " << fixed(p.perf_ops / scale, 0)
+              << " " << app.rca.perf_unit << "\n"
+              << "  wall power       : " << fixed(p.wall_power_w, 0)
+              << " W\n"
+              << "  server cost      : " << money(p.server_cost) << "\n"
+              << "  TCO per " << app.rca.perf_unit << "   : "
+              << sig(p.tco_per_ops * scale, 3) << " $\n\n";
+
+    // 3. Price the NRE of building this design.
+    core::MoonwalkOptimizer optimizer(std::move(explorer));
+    const auto nre = optimizer.nreOf(app, p);
+    std::cout << "NRE at 28nm: " << money(nre.total())
+              << "  (mask " << money(nre.mask) << ", IP "
+              << money(nre.ip) << ", backend "
+              << money(nre.backend_labor + nre.backend_cad) << ")\n\n";
+
+    // 4. When does which node win?  (Figure 10/11 in one call.)
+    std::cout << "Optimal node vs workload scale (pre-ASIC TCO):\n";
+    for (const auto &range : optimizer.optimalNodeRanges(app)) {
+        const std::string who = range.line.node ?
+            tech::to_string(*range.line.node) :
+            std::string(app.baseline.hardware);
+        std::cout << "  from " << money(range.b_low) << ": " << who
+                  << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Drive a designed ASIC Cloud server with simulated RPC traffic: the
+ * functional view of the machine the optimizer priced.  Designs the
+ * TCO-optimal 28nm Bitcoin server, then sweeps offered load and
+ * prints the throughput/latency curve.
+ *
+ * Build & run:  ./build/examples/simulate_server [app]
+ */
+#include <iostream>
+#include <string>
+
+#include "core/optimizer.hh"
+#include "sim/server_sim.hh"
+#include "util/error.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace moonwalk;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app_name = argc > 1 ? argv[1] : "Bitcoin";
+    apps::AppSpec app;
+    try {
+        app = apps::appByName(app_name);
+    } catch (const ModelError &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+
+    // 1. Design the server.
+    core::MoonwalkOptimizer opt;
+    const core::NodeResult *r28 = nullptr;
+    for (const auto &r : opt.sweepNodes(app))
+        if (r.node == tech::NodeId::N28)
+            r28 = &r;
+    if (!r28) {
+        std::cerr << app.name() << " cannot be built at 28nm\n";
+        return 1;
+    }
+    const auto &p = r28->optimal;
+
+    // 2. Instantiate the simulator from the designed configuration.
+    sim::ServerModel m;
+    m.asics = p.config.diesPerServer();
+    m.rcas_per_asic = p.config.rcas_per_die;
+    m.rca_ops_per_s =
+        p.perf_ops / (double(m.asics) * m.rcas_per_asic);
+    sim::ServerSimulator simulator(m);
+
+    std::cout << app.name() << " 28nm server: " << m.asics
+              << " ASICs x " << m.rcas_per_asic
+              << " RCAs, analytic throughput "
+              << sig(p.perf_ops / app.rca.perf_unit_scale, 4) << " "
+              << app.rca.perf_unit << "\n\n";
+
+    // 3. Load sweep.
+    TextTable t({"offered load", "achieved", "RCA util", "p50 (ms)",
+                 "p99 (ms)", "dropped"});
+    for (double load : {0.2, 0.5, 0.8, 0.95, 1.5}) {
+        sim::Workload w;
+        w.ops_per_job = m.rca_ops_per_s * 1e-3;  // ~1ms RPC batches
+        w.arrival_rate =
+            load * simulator.capacityOpsPerS() / w.ops_per_job;
+        w.duration_s = 0.5;
+        const auto s = simulator.run(w);
+        t.addRow({percent(load, 0),
+                  percent(s.achieved_ops_per_s /
+                          simulator.capacityOpsPerS()),
+                  percent(s.rca_utilization),
+                  fixed(s.latency_p50 * 1e3, 3),
+                  fixed(s.latency_p99 * 1e3, 3),
+                  std::to_string(s.jobs_dropped)});
+    }
+    t.print(std::cout);
+    return 0;
+}

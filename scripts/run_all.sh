@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every paper table/figure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo
+echo "=== regenerating all tables and figures ==="
+for b in build/bench/*; do
+    echo
+    echo "########## $(basename "$b") ##########"
+    "$b"
+done

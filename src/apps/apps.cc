@@ -1,0 +1,172 @@
+#include "apps/apps.hh"
+
+#include "util/error.hh"
+
+namespace moonwalk::apps {
+
+// Anchor derivations (DESIGN.md section 5): performance anchors come
+// from Tables 7-10 at 28nm, e.g. Bitcoin's 8,223 GH/s from 72 dies x
+// 769 RCAs at 149 MHz gives exactly 1 hash/cycle/RCA; energy anchors
+// back out wall-power overheads (PSU/DCDC efficiency, fans, DRAM) and
+// re-reference the paper's sub-nominal operating voltage to 0.9V via
+// the CV^2 law.
+
+AppSpec
+bitcoin()
+{
+    AppSpec app;
+    auto &r = app.rca;
+    r.name = "Bitcoin";
+    r.perf_unit = "GH/s";
+    r.perf_unit_scale = 1e9;
+    r.gate_count = 323e3;              // Table 5
+    r.ops_per_cycle = 1.0;             // one double-SHA256 per cycle
+    r.f_nominal_28_mhz = 557.0;        // 149 MHz at 0.459V (Table 7)
+    r.energy_per_op_28_j = 1.32e-9;    // J per hash, silicon, 0.9V
+    r.area_28_mm2 = 540.0 / 769.0;     // Table 7, 28nm column
+    r.sram_fraction = 0.05;
+
+    auto &n = app.nre;
+    n.app_name = r.name;
+    n.rca_gate_count = r.gate_count;
+    n.frontend_cad_months = 8;         // Table 5
+    n.frontend_mm = 9.5;
+    n.fpga_job_distribution_mm = 1;
+    n.fpga_bios_mm = 1;
+    n.cloud_software_mm = 2;
+    n.pcb_design_cost = 37e3;
+
+    app.baseline = {"AMD 7970 GPU", 0.68e9, 285.0, 400.0};  // Table 6
+    return app;
+}
+
+AppSpec
+litecoin()
+{
+    AppSpec app;
+    auto &r = app.rca;
+    r.name = "Litecoin";
+    r.perf_unit = "MH/s";
+    r.perf_unit_scale = 1e6;
+    r.gate_count = 96.7e3;             // Table 5
+    // 1,384 MH/s from 120 dies x 910 RCAs at 576 MHz (Table 9, 28nm)
+    // gives 45,447 cycles per scrypt hash.
+    r.ops_per_cycle = 1.0 / 45447.0;
+    r.f_nominal_28_mhz = 919.0;        // 576 MHz at 0.656V (Table 9)
+    r.energy_per_op_28_j = 2.78e-6;    // J per hash, silicon, 0.9V
+    r.area_28_mm2 = 540.0 / 910.0;     // SRAM-dominated RCA
+    r.sram_fraction = 0.75;
+
+    auto &n = app.nre;
+    n.app_name = r.name;
+    n.rca_gate_count = r.gate_count;
+    n.frontend_cad_months = 12;
+    n.frontend_mm = 15;
+    n.fpga_job_distribution_mm = 1;
+    n.fpga_bios_mm = 1;
+    n.cloud_software_mm = 2;
+    n.pcb_design_cost = 37e3;
+
+    app.baseline = {"AMD 7970 GPU", 0.63e6, 285.0, 400.0};
+    return app;
+}
+
+AppSpec
+videoTranscode()
+{
+    AppSpec app;
+    auto &r = app.rca;
+    r.name = "Video Transcode";
+    r.perf_unit = "Kfps";
+    r.perf_unit_scale = 1e3;
+    r.gate_count = 3.56e6;             // Table 5, H.265/HEVC [31]
+    // 158 Kfps from 40 dies x 153 RCAs at 429 MHz (Table 10, 28nm):
+    // 16.63M cycles per transcoded frame.
+    r.ops_per_cycle = 1.0 / 16.63e6;
+    r.f_nominal_28_mhz = 546.0;        // 429 MHz at 0.754V (Table 10)
+    r.energy_per_op_28_j = 6.4e-3;     // J per frame, silicon, 0.9V
+    r.area_28_mm2 = 498.0 / 153.0;
+    r.sram_fraction = 0.30;
+    // One LPDDR3 device (6.4 GB/s) sustains ~660 fps (Section 6.3:
+    // 28nm ASICs saturate 6 DRAMs at 3.95 Kfps per die).
+    r.bytes_per_op = 9.7e6;
+    r.needs_lvds = true;               // high off-PCB bandwidth
+    // Compressed video in + out crossing the server boundary.
+    r.offpcb_bytes_per_op = 6e4;
+
+    auto &n = app.nre;
+    n.app_name = r.name;
+    n.rca_gate_count = r.gate_count;
+    n.frontend_cad_months = 23;
+    n.frontend_mm = 24;
+    n.fpga_job_distribution_mm = 3;
+    n.fpga_bios_mm = 1;
+    n.cloud_software_mm = 7;
+    n.pcb_design_cost = 50e3;
+    n.extra_ip_cost = 200e3;           // licensed H.265 decoder
+
+    app.baseline = {"Core i7-4790K", 1.8, 155.0, 725.0};
+    return app;
+}
+
+AppSpec
+deepLearning()
+{
+    AppSpec app;
+    auto &r = app.rca;
+    r.name = "Deep Learning";
+    r.perf_unit = "TOps/s";
+    r.perf_unit_scale = 1e12;
+    r.gate_count = 1.51e6;             // Table 5, DaDianNao node [13]
+    // 470 TOps/s from 64 dies x 4 nodes at 606 MHz (Table 8, 28nm):
+    // 3,030 ops per node-cycle.
+    r.ops_per_cycle = 3030.0;
+    r.f_nominal_28_mhz = 606.0;
+    r.energy_per_op_28_j = 5.0e-12;    // J per op, silicon, 0.9V
+    r.area_28_mm2 = 64.5;              // one DDN node (67.7mm^2 chip
+                                       // less its HT pads)
+    r.sram_fraction = 0.55;            // eDRAM/SRAM-heavy
+    // eDRAM arrays and HyperTransport drivers dominate DDN energy and
+    // scale poorly with node (Table 8's 16nm energy sits well above
+    // pure CV^2 scaling).
+    r.energy_scaling_fraction = 0.8;
+    r.sla_fixed_freq_mhz = 606.0;      // latency SLA (Section 5.3)
+    r.needs_high_speed_link = true;    // HyperTransport
+    // Batch activations in/out, amortized per MAC-equivalent op
+    // (layers reuse weights on-die; ~100 GigE at server scale).
+    r.offpcb_bytes_per_op = 2e-4;
+    // DDN grids that fit a reticle: 1x1, 2x1, 2x2, 3x3, 2x4.
+    r.allowed_rcas_per_die = {1, 2, 4, 8, 9};
+    r.server_rca_multiple = 64;        // whole 8x8 systems per server
+    r.allow_dark_silicon = true;       // hotspot spreading (S 6.3)
+
+    auto &n = app.nre;
+    n.app_name = r.name;
+    n.rca_gate_count = r.gate_count;
+    n.frontend_cad_months = 26;
+    n.frontend_mm = 30;
+    n.fpga_job_distribution_mm = 2;
+    n.fpga_bios_mm = 1;
+    n.cloud_software_mm = 6;
+    n.pcb_design_cost = 37e3;
+
+    app.baseline = {"NVIDIA Tesla K20X", 0.26e12, 225.0, 3300.0};
+    return app;
+}
+
+std::vector<AppSpec>
+allApps()
+{
+    return {bitcoin(), litecoin(), videoTranscode(), deepLearning()};
+}
+
+AppSpec
+appByName(const std::string &name)
+{
+    for (auto &app : allApps())
+        if (app.name() == name)
+            return app;
+    fatal("unknown application: ", name);
+}
+
+} // namespace moonwalk::apps

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The paper's four benchmark applications (Section 5.3) and their
+ * best non-ASIC baselines (Table 6).
+ *
+ * Per-RCA performance/energy/area anchors are reconstructed from the
+ * paper's published 28nm results (Tables 5-10); see DESIGN.md for the
+ * derivations.  Energy anchors are silicon-level: the paper's W columns
+ * are wall power, which the server model reproduces by adding DRAM,
+ * fan, and power-conversion losses.
+ */
+#ifndef MOONWALK_APPS_APPS_HH
+#define MOONWALK_APPS_APPS_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/rca.hh"
+#include "nre/nre_model.hh"
+
+namespace moonwalk::apps {
+
+/**
+ * The best non-ASIC alternative server (Table 6), used as the TCO
+ * baseline of Figures 6 and 10-12.
+ */
+struct BaselineServer
+{
+    std::string hardware;
+    double perf_ops = 0;   ///< application ops/s (same unit as RCA)
+    double power_w = 0;
+    double cost = 0;
+};
+
+/**
+ * A complete application: the RCA, its NRE parameters (Table 5) and
+ * its baseline.
+ */
+struct AppSpec
+{
+    arch::RcaSpec rca;
+    nre::AppNreParams nre;
+    BaselineServer baseline;
+
+    const std::string &name() const { return rca.name; }
+};
+
+/** Bitcoin: logic-dense SHA256 miner, extreme power density, no SRAM
+ *  or DRAM (Section 5.3). */
+AppSpec bitcoin();
+
+/** Litecoin: scrypt miner, SRAM-dominated, low power density. */
+AppSpec litecoin();
+
+/** Video Transcode: H.265/HEVC, DRAM-bandwidth-bound, high off-PCB
+ *  bandwidth; decoder IP licensed for $200K (Section 5.3). */
+AppSpec videoTranscode();
+
+/** Deep Learning: DaDianNao nodes with a fixed 606 MHz SLA clock and
+ *  HyperTransport links; server groups of 64 nodes (8x8 systems). */
+AppSpec deepLearning();
+
+/** All four applications in the paper's presentation order. */
+std::vector<AppSpec> allApps();
+
+/** Look up an application by (case-sensitive) name. */
+AppSpec appByName(const std::string &name);
+
+} // namespace moonwalk::apps
+
+#endif // MOONWALK_APPS_APPS_HH

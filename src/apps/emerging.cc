@@ -1,0 +1,82 @@
+#include "apps/emerging.hh"
+
+namespace moonwalk::apps {
+
+AppSpec
+faceRecognition()
+{
+    AppSpec app;
+    auto &r = app.rca;
+    r.name = "Face Recognition";
+    r.perf_unit = "Kimg/s";
+    r.perf_unit_scale = 1e3;
+    r.gate_count = 2.2e6;          // conv arrays + embedding head
+    // ~1.1 GFLOP-equivalent per image on a 512-MAC array at 80%
+    // utilization: ~2.7M cycles per image.
+    r.ops_per_cycle = 1.0 / 2.7e6;
+    r.f_nominal_28_mhz = 640.0;
+    r.energy_per_op_28_j = 2.4e-3; // J per image, silicon, 0.9V
+    r.area_28_mm2 = 5.6;
+    r.sram_fraction = 0.45;        // weight/activation buffers
+    r.bytes_per_op = 0.9e6;        // image + activation traffic
+    r.needs_high_speed_link = true;  // PCI-E ingest from storage
+    r.offpcb_bytes_per_op = 2e4;     // compressed image ingest
+    // Non-scaling share: DRAM PHY and PCI-E SerDes energy.
+    r.energy_scaling_fraction = 0.85;
+
+    auto &n = app.nre;
+    n.app_name = r.name;
+    n.rca_gate_count = r.gate_count;
+    n.frontend_cad_months = 20;
+    n.frontend_mm = 22;
+    n.fpga_job_distribution_mm = 2;
+    n.fpga_bios_mm = 1;
+    n.cloud_software_mm = 5;
+    n.pcb_design_cost = 45e3;
+
+    // Best alternative: a GPU inference server.
+    app.baseline = {"GPU inference server", 1.4e3, 900.0, 24e3};
+    return app;
+}
+
+AppSpec
+speechRecognition()
+{
+    AppSpec app;
+    auto &r = app.rca;
+    r.name = "Speech Recognition";
+    r.perf_unit = "Kutt/s";        // utterances per second
+    r.perf_unit_scale = 1e3;
+    r.gate_count = 1.8e6;          // acoustic DNN + beam search
+    // ~40M cycles per 3-second utterance.
+    r.ops_per_cycle = 1.0 / 40e6;
+    r.f_nominal_28_mhz = 700.0;
+    r.energy_per_op_28_j = 30e-3;  // J per utterance, silicon, 0.9V
+    r.area_28_mm2 = 8.5;
+    r.sram_fraction = 0.6;         // on-chip acoustic model caches
+    r.bytes_per_op = 14e6;         // language-model lookups in DRAM
+    r.needs_high_speed_link = true;
+    r.offpcb_bytes_per_op = 1e5;   // 3s of 16-bit audio per utterance
+    r.energy_scaling_fraction = 0.8;
+
+    auto &n = app.nre;
+    n.app_name = r.name;
+    n.rca_gate_count = r.gate_count;
+    n.frontend_cad_months = 24;
+    n.frontend_mm = 26;
+    n.fpga_job_distribution_mm = 2;
+    n.fpga_bios_mm = 1;
+    n.cloud_software_mm = 6;
+    n.pcb_design_cost = 45e3;
+
+    app.baseline = {"2S Xeon + GPU", 0.35e3, 700.0, 15e3};
+    return app;
+}
+
+std::vector<AppSpec>
+emergingApps()
+{
+    return {faceRecognition(), speechRecognition()};
+}
+
+} // namespace moonwalk::apps

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Hypothetical emerging-application suite (paper Section 1: "growing
+ * classes of planet-scale workloads — think Facebook's face
+ * recognition of uploaded pictures, or Apple's Siri voice
+ * recognition, or the IRS performing tax audits with neural nets").
+ *
+ * These are *not* from the paper's evaluation; they are documented,
+ * plausible accelerator specs for the node-selection workflow of
+ * Section 7.3, where a researcher studies an application that has no
+ * established demand yet.  Parameters are stated per-RCA at the 28nm
+ * reference point like the built-in suite's.
+ */
+#ifndef MOONWALK_APPS_EMERGING_HH
+#define MOONWALK_APPS_EMERGING_HH
+
+#include "apps/apps.hh"
+
+namespace moonwalk::apps {
+
+/** CNN face-embedding accelerator: compute-dense, DRAM-streaming,
+ *  PCI-E attached; latency-tolerant (batch photo ingest). */
+AppSpec faceRecognition();
+
+/** Speech-to-text accelerator: acoustic DNN + beam search; SRAM-
+ *  heavy with DRAM-resident language model and PCI-E host link. */
+AppSpec speechRecognition();
+
+/** Both emerging applications. */
+std::vector<AppSpec> emergingApps();
+
+} // namespace moonwalk::apps
+
+#endif // MOONWALK_APPS_EMERGING_HH

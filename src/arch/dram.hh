@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-generation DRAM device parameters (Section 6.3: SDRAM at
+ * 250/180nm, DDR at 130/90nm, LPDDR3 from 65nm).
+ */
+#ifndef MOONWALK_ARCH_DRAM_HH
+#define MOONWALK_ARCH_DRAM_HH
+
+#include "tech/node.hh"
+
+namespace moonwalk::arch {
+
+/** One DRAM device as placed next to an ASIC on the lane PCB. */
+struct DramSpec
+{
+    /** Peak interface bandwidth per device (bytes/s). */
+    double bandwidth_bps;
+    /** Device unit cost ($). */
+    double unit_cost;
+    /** Active device power (W). */
+    double power_w;
+    /** Lane board length consumed per device (mm). */
+    double board_pitch_mm;
+};
+
+/** Device parameters for the generation available at @p gen. */
+inline DramSpec
+dramSpec(tech::DramGeneration gen)
+{
+    switch (gen) {
+      case tech::DramGeneration::SDR:
+        // PC133-class SDRAM; slightly dearer than LPDDR per device
+        // (Section 6.3: "DRAM cost increases marginally due to use of
+        // SDRAM instead of LPDDR").
+        return {0.5e9, 6.0, 0.9, 10.0};
+      case tech::DramGeneration::DDR:
+        return {1.6e9, 5.0, 0.9, 10.0};
+      case tech::DramGeneration::LPDDR3:
+        return {6.4e9, 5.0, 0.7, 9.0};
+    }
+    return {0, 0, 0, 0};
+}
+
+/** Die area (mm^2) of one DRAM controller + PHY macro at a node;
+ *  mixed-signal PHYs scale roughly with S, not S^2. */
+inline double
+dramInterfaceAreaMm2(const tech::TechNode &node)
+{
+    return 10.0 * (node.feature_nm / 28.0);
+}
+
+} // namespace moonwalk::arch
+
+#endif // MOONWALK_ARCH_DRAM_HH

@@ -1,0 +1,34 @@
+#include "arch/offchip.hh"
+
+namespace moonwalk::arch {
+
+const std::vector<OffPcbInterface> &
+offPcbMenu()
+{
+    // Payload bandwidths are deliberately conservative (~80% of line
+    // rate) to cover protocol overheads.
+    static const std::vector<OffPcbInterface> menu = {
+        {"1 GigE", 0.1e9, 15.0, 2.0},
+        {"10 GigE", 1.0e9, 80.0, 6.0},
+        {"40 GigE", 4.0e9, 180.0, 10.0},
+        {"100 GigE", 10.0e9, 400.0, 18.0},
+    };
+    return menu;
+}
+
+OffPcbSelection
+selectOffPcb(double required_bps)
+{
+    const auto &menu = offPcbMenu();
+    for (const auto &nic : menu)
+        if (nic.bandwidth_bps >= required_bps)
+            return {nic, 1};
+    // Replicate the top tier (multiple QSFP cages + bonded links).
+    const auto &top = menu.back();
+    const int count = static_cast<int>(
+        (required_bps + top.bandwidth_bps - 1.0) /
+        top.bandwidth_bps);
+    return {top, count};
+}
+
+} // namespace moonwalk::arch

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Off-PCB interface selection (paper Section 3: "RPCs that come from
+ * the off-PCB interface (1-100 GigE, RDMA, PCI-e, etc)").  Each
+ * application moves some bytes per op across the server boundary;
+ * the cheapest interface tier that sustains the server's throughput
+ * is selected, and its cost replaces the flat NIC charge.
+ */
+#ifndef MOONWALK_ARCH_OFFCHIP_HH
+#define MOONWALK_ARCH_OFFCHIP_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace moonwalk::arch {
+
+/** One selectable off-PCB interface option. */
+struct OffPcbInterface
+{
+    std::string name;
+    double bandwidth_bps;  ///< full-duplex payload bandwidth
+    double cost;           ///< NIC/PHY + cabling share ($)
+    double power_w;        ///< interface power at the server
+};
+
+/** The selectable menu, cheapest first (late-2016 pricing). */
+const std::vector<OffPcbInterface> &offPcbMenu();
+
+/** A selected interface, possibly replicated (multiple cages of the
+ *  top tier for bandwidth-extreme servers). */
+struct OffPcbSelection
+{
+    OffPcbInterface nic;
+    int count = 1;
+
+    double totalCost() const { return nic.cost * count; }
+    double totalPowerW() const { return nic.power_w * count; }
+    double totalBandwidthBps() const
+    {
+        return nic.bandwidth_bps * count;
+    }
+};
+
+/**
+ * Cheapest selection sustaining @p required_bps; the top tier is
+ * replicated when a single interface is insufficient.  A
+ * non-positive requirement selects the control-plane minimum
+ * (one 1 GigE).
+ */
+OffPcbSelection selectOffPcb(double required_bps);
+
+} // namespace moonwalk::arch
+
+#endif // MOONWALK_ARCH_OFFCHIP_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Replicated Compute Accelerator (RCA) specification.
+ *
+ * An RCA is the unit of replication in an ASIC Cloud die (Section 3).
+ * Performance and energy are anchored at the 28nm reference node and
+ * nominal voltage (0.9V) and projected to other (node, voltage) points
+ * by tech::ScalingModel; the anchors for the paper's four applications
+ * are derived from Tables 5-10 (see DESIGN.md).
+ */
+#ifndef MOONWALK_ARCH_RCA_HH
+#define MOONWALK_ARCH_RCA_HH
+
+#include <string>
+#include <vector>
+
+namespace moonwalk::arch {
+
+/**
+ * One replicated compute accelerator.
+ *
+ * "op" below is the application-level operation: a double-SHA256 hash
+ * for Bitcoin, an scrypt hash for Litecoin, a transcoded frame for
+ * Video Transcode, a fixed-point MAC-equivalent op for Deep Learning.
+ */
+struct RcaSpec
+{
+    std::string name;
+    /** Display unit for server throughput, e.g. "GH/s". */
+    std::string perf_unit;
+    /** ops/s divided by this gives the display unit value. */
+    double perf_unit_scale = 1.0;
+
+    /** Unique design gates per RCA (paper Table 5). */
+    double gate_count = 0;
+    /** Application ops completed per RCA per clock cycle. */
+    double ops_per_cycle = 0;
+    /** Clock frequency at 28nm, 0.9V (MHz). */
+    double f_nominal_28_mhz = 0;
+    /** Silicon energy per op at 28nm, 0.9V (J); excludes power
+     *  delivery losses and fans, which the server model adds. */
+    double energy_per_op_28_j = 0;
+    /** Die area per RCA at 28nm including its NoC share (mm^2). */
+    double area_28_mm2 = 0;
+    /** Fraction of RCA area that is SRAM (informational). */
+    double sram_fraction = 0;
+    /** Fraction of the energy per op that scales with node
+     *  capacitance (1/S).  The remainder (eDRAM arrays, off-chip I/O
+     *  drivers) stays constant across nodes.  1.0 for pure-logic
+     *  accelerators. */
+    double energy_scaling_fraction = 1.0;
+
+    // -- Constraints and platform needs --------------------------------
+    /** If positive, the clock is pinned to this frequency at every node
+     *  to satisfy the application SLA (Deep Learning, Section 5.3). */
+    double sla_fixed_freq_mhz = 0;
+    /** DRAM bytes moved per op; zero means no external DRAM. */
+    double bytes_per_op = 0;
+    /** Bytes crossing the server's off-PCB interface per op (RPC
+     *  payload in + out); zero means control-plane traffic only. */
+    double offpcb_bytes_per_op = 0;
+    /** Needs a PCI-E / HyperTransport class link (Deep Learning). */
+    bool needs_high_speed_link = false;
+    /** Uses LVDS off-chip signaling (high off-PCB bandwidth). */
+    bool needs_lvds = false;
+    /** If non-empty, only these RCA-per-die counts are allowed (the
+     *  DaDianNao 1x1/2x1/2x2/3x3/2x4 grids, Section 5.3). */
+    std::vector<int> allowed_rcas_per_die;
+    /** Server-level RCA count must be a multiple of this (the 8x8 DDN
+     *  system needs 64 nodes). */
+    int server_rca_multiple = 1;
+    /** Explorer may add dark silicon to spread hotspots
+     *  (Section 6.3, Deep Learning). */
+    bool allow_dark_silicon = false;
+
+    /** Per-RCA die area (mm^2) at a node with the given density factor
+     *  (relative to 28nm). */
+    double areaAtNode(double density_factor) const
+    {
+        return area_28_mm2 / density_factor;
+    }
+};
+
+} // namespace moonwalk::arch
+
+#endif // MOONWALK_ARCH_RCA_HH

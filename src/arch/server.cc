@@ -1,0 +1,31 @@
+#include "arch/server.hh"
+
+#include "util/error.hh"
+
+namespace moonwalk::arch {
+
+DieFloorplan
+computeFloorplan(const RcaSpec &rca, const tech::TechNode &node,
+                 const ServerConfig &cfg)
+{
+    if (cfg.rcas_per_die < 1)
+        fatal("die needs at least one RCA");
+    if (cfg.dark_silicon_fraction < 0.0 ||
+        cfg.dark_silicon_fraction > 0.5) {
+        fatal("dark silicon fraction out of range: ",
+              cfg.dark_silicon_fraction);
+    }
+
+    DieFloorplan fp;
+    fp.rca_area = cfg.rcas_per_die * rca.areaAtNode(node.density_factor);
+    fp.dram_if_area = cfg.drams_per_die * dramInterfaceAreaMm2(node);
+    // 15K gates of top-level NoC/IO at the node's logic density;
+    // 460K gates/mm^2 at the 28nm reference (see DESIGN.md).
+    constexpr double kRefGatesPerMm2 = 460e3;
+    fp.top_area = 15e3 / (kRefGatesPerMm2 * node.density_factor);
+    fp.dark_area = cfg.dark_silicon_fraction *
+        (fp.rca_area + fp.dram_if_area);
+    return fp;
+}
+
+} // namespace moonwalk::arch

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * ASIC Cloud server structure (Section 3): RCAs -> die -> packaged
+ * ASIC -> lane -> 1U server with 8 ducted lanes.
+ */
+#ifndef MOONWALK_ARCH_SERVER_HH
+#define MOONWALK_ARCH_SERVER_HH
+
+#include "arch/dram.hh"
+#include "arch/rca.hh"
+#include "tech/node.hh"
+
+namespace moonwalk::arch {
+
+/** Number of ducted lanes in a 1U ASIC Cloud server (Section 5.3). */
+constexpr int kLanesPerServer = 8;
+
+/**
+ * A point in the server design space: everything the designer chooses.
+ */
+struct ServerConfig
+{
+    tech::NodeId node = tech::NodeId::N28;
+    int rcas_per_die = 1;
+    int dies_per_lane = 1;
+    int drams_per_die = 0;
+    /** Logic supply voltage (V). */
+    double vdd = 0.9;
+    /** Extra dark silicon fraction added to the die to spread hotspots
+     *  (Deep Learning, Section 6.3). */
+    double dark_silicon_fraction = 0.0;
+
+    int diesPerServer() const { return dies_per_lane * kLanesPerServer; }
+    int rcasPerServer() const { return diesPerServer() * rcas_per_die; }
+    int dramsPerServer() const { return diesPerServer() * drams_per_die; }
+};
+
+/**
+ * Die floorplan areas implied by a config (mm^2).
+ */
+struct DieFloorplan
+{
+    double rca_area = 0;      ///< replicated array
+    double dram_if_area = 0;  ///< DRAM controller + PHY macros
+    double top_area = 0;      ///< NoC column + IO ring
+    double dark_area = 0;     ///< hotspot-spreading fill
+
+    double total() const
+    {
+        return rca_area + dram_if_area + top_area + dark_area;
+    }
+};
+
+/**
+ * Compute the floorplan of @p cfg for @p rca at @p node.
+ *
+ * The top level carries the 15K-gate NoC/IO overhead of the NRE model
+ * (Table 3); its area is negligible but kept explicit so yield math
+ * has a defect-sensitive region.
+ */
+DieFloorplan computeFloorplan(const RcaSpec &rca,
+                              const tech::TechNode &node,
+                              const ServerConfig &cfg);
+
+} // namespace moonwalk::arch
+
+#endif // MOONWALK_ARCH_SERVER_HH

@@ -1,0 +1,68 @@
+#include "core/agility.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace moonwalk::core {
+
+std::vector<AgilityPlan>
+AgilityPlanner::evaluateAll(const apps::AppSpec &app,
+                            const AgilityParams &params) const
+{
+    if (params.horizon_years < 1)
+        fatal("horizon must be at least one year");
+    if (params.annual_workload_tco <= 0.0)
+        fatal("annual workload TCO must be positive");
+    if (params.software_drift_per_year < 0.0)
+        fatal("software drift cannot be negative");
+
+    const double base = optimizer_->baselineTcoPerOps(app);
+    std::vector<AgilityPlan> plans;
+
+    for (const auto &r : optimizer_->sweepNodes(app)) {
+        const double fresh_ratio = r.tcoPerOps() / base;
+        for (int period : params.respin_periods) {
+            if (period < 1 || period > params.horizon_years)
+                continue;
+            AgilityPlan plan;
+            plan.node = r.node;
+            plan.respin_period_years = period;
+            plan.tapeouts = (params.horizon_years + period - 1) /
+                period;
+            plan.total_nre = plan.tapeouts * r.nre.total();
+            for (int year = 0; year < params.horizon_years; ++year) {
+                const int age = year % period;
+                // Stale silicon serves the evolved workload less
+                // efficiently; never worse than falling back to the
+                // baseline.
+                const double ratio = std::min(
+                    1.0,
+                    fresh_ratio *
+                        std::pow(1.0 + params.software_drift_per_year,
+                                 age));
+                plan.total_served_tco +=
+                    params.annual_workload_tco * ratio;
+            }
+            plans.push_back(plan);
+        }
+    }
+    return plans;
+}
+
+AgilityPlan
+AgilityPlanner::best(const apps::AppSpec &app,
+                     const AgilityParams &params) const
+{
+    const auto plans = evaluateAll(app, params);
+    if (plans.empty())
+        fatal("no feasible agility strategies for ", app.name());
+    return *std::min_element(
+        plans.begin(), plans.end(),
+        [](const AgilityPlan &a, const AgilityPlan &b) {
+            return a.totalCost() < b.totalCost();
+        });
+}
+
+} // namespace moonwalk::core

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Agility planner: Section 7.4 observes that "reduced NREs allow an
+ * ASIC Cloud to be more agile, updating ASICs more frequently to
+ * track evolving software."  This module quantifies that remark:
+ * given a multi-year horizon, a per-year workload TCO, and a software
+ * drift rate (how quickly a frozen ASIC loses efficiency as the
+ * workload's software evolves), it finds the (node, respin cadence)
+ * pair minimizing total cost — trading per-respin NRE against the
+ * efficiency decay of stale silicon.
+ */
+#ifndef MOONWALK_CORE_AGILITY_HH
+#define MOONWALK_CORE_AGILITY_HH
+
+#include <vector>
+
+#include "core/optimizer.hh"
+
+namespace moonwalk::core {
+
+/** Planning inputs. */
+struct AgilityParams
+{
+    /** Planning horizon (whole years). */
+    int horizon_years = 6;
+    /** Workload TCO per year if served by the baseline ($). */
+    double annual_workload_tco = 10e6;
+    /** Fractional efficiency loss per year of ASIC age: a frozen
+     *  design serves year-a work at (1 + drift)^a times its fresh
+     *  TCO (capped at the baseline — operators fall back to the
+     *  baseline rather than run worse-than-baseline silicon). */
+    double software_drift_per_year = 0.30;
+    /** Respin cadences to consider (years between tapeouts). */
+    std::vector<int> respin_periods = {1, 2, 3, 6};
+};
+
+/** One (node, cadence) strategy with its cost. */
+struct AgilityPlan
+{
+    tech::NodeId node;
+    int respin_period_years = 0;
+    int tapeouts = 0;
+    double total_nre = 0;
+    double total_served_tco = 0;
+
+    double totalCost() const { return total_nre + total_served_tco; }
+};
+
+/**
+ * Evaluates respin strategies on top of a shared optimizer.
+ */
+class AgilityPlanner
+{
+  public:
+    explicit AgilityPlanner(const MoonwalkOptimizer &optimizer)
+        : optimizer_(&optimizer)
+    {}
+
+    /** All (feasible node x cadence) strategies, unsorted. */
+    std::vector<AgilityPlan>
+    evaluateAll(const apps::AppSpec &app,
+                const AgilityParams &params) const;
+
+    /** The cheapest strategy. */
+    AgilityPlan best(const apps::AppSpec &app,
+                     const AgilityParams &params) const;
+
+    /** Cost of never building an ASIC (baseline only). */
+    static double
+    baselineCost(const AgilityParams &params)
+    {
+        return params.horizon_years * params.annual_workload_tco;
+    }
+
+  private:
+    const MoonwalkOptimizer *optimizer_;
+};
+
+} // namespace moonwalk::core
+
+#endif // MOONWALK_CORE_AGILITY_HH

@@ -1,0 +1,198 @@
+#include "core/optimizer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hh"
+
+namespace moonwalk::core {
+
+MoonwalkOptimizer::MoonwalkOptimizer(dse::DesignSpaceExplorer explorer,
+                                     nre::NreModel nre_model)
+    : explorer_(std::move(explorer)), nre_model_(std::move(nre_model))
+{}
+
+nre::NreBreakdown
+MoonwalkOptimizer::nreOf(const apps::AppSpec &app,
+                         const dse::DesignPoint &point) const
+{
+    const auto &node = explorer_.evaluator().scaling().database()
+        .node(point.config.node);
+    nre::DesignIpNeeds needs;
+    needs.clock_mhz = point.freq_mhz;
+    needs.dram_interfaces = point.config.drams_per_die;
+    needs.high_speed_link = app.rca.needs_high_speed_link;
+    needs.lvds_io = app.rca.needs_lvds;
+    return nre_model_.compute(node, app.nre, needs);
+}
+
+const std::vector<NodeResult> &
+MoonwalkOptimizer::sweepNodes(const apps::AppSpec &app) const
+{
+    auto it = cache_.find(app.name());
+    if (it != cache_.end())
+        return it->second;
+
+    std::vector<NodeResult> results;
+    for (tech::NodeId id : tech::kAllNodes) {
+        auto exploration = explorer_.explore(app.rca, id);
+        if (!exploration.tco_optimal)
+            continue;  // SLA unreachable or nothing fits
+        NodeResult r;
+        r.node = id;
+        r.optimal = *exploration.tco_optimal;
+        try {
+            r.nre = nreOf(app, r.optimal);
+        } catch (const ModelError &) {
+            continue;  // required IP does not exist at this node
+        }
+        results.push_back(std::move(r));
+    }
+    return cache_.emplace(app.name(), std::move(results)).first->second;
+}
+
+double
+MoonwalkOptimizer::baselineTcoPerOps(const apps::AppSpec &app) const
+{
+    const auto &b = app.baseline;
+    return explorer_.evaluator().tco().tcoPerOps(b.cost, b.power_w,
+                                                 b.perf_ops);
+}
+
+std::vector<TotalCostLine>
+MoonwalkOptimizer::totalCostLines(const apps::AppSpec &app) const
+{
+    const double base = baselineTcoPerOps(app);
+    std::vector<TotalCostLine> lines;
+    lines.push_back({std::nullopt, 0.0, 1.0});  // keep the baseline
+    for (const auto &r : sweepNodes(app))
+        lines.push_back({r.node, r.nre.total(),
+                         r.tcoPerOps() / base});
+    return lines;
+}
+
+std::vector<NodeRange>
+MoonwalkOptimizer::optimalNodeRanges(
+    const std::vector<TotalCostLine> &lines)
+{
+    if (lines.empty())
+        fatal("optimalNodeRanges needs at least one line");
+
+    // Lower envelope of lines over B >= 0, by decreasing slope
+    // (convex hull trick).  Drop lines dominated outright.
+    std::vector<TotalCostLine> sorted = lines;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const TotalCostLine &a, const TotalCostLine &b) {
+                  if (a.slope != b.slope)
+                      return a.slope > b.slope;
+                  return a.nre < b.nre;
+              });
+
+    std::vector<TotalCostLine> hull;
+    std::vector<double> start;  // hull[i] active from start[i]
+    auto intersect = [](const TotalCostLine &a, const TotalCostLine &b) {
+        // B where a.at(B) == b.at(B); caller guarantees slopes differ.
+        return (b.nre - a.nre) / (a.slope - b.slope);
+    };
+
+    for (const auto &line : sorted) {
+        if (!hull.empty() && line.slope == hull.back().slope)
+            continue;  // same slope, higher NRE: dominated
+        if (!hull.empty() && line.nre <= hull.back().nre) {
+            // Cheaper NRE and shallower slope: dominates everything
+            // steeper; unwind.
+            while (!hull.empty() && line.nre <= hull.back().nre) {
+                hull.pop_back();
+                start.pop_back();
+            }
+        }
+        while (!hull.empty()) {
+            const double x = intersect(hull.back(), line);
+            if (x <= start.back()) {
+                hull.pop_back();
+                start.pop_back();
+            } else {
+                break;
+            }
+        }
+        if (hull.empty()) {
+            hull.push_back(line);
+            start.push_back(0.0);
+        } else {
+            const double x = intersect(hull.back(), line);
+            hull.push_back(line);
+            start.push_back(x);
+        }
+    }
+
+    std::vector<NodeRange> ranges;
+    for (size_t i = 0; i < hull.size(); ++i) {
+        NodeRange r;
+        r.line = hull[i];
+        r.b_low = start[i];
+        r.b_high = i + 1 < hull.size() ?
+            start[i + 1] : std::numeric_limits<double>::infinity();
+        ranges.push_back(r);
+    }
+    return ranges;
+}
+
+std::optional<tech::NodeId>
+MoonwalkOptimizer::optimalNodeForParity(const apps::AppSpec &app,
+                                        tech::NodeId parity,
+                                        double parity_scale,
+                                        double baseline_tco) const
+{
+    const auto &sweep = sweepNodes(app);
+    const auto parity_it = std::find_if(
+        sweep.begin(), sweep.end(),
+        [&](const NodeResult &r) { return r.node == parity; });
+    if (parity_it == sweep.end())
+        fatal("parity node ", tech::to_string(parity),
+              " is not feasible for ", app.name());
+
+    // The hypothetical baseline has TCO/op/s equal to the ASIC at the
+    // parity node, divided by parity_scale.
+    const double base = parity_it->tcoPerOps() / parity_scale;
+
+    double best = baseline_tco;  // staying on the baseline
+    std::optional<tech::NodeId> best_node;
+    for (const auto &r : sweep) {
+        const double total = r.nre.total() +
+            baseline_tco * r.tcoPerOps() / base;
+        if (total < best) {
+            best = total;
+            best_node = r.node;
+        }
+    }
+    return best_node;
+}
+
+std::vector<PortingEntry>
+MoonwalkOptimizer::portingStudy(const apps::AppSpec &app) const
+{
+    const auto &sweep = sweepNodes(app);
+    std::vector<PortingEntry> out;
+    for (size_t i = 0; i < sweep.size(); ++i) {
+        const auto &src = sweep[i];
+        for (size_t j = i + 1; j < sweep.size(); ++j) {
+            const auto &dst = sweep[j];
+            auto ported = explorer_.exploreFixedDie(
+                app.rca, dst.node, src.optimal.config.rcas_per_die,
+                src.optimal.config.drams_per_die,
+                src.optimal.config.dark_silicon_fraction);
+            if (!ported.tco_optimal)
+                continue;  // frozen die infeasible at the new node
+            PortingEntry e;
+            e.from = src.node;
+            e.to = dst.node;
+            e.tco_penalty = ported.tco_optimal->tco_per_ops /
+                dst.tcoPerOps();
+            out.push_back(e);
+        }
+    }
+    return out;
+}
+
+} // namespace moonwalk::core

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The Moonwalk optimizer (Sections 6 and 7): per-node TCO-optimal
+ * designs with their NREs, total-cost-versus-workload analysis, optimal
+ * node ranges, tech parity nodes, and the tick/tock porting study.
+ */
+#ifndef MOONWALK_CORE_OPTIMIZER_HH
+#define MOONWALK_CORE_OPTIMIZER_HH
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hh"
+#include "dse/explorer.hh"
+#include "nre/nre_model.hh"
+
+namespace moonwalk::core {
+
+/** TCO-optimal design at one node, with the NRE of building it. */
+struct NodeResult
+{
+    tech::NodeId node;
+    dse::DesignPoint optimal;
+    nre::NreBreakdown nre;
+
+    double tcoPerOps() const { return optimal.tco_per_ops; }
+};
+
+/**
+ * Total cost of serving a workload on one node as a function of the
+ * workload's pre-ASIC (baseline) TCO B:
+ *
+ *   total(B) = nre + slope * B,   slope = tco_asic / tco_baseline.
+ *
+ * The baseline itself is the line (nre = 0, slope = 1).
+ */
+struct TotalCostLine
+{
+    std::optional<tech::NodeId> node;  ///< nullopt == stay on baseline
+    double nre = 0;
+    double slope = 1.0;
+
+    double at(double baseline_tco) const
+    {
+        return nre + slope * baseline_tco;
+    }
+};
+
+/** A segment of the lower envelope: @c line is cheapest for baseline
+ *  TCOs in [b_low, b_high). */
+struct NodeRange
+{
+    TotalCostLine line;
+    double b_low = 0;
+    double b_high = 0;  ///< +inf for the last segment
+};
+
+/** One (source -> destination) porting penalty (Section 6.2). */
+struct PortingEntry
+{
+    tech::NodeId from;
+    tech::NodeId to;
+    /** TCO per op/s of the ported design over the destination-native
+     *  optimal design (>= 1). */
+    double tco_penalty = 1.0;
+};
+
+/**
+ * Ties the whole model together for one process: explores every node
+ * for an application, prices the NRE of each optimal design, and
+ * answers the paper's node-selection questions.  Exploration results
+ * are cached per application name.
+ */
+class MoonwalkOptimizer
+{
+  public:
+    explicit MoonwalkOptimizer(
+        dse::DesignSpaceExplorer explorer = dse::DesignSpaceExplorer{},
+        nre::NreModel nre_model = nre::NreModel{});
+
+    const dse::DesignSpaceExplorer &explorer() const { return explorer_; }
+    const nre::NreModel &nreModel() const { return nre_model_; }
+
+    /**
+     * TCO-optimal design and NRE for every feasible node, oldest
+     * first.  Nodes where the application cannot be built (SLA
+     * unreachable, missing IP) are omitted.
+     */
+    const std::vector<NodeResult> &sweepNodes(const apps::AppSpec &app)
+        const;
+
+    /** NRE of one concrete design point. */
+    nre::NreBreakdown nreOf(const apps::AppSpec &app,
+                            const dse::DesignPoint &point) const;
+
+    /** Baseline (best non-ASIC) TCO per op/s from Table 6 data. */
+    double baselineTcoPerOps(const apps::AppSpec &app) const;
+
+    /** Total-cost lines for Figure 10: baseline plus one per node. */
+    std::vector<TotalCostLine> totalCostLines(const apps::AppSpec &app)
+        const;
+
+    /**
+     * Lower envelope of @p lines over baseline TCO in [0, inf): which
+     * choice minimizes total cost for each workload scale (the arrows
+     * of Figures 10 and 11).
+     */
+    static std::vector<NodeRange>
+    optimalNodeRanges(const std::vector<TotalCostLine> &lines);
+
+    /** Convenience: ranges for @p app. */
+    std::vector<NodeRange> optimalNodeRanges(const apps::AppSpec &app)
+        const
+    {
+        return optimalNodeRanges(totalCostLines(app));
+    }
+
+    /**
+     * Optimal node (or baseline) for a workload of pre-ASIC TCO
+     * @p baseline_tco when the baseline's TCO per op/s is scaled such
+     * that it equals the ASIC's at @p parity tech node — the Figure 12
+     * "tech parity node" formalism.  @p parity_scale further divides
+     * the baseline TCO/op/s (the figure's "/N" keys, hypothetical
+     * baselines N times better than the 250nm ASIC).
+     */
+    std::optional<tech::NodeId>
+    optimalNodeForParity(const apps::AppSpec &app, tech::NodeId parity,
+                         double parity_scale,
+                         double baseline_tco) const;
+
+    /**
+     * Section 6.2 "how many ticks before a tock": port each node's
+     * optimal die design to every newer node, re-optimizing only
+     * voltage and lane packing, and report TCO penalties.
+     */
+    std::vector<PortingEntry> portingStudy(const apps::AppSpec &app)
+        const;
+
+  private:
+    dse::DesignSpaceExplorer explorer_;
+    nre::NreModel nre_model_;
+    mutable std::map<std::string, std::vector<NodeResult>> cache_;
+};
+
+} // namespace moonwalk::core
+
+#endif // MOONWALK_CORE_OPTIMIZER_HH

@@ -1,0 +1,184 @@
+#include "core/report.hh"
+
+#include <cmath>
+
+#include "util/format.hh"
+#include "util/table.hh"
+
+namespace moonwalk::core {
+
+void
+ReportGenerator::writeText(std::ostream &os, const apps::AppSpec &app,
+                           double workload_tco) const
+{
+    const auto &opt = *optimizer_;
+    const auto &sweep = opt.sweepNodes(app);
+    const double scale = app.rca.perf_unit_scale;
+    const std::string &unit = app.rca.perf_unit;
+
+    os << "==============================================\n"
+       << "Moonwalk report: " << app.name() << "\n"
+       << "==============================================\n\n"
+       << "Baseline: " << app.baseline.hardware << ", "
+       << sig(opt.baselineTcoPerOps(app) * scale, 4) << " $ TCO per "
+       << unit << "\n\n";
+
+    os << "-- TCO-optimal ASIC Cloud server per node --\n";
+    TextTable t({"Tech", "RCAs/die", "mm^2", "DRAM", "Vdd", "MHz",
+                 unit, "W", "Server $", "TCO/" + unit, "NRE"});
+    for (const auto &r : sweep) {
+        const auto &p = r.optimal;
+        t.addRow({tech::to_string(r.node),
+                  std::to_string(p.config.rcas_per_die),
+                  fixed(p.die_area_mm2, 0),
+                  std::to_string(p.config.drams_per_die),
+                  fixed(p.config.vdd, 3), fixed(p.freq_mhz, 0),
+                  sig(p.perf_ops / scale, 4),
+                  fixed(p.wall_power_w, 0), money(p.server_cost),
+                  sig(p.tco_per_ops * scale, 4),
+                  money(r.nre.total())});
+    }
+    t.print(os);
+
+    os << "\n-- NRE breakdown (K$) --\n";
+    TextTable n({"Tech", "Mask", "FE", "BE", "IP", "System", "Pkg",
+                 "Total"});
+    for (const auto &r : sweep) {
+        const auto &b = r.nre;
+        auto k = [](double v) { return fixed(v / 1e3, 0); };
+        n.addRow({tech::to_string(r.node), k(b.mask),
+                  k(b.frontend_labor + b.frontend_cad),
+                  k(b.backend_labor + b.backend_cad), k(b.ip),
+                  k(b.system_labor + b.pcb_design), k(b.package),
+                  k(b.total())});
+    }
+    n.print(os);
+
+    os << "\n-- Optimal node vs workload scale --\n";
+    for (const auto &range : opt.optimalNodeRanges(app)) {
+        const std::string who = range.line.node ?
+            tech::to_string(*range.line.node) : app.baseline.hardware;
+        os << "  " << money(range.b_low, 3) << " .. "
+           << (std::isinf(range.b_high) ? std::string("inf")
+                                        : money(range.b_high, 3))
+           << " : " << who << "\n";
+    }
+
+    if (workload_tco > 0.0) {
+        os << "\n-- Two-for-two rule at " << money(workload_tco)
+           << " workload TCO --\n";
+        TwoForTwoRule rule(opt);
+        TextTable v({"Tech", "TCO/NRE", ">2?", "TCO/op/s gain", ">2?",
+                     "net saving"});
+        for (const auto &verdict : rule.evaluate(app, workload_tco)) {
+            v.addRow({tech::to_string(verdict.node),
+                      times(verdict.tco_over_nre, 3),
+                      verdict.condition1 ? "yes" : "no",
+                      times(verdict.tco_per_ops_gain, 3),
+                      verdict.condition2 ? "yes" : "no",
+                      money(verdict.net_saving, 3)});
+        }
+        v.print(os);
+
+        std::string pick = app.baseline.hardware;
+        for (const auto &range : opt.optimalNodeRanges(app)) {
+            if (workload_tco >= range.b_low && range.line.node)
+                pick = tech::to_string(*range.line.node);
+        }
+        os << "\nRecommendation: build at " << pick << "\n";
+    }
+}
+
+Json
+ReportGenerator::toJson(const apps::AppSpec &app,
+                        double workload_tco) const
+{
+    const auto &opt = *optimizer_;
+    const double scale = app.rca.perf_unit_scale;
+
+    Json root = Json::object();
+    root.set("application", app.name());
+    root.set("perf_unit", app.rca.perf_unit);
+
+    Json baseline = Json::object();
+    baseline.set("hardware", app.baseline.hardware);
+    baseline.set("tco_per_unit",
+                 opt.baselineTcoPerOps(app) * scale);
+    root.set("baseline", std::move(baseline));
+
+    Json nodes = Json::array();
+    for (const auto &r : opt.sweepNodes(app)) {
+        const auto &p = r.optimal;
+        Json nj = Json::object();
+        nj.set("node", tech::to_string(r.node));
+        nj.set("rcas_per_die", p.config.rcas_per_die);
+        nj.set("dies_per_lane", p.config.dies_per_lane);
+        nj.set("drams_per_die", p.config.drams_per_die);
+        nj.set("dark_silicon_fraction",
+               p.config.dark_silicon_fraction);
+        nj.set("die_area_mm2", p.die_area_mm2);
+        nj.set("vdd", p.config.vdd);
+        nj.set("freq_mhz", p.freq_mhz);
+        nj.set("perf_units", p.perf_ops / scale);
+        nj.set("wall_power_w", p.wall_power_w);
+        nj.set("server_cost", p.server_cost);
+        nj.set("tco_per_unit", p.tco_per_ops * scale);
+
+        Json cost = Json::object();
+        cost.set("silicon", p.cost_breakdown.silicon);
+        cost.set("package", p.cost_breakdown.package);
+        cost.set("cooling", p.cost_breakdown.cooling);
+        cost.set("power_delivery", p.cost_breakdown.power_delivery);
+        cost.set("dram", p.cost_breakdown.dram);
+        cost.set("system", p.cost_breakdown.system);
+        nj.set("server_cost_breakdown", std::move(cost));
+
+        Json nre = Json::object();
+        nre.set("mask", r.nre.mask);
+        nre.set("package", r.nre.package);
+        nre.set("frontend_labor", r.nre.frontend_labor);
+        nre.set("frontend_cad", r.nre.frontend_cad);
+        nre.set("backend_labor", r.nre.backend_labor);
+        nre.set("backend_cad", r.nre.backend_cad);
+        nre.set("ip", r.nre.ip);
+        nre.set("system_labor", r.nre.system_labor);
+        nre.set("pcb_design", r.nre.pcb_design);
+        nre.set("total", r.nre.total());
+        nj.set("nre", std::move(nre));
+
+        nodes.push(std::move(nj));
+    }
+    root.set("nodes", std::move(nodes));
+
+    Json ranges = Json::array();
+    for (const auto &range : opt.optimalNodeRanges(app)) {
+        Json rj = Json::object();
+        rj.set("choice", range.line.node ?
+               Json(tech::to_string(*range.line.node)) :
+               Json("baseline"));
+        rj.set("from_tco", range.b_low);
+        rj.set("to_tco", std::isinf(range.b_high) ?
+               Json(nullptr) : Json(range.b_high));
+        ranges.push(std::move(rj));
+    }
+    root.set("optimal_node_ranges", std::move(ranges));
+
+    if (workload_tco > 0.0) {
+        root.set("workload_tco", workload_tco);
+        TwoForTwoRule rule(opt);
+        Json verdicts = Json::array();
+        for (const auto &v : rule.evaluate(app, workload_tco)) {
+            Json vj = Json::object();
+            vj.set("node", tech::to_string(v.node));
+            vj.set("tco_over_nre", v.tco_over_nre);
+            vj.set("tco_per_ops_gain", v.tco_per_ops_gain);
+            vj.set("passes", v.passes());
+            vj.set("net_saving", v.net_saving);
+            verdicts.push(std::move(vj));
+        }
+        root.set("two_for_two", std::move(verdicts));
+    }
+    return root;
+}
+
+} // namespace moonwalk::core

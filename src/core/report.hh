@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Report generator: one call turns an application (plus an optional
+ * workload forecast) into the complete Moonwalk analysis — per-node
+ * TCO-optimal designs, NRE breakdowns, optimal-node ranges, the
+ * two-for-two verdicts, and the porting matrix — as text or JSON.
+ */
+#ifndef MOONWALK_CORE_REPORT_HH
+#define MOONWALK_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "core/optimizer.hh"
+#include "core/two_for_two.hh"
+#include "util/json.hh"
+
+namespace moonwalk::core {
+
+/**
+ * Builds reports from a shared optimizer (explorations are cached
+ * across report sections).
+ */
+class ReportGenerator
+{
+  public:
+    explicit ReportGenerator(const MoonwalkOptimizer &optimizer)
+        : optimizer_(&optimizer)
+    {}
+
+    /**
+     * Human-readable full report.
+     *
+     * @param app the application
+     * @param workload_tco pre-ASIC TCO forecast ($); 0 skips the
+     *        workload-dependent sections
+     */
+    void writeText(std::ostream &os, const apps::AppSpec &app,
+                   double workload_tco = 0.0) const;
+
+    /** Machine-readable report with the same content. */
+    Json toJson(const apps::AppSpec &app,
+                double workload_tco = 0.0) const;
+
+  private:
+    const MoonwalkOptimizer *optimizer_;
+};
+
+} // namespace moonwalk::core
+
+#endif // MOONWALK_CORE_REPORT_HH

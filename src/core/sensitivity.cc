@@ -1,0 +1,53 @@
+#include "core/sensitivity.hh"
+
+#include "util/error.hh"
+
+namespace moonwalk::core {
+
+ScenarioRunner::ScenarioRunner(Scenario scenario,
+                               dse::ExplorerOptions options)
+    : scenario_(std::move(scenario))
+{
+    for (double s : {scenario_.mask_cost_scale,
+                     scenario_.wafer_cost_scale,
+                     scenario_.defect_density_scale,
+                     scenario_.salary_scale, scenario_.ip_cost_scale,
+                     scenario_.backend_cost_scale,
+                     scenario_.electricity_scale,
+                     scenario_.dc_capex_scale,
+                     scenario_.fan_pressure_scale}) {
+        if (s <= 0.0)
+            fatal("scenario scales must be positive");
+    }
+
+    db_ = std::make_unique<tech::TechDatabase>();
+    for (tech::NodeId id : tech::kAllNodes) {
+        auto &n = db_->mutableNode(id);
+        n.mask_cost *= scenario_.mask_cost_scale;
+        n.wafer_cost *= scenario_.wafer_cost_scale;
+        n.defect_density_per_cm2 *= scenario_.defect_density_scale;
+        n.backend_cost_per_gate *= scenario_.backend_cost_scale;
+    }
+
+    thermal::LaneEnvironment lane;
+    lane.fan.p_max *= scenario_.fan_pressure_scale;
+    lane.fan.q_max *= scenario_.fan_pressure_scale;
+    lane.tj_max_c += scenario_.tj_margin_c;
+
+    tco::TcoParameters tco;
+    tco.electricity_per_kwh *= scenario_.electricity_scale;
+    tco.datacenter_capex_per_w *= scenario_.dc_capex_scale;
+
+    nre::NreParameters nre_params;
+    nre_params.frontend_salary *= scenario_.salary_scale;
+    nre_params.backend_salary *= scenario_.salary_scale;
+    nre_params.ip_cost_scale = scenario_.ip_cost_scale;
+
+    dse::ServerEvaluator evaluator(*db_, lane, cost::ServerBomParams{},
+                                   tco);
+    optimizer_ = std::make_unique<MoonwalkOptimizer>(
+        dse::DesignSpaceExplorer(options, std::move(evaluator)),
+        nre::NreModel(nre_params));
+}
+
+} // namespace moonwalk::core

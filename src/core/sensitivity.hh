@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sensitivity & ablation framework: run the whole Moonwalk flow under
+ * named perturbations of model parameters (mask/wafer cost, salaries,
+ * IP prices, electricity, cooling strength, defect density) and
+ * compare node choices.  Backs the ablation benches called out in
+ * DESIGN.md.
+ */
+#ifndef MOONWALK_CORE_SENSITIVITY_HH
+#define MOONWALK_CORE_SENSITIVITY_HH
+
+#include <memory>
+#include <string>
+
+#include "core/optimizer.hh"
+
+namespace moonwalk::core {
+
+/**
+ * A named, multiplicative perturbation of the model.  All scales
+ * default to 1.0 (the paper's baseline parameters).
+ */
+struct Scenario
+{
+    std::string name = "baseline";
+
+    // -- Silicon / NRE ---------------------------------------------------
+    double mask_cost_scale = 1.0;
+    double wafer_cost_scale = 1.0;
+    double defect_density_scale = 1.0;
+    double salary_scale = 1.0;       ///< frontend + backend salaries
+    double ip_cost_scale = 1.0;      ///< all licensed IP
+    double backend_cost_scale = 1.0; ///< IBS $/gate (flow maturity)
+
+    // -- Datacenter economics ----------------------------------------------
+    double electricity_scale = 1.0;
+    double dc_capex_scale = 1.0;
+
+    // -- Cooling ------------------------------------------------------------
+    double fan_pressure_scale = 1.0; ///< fan p_max and q_max
+    double tj_margin_c = 0.0;        ///< added to the junction limit
+};
+
+/**
+ * Owns a perturbed model stack (tech database, NRE model, thermal
+ * environment, TCO parameters) and the optimizer built on it.
+ *
+ * The runner must outlive any references into its optimizer: the
+ * evaluator keeps a pointer to the owned tech database.
+ */
+class ScenarioRunner
+{
+  public:
+    explicit ScenarioRunner(Scenario scenario,
+                            dse::ExplorerOptions options = {});
+
+    ScenarioRunner(const ScenarioRunner &) = delete;
+    ScenarioRunner &operator=(const ScenarioRunner &) = delete;
+
+    const Scenario &scenario() const { return scenario_; }
+    MoonwalkOptimizer &optimizer() { return *optimizer_; }
+    const MoonwalkOptimizer &optimizer() const { return *optimizer_; }
+
+  private:
+    Scenario scenario_;
+    std::unique_ptr<tech::TechDatabase> db_;
+    std::unique_ptr<MoonwalkOptimizer> optimizer_;
+};
+
+} // namespace moonwalk::core
+
+#endif // MOONWALK_CORE_SENSITIVITY_HH

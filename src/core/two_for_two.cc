@@ -1,0 +1,52 @@
+#include "core/two_for_two.hh"
+
+#include <algorithm>
+
+#include "util/error.hh"
+
+namespace moonwalk::core {
+
+std::vector<TwoForTwoVerdict>
+TwoForTwoRule::evaluate(const apps::AppSpec &app,
+                        double workload_tco) const
+{
+    if (workload_tco < 0.0)
+        fatal("workload TCO must be non-negative");
+
+    const double base = optimizer_->baselineTcoPerOps(app);
+    std::vector<TwoForTwoVerdict> verdicts;
+    for (const auto &r : optimizer_->sweepNodes(app)) {
+        TwoForTwoVerdict v;
+        v.node = r.node;
+        const double nre = r.nre.total();
+        v.tco_over_nre = nre > 0.0 ? workload_tco / nre : 0.0;
+        v.tco_per_ops_gain = base / r.tcoPerOps();
+        v.condition1 = v.tco_over_nre > ratio_;
+        v.condition2 = v.tco_per_ops_gain > ratio_;
+        // Serving the same workload on the ASIC costs
+        // workload_tco / gain plus the NRE.
+        v.net_saving = workload_tco -
+            (workload_tco / v.tco_per_ops_gain + nre);
+        verdicts.push_back(v);
+    }
+    return verdicts;
+}
+
+std::optional<double>
+TwoForTwoRule::breakEvenTco(const apps::AppSpec &app) const
+{
+    const double base = optimizer_->baselineTcoPerOps(app);
+    std::optional<double> best;
+    for (const auto &r : optimizer_->sweepNodes(app)) {
+        const double gain = base / r.tcoPerOps();
+        if (gain <= ratio_)
+            continue;  // condition 2 unfixable by scale
+        // Condition 1 binds: workload > ratio * NRE.
+        const double needed = ratio_ * r.nre.total();
+        if (!best || needed < *best)
+            best = needed;
+    }
+    return best;
+}
+
+} // namespace moonwalk::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The paper's "two-for-two rule" (Section 1): an accelerator-based
+ * cloud at least breaks even when (1) the computation's TCO exceeds
+ * twice the NRE, and (2) the ASIC improves TCO per op/s by at least
+ * 2x over the best alternative.
+ */
+#ifndef MOONWALK_CORE_TWO_FOR_TWO_HH
+#define MOONWALK_CORE_TWO_FOR_TWO_HH
+
+#include <optional>
+#include <vector>
+
+#include "core/optimizer.hh"
+
+namespace moonwalk::core {
+
+/** Verdict of the two-for-two rule for one candidate node. */
+struct TwoForTwoVerdict
+{
+    tech::NodeId node;
+    /** Condition 1: workload TCO / NRE (must exceed ratio, def. 2). */
+    double tco_over_nre = 0;
+    /** Condition 2: baseline TCO/op/s over ASIC TCO/op/s. */
+    double tco_per_ops_gain = 0;
+    bool condition1 = false;
+    bool condition2 = false;
+
+    bool passes() const { return condition1 && condition2; }
+
+    /** Net saving ($) over the workload versus staying on the
+     *  baseline, after paying NRE. */
+    double net_saving = 0;
+};
+
+/**
+ * Applies the rule across nodes for a given workload scale.
+ */
+class TwoForTwoRule
+{
+  public:
+    explicit TwoForTwoRule(const MoonwalkOptimizer &optimizer,
+                           double ratio = 2.0)
+        : optimizer_(&optimizer), ratio_(ratio)
+    {}
+
+    double ratio() const { return ratio_; }
+
+    /**
+     * Evaluate every feasible node for @p app given a workload whose
+     * pre-ASIC TCO is @p workload_tco dollars.
+     */
+    std::vector<TwoForTwoVerdict>
+    evaluate(const apps::AppSpec &app, double workload_tco) const;
+
+    /**
+     * Smallest workload TCO at which some node passes both
+     * conditions, or nullopt if no node can ever pass (condition 2
+     * fails everywhere).
+     */
+    std::optional<double> breakEvenTco(const apps::AppSpec &app) const;
+
+  private:
+    const MoonwalkOptimizer *optimizer_;
+    double ratio_;
+};
+
+} // namespace moonwalk::core
+
+#endif // MOONWALK_CORE_TWO_FOR_TWO_HH

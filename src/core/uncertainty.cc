@@ -1,0 +1,99 @@
+#include "core/uncertainty.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "util/error.hh"
+
+namespace moonwalk::core {
+
+dse::ExplorerOptions
+UncertaintyAnalysis::coarseOptions()
+{
+    dse::ExplorerOptions o;
+    o.voltage_steps = 8;
+    o.rca_count_steps = 6;
+    o.max_drams_per_die = 6;
+    o.dark_fractions = {0.0, 0.10};
+    return o;
+}
+
+UncertaintyAnalysis::UncertaintyAnalysis(UncertaintySpec spec,
+                                         dse::ExplorerOptions options)
+    : spec_(spec), options_(options)
+{
+    if (spec_.samples < 1)
+        fatal("uncertainty analysis needs at least one sample");
+}
+
+namespace {
+
+/** Mean-one lognormal multiplier with relative sigma @p s. */
+double
+lognormal(std::mt19937_64 &rng, double s)
+{
+    if (s <= 0.0)
+        return 1.0;
+    std::normal_distribution<double> n(0.0, s);
+    return std::exp(n(rng) - 0.5 * s * s);
+}
+
+} // namespace
+
+UncertaintyResult
+UncertaintyAnalysis::run(const apps::AppSpec &app,
+                         double workload_tco) const
+{
+    if (workload_tco <= 0.0)
+        fatal("workload TCO must be positive");
+
+    std::mt19937_64 rng(spec_.seed);
+    std::map<std::string, int> wins;
+    std::vector<double> totals;
+    totals.reserve(spec_.samples);
+
+    for (int i = 0; i < spec_.samples; ++i) {
+        Scenario s;
+        s.name = "mc-" + std::to_string(i);
+        s.mask_cost_scale = lognormal(rng, spec_.mask_cost_sigma);
+        s.wafer_cost_scale = lognormal(rng, spec_.wafer_cost_sigma);
+        s.salary_scale = lognormal(rng, spec_.salary_sigma);
+        s.ip_cost_scale = lognormal(rng, spec_.ip_cost_sigma);
+        s.electricity_scale = lognormal(rng, spec_.electricity_sigma);
+        s.backend_cost_scale =
+            lognormal(rng, spec_.backend_cost_sigma);
+
+        ScenarioRunner runner(s, options_);
+        const auto lines =
+            runner.optimizer().totalCostLines(app);
+
+        double best = 1e300;
+        std::string choice = "baseline";
+        for (const auto &l : lines) {
+            const double total = l.at(workload_tco);
+            if (total < best) {
+                best = total;
+                choice = l.node ? tech::to_string(*l.node)
+                                : std::string("baseline");
+            }
+        }
+        ++wins[choice];
+        totals.push_back(best);
+    }
+
+    UncertaintyResult result;
+    int best_count = 0;
+    for (const auto &[name, count] : wins) {
+        result.choice_fraction[name] =
+            static_cast<double>(count) / spec_.samples;
+        if (count > best_count) {
+            best_count = count;
+            result.modal_choice = name;
+        }
+    }
+    result.total_cost = summarize(totals);
+    return result;
+}
+
+} // namespace moonwalk::core

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Monte Carlo uncertainty analysis: the NRE and TCO inputs (mask
+ * prices, salaries, IP quotes, electricity) are estimates, so the
+ * "optimal node" is a random variable.  This module perturbs the
+ * model with lognormal multipliers and reports how often each node
+ * wins and how total cost spreads — answering how robust a
+ * node-selection decision is before committing a tapeout.
+ */
+#ifndef MOONWALK_CORE_UNCERTAINTY_HH
+#define MOONWALK_CORE_UNCERTAINTY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sensitivity.hh"
+#include "util/stats.hh"
+
+namespace moonwalk::core {
+
+/**
+ * Relative uncertainty (lognormal sigma) of each model input;
+ * 0 pins the input at its nominal value.  Defaults reflect
+ * quote-to-quote spreads typical of the paper's data sources.
+ */
+struct UncertaintySpec
+{
+    double mask_cost_sigma = 0.20;
+    double wafer_cost_sigma = 0.10;
+    double salary_sigma = 0.15;
+    double ip_cost_sigma = 0.25;
+    double electricity_sigma = 0.30;
+    double backend_cost_sigma = 0.20;
+
+    int samples = 64;
+    uint64_t seed = 1;
+};
+
+/** Distribution of outcomes across samples. */
+struct UncertaintyResult
+{
+    /** Fraction of samples in which each choice (node name or
+     *  "baseline") minimizes NRE+TCO at the studied workload. */
+    std::map<std::string, double> choice_fraction;
+    /** Total NRE+TCO cost at the studied workload ($). */
+    Summary total_cost;
+    /** The most frequently optimal choice. */
+    std::string modal_choice;
+};
+
+/**
+ * Runs the Monte Carlo study.  Each sample rebuilds the full model
+ * stack under drawn multipliers, so keep ExplorerOptions coarse.
+ */
+class UncertaintyAnalysis
+{
+  public:
+    explicit UncertaintyAnalysis(UncertaintySpec spec = {},
+                                 dse::ExplorerOptions options =
+                                     coarseOptions());
+
+    /** Sweep options sized for ~100 model rebuilds. */
+    static dse::ExplorerOptions coarseOptions();
+
+    const UncertaintySpec &spec() const { return spec_; }
+
+    /**
+     * Distribution of the optimal choice and total cost for @p app at
+     * a workload of @p workload_tco pre-ASIC dollars.
+     */
+    UncertaintyResult run(const apps::AppSpec &app,
+                          double workload_tco) const;
+
+  private:
+    UncertaintySpec spec_;
+    dse::ExplorerOptions options_;
+};
+
+} // namespace moonwalk::core
+
+#endif // MOONWALK_CORE_UNCERTAINTY_HH

@@ -1,0 +1,28 @@
+#include "cost/die_cost.hh"
+
+#include "cost/yield.hh"
+#include "util/error.hh"
+
+namespace moonwalk::cost {
+
+double
+DieCostModel::dieCost(const tech::TechNode &node, double area_mm2,
+                      double top_level_area_mm2) const
+{
+    const double gross = node.grossDiesPerWafer(area_mm2);
+    if (gross < 1.0)
+        fatal("die of ", area_mm2, " mm^2 does not fit a ",
+              node.wafer_diameter_mm, "mm wafer");
+    const double y_top =
+        murphyYield(top_level_area_mm2, node.defect_density_per_cm2);
+    return node.wafer_cost / (gross * y_top);
+}
+
+double
+DieCostModel::goodRcaFraction(const tech::TechNode &node,
+                              double rca_area_mm2) const
+{
+    return poissonYield(rca_area_mm2, node.defect_density_per_cm2);
+}
+
+} // namespace moonwalk::cost

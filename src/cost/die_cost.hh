@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Per-die silicon cost: wafer cost over gross dies, with defect
+ * harvesting for the RCA array (Section 6.3 die costs, Table 7-10
+ * "Die Cost" rows).
+ */
+#ifndef MOONWALK_COST_DIE_COST_HH
+#define MOONWALK_COST_DIE_COST_HH
+
+#include "tech/node.hh"
+
+namespace moonwalk::cost {
+
+/**
+ * Die cost model for harvested RCA-array ASICs.
+ */
+class DieCostModel
+{
+  public:
+    /**
+     * Cost ($) of one die of @p area_mm2 in @p node.
+     *
+     * The RCA array harvests defects (bad RCAs are disabled), so only
+     * the top-level logic must be defect free; with the paper's small
+     * 15K-gate top level this yield term is ~1 and cost is dominated
+     * by gross dies per wafer.
+     */
+    double dieCost(const tech::TechNode &node, double area_mm2,
+                   double top_level_area_mm2 = 2.0) const;
+
+    /**
+     * Expected fraction of RCAs that survive fabrication (Poisson
+     * defect model per RCA); discounts deliverable performance.
+     */
+    double goodRcaFraction(const tech::TechNode &node,
+                           double rca_area_mm2) const;
+};
+
+} // namespace moonwalk::cost
+
+#endif // MOONWALK_COST_DIE_COST_HH

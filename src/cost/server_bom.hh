@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Server bill-of-materials cost model: the component categories of the
+ * paper's Figure 7 (silicon, package, power delivery, cooling, DRAM,
+ * and node-independent system parts).
+ */
+#ifndef MOONWALK_COST_SERVER_BOM_HH
+#define MOONWALK_COST_SERVER_BOM_HH
+
+#include "power/power_delivery.hh"
+
+namespace moonwalk::cost {
+
+/**
+ * Unit-cost and efficiency parameters for the non-silicon parts of an
+ * ASIC Cloud server (late-2016 USD; see DESIGN.md calibration notes).
+ */
+struct ServerBomParams
+{
+    // Packaging: flip-chip BGA, cost grows with die area.
+    double package_base_cost = 2.5;          ///< $ per package
+    double package_cost_per_mm2 = 0.010;     ///< $ per mm^2 of die
+
+    // Power delivery: current-sized multiphase converters and a
+    // margin-rated PSU with a load-dependent efficiency curve.
+    power::PsuParams psu;
+    power::DcdcParams dcdc;
+
+    // System components (per server).
+    double pcb_cost = 220.0;
+    double fpga_controller_cost = 110.0;
+    double chassis_assembly_cost = 70.0;
+
+    /** Wall power limit of a 1U supply (W). */
+    double max_server_power_w = 4000.0;
+
+    /** Flip-chip package unit cost for a die of @p area_mm2. */
+    double packageCost(double die_area_mm2) const
+    {
+        return package_base_cost + package_cost_per_mm2 * die_area_mm2;
+    }
+};
+
+/**
+ * Per-category server cost ($), the stack of the paper's Figure 7.
+ */
+struct ServerCostBreakdown
+{
+    double silicon = 0;
+    double package = 0;
+    double cooling = 0;         ///< heatsinks + fans
+    double power_delivery = 0;  ///< PSU + DC/DC converters
+    double dram = 0;
+    double system = 0;          ///< PCB, FPGA, NIC, chassis
+
+    double total() const
+    {
+        return silicon + package + cooling + power_delivery + dram +
+            system;
+    }
+};
+
+} // namespace moonwalk::cost
+
+#endif // MOONWALK_COST_SERVER_BOM_HH

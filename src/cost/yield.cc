@@ -1,0 +1,29 @@
+#include "cost/yield.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace moonwalk::cost {
+
+double
+murphyYield(double area_mm2, double defects_per_cm2)
+{
+    if (area_mm2 < 0.0 || defects_per_cm2 < 0.0)
+        fatal("yield model needs non-negative area and defect density");
+    const double ad = (area_mm2 / 100.0) * defects_per_cm2;
+    if (ad < 1e-12)
+        return 1.0;
+    const double t = (1.0 - std::exp(-ad)) / ad;
+    return t * t;
+}
+
+double
+poissonYield(double area_mm2, double defects_per_cm2)
+{
+    if (area_mm2 < 0.0 || defects_per_cm2 < 0.0)
+        fatal("yield model needs non-negative area and defect density");
+    return std::exp(-(area_mm2 / 100.0) * defects_per_cm2);
+}
+
+} // namespace moonwalk::cost

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Die yield models.  ASIC Cloud dies are regular RCA arrays that
+ * tolerate defects by disabling faulty RCAs (defect harvesting), so
+ * classic die yield applies only to the small top-level logic while
+ * array defects show up as a slightly reduced good-RCA fraction.
+ */
+#ifndef MOONWALK_COST_YIELD_HH
+#define MOONWALK_COST_YIELD_HH
+
+namespace moonwalk::cost {
+
+/**
+ * Murphy yield model.
+ *
+ * @param area_mm2 die area in mm^2
+ * @param defects_per_cm2 process defect density
+ * @return fraction of dies with zero defects
+ */
+double murphyYield(double area_mm2, double defects_per_cm2);
+
+/**
+ * Poisson probability that a block of @p area_mm2 is defect free; used
+ * per-RCA for the harvested-array model.
+ */
+double poissonYield(double area_mm2, double defects_per_cm2);
+
+} // namespace moonwalk::cost
+
+#endif // MOONWALK_COST_YIELD_HH

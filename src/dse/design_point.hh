@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A fully evaluated server design point: the unit of currency of the
+ * design-space explorer and of every results table in the paper.
+ */
+#ifndef MOONWALK_DSE_DESIGN_POINT_HH
+#define MOONWALK_DSE_DESIGN_POINT_HH
+
+#include <string>
+
+#include "arch/server.hh"
+#include "cost/server_bom.hh"
+#include "tco/tco_model.hh"
+
+namespace moonwalk::dse {
+
+/**
+ * One feasible server design with all derived metrics.
+ */
+struct DesignPoint
+{
+    arch::ServerConfig config;
+
+    // -- Physical ------------------------------------------------------
+    double die_area_mm2 = 0;
+    double freq_mhz = 0;
+    /** Fraction of peak compute throughput actually delivered (below
+     *  1.0 when DRAM bandwidth is the binding constraint). */
+    double compute_utilization = 1.0;
+    /** Thermal headroom: per-die power limit from the lane model (W). */
+    double max_die_power_w = 0;
+    double die_power_w = 0;
+
+    // -- Server-level results -------------------------------------------
+    double perf_ops = 0;          ///< application ops/s per server
+    double silicon_power_w = 0;   ///< all dies, dynamic + leakage
+    double dram_power_w = 0;
+    double fan_power_w = 0;
+    double wall_power_w = 0;      ///< at the plug, after PSU/DCDC loss
+    double die_cost = 0;          ///< one die, $
+    /** Selected off-PCB interface (e.g. "10 GigE") and cage count. */
+    std::string offpcb_interface;
+    int offpcb_count = 1;
+    cost::ServerCostBreakdown cost_breakdown;
+    double server_cost = 0;       ///< cost_breakdown.total()
+    tco::TcoBreakdown tco_breakdown;
+
+    // -- Figures of merit ------------------------------------------------
+    double cost_per_ops = 0;   ///< $ per op/s   (x axis of Fig 4/6)
+    double watts_per_ops = 0;  ///< W per op/s   (y axis of Fig 4/6)
+    double tco_per_ops = 0;    ///< the optimization target
+
+    /** True iff this point dominates @p o in both Pareto metrics. */
+    bool dominates(const DesignPoint &o) const
+    {
+        return cost_per_ops <= o.cost_per_ops &&
+            watts_per_ops <= o.watts_per_ops &&
+            (cost_per_ops < o.cost_per_ops ||
+             watts_per_ops < o.watts_per_ops);
+    }
+};
+
+} // namespace moonwalk::dse
+
+#endif // MOONWALK_DSE_DESIGN_POINT_HH

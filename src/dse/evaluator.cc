@@ -1,0 +1,192 @@
+#include "dse/evaluator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "arch/dram.hh"
+#include "arch/offchip.hh"
+#include "util/error.hh"
+
+namespace moonwalk::dse {
+
+ServerEvaluator::ServerEvaluator(const tech::TechDatabase &db,
+                                 thermal::LaneEnvironment lane_env,
+                                 cost::ServerBomParams bom,
+                                 tco::TcoParameters tco_params,
+                                 EvaluatorOptions options)
+    : scaling_(db), lane_(lane_env), bom_(bom), tco_(tco_params),
+      options_(options)
+{}
+
+int
+ServerEvaluator::maxRcasPerDie(const arch::RcaSpec &rca,
+                               const tech::TechNode &node,
+                               int drams_per_die, double dark) const
+{
+    const double fixed = drams_per_die *
+        arch::dramInterfaceAreaMm2(node);
+    const double per_rca =
+        rca.areaAtNode(node.density_factor) * (1.0 + dark);
+    const double budget = node.max_die_area_mm2 - fixed -
+        fixed * dark - 0.5;  // small allowance for the top level
+    if (budget <= 0.0)
+        return 0;
+    return static_cast<int>(budget / per_rca);
+}
+
+EvalResult
+ServerEvaluator::evaluate(const arch::RcaSpec &rca,
+                          const arch::ServerConfig &cfg) const
+{
+    EvalResult result;
+    auto reject = [&](std::string reason) {
+        result.infeasible_reason = std::move(reason);
+        return result;
+    };
+
+    const tech::TechNode &node = scaling_.database().node(cfg.node);
+
+    if (cfg.dies_per_lane < 1 || cfg.rcas_per_die < 1)
+        return reject("empty configuration");
+    if (rca.bytes_per_op > 0.0 && cfg.drams_per_die < 1)
+        return reject("application needs DRAM");
+
+    // -- Voltage and frequency ------------------------------------------
+    double vdd = cfg.vdd;
+    double freq_mhz;
+    if (rca.sla_fixed_freq_mhz > 0.0) {
+        // SLA-pinned clock (Deep Learning): the voltage is whatever
+        // reaches the target frequency, never below the node minimum.
+        const double v_needed = scaling_.voltageForFrequency(
+            node, rca.sla_fixed_freq_mhz, rca.f_nominal_28_mhz);
+        if (v_needed < 0.0)
+            return reject("SLA frequency unreachable at " + node.name);
+        vdd = std::max(v_needed, node.vdd_min);
+        freq_mhz = rca.sla_fixed_freq_mhz;
+    } else {
+        if (vdd < node.vdd_min || vdd > node.vddMax())
+            return reject("voltage out of range");
+        freq_mhz = scaling_.frequencyMhz(node, vdd,
+                                         rca.f_nominal_28_mhz);
+        if (freq_mhz <= 0.0)
+            return reject("below threshold voltage");
+    }
+
+    // -- Die floorplan ----------------------------------------------------
+    const auto fp = computeFloorplan(rca, node, cfg);
+    const double area = fp.total();
+    if (area > node.max_die_area_mm2)
+        return reject("die exceeds reticle");
+
+    // -- Server grouping (DaDianNao 8x8 systems) -------------------------
+    if (cfg.rcasPerServer() % rca.server_rca_multiple != 0)
+        return reject("server RCA count not a system multiple");
+    if (!rca.allowed_rcas_per_die.empty() &&
+        std::find(rca.allowed_rcas_per_die.begin(),
+                  rca.allowed_rcas_per_die.end(), cfg.rcas_per_die) ==
+            rca.allowed_rcas_per_die.end()) {
+        return reject("RCA grid not in allowed set");
+    }
+
+    // -- Performance per die ----------------------------------------------
+    const double good_rca =
+        cost::DieCostModel{}.goodRcaFraction(
+            node, rca.areaAtNode(node.density_factor));
+    const double compute_ops = cfg.rcas_per_die * freq_mhz * 1e6 *
+        rca.ops_per_cycle * good_rca;
+    double ops_per_die = compute_ops;
+    double utilization = 1.0;
+    if (rca.bytes_per_op > 0.0) {
+        const auto dram = arch::dramSpec(node.dram_generation);
+        const double bw_ops = cfg.drams_per_die * dram.bandwidth_bps /
+            rca.bytes_per_op;
+        if (bw_ops < ops_per_die) {
+            ops_per_die = bw_ops;
+            utilization = bw_ops / compute_ops;
+        }
+    }
+
+    // -- Power per die ------------------------------------------------------
+    const double e_op = scaling_.energyPerOpJ(
+        node, vdd, rca.energy_per_op_28_j,
+        rca.energy_scaling_fraction);
+    const double active_area = fp.rca_area + fp.dram_if_area +
+        fp.top_area;
+    const double leak_w = scaling_.leakagePowerW(node, vdd, active_area);
+    const double die_power = e_op * ops_per_die + leak_w;
+
+    // -- Lane board space ----------------------------------------------------
+    const auto dram = arch::dramSpec(node.dram_generation);
+    const double extra_pitch = options_.die_board_margin_mm +
+        cfg.drams_per_die * (rca.bytes_per_op > 0 ?
+                             dram.board_pitch_mm : 0.0);
+    const int fit = lane_.maxDiesPerLane(area, extra_pitch);
+    if (cfg.dies_per_lane > std::min(fit, options_.max_dies_per_lane))
+        return reject("dies do not fit the lane");
+
+    // -- Thermal feasibility -----------------------------------------------
+    const auto &thermal = lane_.solve(cfg.dies_per_lane, area);
+    if (die_power > thermal.max_power_per_die_w)
+        return reject("junction temperature limit");
+
+    // -- Server power ----------------------------------------------------------
+    const int dies = cfg.diesPerServer();
+    const double silicon_power = dies * die_power;
+    const double dram_power = rca.bytes_per_op > 0 ?
+        cfg.dramsPerServer() * dram.power_w : 0.0;
+    const double fan_power =
+        arch::kLanesPerServer * thermal.fan_power_w;
+    // Off-PCB interface sized to the server's RPC traffic.
+    const auto nic = arch::selectOffPcb(
+        dies * ops_per_die * rca.offpcb_bytes_per_op);
+    // Power delivery sized to this design point: logic rail through
+    // current-sized DC/DC phases, 12V-class loads (DRAM, fans, NIC)
+    // straight from the PSU.
+    const auto pd = power::planPowerDelivery(
+        silicon_power, vdd, dies,
+        dram_power + fan_power + nic.totalPowerW(), bom_.psu,
+        bom_.dcdc);
+    const double wall = pd.wall_power_w;
+    if (wall > bom_.max_server_power_w)
+        return reject("exceeds server power budget");
+
+    // -- Costs ----------------------------------------------------------------
+    DesignPoint p;
+    p.config = cfg;
+    p.config.vdd = vdd;
+    p.die_area_mm2 = area;
+    p.freq_mhz = freq_mhz;
+    p.compute_utilization = utilization;
+    p.max_die_power_w = thermal.max_power_per_die_w;
+    p.die_power_w = die_power;
+    p.perf_ops = dies * ops_per_die;
+    p.silicon_power_w = silicon_power;
+    p.dram_power_w = dram_power;
+    p.fan_power_w = fan_power;
+    p.wall_power_w = wall;
+    p.die_cost = cost::DieCostModel{}.dieCost(node, area, fp.top_area);
+
+    auto &cb = p.cost_breakdown;
+    cb.silicon = dies * p.die_cost;
+    cb.package = dies * bom_.packageCost(area);
+    cb.cooling = dies * thermal.heatsink_unit_cost +
+        arch::kLanesPerServer * lane_.environment().fan.unit_cost;
+    cb.power_delivery = pd.totalCost();
+    cb.dram = rca.bytes_per_op > 0 ?
+        cfg.dramsPerServer() * dram.unit_cost : 0.0;
+    cb.system = bom_.pcb_cost + bom_.fpga_controller_cost +
+        bom_.chassis_assembly_cost + nic.totalCost();
+    p.offpcb_interface = nic.nic.name;
+    p.offpcb_count = nic.count;
+    p.server_cost = cb.total();
+
+    p.tco_breakdown = tco_.compute(p.server_cost, wall);
+    p.cost_per_ops = p.server_cost / p.perf_ops;
+    p.watts_per_ops = wall / p.perf_ops;
+    p.tco_per_ops = p.tco_breakdown.total() / p.perf_ops;
+
+    result.point = p;
+    return result;
+}
+
+} // namespace moonwalk::dse

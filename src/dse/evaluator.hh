@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Server design-point evaluator: turns one (RCA, node, configuration)
+ * triple into a DesignPoint, or reports why it is infeasible.
+ *
+ * Implements the constraint set of Section 5.1: junction temperature
+ * (via the lane thermal model), reticle-bounded die size, lane board
+ * space (including DRAM devices), supply-voltage range, SLA frequency,
+ * server wall-power budget, and the DaDianNao server-grouping rule.
+ */
+#ifndef MOONWALK_DSE_EVALUATOR_HH
+#define MOONWALK_DSE_EVALUATOR_HH
+
+#include <optional>
+#include <string>
+
+#include "arch/rca.hh"
+#include "arch/server.hh"
+#include "cost/die_cost.hh"
+#include "cost/server_bom.hh"
+#include "dse/design_point.hh"
+#include "tco/tco_model.hh"
+#include "tech/scaling.hh"
+#include "thermal/lane.hh"
+
+namespace moonwalk::dse {
+
+/** Outcome of evaluating one configuration. */
+struct EvalResult
+{
+    std::optional<DesignPoint> point;
+    /** Empty when feasible; otherwise names the violated constraint. */
+    std::string infeasible_reason;
+
+    bool feasible() const { return point.has_value(); }
+};
+
+/** Evaluator policy knobs. */
+struct EvaluatorOptions
+{
+    /** Board margin per die beyond its own edge (mm). */
+    double die_board_margin_mm = 2.0;
+    /** Hard cap on dies per lane regardless of geometry. */
+    int max_dies_per_lane = 15;
+};
+
+/**
+ * Shared model bundle + evaluation logic.
+ *
+ * The evaluator owns the thermal model so its per-(dies, area) solve
+ * cache is reused across the hundreds of thousands of voltage steps an
+ * exploration visits.
+ */
+class ServerEvaluator
+{
+  public:
+    using Options = EvaluatorOptions;
+
+    ServerEvaluator(const tech::TechDatabase &db =
+                        tech::defaultTechDatabase(),
+                    thermal::LaneEnvironment lane_env = {},
+                    cost::ServerBomParams bom = {},
+                    tco::TcoParameters tco_params = {},
+                    EvaluatorOptions options = {});
+
+    const tech::ScalingModel &scaling() const { return scaling_; }
+    const thermal::LaneThermalModel &lane() const { return lane_; }
+    const cost::ServerBomParams &bom() const { return bom_; }
+    const tco::TcoModel &tco() const { return tco_; }
+    const Options &options() const { return options_; }
+
+    /** Evaluate @p cfg for @p rca; never throws on infeasibility. */
+    EvalResult evaluate(const arch::RcaSpec &rca,
+                        const arch::ServerConfig &cfg) const;
+
+    /**
+     * Largest RCA count whose die (with @p drams_per_die interfaces
+     * and @p dark fraction) still fits the node's reticle.
+     */
+    int maxRcasPerDie(const arch::RcaSpec &rca,
+                      const tech::TechNode &node, int drams_per_die = 0,
+                      double dark = 0.0) const;
+
+  private:
+    tech::ScalingModel scaling_;
+    thermal::LaneThermalModel lane_;
+    cost::DieCostModel die_cost_;
+    cost::ServerBomParams bom_;
+    tco::TcoModel tco_;
+    Options options_;
+};
+
+} // namespace moonwalk::dse
+
+#endif // MOONWALK_DSE_EVALUATOR_HH

@@ -1,0 +1,245 @@
+#include "dse/explorer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/math.hh"
+
+namespace moonwalk::dse {
+
+std::vector<int>
+DesignSpaceExplorer::rcaCountCandidates(const arch::RcaSpec &rca,
+                                        tech::NodeId node,
+                                        int drams_per_die,
+                                        double dark) const
+{
+    const auto &tn = evaluator_.scaling().database().node(node);
+    const int n_max =
+        evaluator_.maxRcasPerDie(rca, tn, drams_per_die, dark);
+    if (n_max < 1)
+        return {};
+
+    if (!rca.allowed_rcas_per_die.empty()) {
+        std::vector<int> out;
+        for (int n : rca.allowed_rcas_per_die)
+            if (n <= n_max)
+                out.push_back(n);
+        return out;
+    }
+
+    // Geometric grid from 1 to n_max, deduplicated; always includes
+    // the reticle-limited maximum, since amortizing fixed server cost
+    // over the largest possible die is frequently optimal (Fig 4).
+    std::set<int> grid;
+    const int steps = std::max(2, options_.rca_count_steps);
+    const double ratio = std::pow(static_cast<double>(n_max),
+                                  1.0 / (steps - 1));
+    double x = 1.0;
+    for (int i = 0; i < steps; ++i) {
+        grid.insert(static_cast<int>(std::lround(x)));
+        x *= ratio;
+    }
+    grid.insert(n_max);
+    return {grid.begin(), grid.end()};
+}
+
+double
+DesignSpaceExplorer::maxFeasibleVoltage(const arch::RcaSpec &rca,
+                                        tech::NodeId node,
+                                        int rcas_per_die,
+                                        int dies_per_lane,
+                                        int drams_per_die,
+                                        double dark) const
+{
+    const auto &tn = evaluator_.scaling().database().node(node);
+    arch::ServerConfig cfg;
+    cfg.node = node;
+    cfg.rcas_per_die = rcas_per_die;
+    cfg.dies_per_lane = dies_per_lane;
+    cfg.drams_per_die = drams_per_die;
+    cfg.dark_silicon_fraction = dark;
+
+    cfg.vdd = tn.vdd_min;
+    if (!evaluator_.evaluate(rca, cfg).feasible())
+        return -1.0;  // structurally infeasible (or too hot even NTV)
+
+    cfg.vdd = tn.vddMax();
+    if (evaluator_.evaluate(rca, cfg).feasible())
+        return tn.vddMax();
+
+    // Thermal and power-budget violations are monotone in voltage:
+    // bisect the feasibility boundary.
+    double lo = tn.vdd_min;
+    double hi = tn.vddMax();
+    for (int i = 0; i < 30; ++i) {
+        cfg.vdd = 0.5 * (lo + hi);
+        if (evaluator_.evaluate(rca, cfg).feasible())
+            lo = cfg.vdd;
+        else
+            hi = cfg.vdd;
+    }
+    return lo;
+}
+
+void
+DesignSpaceExplorer::sweepConfig(const arch::RcaSpec &rca,
+                                 tech::NodeId node, int rcas_per_die,
+                                 int drams_per_die, double dark,
+                                 std::vector<DesignPoint> &feasible,
+                                 size_t &evaluated) const
+{
+    const auto &tn = evaluator_.scaling().database().node(node);
+    const int max_dies = evaluator_.options().max_dies_per_lane;
+
+    for (int dies = 1; dies <= max_dies; ++dies) {
+        arch::ServerConfig cfg;
+        cfg.node = node;
+        cfg.rcas_per_die = rcas_per_die;
+        cfg.dies_per_lane = dies;
+        cfg.drams_per_die = drams_per_die;
+        cfg.dark_silicon_fraction = dark;
+
+        if (rca.sla_fixed_freq_mhz > 0.0) {
+            // The SLA pins the voltage; a single evaluation suffices.
+            cfg.vdd = tn.vdd_nominal;
+            ++evaluated;
+            auto r = evaluator_.evaluate(rca, cfg);
+            if (r.feasible())
+                feasible.push_back(std::move(*r.point));
+            continue;
+        }
+
+        // Adaptive window: sweep only up to the highest feasible
+        // voltage, so power-dense designs (whose thermal ceiling sits
+        // barely above Vmin) still get a dense grid.
+        const double v_hi = maxFeasibleVoltage(
+            rca, node, rcas_per_die, dies, drams_per_die, dark);
+        if (v_hi < 0.0) {
+            ++evaluated;
+            continue;
+        }
+        for (double vdd : linspace(tn.vdd_min, v_hi,
+                                   options_.voltage_steps)) {
+            cfg.vdd = vdd;
+            ++evaluated;
+            auto r = evaluator_.evaluate(rca, cfg);
+            if (r.feasible())
+                feasible.push_back(std::move(*r.point));
+        }
+    }
+}
+
+ExplorationResult
+DesignSpaceExplorer::explore(const arch::RcaSpec &rca,
+                             tech::NodeId node) const
+{
+    ExplorationResult result;
+    std::vector<DesignPoint> feasible;
+
+    const std::vector<double> darks = rca.allow_dark_silicon ?
+        options_.dark_fractions : std::vector<double>{0.0};
+
+    std::vector<int> dram_counts;
+    if (rca.bytes_per_op > 0.0) {
+        for (int d = 1; d <= options_.max_drams_per_die; ++d)
+            dram_counts.push_back(d);
+    } else {
+        dram_counts.push_back(0);
+    }
+
+    for (double dark : darks) {
+        for (int drams : dram_counts) {
+            for (int n : rcaCountCandidates(rca, node, drams, dark)) {
+                sweepConfig(rca, node, n, drams, dark, feasible,
+                            result.evaluated);
+            }
+        }
+    }
+
+    // Local refinement around the best RCA count: the geometric grid
+    // can miss the true optimum by a few RCAs, which matters when
+    // comparing against ported designs (Section 6.2).
+    if (!feasible.empty() && rca.allowed_rcas_per_die.empty()) {
+        const auto coarse_best = *std::min_element(
+            feasible.begin(), feasible.end(),
+            [](const DesignPoint &a, const DesignPoint &b) {
+                return a.tco_per_ops < b.tco_per_ops;
+            });
+        const int n0 = coarse_best.config.rcas_per_die;
+        const int step = std::max(1, n0 / 50);
+        for (int n : {n0 - 3 * step, n0 - 2 * step, n0 - step,
+                      n0 + step, n0 + 2 * step, n0 + 3 * step}) {
+            if (n < 1)
+                continue;
+            sweepConfig(rca, node, n,
+                        coarse_best.config.drams_per_die,
+                        coarse_best.config.dark_silicon_fraction,
+                        feasible, result.evaluated);
+        }
+    }
+
+    result.feasible = feasible.size();
+    if (!feasible.empty()) {
+        result.tco_optimal = *std::min_element(
+            feasible.begin(), feasible.end(),
+            [](const DesignPoint &a, const DesignPoint &b) {
+                return a.tco_per_ops < b.tco_per_ops;
+            });
+        result.pareto = paretoFront(std::move(feasible));
+    }
+    return result;
+}
+
+std::vector<DesignPoint>
+DesignSpaceExplorer::sweepVoltage(const arch::RcaSpec &rca,
+                                  tech::NodeId node, int rcas_per_die,
+                                  int dies_per_lane,
+                                  int drams_per_die) const
+{
+    const auto &tn = evaluator_.scaling().database().node(node);
+    std::vector<DesignPoint> out;
+    const double v_hi = maxFeasibleVoltage(rca, node, rcas_per_die,
+                                           dies_per_lane,
+                                           drams_per_die, 0.0);
+    if (v_hi < 0.0)
+        return out;
+    for (double vdd : linspace(tn.vdd_min, v_hi,
+                               options_.voltage_steps)) {
+        arch::ServerConfig cfg;
+        cfg.node = node;
+        cfg.rcas_per_die = rcas_per_die;
+        cfg.dies_per_lane = dies_per_lane;
+        cfg.drams_per_die = drams_per_die;
+        cfg.vdd = vdd;
+        auto r = evaluator_.evaluate(rca, cfg);
+        if (r.feasible())
+            out.push_back(std::move(*r.point));
+    }
+    return out;
+}
+
+ExplorationResult
+DesignSpaceExplorer::exploreFixedDie(const arch::RcaSpec &rca,
+                                     tech::NodeId node,
+                                     int rcas_per_die,
+                                     int drams_per_die,
+                                     double dark) const
+{
+    ExplorationResult result;
+    std::vector<DesignPoint> feasible;
+    sweepConfig(rca, node, rcas_per_die, drams_per_die, dark, feasible,
+                result.evaluated);
+    result.feasible = feasible.size();
+    if (!feasible.empty()) {
+        result.tco_optimal = *std::min_element(
+            feasible.begin(), feasible.end(),
+            [](const DesignPoint &a, const DesignPoint &b) {
+                return a.tco_per_ops < b.tco_per_ops;
+            });
+        result.pareto = paretoFront(std::move(feasible));
+    }
+    return result;
+}
+
+} // namespace moonwalk::dse

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Design-space explorer (Section 5.1/5.2): sweeps RCAs per die, dies
+ * per lane, DRAMs per ASIC, logic voltage (and dark-silicon fill for
+ * Deep Learning), and reports the Pareto frontier and TCO-optimal
+ * server design for an application at a technology node.
+ */
+#ifndef MOONWALK_DSE_EXPLORER_HH
+#define MOONWALK_DSE_EXPLORER_HH
+
+#include <optional>
+#include <vector>
+
+#include "dse/evaluator.hh"
+#include "dse/pareto.hh"
+
+namespace moonwalk::dse {
+
+/** Sweep granularity knobs. */
+struct ExplorerOptions
+{
+    int voltage_steps = 40;
+    /** Approximate number of RCA-count candidates (geometric grid). */
+    int rca_count_steps = 48;
+    int max_drams_per_die = 12;
+    /** Dark-silicon fractions tried when the RCA allows them. */
+    std::vector<double> dark_fractions = {0.0, 0.05, 0.10, 0.15, 0.20};
+};
+
+/** Everything an exploration produces. */
+struct ExplorationResult
+{
+    /** Non-dominated designs in ($/op/s, W/op/s). */
+    std::vector<DesignPoint> pareto;
+    /** The design minimizing TCO per op/s, if any design is feasible. */
+    std::optional<DesignPoint> tco_optimal;
+    size_t evaluated = 0;
+    size_t feasible = 0;
+};
+
+/**
+ * The explorer.  Holds a ServerEvaluator (and its thermal cache); one
+ * instance can explore many (application, node) pairs.
+ */
+class DesignSpaceExplorer
+{
+  public:
+    explicit DesignSpaceExplorer(ExplorerOptions options = {},
+                                 ServerEvaluator evaluator = {})
+        : options_(options), evaluator_(std::move(evaluator))
+    {}
+
+    const ServerEvaluator &evaluator() const { return evaluator_; }
+    const ExplorerOptions &options() const { return options_; }
+
+    /** Full sweep for @p rca at @p node. */
+    ExplorationResult explore(const arch::RcaSpec &rca,
+                              tech::NodeId node) const;
+
+    /**
+     * Voltage sweep at a fixed (RCAs/die, dies/lane, DRAMs/die)
+     * configuration; the curves of Figure 4.  Infeasible voltages are
+     * omitted.
+     */
+    std::vector<DesignPoint> sweepVoltage(const arch::RcaSpec &rca,
+                                          tech::NodeId node,
+                                          int rcas_per_die,
+                                          int dies_per_lane,
+                                          int drams_per_die = 0) const;
+
+    /** RCA-count candidates used by explore() at @p node. */
+    std::vector<int> rcaCountCandidates(const arch::RcaSpec &rca,
+                                        tech::NodeId node,
+                                        int drams_per_die,
+                                        double dark) const;
+
+    /**
+     * Re-optimize only voltage and lane packing for a fixed die design
+     * (used by the Section 6.2 porting study, where RCAs per die and
+     * DRAMs per ASIC are frozen but the PCB is redesigned).
+     */
+    ExplorationResult exploreFixedDie(const arch::RcaSpec &rca,
+                                      tech::NodeId node,
+                                      int rcas_per_die,
+                                      int drams_per_die,
+                                      double dark) const;
+
+    /**
+     * Highest feasible supply voltage for a configuration (thermal
+     * and power limits are monotone in voltage), or a negative value
+     * when the configuration is infeasible at every voltage.
+     */
+    double maxFeasibleVoltage(const arch::RcaSpec &rca,
+                              tech::NodeId node, int rcas_per_die,
+                              int dies_per_lane, int drams_per_die,
+                              double dark) const;
+
+  private:
+    void sweepConfig(const arch::RcaSpec &rca, tech::NodeId node,
+                     int rcas_per_die, int drams_per_die, double dark,
+                     std::vector<DesignPoint> &feasible,
+                     size_t &evaluated) const;
+
+    ExplorerOptions options_;
+    ServerEvaluator evaluator_;
+};
+
+} // namespace moonwalk::dse
+
+#endif // MOONWALK_DSE_EXPLORER_HH

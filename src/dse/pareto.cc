@@ -1,0 +1,39 @@
+#include "dse/pareto.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace moonwalk::dse {
+
+std::vector<DesignPoint>
+paretoFront(std::vector<DesignPoint> points)
+{
+    std::sort(points.begin(), points.end(),
+              [](const DesignPoint &a, const DesignPoint &b) {
+                  if (a.cost_per_ops != b.cost_per_ops)
+                      return a.cost_per_ops < b.cost_per_ops;
+                  return a.watts_per_ops < b.watts_per_ops;
+              });
+
+    std::vector<DesignPoint> front;
+    double best_watts = std::numeric_limits<double>::infinity();
+    for (auto &p : points) {
+        if (p.watts_per_ops < best_watts) {
+            best_watts = p.watts_per_ops;
+            front.push_back(std::move(p));
+        }
+    }
+    return front;
+}
+
+bool
+isParetoFront(const std::vector<DesignPoint> &front)
+{
+    for (size_t i = 0; i < front.size(); ++i)
+        for (size_t j = 0; j < front.size(); ++j)
+            if (i != j && front[i].dominates(front[j]))
+                return false;
+    return true;
+}
+
+} // namespace moonwalk::dse

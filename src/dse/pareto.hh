@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Pareto-front extraction over (cost per op/s, watts per op/s), the
+ * two figures of merit of the paper's Figures 4 and 6.
+ */
+#ifndef MOONWALK_DSE_PARETO_HH
+#define MOONWALK_DSE_PARETO_HH
+
+#include <vector>
+
+#include "dse/design_point.hh"
+
+namespace moonwalk::dse {
+
+/**
+ * Return the non-dominated subset of @p points, sorted by ascending
+ * cost_per_ops (and hence descending watts_per_ops).
+ */
+std::vector<DesignPoint> paretoFront(std::vector<DesignPoint> points);
+
+/**
+ * True if no point in @p front dominates another (sanity invariant
+ * used by property tests).
+ */
+bool isParetoFront(const std::vector<DesignPoint> &front);
+
+} // namespace moonwalk::dse
+
+#endif // MOONWALK_DSE_PARETO_HH

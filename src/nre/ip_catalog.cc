@@ -1,0 +1,81 @@
+#include "nre/ip_catalog.hh"
+
+#include <array>
+
+#include "util/error.hh"
+#include "util/math.hh"
+
+namespace moonwalk::nre {
+
+std::string
+to_string(IpBlock block)
+{
+    switch (block) {
+      case IpBlock::DramController: return "DRAM Ctlr";
+      case IpBlock::DramPhy: return "DRAM PHY";
+      case IpBlock::PcieController: return "PCI-E Ctlr";
+      case IpBlock::PciePhy: return "PCI-E PHY";
+      case IpBlock::Pll: return "PLL";
+      case IpBlock::LvdsIo: return "LVDS IO";
+      case IpBlock::StdCellsSram: return "Standard Cells, SRAM";
+    }
+    panic("invalid IpBlock ", static_cast<int>(block));
+}
+
+namespace {
+
+constexpr double kNA = -1.0;
+
+// Table 4, thousands of USD; columns are nodes oldest (250nm) first.
+struct CatalogRow
+{
+    IpBlock block;
+    std::array<double, tech::kNumNodes> cost_k;
+};
+
+constexpr std::array<CatalogRow, 7> kCatalog = {{
+    {IpBlock::DramController, {kNA, kNA, 125, 125, 125, 125, 125, 125}},
+    {IpBlock::DramPhy,        {kNA, kNA, 150, 165, 175, 280, 390, 750}},
+    {IpBlock::PcieController, {kNA, kNA,  90,  90, 125, 125, 125, 125}},
+    {IpBlock::PciePhy,        {kNA, kNA, 160, 180, 325, 375, 510, 775}},
+    {IpBlock::Pll,            { 15,  15,  15,  20,  30,  50,  35,  50}},
+    {IpBlock::LvdsIo,         {7.5, 7.5,   0, 150,  90,  36,  40, 200}},
+    {IpBlock::StdCellsSram,   {  0,   0,   0,   0,   0, 100, 100, 100}},
+}};
+
+} // namespace
+
+std::optional<double>
+IpCatalog::cost(IpBlock block, tech::NodeId node) const
+{
+    for (const auto &row : kCatalog) {
+        if (row.block != block)
+            continue;
+        const double k = row.cost_k[tech::nodeIndex(node)];
+        if (k == kNA)
+            return std::nullopt;
+        return k * 1e3;
+    }
+    panic("IpBlock ", static_cast<int>(block), " missing from catalog");
+}
+
+bool
+IpCatalog::available(IpBlock block, tech::NodeId node) const
+{
+    return cost(block, node).has_value();
+}
+
+double
+projectedIpCost(IpBlock block, double feature_nm)
+{
+    if (feature_nm >= 16.0 || feature_nm < 3.0)
+        fatal("IP projection expects a feature width in [3, 16)nm");
+    IpCatalog catalog;
+    const double c16 = catalog.cost(block, tech::NodeId::N16).value();
+    const double c28 = catalog.cost(block, tech::NodeId::N28).value();
+    if (c16 <= 0.0 || c28 <= 0.0 || c16 == c28)
+        return c16;  // flat (or free) pricing stays flat
+    return loglogInterp(feature_nm, 16.0, c16, 28.0, c28);
+}
+
+} // namespace moonwalk::nre

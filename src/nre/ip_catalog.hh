@@ -1,0 +1,73 @@
+/**
+ * @file
+ * IP licensing cost catalog (paper Table 4 and Figure 3).
+ *
+ * Costs are late-2016 USD.  "NA" entries in the paper (no DDR DRAM or
+ * PCI-E blocks exist for 250/180nm) are modeled as unavailable; per
+ * Section 6.3, designs needing DRAM on those nodes fall back to a free
+ * SDR controller.
+ */
+#ifndef MOONWALK_NRE_IP_CATALOG_HH
+#define MOONWALK_NRE_IP_CATALOG_HH
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "tech/node.hh"
+
+namespace moonwalk::nre {
+
+/** Third-party IP block categories from Table 4. */
+enum class IpBlock
+{
+    DramController,
+    DramPhy,
+    PcieController,
+    PciePhy,
+    Pll,
+    LvdsIo,
+    StdCellsSram,  ///< standard cells + SRAM generators
+};
+
+/** All catalog entries, in Table 4 order. */
+constexpr std::array<IpBlock, 7> kAllIpBlocks = {
+    IpBlock::DramController, IpBlock::DramPhy,
+    IpBlock::PcieController, IpBlock::PciePhy,
+    IpBlock::Pll, IpBlock::LvdsIo, IpBlock::StdCellsSram,
+};
+
+/** Human-readable block name. */
+std::string to_string(IpBlock block);
+
+/**
+ * Licensing cost catalog indexed by (block, node).
+ */
+class IpCatalog
+{
+  public:
+    /**
+     * Licensing cost in dollars for @p block at @p node, or nullopt if
+     * no such IP exists for that node (Table 4 "NA").
+     */
+    std::optional<double> cost(IpBlock block, tech::NodeId node) const;
+
+    /** True if the block can be licensed at @p node. */
+    bool available(IpBlock block, tech::NodeId node) const;
+
+    /** Frequency (MHz) above which a design needs an internal PLL
+     *  (Section 4: "designs that use fast (> 150 MHz) clocks"). */
+    static constexpr double kPllThresholdMhz = 150.0;
+};
+
+/**
+ * Extrapolated licensing cost ($) of @p block at a hypothetical node
+ * of @p feature_nm (< 16), continuing the 28nm -> 16nm price trend
+ * on log-log axes; blocks priced flat across those nodes stay flat.
+ * Companion to tech::projectNode for future-node studies.
+ */
+double projectedIpCost(IpBlock block, double feature_nm);
+
+} // namespace moonwalk::nre
+
+#endif // MOONWALK_NRE_IP_CATALOG_HH

@@ -1,0 +1,95 @@
+#include "nre/nre_model.hh"
+
+#include "util/error.hh"
+
+namespace moonwalk::nre {
+
+double
+NreModel::ipCost(const tech::TechNode &node, const AppNreParams &app,
+                 const DesignIpNeeds &needs) const
+{
+    const tech::NodeId id = node.id;
+    double cost = app.extra_ip_cost;
+
+    // Standard cells + SRAM generators: free at 65nm and older,
+    // ~$100K at 40nm and newer (Section 4).
+    cost += catalog_.cost(IpBlock::StdCellsSram, id).value();
+
+    if (needs.clock_mhz > IpCatalog::kPllThresholdMhz)
+        cost += catalog_.cost(IpBlock::Pll, id).value();
+
+    if (needs.dram_interfaces > 0) {
+        const auto ctlr = catalog_.cost(IpBlock::DramController, id);
+        const auto phy = catalog_.cost(IpBlock::DramPhy, id);
+        if (ctlr && phy) {
+            // One controller + PHY license covers all instances.
+            cost += *ctlr + *phy;
+        } else {
+            // 250/180nm: no DDR IP exists; a free SDR controller
+            // suffices (Sections 4 and 6.3).
+        }
+    }
+
+    if (needs.high_speed_link) {
+        const auto ctlr = catalog_.cost(IpBlock::PcieController, id);
+        const auto phy = catalog_.cost(IpBlock::PciePhy, id);
+        if (!ctlr || !phy) {
+            fatal("no PCI-E/HyperTransport IP exists at ", node.name,
+                  "; the design cannot be built on this node");
+        }
+        cost += *ctlr + *phy;
+    }
+
+    if (needs.lvds_io)
+        cost += catalog_.cost(IpBlock::LvdsIo, id).value();
+
+    return cost * params_.ip_cost_scale;
+}
+
+double
+NreModel::backendManMonths(const tech::TechNode &node,
+                           const AppNreParams &app) const
+{
+    const double gates = app.rca_gate_count + params_.top_level_gates;
+    const double backend_labor = gates * node.backend_cost_per_gate;
+    // Divide by the fully-loaded monthly rate: the IBS dollars-per-gate
+    // figure covers loaded labor cost, so the implied schedule uses the
+    // same basis.  (Calibrated: this reproduces the paper's Bitcoin
+    // 250nm NRE of $561K exactly; see tests/nre/nre_paper_test.cc.)
+    return backend_labor /
+        (params_.backend_salary / 12.0 * (1.0 + params_.overhead));
+}
+
+NreBreakdown
+NreModel::compute(const tech::TechNode &node, const AppNreParams &app,
+                  const DesignIpNeeds &needs) const
+{
+    NreBreakdown b;
+    b.mask = node.mask_cost;
+    b.package = params_.package_nre;
+
+    b.frontend_labor =
+        params_.laborCost(app.frontend_mm, params_.frontend_salary);
+    b.frontend_cad =
+        app.frontend_cad_months * params_.frontend_cad_per_mm;
+
+    // Backend: the IBS model [30] gives total backend labor in dollars
+    // per unique gate; tool cost follows from the implied schedule
+    // (Section 4: "we divide the backend cost by the backend labor
+    // salary" to get CAD tool months).
+    const double gates = app.rca_gate_count + params_.top_level_gates;
+    b.backend_labor = gates * node.backend_cost_per_gate;
+    const double backend_months = backendManMonths(node, app);
+    b.backend_cad = backend_months * params_.backend_cad_per_month;
+
+    b.ip = ipCost(node, app, needs);
+
+    const double system_mm = app.fpga_job_distribution_mm +
+        app.fpga_bios_mm + app.cloud_software_mm;
+    b.system_labor = params_.laborCost(system_mm,
+                                       params_.frontend_salary);
+    b.pcb_design = app.pcb_design_cost;
+    return b;
+}
+
+} // namespace moonwalk::nre

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The NRE model of Section 4: labor, package design, CAD tools, IP and
+ * mask costs for developing an ASIC Cloud design at a given node.
+ */
+#ifndef MOONWALK_NRE_NRE_MODEL_HH
+#define MOONWALK_NRE_NRE_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "nre/ip_catalog.hh"
+#include "tech/node.hh"
+
+namespace moonwalk::nre {
+
+/**
+ * Node-independent NRE parameters (paper Table 3; San Diego, late 2016).
+ */
+struct NreParameters
+{
+    double frontend_salary = 115e3;       ///< $/yr [19]
+    double frontend_cad_per_mm = 4e3;     ///< $/man-month of FE CAD
+    double backend_salary = 95e3;         ///< $/yr [19]
+    double backend_cad_per_month = 20e3;  ///< $/month of BE tool license
+    double overhead = 0.65;               ///< benefits + supplies on salary
+    double top_level_gates = 15e3;        ///< I/O + NoC top-level overhead
+    double package_nre = 105e3;           ///< flip-chip BGA design+tooling
+    /** Multiplier on all licensed IP (sensitivity studies; 1.0 is the
+     *  paper's Table 4 pricing). */
+    double ip_cost_scale = 1.0;
+
+    /** Fully-loaded labor cost for @p man_months at @p salary $/yr. */
+    double laborCost(double man_months, double salary) const
+    {
+        return man_months * (salary / 12.0) * (1.0 + overhead);
+    }
+};
+
+/**
+ * Application-dependent NRE parameters (paper Table 5).
+ */
+struct AppNreParams
+{
+    std::string app_name;
+    double rca_gate_count = 0;       ///< unique design gates per RCA
+    double frontend_cad_months = 0;  ///< FE CAD-months
+    double frontend_mm = 0;          ///< FE man-months
+    double fpga_job_distribution_mm = 0;
+    double fpga_bios_mm = 0;
+    double cloud_software_mm = 0;
+    double pcb_design_cost = 0;      ///< vendor-quoted PCB design ($)
+    /** Application-specific licensed IP beyond the catalog, e.g. the
+     *  $200K H.265 decoder license for Video Transcode (Section 5.3). */
+    double extra_ip_cost = 0;
+};
+
+/**
+ * What the chosen design point actually needs from the node, which
+ * determines IP licensing cost (Section 4).
+ */
+struct DesignIpNeeds
+{
+    double clock_mhz = 0;        ///< PLL needed above 150 MHz
+    int dram_interfaces = 0;     ///< DRAM ctlr+PHY if > 0
+    bool high_speed_link = false;///< PCI-E / HyperTransport ctlr+PHY
+    bool lvds_io = false;        ///< LVDS off-chip interface
+};
+
+/**
+ * Per-component NRE breakdown ($).
+ */
+struct NreBreakdown
+{
+    double mask = 0;
+    double package = 0;
+    double frontend_labor = 0;
+    double frontend_cad = 0;
+    double backend_labor = 0;
+    double backend_cad = 0;
+    double ip = 0;
+    double system_labor = 0;  ///< FPGA firmware + cloud software
+    double pcb_design = 0;
+
+    double total() const
+    {
+        return mask + package + frontend_labor + frontend_cad +
+            backend_labor + backend_cad + ip + system_labor + pcb_design;
+    }
+
+    /** System-level (non-ASIC) NRE shown in Figure 5. */
+    double systemLevel() const { return system_labor + pcb_design; }
+};
+
+/**
+ * The NRE model: combines Table 3 parameters, the Table 4 IP catalog and
+ * Table 5 application parameters into a per-node NRE estimate.
+ */
+class NreModel
+{
+  public:
+    explicit NreModel(NreParameters params = {})
+        : params_(params)
+    {}
+
+    const NreParameters &parameters() const { return params_; }
+    const IpCatalog &ipCatalog() const { return catalog_; }
+
+    /**
+     * Compute the NRE of implementing @p app on @p node with a design
+     * point whose IP needs are @p needs.
+     *
+     * Backend labor scales with unique design gates (one RCA plus
+     * top-level overhead; the hierarchical backend flow of Section 4
+     * scales with RCA complexity, not die instance count).
+     *
+     * @throws ModelError if the design needs IP that does not exist at
+     *         this node (e.g. PCI-E at 180nm).
+     */
+    NreBreakdown compute(const tech::TechNode &node,
+                         const AppNreParams &app,
+                         const DesignIpNeeds &needs) const;
+
+    /** IP licensing cost alone for (node, needs); DRAM interfaces on
+     *  SDR-only nodes use the free SDR controller (Section 4). */
+    double ipCost(const tech::TechNode &node, const AppNreParams &app,
+                  const DesignIpNeeds &needs) const;
+
+    /** Backend labor man-months implied by the IBS gate model. */
+    double backendManMonths(const tech::TechNode &node,
+                            const AppNreParams &app) const;
+
+  private:
+    NreParameters params_;
+    IpCatalog catalog_;
+};
+
+} // namespace moonwalk::nre
+
+#endif // MOONWALK_NRE_NRE_MODEL_HH

@@ -1,0 +1,43 @@
+#include "nre/structured_asic.hh"
+
+#include "util/error.hh"
+
+namespace moonwalk::nre {
+
+arch::RcaSpec
+applyStructuredPenalties(const arch::RcaSpec &rca,
+                         const StructuredAsicParams &p)
+{
+    if (p.area_penalty < 1.0 || p.energy_penalty < 1.0 ||
+        p.freq_penalty > 1.0 || p.freq_penalty <= 0.0) {
+        fatal("structured-ASIC penalties must not beat full custom");
+    }
+
+    arch::RcaSpec s = rca;
+    s.name = rca.name + " (structured)";
+    s.area_28_mm2 = rca.area_28_mm2 * p.area_penalty;
+    s.energy_per_op_28_j = rca.energy_per_op_28_j * p.energy_penalty;
+    s.f_nominal_28_mhz = rca.f_nominal_28_mhz * p.freq_penalty;
+    return s;
+}
+
+NreBreakdown
+structuredAsicNre(const NreModel &model, const tech::TechNode &node,
+                  const AppNreParams &app, const DesignIpNeeds &needs,
+                  const StructuredAsicParams &p)
+{
+    if (p.mask_fraction <= 0.0 || p.mask_fraction > 1.0)
+        fatal("mask fraction must be in (0, 1]");
+    if (p.backend_scale <= 0.0 || p.backend_scale > 1.0)
+        fatal("backend scale must be in (0, 1]");
+
+    NreBreakdown b = model.compute(node, app, needs);
+    b.mask *= p.mask_fraction;
+    b.backend_labor *= p.backend_scale;
+    b.backend_cad *= p.backend_scale;
+    if (p.reuse_vendor_package)
+        b.package = 0.0;
+    return b;
+}
+
+} // namespace moonwalk::nre

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Structured-ASIC implementation option (paper Section 8: "Structured
+ * ASICs try to reduce NRE [58, 59, 63], but with significant
+ * penalties").
+ *
+ * A structured ASIC prefabricates the transistor layers ("base
+ * masks") shared across customers; each design pays only for the
+ * upper-metal customization masks and a lighter backend flow, at the
+ * price of lower logic density, higher energy, and slower clocks.
+ * This module turns an RcaSpec into its structured-ASIC equivalent
+ * and prices the reduced NRE, letting the optimizer compare both
+ * implementation paths per node.
+ */
+#ifndef MOONWALK_NRE_STRUCTURED_ASIC_HH
+#define MOONWALK_NRE_STRUCTURED_ASIC_HH
+
+#include "arch/rca.hh"
+#include "nre/nre_model.hh"
+
+namespace moonwalk::nre {
+
+/**
+ * Penalty and saving factors for a structured-ASIC flow.  Defaults
+ * follow the ranges reported in the structured-ASIC literature the
+ * paper cites (2-3x area, ~2x power, ~0.6-0.8x frequency; only the
+ * via/metal mask subset is design-specific).
+ */
+struct StructuredAsicParams
+{
+    /** Fraction of the full mask-set cost that is design-specific
+     *  (upper metal + via masks). */
+    double mask_fraction = 0.30;
+    /** Backend effort multiplier: placement is constrained to the
+     *  prefabricated fabric, shrinking the physical-design task. */
+    double backend_scale = 0.5;
+    /** Logic area penalty versus standard cells. */
+    double area_penalty = 2.2;
+    /** Dynamic energy penalty (longer wires, generic fabric). */
+    double energy_penalty = 1.9;
+    /** Achievable frequency multiplier. */
+    double freq_penalty = 0.70;
+    /** No custom flip-chip package design: the fabric vendor's
+     *  qualified package is reused. */
+    bool reuse_vendor_package = true;
+};
+
+/**
+ * The RCA as it would perform on the structured fabric: same
+ * function and gate count, penalized area/energy/frequency.
+ */
+arch::RcaSpec applyStructuredPenalties(const arch::RcaSpec &rca,
+                                       const StructuredAsicParams &p);
+
+/**
+ * NRE of a structured-ASIC implementation: reduced mask cost and
+ * backend effort; frontend, system and IP costs unchanged.
+ */
+NreBreakdown structuredAsicNre(const NreModel &model,
+                               const tech::TechNode &node,
+                               const AppNreParams &app,
+                               const DesignIpNeeds &needs,
+                               const StructuredAsicParams &p);
+
+} // namespace moonwalk::nre
+
+#endif // MOONWALK_NRE_STRUCTURED_ASIC_HH

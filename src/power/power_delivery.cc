@@ -1,0 +1,53 @@
+#include "power/power_delivery.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace moonwalk::power {
+
+double
+PsuParams::efficiencyAt(double load) const
+{
+    const double l = std::clamp(load, 0.05, 1.0);
+    const double dev = 2.0 * l - 1.0;  // -1 at no load, +1 at rating
+    return eta_peak - eta_droop * dev * dev;
+}
+
+PowerDeliveryPlan
+planPowerDelivery(double logic_power_w, double logic_vdd, int dies,
+                  double dc_aux_power_w, const PsuParams &psu,
+                  const DcdcParams &dcdc)
+{
+    if (logic_power_w < 0.0 || dc_aux_power_w < 0.0)
+        fatal("power delivery needs non-negative loads");
+    if (logic_vdd <= 0.0)
+        fatal("logic voltage must be positive");
+    if (dies < 1)
+        fatal("power delivery needs at least one die");
+
+    PowerDeliveryPlan plan;
+
+    // Logic rail: phases sized by current, at least the per-die
+    // minimum for local regulation.
+    const double amps = logic_power_w / logic_vdd;
+    const int by_current = static_cast<int>(
+        std::ceil(amps / dcdc.phase_current_a));
+    plan.dcdc_phases = std::max(by_current,
+                                dies * dcdc.min_phases_per_die);
+    plan.dcdc_cost = plan.dcdc_phases * dcdc.phase_cost;
+    const double dcdc_input = logic_power_w / dcdc.eta;
+    plan.dcdc_loss_w = dcdc_input - logic_power_w;
+
+    // PSU: rated with margin over the DC-side peak; efficiency at
+    // the implied operating load.
+    const double dc_power = dcdc_input + dc_aux_power_w;
+    plan.psu_rated_w = dc_power * psu.rating_margin;
+    plan.psu_cost = plan.psu_rated_w * psu.cost_per_rated_w;
+    plan.psu_efficiency = psu.efficiencyAt(1.0 / psu.rating_margin);
+    plan.wall_power_w = dc_power / plan.psu_efficiency;
+    return plan;
+}
+
+} // namespace moonwalk::power

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Server power-delivery model (paper Section 3: "the PSU and DC/DC
+ * converters are customized for each server").
+ *
+ * The AC-DC supply has a load-dependent efficiency curve and is rated
+ * with headroom above the server's peak draw; the logic rail uses
+ * multiphase buck converters sized by output *current*, so
+ * near-threshold designs (high amps at low volts) pay more for
+ * conversion — a real cost pressure against very low voltages.
+ */
+#ifndef MOONWALK_POWER_POWER_DELIVERY_HH
+#define MOONWALK_POWER_POWER_DELIVERY_HH
+
+namespace moonwalk::power {
+
+/** AC-DC supply parameters (80 PLUS Titanium class). */
+struct PsuParams
+{
+    double eta_peak = 0.945;      ///< efficiency at 50% load
+    double eta_droop = 0.015;     ///< peak - eta at 0/100% load
+    double rating_margin = 1.15;  ///< rated W over peak draw
+    double cost_per_rated_w = 0.095;
+
+    /** Efficiency at @p load fraction of the rating (clamped). */
+    double efficiencyAt(double load) const;
+};
+
+/** Multiphase buck converter parameters for the logic rail. */
+struct DcdcParams
+{
+    double phase_current_a = 30.0;  ///< per-phase output current
+    double phase_cost = 2.2;        ///< inductor+FETs+controller share
+    double eta = 0.93;              ///< conversion efficiency
+    /** Each die carries at least this many local phases. */
+    int min_phases_per_die = 1;
+};
+
+/** A sized power-delivery subsystem for one server. */
+struct PowerDeliveryPlan
+{
+    int dcdc_phases = 0;
+    double dcdc_cost = 0;
+    double dcdc_loss_w = 0;     ///< dissipated in conversion
+    double psu_rated_w = 0;
+    double psu_cost = 0;
+    double psu_efficiency = 0;  ///< at the operating load
+    double wall_power_w = 0;    ///< at the plug
+
+    double totalCost() const { return dcdc_cost + psu_cost; }
+};
+
+/**
+ * Size the power delivery for a server.
+ *
+ * @param logic_power_w silicon power on the logic rail
+ * @param logic_vdd logic rail voltage (sets converter current)
+ * @param dies dies sharing the rail (min phases per die)
+ * @param dc_aux_power_w 12V-class loads (DRAM, fans, NIC) fed from
+ *        the PSU without the logic-rail conversion stage
+ */
+PowerDeliveryPlan planPowerDelivery(double logic_power_w,
+                                    double logic_vdd, int dies,
+                                    double dc_aux_power_w,
+                                    const PsuParams &psu = {},
+                                    const DcdcParams &dcdc = {});
+
+} // namespace moonwalk::power
+
+#endif // MOONWALK_POWER_POWER_DELIVERY_HH

@@ -1,0 +1,40 @@
+#include "sim/events.hh"
+
+#include "util/error.hh"
+
+namespace moonwalk::sim {
+
+void
+EventQueue::schedule(SimTime when, Action action)
+{
+    if (when < now_)
+        fatal("cannot schedule event in the past: ", when, " < ",
+              now_);
+    heap_.push(Entry{when, seq_++, std::move(action)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // Move the entry out before firing: the action may schedule new
+    // events and mutate the heap.
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    ++fired_;
+    e.action();
+    return true;
+}
+
+void
+EventQueue::runUntil(SimTime horizon)
+{
+    while (!heap_.empty() && heap_.top().when <= horizon)
+        step();
+    if (now_ < horizon)
+        now_ = horizon;
+}
+
+} // namespace moonwalk::sim

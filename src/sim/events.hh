@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Discrete-event core for the ASIC Cloud server simulator: a time-
+ * ordered event queue with stable FIFO ordering for simultaneous
+ * events.
+ */
+#ifndef MOONWALK_SIM_EVENTS_HH
+#define MOONWALK_SIM_EVENTS_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace moonwalk::sim {
+
+/** Simulated time in seconds. */
+using SimTime = double;
+
+/**
+ * A time-ordered event queue.  Events scheduled for the same instant
+ * fire in scheduling order (stable), which keeps runs deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Schedule @p action at absolute time @p when (>= now). */
+    void schedule(SimTime when, Action action);
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Current simulation time (time of the last fired event). */
+    SimTime now() const { return now_; }
+
+    /** Number of events fired so far. */
+    uint64_t fired() const { return fired_; }
+
+    /**
+     * Fire the earliest event.  Returns false if the queue is empty.
+     */
+    bool step();
+
+    /** Run until the queue empties or time exceeds @p horizon. */
+    void runUntil(SimTime horizon);
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        uint64_t seq;
+        Action action;
+    };
+    struct Later
+    {
+        bool operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    SimTime now_ = 0.0;
+    uint64_t seq_ = 0;
+    uint64_t fired_ = 0;
+};
+
+} // namespace moonwalk::sim
+
+#endif // MOONWALK_SIM_EVENTS_HH

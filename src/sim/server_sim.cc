@@ -1,0 +1,159 @@
+#include "sim/server_sim.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <random>
+
+#include "util/error.hh"
+
+namespace moonwalk::sim {
+
+ServerSimulator::ServerSimulator(ServerModel model)
+    : model_(model)
+{
+    if (model_.asics < 1 || model_.rcas_per_asic < 1)
+        fatal("server needs at least one ASIC and one RCA");
+    if (model_.rca_ops_per_s <= 0.0)
+        fatal("RCA throughput must be positive");
+    if (model_.asic_queue_depth < 0)
+        fatal("queue depth must be non-negative");
+}
+
+namespace {
+
+/** Per-ASIC state: busy RCA count plus a FIFO of waiting jobs. */
+struct AsicState
+{
+    int busy = 0;
+    std::deque<double> queue;  ///< arrival timestamps of queued jobs
+
+    int load() const { return busy + static_cast<int>(queue.size()); }
+};
+
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double idx = p * (sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - lo;
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
+SimStats
+ServerSimulator::run(const Workload &w) const
+{
+    if (w.ops_per_job <= 0.0 || w.arrival_rate <= 0.0 ||
+        w.duration_s <= 0.0) {
+        fatal("workload needs positive ops/job, rate and duration");
+    }
+    if (w.warmup_fraction < 0.0 || w.warmup_fraction >= 1.0)
+        fatal("warmup fraction must be in [0, 1)");
+
+    const double service_s = w.ops_per_job / model_.rca_ops_per_s;
+    const double warmup_end = w.warmup_fraction * w.duration_s;
+
+    EventQueue events;
+    std::mt19937_64 rng(w.seed);
+    std::exponential_distribution<double> interarrival(w.arrival_rate);
+
+    std::vector<AsicState> asics(model_.asics);
+    SimStats stats;
+    std::vector<double> latencies;
+    double busy_ops = 0.0;  // ops completed inside the window
+
+    // One completion chain per RCA-start; declared up front so the
+    // lambdas can recurse.
+    std::function<void(int, double)> start_service =
+        [&](int asic, double arrived) {
+            AsicState &a = asics[static_cast<size_t>(asic)];
+            ++a.busy;
+            const double done = events.now() + service_s;
+            events.schedule(done, [&, asic, arrived, done] {
+                AsicState &s = asics[static_cast<size_t>(asic)];
+                --s.busy;
+                const double latency = done - arrived;
+                ++stats.jobs_completed_total;
+                // Steady-state measurement window: skip warmup and
+                // the post-horizon drain so sustained throughput is
+                // not inflated by queued backlog.
+                if (arrived >= warmup_end && done <= w.duration_s) {
+                    ++stats.jobs_completed;
+                    latencies.push_back(latency);
+                    busy_ops += w.ops_per_job;
+                }
+                if (!s.queue.empty()) {
+                    const double next_arrived = s.queue.front();
+                    s.queue.pop_front();
+                    start_service(asic, next_arrived);
+                }
+            });
+        };
+
+    // Arrival process: each arrival schedules the next one until the
+    // horizon, then dispatches itself to the least-loaded ASIC.
+    std::function<void()> arrive = [&] {
+        const double arrived = events.now();
+        ++stats.jobs_offered;
+
+        const double next = arrived + interarrival(rng);
+        if (next <= w.duration_s)
+            events.schedule(next, arrive);
+
+        // FPGA dispatch + interconnect delay before the job reaches
+        // its ASIC.
+        const double at_asic = arrived + model_.dispatch_latency_s +
+            model_.interconnect_latency_s;
+        // Join-shortest-queue across ASICs (the FPGA sees per-ASIC
+        // occupancy through its job-distribution protocol).
+        int best = 0;
+        for (int i = 1; i < model_.asics; ++i) {
+            if (asics[static_cast<size_t>(i)].load() <
+                asics[static_cast<size_t>(best)].load()) {
+                best = i;
+            }
+        }
+        events.schedule(at_asic, [&, best, arrived] {
+            AsicState &a = asics[static_cast<size_t>(best)];
+            if (a.busy < model_.rcas_per_asic) {
+                start_service(best, arrived);
+            } else if (static_cast<int>(a.queue.size()) <
+                       model_.asic_queue_depth) {
+                a.queue.push_back(arrived);
+            } else {
+                ++stats.jobs_dropped;
+            }
+        });
+    };
+
+    events.schedule(interarrival(rng), arrive);
+
+    // Run to the horizon, then drain in-flight work.
+    while (events.step()) {
+    }
+
+    const double window = w.duration_s - warmup_end;
+    stats.achieved_ops_per_s = busy_ops / window;
+    stats.rca_utilization = busy_ops / model_.rca_ops_per_s /
+        (window * model_.asics * model_.rcas_per_asic);
+
+    std::sort(latencies.begin(), latencies.end());
+    if (!latencies.empty()) {
+        double sum = 0.0;
+        for (double l : latencies)
+            sum += l;
+        stats.latency_mean = sum / latencies.size();
+        stats.latency_p50 = percentile(latencies, 0.50);
+        stats.latency_p95 = percentile(latencies, 0.95);
+        stats.latency_p99 = percentile(latencies, 0.99);
+        stats.latency_max = latencies.back();
+    }
+    return stats;
+}
+
+} // namespace moonwalk::sim

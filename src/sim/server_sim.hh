@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Functional (discrete-event) simulator of one ASIC Cloud server
+ * (paper Section 3): RPC jobs arrive at the FPGA bridge over the
+ * off-PCB interface, are dispatched across lanes/ASICs onto
+ * replicated compute accelerators through the on-die NoC, execute
+ * for ops/throughput-derived service times, and return.
+ *
+ * The simulator validates the analytic performance model (a server's
+ * sustained throughput should approach perf_ops as offered load
+ * saturates it) and exposes the latency behavior behind SLA
+ * constraints like Deep Learning's (Section 5.3).
+ */
+#ifndef MOONWALK_SIM_SERVER_SIM_HH
+#define MOONWALK_SIM_SERVER_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/events.hh"
+
+namespace moonwalk::sim {
+
+/**
+ * Static description of the simulated server.
+ */
+struct ServerModel
+{
+    int asics = 72;              ///< dies per server
+    int rcas_per_asic = 769;
+    /** Application ops completed per second by one RCA. */
+    double rca_ops_per_s = 149e6;
+    /** FPGA dispatch overhead per job (s): RPC decode + routing. */
+    double dispatch_latency_s = 2e-6;
+    /** On-PCB network + on-die NoC traversal per job (s). */
+    double interconnect_latency_s = 1e-6;
+    /** Per-ASIC job queue bound; arrivals beyond it are dropped. */
+    int asic_queue_depth = 64;
+};
+
+/**
+ * Offered load.
+ */
+struct Workload
+{
+    /** Application ops in one RPC job (e.g. hashes per share batch,
+     *  or 1.0 for one frame). */
+    double ops_per_job = 1e6;
+    /** Mean job arrival rate (Poisson), jobs/s. */
+    double arrival_rate = 1e5;
+    /** Simulated horizon (s). */
+    double duration_s = 1.0;
+    /** Warmup fraction excluded from statistics. */
+    double warmup_fraction = 0.1;
+    uint64_t seed = 1;
+};
+
+/**
+ * Simulation results.
+ */
+struct SimStats
+{
+    uint64_t jobs_offered = 0;
+    /** Jobs counted in the measurement window (arrived after warmup,
+     *  completed before the horizon). */
+    uint64_t jobs_completed = 0;
+    /** All completions, including warmup and post-horizon drain. */
+    uint64_t jobs_completed_total = 0;
+    uint64_t jobs_dropped = 0;
+    /** Sustained application ops/s over the measured window. */
+    double achieved_ops_per_s = 0;
+    /** Mean busy fraction across all RCAs. */
+    double rca_utilization = 0;
+    // Latency (s), measured jobs only.
+    double latency_mean = 0;
+    double latency_p50 = 0;
+    double latency_p95 = 0;
+    double latency_p99 = 0;
+    double latency_max = 0;
+};
+
+/**
+ * The simulator.  Deterministic for a fixed (model, workload, seed).
+ */
+class ServerSimulator
+{
+  public:
+    explicit ServerSimulator(ServerModel model);
+
+    const ServerModel &model() const { return model_; }
+
+    /** Run one workload and return statistics. */
+    SimStats run(const Workload &workload) const;
+
+    /** Aggregate service capacity (ops/s) of the modeled server. */
+    double capacityOpsPerS() const
+    {
+        return static_cast<double>(model_.asics) *
+            model_.rcas_per_asic * model_.rca_ops_per_s;
+    }
+
+  private:
+    ServerModel model_;
+};
+
+} // namespace moonwalk::sim
+
+#endif // MOONWALK_SIM_SERVER_SIM_HH

@@ -1,0 +1,46 @@
+#include "tco/datacenter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace moonwalk::tco {
+
+DatacenterPlan
+DatacenterPlanner::plan(double target_ops, double server_ops,
+                        double server_power_w,
+                        double server_cost) const
+{
+    if (target_ops <= 0.0 || server_ops <= 0.0)
+        fatal("provisioning needs positive throughput figures");
+    if (server_power_w <= 0.0 || server_cost <= 0.0)
+        fatal("provisioning needs positive power and cost");
+
+    DatacenterPlan p;
+    p.servers = static_cast<long>(
+        std::ceil(target_ops / server_ops));
+    p.aggregate_ops = static_cast<double>(p.servers) * server_ops;
+
+    // Racks are power-limited first, then space-limited.
+    const int by_power = static_cast<int>(
+        params_.rack_power_w / server_power_w);
+    p.servers_per_rack = std::max(1, std::min(by_power,
+                                              params_.rack_units));
+    if (by_power < 1) {
+        fatal("one server (", server_power_w,
+              "W) exceeds the rack power budget");
+    }
+    p.racks = (p.servers + p.servers_per_rack - 1) /
+        p.servers_per_rack;
+
+    p.critical_power_w =
+        static_cast<double>(p.servers) * server_power_w;
+    p.server_capex = static_cast<double>(p.servers) * server_cost;
+    p.rack_capex =
+        static_cast<double>(p.racks) * params_.rack_overhead_cost;
+    p.tco = tco_.compute(p.server_capex, p.critical_power_w);
+    return p;
+}
+
+} // namespace moonwalk::tco

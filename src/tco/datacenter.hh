@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Datacenter provisioning: scale a designed ASIC Cloud server out to
+ * a target aggregate throughput — servers, racks (power-limited),
+ * critical power, and total cost of ownership.  This is the
+ * aggregate view behind the paper's workload-TCO axis (Figures
+ * 10-12): a workload "worth" B dollars of baseline TCO maps to a
+ * concrete number of racks of the chosen design.
+ */
+#ifndef MOONWALK_TCO_DATACENTER_HH
+#define MOONWALK_TCO_DATACENTER_HH
+
+#include "tco/tco_model.hh"
+
+namespace moonwalk::tco {
+
+/** Rack and facility parameters. */
+struct DatacenterParams
+{
+    /** Usable power per rack (W): a 1U ASIC Cloud server draws up
+     *  to ~4kW, so a 15kW rack holds only a few. */
+    double rack_power_w = 15e3;
+    /** Rack units available per rack for 1U servers. */
+    int rack_units = 42;
+    /** Amortized cost of rack infrastructure ($ per rack over the
+     *  server lifetime): frame, PDU, ToR switch share. */
+    double rack_overhead_cost = 6e3;
+};
+
+/** A provisioning plan for one aggregate-throughput target. */
+struct DatacenterPlan
+{
+    long servers = 0;
+    long racks = 0;
+    int servers_per_rack = 0;
+    double aggregate_ops = 0;     ///< delivered ops/s (>= target)
+    double critical_power_w = 0;  ///< IT power at the plug
+    double server_capex = 0;
+    double rack_capex = 0;
+    TcoBreakdown tco;             ///< fleet totals incl. energy
+    /** Fleet TCO plus rack overheads ($ over the lifetime). */
+    double totalCost() const
+    {
+        return tco.total() + rack_capex;
+    }
+};
+
+/**
+ * Plans datacenter deployments of a fixed server design.
+ */
+class DatacenterPlanner
+{
+  public:
+    DatacenterPlanner(TcoModel tco_model = TcoModel{},
+                      DatacenterParams params = {})
+        : tco_(tco_model), params_(params)
+    {}
+
+    const DatacenterParams &parameters() const { return params_; }
+
+    /**
+     * Provision for @p target_ops aggregate throughput using servers
+     * of (@p server_ops, @p server_power_w wall, @p server_cost $).
+     */
+    DatacenterPlan plan(double target_ops, double server_ops,
+                        double server_power_w,
+                        double server_cost) const;
+
+  private:
+    TcoModel tco_;
+    DatacenterParams params_;
+};
+
+} // namespace moonwalk::tco
+
+#endif // MOONWALK_TCO_DATACENTER_HH

@@ -1,0 +1,51 @@
+#include "tco/tco_model.hh"
+
+#include "util/error.hh"
+
+namespace moonwalk::tco {
+
+namespace {
+constexpr double kHoursPerYear = 8766.0;
+} // namespace
+
+double
+TcoModel::wattCost() const
+{
+    const double dc = params_.datacenter_capex_per_w *
+        params_.server_lifetime_years /
+        params_.datacenter_lifetime_years;
+    const double energy = params_.electricity_per_kwh / 1000.0 *
+        params_.pue * kHoursPerYear * params_.server_lifetime_years;
+    return dc + energy;
+}
+
+TcoBreakdown
+TcoModel::compute(double server_cost, double wall_power_w) const
+{
+    if (server_cost < 0.0 || wall_power_w < 0.0)
+        fatal("TCO model needs non-negative cost and power");
+
+    TcoBreakdown b;
+    b.server_capex = server_cost;
+    b.datacenter_capex = params_.datacenter_capex_per_w *
+        wall_power_w * params_.server_lifetime_years /
+        params_.datacenter_lifetime_years;
+    b.energy = params_.electricity_per_kwh / 1000.0 * params_.pue *
+        kHoursPerYear * params_.server_lifetime_years * wall_power_w;
+    // Simple interest on the average outstanding capital.
+    b.interest = params_.annual_interest *
+        params_.server_lifetime_years * 0.5 *
+        (b.server_capex + b.datacenter_capex);
+    return b;
+}
+
+double
+TcoModel::tcoPerOps(double server_cost, double wall_power_w,
+                    double perf_ops) const
+{
+    if (perf_ops <= 0.0)
+        fatal("TCO per op/s needs positive performance");
+    return total(server_cost, wall_power_w) / perf_ops;
+}
+
+} // namespace moonwalk::tco

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Datacenter TCO model in the style of Barroso/Clidaras/Holzle [8],
+ * the model the paper uses (Section 5).
+ *
+ * Over a server's deployment lifetime,
+ *
+ *   TCO = server capex
+ *       + (datacenter capex $/W) * (server life / datacenter life) * P
+ *       + (electricity $/kWh) * PUE * hours * P
+ *       + interest on the amortized capital.
+ *
+ * With the default parameters this reduces to
+ * TCO ~ server_cost + 4.25 $/W * wall_power, matching the linear
+ * relation recoverable from the paper's Tables 7-10 (k = 4.18-4.34
+ * across all four applications).
+ */
+#ifndef MOONWALK_TCO_TCO_MODEL_HH
+#define MOONWALK_TCO_TCO_MODEL_HH
+
+namespace moonwalk::tco {
+
+/** Parameters of the datacenter cost model [8]. */
+struct TcoParameters
+{
+    double electricity_per_kwh = 0.07; ///< $/kWh, US industrial
+    double pue = 1.15;                 ///< power usage effectiveness
+    double server_lifetime_years = 3.0;
+    double datacenter_capex_per_w = 8.5;  ///< $/W of critical power
+    double datacenter_lifetime_years = 12.0;
+    double annual_interest = 0.0;      ///< 0 reproduces the paper's fit
+};
+
+/** Per-component TCO breakdown ($ over the server lifetime). */
+struct TcoBreakdown
+{
+    double server_capex = 0;
+    double datacenter_capex = 0;  ///< power/land/cooling infrastructure
+    double energy = 0;
+    double interest = 0;
+
+    double total() const
+    {
+        return server_capex + datacenter_capex + energy + interest;
+    }
+};
+
+/**
+ * The TCO model: converts (server cost, wall power, performance) into
+ * lifetime TCO and TCO per op/s.
+ */
+class TcoModel
+{
+  public:
+    explicit TcoModel(TcoParameters params = {})
+        : params_(params)
+    {}
+
+    const TcoParameters &parameters() const { return params_; }
+
+    /** Lifetime cost attributable to one watt of wall power ($/W). */
+    double wattCost() const;
+
+    /** Full breakdown for one server. */
+    TcoBreakdown compute(double server_cost, double wall_power_w) const;
+
+    /** Lifetime TCO ($) for one server. */
+    double total(double server_cost, double wall_power_w) const
+    {
+        return compute(server_cost, wall_power_w).total();
+    }
+
+    /** TCO per unit performance ($ per op/s). */
+    double tcoPerOps(double server_cost, double wall_power_w,
+                     double perf_ops) const;
+
+  private:
+    TcoParameters params_;
+};
+
+} // namespace moonwalk::tco
+
+#endif // MOONWALK_TCO_TCO_MODEL_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The canonical technology-node database (paper Tables 1 and 2).
+ */
+#ifndef MOONWALK_TECH_DATABASE_HH
+#define MOONWALK_TECH_DATABASE_HH
+
+#include <vector>
+
+#include "tech/node.hh"
+
+namespace moonwalk::tech {
+
+/**
+ * Read-only database of the eight nodes the paper evaluates.
+ *
+ * The default-constructed database holds the paper's published values;
+ * tests may construct variants through the mutable accessor to model
+ * sensitivity studies.
+ */
+class TechDatabase
+{
+  public:
+    /** Build the database with the paper's published parameters. */
+    TechDatabase();
+
+    /** Node record for @p id. */
+    const TechNode &node(NodeId id) const;
+
+    /** Node record by feature width in nm (must match exactly). */
+    const TechNode &nodeByFeature(double feature_nm) const;
+
+    /** All nodes, oldest first. */
+    const std::vector<TechNode> &nodes() const { return nodes_; }
+
+    /** Mutable access for sensitivity studies (tests only). */
+    TechNode &mutableNode(NodeId id);
+
+    /**
+     * CMOS scaling factor S between two nodes: ratio of feature widths,
+     * e.g. S(180nm, 130nm) = 1.38.
+     */
+    double scalingFactor(NodeId from, NodeId to) const;
+
+  private:
+    std::vector<TechNode> nodes_;
+};
+
+/** Process-wide shared default database. */
+const TechDatabase &defaultTechDatabase();
+
+} // namespace moonwalk::tech
+
+#endif // MOONWALK_TECH_DATABASE_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Technology node identifiers and per-node silicon parameters.
+ *
+ * The eight nodes are the ones the paper evaluates (Section 2): 250, 180,
+ * 130, 90, 65, 40, 28 and 16 nm.  Numeric parameters come from the paper's
+ * Table 1 (mask/wafer cost, backend $/gate), Table 2 (nominal Vdd) and
+ * Figure 1 (scaling factors); remaining parameters (threshold voltage,
+ * defect density, DRAM generation) are documented estimates consistent
+ * with the paper's narrative.
+ */
+#ifndef MOONWALK_TECH_NODE_HH
+#define MOONWALK_TECH_NODE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace moonwalk::tech {
+
+/** The eight process nodes evaluated by the paper, oldest first. */
+enum class NodeId : uint8_t
+{
+    N250 = 0,
+    N180,
+    N130,
+    N90,
+    N65,
+    N40,
+    N28,
+    N16,
+};
+
+/** Number of nodes in NodeId. */
+constexpr int kNumNodes = 8;
+
+/** All nodes, oldest (250nm) to newest (16nm). */
+constexpr std::array<NodeId, kNumNodes> kAllNodes = {
+    NodeId::N250, NodeId::N180, NodeId::N130, NodeId::N90,
+    NodeId::N65, NodeId::N40, NodeId::N28, NodeId::N16,
+};
+
+/** DRAM interface generation available to a node (Section 6.3). */
+enum class DramGeneration : uint8_t
+{
+    SDR,     ///< single-data-rate SDRAM; the only option at 250/180nm
+    DDR,     ///< DDR/DDR2 era (130/90nm)
+    LPDDR3,  ///< "ramping to LPDDR3 in 65nm" (65nm and newer)
+};
+
+/**
+ * Silicon and cost parameters for one technology node.
+ *
+ * All dollar figures are late-2016 US dollars as published in the paper.
+ */
+struct TechNode
+{
+    NodeId id;
+    /** Feature width in nm (the X axis of Figure 1). */
+    double feature_nm;
+    /** Human-readable name, e.g. "65nm". */
+    std::string name;
+
+    // -- Table 1 -----------------------------------------------------
+    /** Full mask-set cost ($); 9 metal layers where supported. */
+    double mask_cost;
+    /** Processed wafer cost ($). */
+    double wafer_cost;
+    /** Wafer diameter (mm); 200mm for 250/180nm, 300mm otherwise. */
+    double wafer_diameter_mm;
+    /** Backend (RTL-to-GDS) labor cost per unique design gate ($),
+     *  per the IBS model [30]; jumps at 16nm with double patterning. */
+    double backend_cost_per_gate;
+    /** Metal layer count assumed for the mask set. */
+    int metal_layers;
+
+    // -- Table 2 -----------------------------------------------------
+    /** Nominal supply voltage (V). */
+    double vdd_nominal;
+
+    // -- Device model (estimates; see DESIGN.md) ----------------------
+    /** Effective threshold voltage (V) for the alpha-power delay model. */
+    double vth;
+    /** Lowest practical (near-threshold) operating voltage (V). */
+    double vdd_min;
+    /** Leakage power density at nominal Vdd (W/mm^2), roughly zero for
+     *  pre-90nm nodes and growing with density afterwards. */
+    double leakage_w_per_mm2;
+    /** Defect density (defects/cm^2) for the Murphy yield model. */
+    double defect_density_per_cm2;
+
+    // -- Scaling factors (Figure 1), relative to 28nm == 1.0 ----------
+    /** Logic density factor: gates/mm^2 relative to 28nm (scales S^2). */
+    double density_factor;
+    /** Transistor frequency factor relative to 28nm (scales S). */
+    double freq_factor;
+    /** Switched capacitance per gate relative to 28nm (scales 1/S):
+     *  energy/op at a fixed voltage is proportional to this. */
+    double cap_factor;
+
+    // -- Platform ------------------------------------------------------
+    /** DRAM interface generation available in this node. */
+    DramGeneration dram_generation;
+    /** Maximum die area (mm^2), bounded by the lithography reticle. */
+    double max_die_area_mm2;
+
+    /** Highest allowed operating voltage (V): 50% above nominal
+     *  (Section 5.2). */
+    double vddMax() const { return 1.5 * vdd_nominal; }
+
+    /** Usable wafer area (mm^2) = pi * r^2. */
+    double waferAreaMm2() const;
+
+    /** Gross die candidates per wafer for a square die of @p area_mm2,
+     *  including the standard edge-loss correction. */
+    double grossDiesPerWafer(double die_area_mm2) const;
+};
+
+/** Short name for a node, e.g. "65nm". */
+std::string to_string(NodeId id);
+
+/** Index of @p id in kAllNodes (0 == 250nm). */
+constexpr int
+nodeIndex(NodeId id)
+{
+    return static_cast<int>(id);
+}
+
+} // namespace moonwalk::tech
+
+#endif // MOONWALK_TECH_NODE_HH

@@ -1,0 +1,60 @@
+#include "tech/projection.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+#include "util/math.hh"
+
+namespace moonwalk::tech {
+
+namespace {
+
+/** Continue y through (f1,y1) and (f0,y0) to feature f (log-log). */
+double
+extrapolate(double f, double f1, double y1, double f0, double y0)
+{
+    return loglogInterp(f, f1, y1, f0, y0);
+}
+
+} // namespace
+
+TechNode
+projectNode(double feature_nm, const TechDatabase &db)
+{
+    const TechNode &newest = db.node(NodeId::N16);
+    const TechNode &prev = db.node(NodeId::N28);
+    if (feature_nm >= newest.feature_nm)
+        fatal("projection target must be newer than ",
+              newest.feature_nm, "nm");
+    if (feature_nm < 3.0)
+        fatal("projection beyond 3nm is not credible");
+
+    TechNode n = newest;  // reuse the newest id for catalog lookups
+    n.feature_nm = feature_nm;
+    n.name = std::to_string(static_cast<int>(feature_nm)) +
+        "nm (projected)";
+
+    auto ext = [&](double v16, double v28) {
+        return extrapolate(feature_nm, newest.feature_nm, v16,
+                           prev.feature_nm, v28);
+    };
+    n.mask_cost = ext(newest.mask_cost, prev.mask_cost);
+    n.wafer_cost = ext(newest.wafer_cost, prev.wafer_cost);
+    n.backend_cost_per_gate = ext(newest.backend_cost_per_gate,
+                                  prev.backend_cost_per_gate);
+    n.vdd_nominal = ext(newest.vdd_nominal, prev.vdd_nominal);
+    n.vth = ext(newest.vth, prev.vth);
+    n.vdd_min = n.vth + 0.09;
+    n.leakage_w_per_mm2 = ext(newest.leakage_w_per_mm2,
+                              prev.leakage_w_per_mm2);
+    n.defect_density_per_cm2 = ext(newest.defect_density_per_cm2,
+                                   prev.defect_density_per_cm2);
+
+    const double s = 28.0 / feature_nm;
+    n.density_factor = s * s;
+    n.freq_factor = s;
+    n.cap_factor = 1.0 / s;
+    return n;
+}
+
+} // namespace moonwalk::tech

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Future-node projection: extrapolate the node database's cost and
+ * device trends (log-log, from the two newest real nodes) to
+ * hypothetical nodes like 10nm and 7nm, extending the paper's
+ * "advanced nodes like 16nm are not always better" argument forward.
+ *
+ * Projected nodes carry honest silicon parameters (mask/wafer cost,
+ * scaling factors, Vdd/Vth trends) but are analysis-level objects:
+ * they reuse the newest real node's id, and the IP catalog does not
+ * extend to them, so NRE projections extrapolate the PHY trends
+ * separately (see nre::projectedIpCost).
+ */
+#ifndef MOONWALK_TECH_PROJECTION_HH
+#define MOONWALK_TECH_PROJECTION_HH
+
+#include "tech/database.hh"
+
+namespace moonwalk::tech {
+
+/**
+ * Project a hypothetical node at @p feature_nm (< the newest real
+ * node) by continuing the 28nm -> 16nm log-log trends of every
+ * extrapolatable parameter.  Density/frequency/capacitance factors
+ * follow the same S relations as real nodes.
+ */
+TechNode projectNode(double feature_nm,
+                     const TechDatabase &db = defaultTechDatabase());
+
+} // namespace moonwalk::tech
+
+#endif // MOONWALK_TECH_PROJECTION_HH

@@ -1,0 +1,173 @@
+#include "tech/scaling.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hh"
+#include "util/math.hh"
+
+namespace moonwalk::tech {
+
+double
+ScalingModel::speedTerm(const TechNode &node, double vdd) const
+{
+    if (vdd <= node.vth)
+        return 0.0;
+    return std::pow(vdd - node.vth, kAlpha) / vdd;
+}
+
+double
+ScalingModel::frequencyMhz(const TechNode &node, double vdd,
+                           double f_nominal_28_mhz) const
+{
+    const double nominal = speedTerm(node, node.vdd_nominal);
+    if (nominal <= 0.0)
+        panic("node ", node.name, " nominal voltage below threshold");
+    return f_nominal_28_mhz * node.freq_factor *
+        speedTerm(node, vdd) / nominal;
+}
+
+double
+ScalingModel::voltageForFrequency(const TechNode &node, double target_mhz,
+                                  double f_nominal_28_mhz) const
+{
+    const double v_max = node.vddMax();
+    if (frequencyMhz(node, v_max, f_nominal_28_mhz) < target_mhz)
+        return -1.0;
+    // frequencyMhz is monotonically increasing in vdd above threshold;
+    // bisect.
+    double lo = node.vth + 1e-4;
+    double hi = v_max;
+    for (int i = 0; i < 80; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (frequencyMhz(node, mid, f_nominal_28_mhz) < target_mhz)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return hi;
+}
+
+double
+ScalingModel::energyPerOpJ(const TechNode &node, double vdd,
+                           double e_nominal_28_j,
+                           double scaling_fraction) const
+{
+    const double v_ratio = vdd / kRefVdd;
+    const double cap = scaling_fraction * node.cap_factor +
+        (1.0 - scaling_fraction);
+    return e_nominal_28_j * cap * v_ratio * v_ratio;
+}
+
+double
+ScalingModel::leakagePowerW(const TechNode &node, double vdd,
+                            double area_mm2) const
+{
+    const double v_ratio = vdd / node.vdd_nominal;
+    return node.leakage_w_per_mm2 * area_mm2 * v_ratio * v_ratio;
+}
+
+double
+ScalingModel::waferCostPerMm2(const TechNode &node) const
+{
+    return node.wafer_cost / node.waferAreaMm2();
+}
+
+double
+ScalingModel::maskCostNorm(NodeId id) const
+{
+    const auto &base = db_->node(NodeId::N250);
+    return db_->node(id).mask_cost / base.mask_cost;
+}
+
+namespace {
+
+/** Energy/op at nominal voltage, arbitrary units: C * V^2. */
+double
+nominalEnergyAu(const TechNode &n)
+{
+    return n.cap_factor * n.vdd_nominal * n.vdd_nominal;
+}
+
+/** $ per op/s with no power-density limit: wafer $/mm^2 over
+ *  (density * frequency) compute density, arbitrary units. */
+double
+unlimitedCostAu(const TechNode &n)
+{
+    const double r = n.wafer_diameter_mm / 2.0;
+    const double wafer_cost_mm2 =
+        n.wafer_cost / (std::numbers::pi * r * r);
+    return wafer_cost_mm2 / (n.density_factor * n.freq_factor);
+}
+
+/** $ per op/s with compute density capped by a fixed power-density
+ *  budget: ops/s/mm^2 ~ 1 / energy-per-op, arbitrary units. */
+double
+powerLimitedCostAu(const TechNode &n)
+{
+    const double r = n.wafer_diameter_mm / 2.0;
+    const double wafer_cost_mm2 =
+        n.wafer_cost / (std::numbers::pi * r * r);
+    return wafer_cost_mm2 * nominalEnergyAu(n);
+}
+
+} // namespace
+
+double
+ScalingModel::energyPerOpNorm(NodeId id) const
+{
+    return nominalEnergyAu(db_->node(id)) /
+        nominalEnergyAu(db_->node(NodeId::N250));
+}
+
+double
+ScalingModel::energyPerOpDennardNorm(NodeId id) const
+{
+    // Hypothetical Dennard continuation: voltage keeps scaling with
+    // feature width, so E ~ C * V^2 ~ (1/S) * (1/S)^2 = S^-3.
+    const auto &n = db_->node(id);
+    const auto &base = db_->node(NodeId::N250);
+    const double s = base.feature_nm / n.feature_nm;
+    return 1.0 / (s * s * s);
+}
+
+double
+ScalingModel::costPerOpsNormUnlimited(NodeId id) const
+{
+    return unlimitedCostAu(db_->node(id)) /
+        unlimitedCostAu(db_->node(NodeId::N250));
+}
+
+double
+ScalingModel::costPerOpsNormPowerLimited(NodeId id) const
+{
+    // Dennard scaling ends at 90nm (Section 2): before it, designs are
+    // not power-density limited and follow the unlimited curve; after
+    // it the power-limited curve applies, anchored for continuity at
+    // 90nm.
+    const auto &n = db_->node(id);
+    const auto &n90 = db_->node(NodeId::N90);
+    const double base = unlimitedCostAu(db_->node(NodeId::N250));
+    if (n.feature_nm >= n90.feature_nm)
+        return unlimitedCostAu(n) / base;
+    const double anchor = unlimitedCostAu(n90) / powerLimitedCostAu(n90);
+    return anchor * powerLimitedCostAu(n) / base;
+}
+
+double
+ScalingModel::maxTransistorsNorm(NodeId id) const
+{
+    const auto &n = db_->node(id);
+    const auto &base = db_->node(NodeId::N250);
+    return (n.density_factor * n.max_die_area_mm2) /
+        (base.density_factor * base.max_die_area_mm2);
+}
+
+double
+ScalingModel::frequencyNorm(NodeId id) const
+{
+    return db_->node(id).freq_factor /
+        db_->node(NodeId::N250).freq_factor;
+}
+
+} // namespace moonwalk::tech

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * CMOS scaling engine: voltage/frequency/energy models per node, and the
+ * normalized cross-node trade-off curves of the paper's Figure 1.
+ *
+ * Frequency follows the alpha-power law f ~ (V - Vth)^alpha / V,
+ * normalized so that a design's frequency at a node's nominal voltage
+ * equals its 28nm nominal frequency times the node's frequency factor.
+ * Dynamic energy per op follows C V^2 with capacitance scaling ~ 1/S.
+ *
+ * Verified ranges reproduced from the paper (Section 2): 250nm -> 16nm
+ * spans 89x in mask cost, 152x in energy/op, 558x in $ per op/s for
+ * non-power-limited designs (28x power-limited), and 15.5x in frequency.
+ */
+#ifndef MOONWALK_TECH_SCALING_HH
+#define MOONWALK_TECH_SCALING_HH
+
+#include "tech/database.hh"
+#include "tech/node.hh"
+
+namespace moonwalk::tech {
+
+/**
+ * Scaling model bound to a technology database.
+ *
+ * Per-application anchors (28nm nominal-voltage frequency, 28nm
+ * nominal-voltage energy per op) are supplied by the caller; the model
+ * projects them to any (node, voltage) point.
+ */
+class ScalingModel
+{
+  public:
+    /** Alpha exponent of the alpha-power delay model; 1.5 calibrates
+     *  the 40nm overdrive point to the paper's Deep Learning design
+     *  (606 MHz at 1.285V, Table 8). */
+    static constexpr double kAlpha = 1.5;
+    /** Reference node for application anchors. */
+    static constexpr double kRefVdd = 0.9;  // 28nm nominal (Table 2)
+
+    explicit ScalingModel(const TechDatabase &db = defaultTechDatabase())
+        : db_(&db)
+    {}
+
+    const TechDatabase &database() const { return *db_; }
+
+    /**
+     * Raw alpha-power speed term (V - Vth)^alpha / V for @p node at
+     * voltage @p vdd; zero at or below threshold.
+     */
+    double speedTerm(const TechNode &node, double vdd) const;
+
+    /**
+     * Operating frequency (MHz) of a design at (node, vdd).
+     *
+     * @param node target node
+     * @param vdd logic supply voltage (V)
+     * @param f_nominal_28_mhz the design's frequency at 28nm, 0.9V
+     */
+    double frequencyMhz(const TechNode &node, double vdd,
+                        double f_nominal_28_mhz) const;
+
+    /**
+     * Voltage required to reach @p target_mhz at @p node, or a negative
+     * value if unreachable even at the node's maximum voltage.
+     */
+    double voltageForFrequency(const TechNode &node, double target_mhz,
+                               double f_nominal_28_mhz) const;
+
+    /**
+     * Dynamic energy per op (J) at (node, vdd).
+     *
+     * @param e_nominal_28_j the design's energy/op at 28nm, 0.9V
+     * @param scaling_fraction fraction of that energy that scales
+     *        with node capacitance; the rest (eDRAM, I/O drivers)
+     *        only sees the voltage term
+     */
+    double energyPerOpJ(const TechNode &node, double vdd,
+                        double e_nominal_28_j,
+                        double scaling_fraction = 1.0) const;
+
+    /**
+     * Leakage power (W) of @p area_mm2 of active silicon at
+     * (node, vdd); quadratic in voltage relative to nominal.
+     */
+    double leakagePowerW(const TechNode &node, double vdd,
+                         double area_mm2) const;
+
+    // -- Figure 1 series (normalized so 250nm == 1.0) -------------------
+
+    /** Fig 1-A: mask cost. */
+    double maskCostNorm(NodeId id) const;
+    /** Fig 1-B: energy per op at nominal voltage; *decreases* with node,
+     *  so the value is <= 1 for newer nodes. */
+    double energyPerOpNorm(NodeId id) const;
+    /** Fig 1-B dotted line: hypothetical Dennard voltage scaling. */
+    double energyPerOpDennardNorm(NodeId id) const;
+    /** Fig 1-C: $ per op/s for designs not limited by power density. */
+    double costPerOpsNormUnlimited(NodeId id) const;
+    /** Fig 1-C: $ per op/s with power-density-limited compute density
+     *  after 90nm (the end of Dennard scaling). */
+    double costPerOpsNormPowerLimited(NodeId id) const;
+    /** Fig 1-D: maximum logic transistors per die. */
+    double maxTransistorsNorm(NodeId id) const;
+    /** Fig 1-E: maximum transistor frequency. */
+    double frequencyNorm(NodeId id) const;
+
+    /** Wafer cost per mm^2 of silicon for @p node. */
+    double waferCostPerMm2(const TechNode &node) const;
+
+  private:
+    const TechDatabase *db_;
+};
+
+} // namespace moonwalk::tech
+
+#endif // MOONWALK_TECH_SCALING_HH

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Air and material properties used by the thermal model (SI units,
+ * evaluated at ~40C, typical of server exhaust).
+ */
+#ifndef MOONWALK_THERMAL_AIR_HH
+#define MOONWALK_THERMAL_AIR_HH
+
+namespace moonwalk::thermal {
+
+/** Air density (kg/m^3). */
+constexpr double kAirDensity = 1.10;
+/** Air specific heat (J/(kg K)). */
+constexpr double kAirCp = 1006.0;
+/** Air thermal conductivity (W/(m K)). */
+constexpr double kAirK = 0.027;
+/** Air kinematic viscosity (m^2/s). */
+constexpr double kAirNu = 1.7e-5;
+/** Air Prandtl number. */
+constexpr double kAirPr = 0.71;
+
+/** Aluminum (heatsink) thermal conductivity (W/(m K)). */
+constexpr double kAluminumK = 200.0;
+
+/** Volumetric heat capacity rho*cp (J/(m^3 K)). */
+constexpr double kAirRhoCp = kAirDensity * kAirCp;
+
+} // namespace moonwalk::thermal
+
+#endif // MOONWALK_THERMAL_AIR_HH

@@ -1,0 +1,23 @@
+#include "thermal/fan.hh"
+
+namespace moonwalk::thermal {
+
+double
+Fan::operatingFlow(const std::function<double(double)> &system_dp) const
+{
+    // The fan curve decreases with Q while the system impedance
+    // increases, so the balance point is unique; bisect on
+    // fan(Q) - system(Q).
+    double lo = 0.0;
+    double hi = q_max;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (pressureAt(mid) > system_dp(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace moonwalk::thermal

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fan model: a quadratic pressure-flow curve typical of high-static-
+ * pressure 1U server fans, with electrical power and unit cost.
+ */
+#ifndef MOONWALK_THERMAL_FAN_HH
+#define MOONWALK_THERMAL_FAN_HH
+
+#include <functional>
+
+namespace moonwalk::thermal {
+
+/**
+ * A ducted lane fan (each lane has a dedicated fan, Section 3).
+ *
+ * The pressure available at volumetric flow Q follows the standard
+ * quadratic approximation dP(Q) = p_max * (1 - (Q/q_max)^2).
+ */
+struct Fan
+{
+    /** Free-flow volumetric rate (m^3/s). Default models a dual
+     *  counter-rotating 40mm server fan pair. */
+    double q_max = 0.020;
+    /** Stalled static pressure (Pa). */
+    double p_max = 800.0;
+    /** Aerodynamic efficiency (electrical -> air power). */
+    double efficiency = 0.25;
+    /** Unit cost ($) per lane fan assembly. */
+    double unit_cost = 20.0;
+
+    /** Static pressure (Pa) available at flow @p q (m^3/s). */
+    double pressureAt(double q) const
+    {
+        if (q >= q_max)
+            return 0.0;
+        const double r = q / q_max;
+        return p_max * (1.0 - r * r);
+    }
+
+    /**
+     * Operating flow (m^3/s) against a monotonically increasing system
+     * impedance @p system_dp(Q) -> Pa, found by bisection.
+     */
+    double operatingFlow(const std::function<double(double)> &system_dp)
+        const;
+
+    /** Electrical power (W) drawn when moving flow @p q against the
+     *  fan's own pressure at that flow. */
+    double electricalPowerAt(double q) const
+    {
+        return pressureAt(q) * q / efficiency;
+    }
+};
+
+} // namespace moonwalk::thermal
+
+#endif // MOONWALK_THERMAL_FAN_HH

@@ -1,0 +1,103 @@
+#include "thermal/heatsink.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "thermal/air.hh"
+#include "util/error.hh"
+
+namespace moonwalk::thermal {
+
+HeatSinkPerformance
+evaluateHeatSink(const HeatSinkGeometry &geom, double q_m3s,
+                 double die_area_m2)
+{
+    if (!geom.valid())
+        fatal("invalid heatsink geometry");
+    if (q_m3s <= 0.0 || die_area_m2 <= 0.0)
+        fatal("heatsink evaluation needs positive flow and die area");
+
+    HeatSinkPerformance perf;
+
+    const double gap = geom.finGap();
+    const double area_flow = geom.flowArea();
+    const double v = q_m3s / area_flow;
+    perf.air_velocity = v;
+
+    // Hydraulic diameter of one rectangular fin channel.
+    const double dh = 2.0 * gap * geom.fin_height /
+        (gap + geom.fin_height);
+    const double re = v * dh / kAirNu;
+
+    // -- Pressure drop: laminar channel friction + inlet/outlet loss.
+    const double dyn = 0.5 * kAirDensity * v * v;
+    double friction;
+    if (re < 2300.0) {
+        friction = 96.0 / std::max(re, 1.0);
+    } else {
+        friction = 0.316 / std::pow(re, 0.25);  // Blasius, turbulent
+    }
+    const double k_minor = 0.6;  // contraction + expansion
+    perf.pressure_drop =
+        (friction * geom.length / dh + k_minor) * dyn;
+
+    // -- Convection: developing laminar flow between parallel plates;
+    //    constant-flux Nusselt with a Graetz entrance correction.
+    const double gz = re * kAirPr * dh / geom.length;
+    const double nu = 8.23 +
+        0.03 * gz / (1.0 + 0.016 * std::pow(gz, 2.0 / 3.0));
+    const double h = nu * kAirK / dh;
+
+    // Fin efficiency for straight rectangular fins.
+    const double m = std::sqrt(
+        2.0 * h / (kAluminumK * geom.fin_thickness));
+    const double mh = m * geom.fin_height;
+    const double eta = mh > 1e-9 ? std::tanh(mh) / mh : 1.0;
+
+    const double area_fins =
+        2.0 * geom.fin_count * geom.fin_height * geom.length;
+    const double area_base_exposed =
+        (geom.fin_count - 1) * gap * geom.length;
+    const double ha = h * (eta * area_fins + area_base_exposed);
+
+    // Air-saturation effectiveness: the air warms as it crosses the
+    // sink, capping extractable heat at m_dot*cp*(T_base - T_in).
+    const double mdot_cp = q_m3s * kAirRhoCp;
+    const double eff = 1.0 - std::exp(-ha / mdot_cp);
+    const double r_conv = 1.0 / (mdot_cp * eff);
+
+    // -- Conduction stack under the fins.
+    const double base_area = geom.width * geom.length;
+    const double r_base =
+        geom.base_thickness / (kAluminumK * base_area);
+
+    // Spreading from the die footprint to the base plate
+    // (dimensionless closed-form approximation).
+    const double die_area = std::min(die_area_m2, base_area);
+    const double eps = std::sqrt(die_area / base_area);
+    const double r_die_eq = std::sqrt(die_area / std::numbers::pi);
+    const double r_spread = std::pow(1.0 - eps, 1.5) /
+        (2.0 * kAluminumK * std::numbers::pi * r_die_eq);
+
+    // Thermal interface material: 0.1mm of 3 W/(m K) grease.
+    const double r_tim = 0.1e-3 / (3.0 * die_area);
+
+    // Junction-to-case through the silicon and lid; shrinks with die
+    // area (reference 0.05 K/W at 500 mm^2).
+    const double r_jc = 0.05 * (500e-6 / die_area);
+
+    perf.r_junction_air = r_conv + r_base + r_spread + r_tim + r_jc;
+    return perf;
+}
+
+double
+heatSinkCost(const HeatSinkGeometry &geom)
+{
+    // Extruded aluminum: fixed handling cost plus volume-proportional
+    // material + machining.
+    const double volume_cm3 = geom.metalVolume() * 1e6;
+    return 1.0 + 0.06 * volume_cm3;
+}
+
+} // namespace moonwalk::thermal

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Parallel-plate-fin heatsink model.
+ *
+ * Substitutes for the paper's CFD runs (see DESIGN.md): given a fin
+ * geometry and an airflow, computes junction-to-air thermal resistance
+ * (convection with developing-flow Nusselt correction, fin efficiency,
+ * air-saturation effectiveness, base conduction, spreading, TIM and
+ * junction-to-case terms) and the pressure drop the heatsink presents
+ * to the lane fan.
+ */
+#ifndef MOONWALK_THERMAL_HEATSINK_HH
+#define MOONWALK_THERMAL_HEATSINK_HH
+
+namespace moonwalk::thermal {
+
+/**
+ * Geometry of one die's heatsink inside the lane duct.  All lengths in
+ * meters.  Airflow travels along @c length.
+ */
+struct HeatSinkGeometry
+{
+    double width = 0.045;          ///< across the duct
+    double length = 0.027;         ///< along the airflow (die pitch)
+    double base_thickness = 0.005;
+    double fin_height = 0.025;
+    int fin_count = 24;
+    double fin_thickness = 0.0006;
+
+    /** Gap between adjacent fins (m). */
+    double finGap() const
+    {
+        if (fin_count < 2)
+            return width;
+        return (width - fin_count * fin_thickness) / (fin_count - 1);
+    }
+
+    /** True when fins fit in the width with positive gaps. */
+    bool valid() const
+    {
+        return fin_count >= 2 && finGap() > 0.2e-3 && fin_height > 0 &&
+            base_thickness > 0 && fin_thickness > 0;
+    }
+
+    /** Open frontal flow area between fins (m^2). */
+    double flowArea() const
+    {
+        return (fin_count - 1) * finGap() * fin_height;
+    }
+
+    /** Approximate metal volume (m^3), for the cost model. */
+    double metalVolume() const
+    {
+        return width * length * base_thickness +
+            fin_count * fin_thickness * fin_height * length;
+    }
+};
+
+/**
+ * Thermal/hydraulic evaluation of one heatsink at a given lane flow.
+ */
+struct HeatSinkPerformance
+{
+    /** Junction-to-local-air thermal resistance (K/W). */
+    double r_junction_air = 0.0;
+    /** Pressure drop across this heatsink (Pa). */
+    double pressure_drop = 0.0;
+    /** Mean air velocity between fins (m/s). */
+    double air_velocity = 0.0;
+};
+
+/**
+ * Evaluate @p geom cooled by volumetric flow @p q_m3s, for a die of
+ * @p die_area_m2 mounted under the base center.
+ */
+HeatSinkPerformance evaluateHeatSink(const HeatSinkGeometry &geom,
+                                     double q_m3s, double die_area_m2);
+
+/** Unit manufacturing cost ($) of an extruded aluminum heatsink. */
+double heatSinkCost(const HeatSinkGeometry &geom);
+
+} // namespace moonwalk::thermal
+
+#endif // MOONWALK_THERMAL_HEATSINK_HH

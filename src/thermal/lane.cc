@@ -1,0 +1,122 @@
+#include "thermal/lane.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "thermal/air.hh"
+#include "util/error.hh"
+
+namespace moonwalk::thermal {
+
+int
+LaneThermalModel::maxDiesPerLane(double die_area_mm2,
+                                 double extra_pitch_mm) const
+{
+    const double edge_mm = std::sqrt(die_area_mm2);
+    const double pitch_mm = edge_mm + extra_pitch_mm;
+    const int fit =
+        static_cast<int>(env_.lane_length_m * 1e3 / pitch_mm);
+    return std::max(0, fit);
+}
+
+const LaneThermalResult &
+LaneThermalModel::solve(int dies_per_lane, double die_area_mm2) const
+{
+    if (dies_per_lane < 1)
+        fatal("lane needs at least one die, got ", dies_per_lane);
+    if (die_area_mm2 <= 0.0)
+        fatal("die area must be positive, got ", die_area_mm2);
+
+    // Quantize the die area to 20 mm^2 buckets: thermal resistance
+    // varies slowly with area, and the explorer revisits thousands of
+    // nearby areas per sweep.
+    const long bucket = std::max(1L, std::lround(die_area_mm2 / 20.0));
+    const auto key = std::make_pair(dies_per_lane, bucket);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        it = cache_.emplace(
+            key, solveUncached(dies_per_lane, bucket * 20.0)).first;
+    }
+    return it->second;
+}
+
+LaneThermalResult
+LaneThermalModel::solveUncached(int dies_per_lane,
+                                double die_area_mm2) const
+{
+    if (dies_per_lane < 1)
+        fatal("lane needs at least one die, got ", dies_per_lane);
+    if (die_area_mm2 <= 0.0)
+        fatal("die area must be positive");
+
+    const double die_area_m2 = die_area_mm2 * 1e-6;
+
+    // The heatsink occupies the die's share of the lane, capped at a
+    // practical extrusion length.
+    const double pitch_m = env_.lane_length_m / dies_per_lane;
+    const double sink_length =
+        std::clamp(pitch_m - 2e-3, 0.010, 0.050);
+
+    LaneThermalResult best;
+
+    // Section 5.1: "the optimal heatsink is selected by optimizing fin
+    // count and thickness as well as base thickness."
+    static constexpr int kFinCounts[] = {8, 12, 16, 20, 24, 28, 32,
+                                         40, 48};
+    static constexpr double kFinThk[] = {0.4e-3, 0.6e-3, 0.8e-3};
+    static constexpr double kBaseThk[] = {3e-3, 5e-3, 7e-3};
+
+    for (int fins : kFinCounts) {
+        for (double t_fin : kFinThk) {
+            for (double t_base : kBaseThk) {
+                HeatSinkGeometry g;
+                g.width = env_.duct_width_m;
+                g.length = sink_length;
+                g.base_thickness = t_base;
+                g.fin_height = env_.duct_height_m - t_base;
+                g.fin_count = fins;
+                g.fin_thickness = t_fin;
+                if (!g.valid())
+                    continue;
+
+                // Lane impedance: all heatsinks in series.
+                auto system_dp = [&](double q) {
+                    return dies_per_lane *
+                        evaluateHeatSink(g, q, die_area_m2)
+                        .pressure_drop;
+                };
+                const double q = env_.fan.operatingFlow(system_dp);
+                if (q <= 1e-6)
+                    continue;
+
+                const auto perf = evaluateHeatSink(g, q, die_area_m2);
+                const double mdot_cp = q * kAirRhoCp;
+
+                // Uniform per-die power P: the last die of the lane
+                // sees air preheated by its n-1 upstream neighbors,
+                //   Tj = Tamb + (n-1) P / (mdot cp) + P R  <=  Tj_max.
+                const double dt = env_.tj_max_c - env_.ambient_c;
+                const double p_max = dt /
+                    (perf.r_junction_air +
+                     (dies_per_lane - 1) / mdot_cp);
+
+                if (p_max > best.max_power_per_die_w) {
+                    best.max_power_per_die_w = p_max;
+                    best.airflow_m3s = q;
+                    best.r_junction_air = perf.r_junction_air;
+                    best.heatsink = g;
+                    best.fan_power_w = env_.fan.electricalPowerAt(q);
+                    best.heatsink_unit_cost = heatSinkCost(g);
+                }
+            }
+        }
+    }
+
+    if (best.max_power_per_die_w <= 0.0) {
+        fatal("no feasible heatsink for ", dies_per_lane, " dies of ",
+              die_area_mm2, " mm^2");
+    }
+    return best;
+}
+
+} // namespace moonwalk::thermal

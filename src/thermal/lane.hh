@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Ducted-lane thermal model: dies with heatsinks in series along a lane,
+ * a dedicated fan per lane (paper Section 3/5.1).  Optimizes the
+ * heatsink (fin count, fin thickness, base thickness — Section 5.1)
+ * for each (die area, dies-per-lane) pair and reports the maximum
+ * power each die may dissipate without exceeding the junction limit.
+ */
+#ifndef MOONWALK_THERMAL_LANE_HH
+#define MOONWALK_THERMAL_LANE_HH
+
+#include <map>
+#include <utility>
+
+#include "thermal/fan.hh"
+#include "thermal/heatsink.hh"
+
+namespace moonwalk::thermal {
+
+/**
+ * Fixed lane geometry and environment.  Defaults model a 1U server
+ * with 8 lanes across a 19-inch chassis.
+ */
+struct LaneEnvironment
+{
+    double duct_width_m = 0.045;    ///< heatsink width across the duct
+    double duct_height_m = 0.032;   ///< fin + base height envelope
+    double lane_length_m = 0.400;   ///< usable PCB length per lane
+    double ambient_c = 22.0;        ///< cold-aisle inlet temperature
+    double tj_max_c = 90.0;         ///< junction temperature limit
+    Fan fan;                        ///< one fan per lane
+};
+
+/**
+ * Result of solving one lane configuration.
+ */
+struct LaneThermalResult
+{
+    /** Highest uniform per-die power (W) meeting the junction limit
+     *  at the last (hottest-inlet) die of the lane. */
+    double max_power_per_die_w = 0.0;
+    /** Lane airflow at the fan/system balance point (m^3/s). */
+    double airflow_m3s = 0.0;
+    /** Junction-to-local-air resistance of the optimized sink (K/W). */
+    double r_junction_air = 0.0;
+    /** Optimized heatsink geometry. */
+    HeatSinkGeometry heatsink;
+    /** Fan electrical power at the operating point (W, per lane). */
+    double fan_power_w = 0.0;
+    /** Manufacturing cost of one heatsink ($). */
+    double heatsink_unit_cost = 0.0;
+};
+
+/**
+ * Lane thermal solver with heatsink optimization.
+ *
+ * Results are memoized per (dies-per-lane, die-area) pair, since the
+ * design-space explorer revisits identical thermal subproblems for
+ * every voltage step.
+ */
+class LaneThermalModel
+{
+  public:
+    explicit LaneThermalModel(LaneEnvironment env = {})
+        : env_(env)
+    {}
+
+    const LaneEnvironment &environment() const { return env_; }
+
+    /**
+     * Optimize the heatsink and return thermal limits for
+     * @p dies_per_lane dies of @p die_area_mm2 each.
+     */
+    const LaneThermalResult &solve(int dies_per_lane,
+                                   double die_area_mm2) const;
+
+    /** Largest number of dies that physically fit in the lane given
+     *  the die edge plus @p extra_pitch_mm of per-die board space
+     *  (package margin, DRAM chips, ...). */
+    int maxDiesPerLane(double die_area_mm2,
+                       double extra_pitch_mm = 4.0) const;
+
+  private:
+    LaneThermalResult solveUncached(int dies_per_lane,
+                                    double die_area_mm2) const;
+
+    LaneEnvironment env_;
+    mutable std::map<std::pair<int, long>, LaneThermalResult> cache_;
+};
+
+} // namespace moonwalk::thermal
+
+#endif // MOONWALK_THERMAL_LANE_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * `fatal()` is for user errors (bad configuration, impossible design
+ * request): it throws a ModelError that callers may catch.  `panic()` is
+ * for internal invariant violations (a bug in moonwalk itself): it aborts.
+ */
+#ifndef MOONWALK_UTIL_ERROR_HH
+#define MOONWALK_UTIL_ERROR_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace moonwalk {
+
+/** Exception thrown for user-caused model errors (bad inputs, infeasible
+ *  configurations).  Analogous to gem5's fatal(). */
+class ModelError : public std::runtime_error
+{
+  public:
+    explicit ModelError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Report a user error: throws ModelError with the concatenation of all
+ * arguments.  Use when the simulation cannot continue due to a condition
+ * that is the caller's fault.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    throw ModelError(os.str());
+}
+
+/**
+ * Report an internal bug: prints the message and aborts.  Use only for
+ * conditions that should never happen regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    std::fputs("moonwalk panic: ", stderr);
+    std::fputs(os.str().c_str(), stderr);
+    std::fputs("\n", stderr);
+    std::abort();
+}
+
+} // namespace moonwalk
+
+#endif // MOONWALK_UTIL_ERROR_HH

@@ -1,0 +1,67 @@
+#include "util/format.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace moonwalk {
+
+namespace {
+
+std::string
+sigDigits(double value, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+    return buf;
+}
+
+} // namespace
+
+std::string
+si(double value, int digits)
+{
+    const double a = std::fabs(value);
+    if (a >= 1e9)
+        return sigDigits(value / 1e9, digits) + "B";
+    if (a >= 1e6)
+        return sigDigits(value / 1e6, digits) + "M";
+    if (a >= 1e3)
+        return sigDigits(value / 1e3, digits) + "K";
+    return sigDigits(value, digits);
+}
+
+std::string
+money(double dollars, int digits)
+{
+    if (dollars < 0)
+        return "-$" + si(-dollars, digits);
+    return "$" + si(dollars, digits);
+}
+
+std::string
+sig(double value, int digits)
+{
+    return sigDigits(value, digits);
+}
+
+std::string
+fixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+times(double ratio, int digits)
+{
+    return sigDigits(ratio, digits) + "x";
+}
+
+std::string
+percent(double fraction, int decimals)
+{
+    return fixed(fraction * 100.0, decimals) + "%";
+}
+
+} // namespace moonwalk

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Number formatting helpers matching the presentation style of the paper's
+ * tables: engineering suffixes (65K, 5.70M, 1.9B), fixed significant
+ * digits, and money formatting.
+ */
+#ifndef MOONWALK_UTIL_FORMAT_HH
+#define MOONWALK_UTIL_FORMAT_HH
+
+#include <string>
+
+namespace moonwalk {
+
+/**
+ * Format @p value with an engineering suffix (K, M, B) and @p digits
+ * significant digits, e.g. si(5.7e6) == "5.70M".  Values below 1000 are
+ * printed without a suffix.
+ */
+std::string si(double value, int digits = 3);
+
+/** Format as dollars with engineering suffix, e.g. "$1.25M". */
+std::string money(double dollars, int digits = 3);
+
+/** Format with @p digits significant digits and no suffix. */
+std::string sig(double value, int digits = 4);
+
+/** Format as fixed-point with @p decimals digits after the point. */
+std::string fixed(double value, int decimals);
+
+/** Format a ratio as a multiplier, e.g. "3.68x". */
+std::string times(double ratio, int digits = 3);
+
+/** Format as a percentage with @p decimals digits, e.g. "15.5%". */
+std::string percent(double fraction, int decimals = 1);
+
+} // namespace moonwalk
+
+#endif // MOONWALK_UTIL_FORMAT_HH

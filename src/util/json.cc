@@ -1,0 +1,165 @@
+#include "util/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hh"
+
+namespace moonwalk {
+
+Json
+Json::array()
+{
+    Json j;
+    j.value_ = std::make_shared<Array>();
+    return j;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.value_ = std::make_shared<Object>();
+    return j;
+}
+
+bool
+Json::isArray() const
+{
+    return std::holds_alternative<std::shared_ptr<Array>>(value_);
+}
+
+bool
+Json::isObject() const
+{
+    return std::holds_alternative<std::shared_ptr<Object>>(value_);
+}
+
+Json &
+Json::push(Json v)
+{
+    if (!isArray())
+        fatal("Json::push on a non-array");
+    std::get<std::shared_ptr<Array>>(value_)->items.push_back(
+        std::move(v));
+    return *this;
+}
+
+Json &
+Json::set(const std::string &key, Json v)
+{
+    if (!isObject())
+        fatal("Json::set on a non-object");
+    auto &members = std::get<std::shared_ptr<Object>>(value_)->members;
+    for (auto &m : members) {
+        if (m.first == key) {
+            m.second = std::move(v);
+            return *this;
+        }
+    }
+    members.emplace_back(key, std::move(v));
+    return *this;
+}
+
+void
+Json::escapeInto(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    const std::string pad =
+        indent > 0 ? std::string(indent * (depth + 1), ' ') : "";
+    const std::string close_pad =
+        indent > 0 ? std::string(indent * depth, ' ') : "";
+    const char *nl = indent > 0 ? "\n" : "";
+
+    if (std::holds_alternative<std::nullptr_t>(value_)) {
+        out += "null";
+    } else if (std::holds_alternative<bool>(value_)) {
+        out += std::get<bool>(value_) ? "true" : "false";
+    } else if (std::holds_alternative<double>(value_)) {
+        const double d = std::get<double>(value_);
+        if (!std::isfinite(d)) {
+            out += "null";  // JSON has no inf/nan
+        } else if (d == std::floor(d) && std::fabs(d) < 1e15) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.0f", d);
+            out += buf;
+        } else {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.12g", d);
+            out += buf;
+        }
+    } else if (std::holds_alternative<std::string>(value_)) {
+        escapeInto(out, std::get<std::string>(value_));
+    } else if (isArray()) {
+        const auto &items =
+            std::get<std::shared_ptr<Array>>(value_)->items;
+        if (items.empty()) {
+            out += "[]";
+            return;
+        }
+        out += "[";
+        out += nl;
+        for (size_t i = 0; i < items.size(); ++i) {
+            out += pad;
+            items[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < items.size())
+                out += ",";
+            out += nl;
+        }
+        out += close_pad;
+        out += "]";
+    } else {
+        const auto &members =
+            std::get<std::shared_ptr<Object>>(value_)->members;
+        if (members.empty()) {
+            out += "{}";
+            return;
+        }
+        out += "{";
+        out += nl;
+        for (size_t i = 0; i < members.size(); ++i) {
+            out += pad;
+            escapeInto(out, members[i].first);
+            out += indent > 0 ? ": " : ":";
+            members[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < members.size())
+                out += ",";
+            out += nl;
+        }
+        out += close_pad;
+        out += "}";
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+} // namespace moonwalk

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal JSON writer for exporting results to plotting pipelines.
+ * Produces deterministic, correctly escaped output; no parsing.
+ */
+#ifndef MOONWALK_UTIL_JSON_HH
+#define MOONWALK_UTIL_JSON_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace moonwalk {
+
+/**
+ * A JSON value: null, bool, number, string, array or object.
+ * Objects keep insertion order.
+ */
+class Json
+{
+  public:
+    Json() : value_(nullptr) {}
+    Json(std::nullptr_t) : value_(nullptr) {}
+    Json(bool b) : value_(b) {}
+    Json(double d) : value_(d) {}
+    Json(int i) : value_(static_cast<double>(i)) {}
+    Json(long l) : value_(static_cast<double>(l)) {}
+    Json(unsigned long l) : value_(static_cast<double>(l)) {}
+    Json(const char *s) : value_(std::string(s)) {}
+    Json(std::string s) : value_(std::move(s)) {}
+
+    /** Create an empty array. */
+    static Json array();
+    /** Create an empty object. */
+    static Json object();
+
+    /** Append to an array (the value must be an array). */
+    Json &push(Json v);
+    /** Set an object key (the value must be an object). */
+    Json &set(const std::string &key, Json v);
+
+    bool isArray() const;
+    bool isObject() const;
+
+    /** Serialize; @p indent > 0 pretty-prints. */
+    std::string dump(int indent = 0) const;
+
+  private:
+    struct Array
+    {
+        std::vector<Json> items;
+    };
+    struct Object
+    {
+        std::vector<std::pair<std::string, Json>> members;
+    };
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+    static void escapeInto(std::string &out, const std::string &s);
+
+    std::variant<std::nullptr_t, bool, double, std::string,
+                 std::shared_ptr<Array>, std::shared_ptr<Object>>
+        value_;
+};
+
+} // namespace moonwalk
+
+#endif // MOONWALK_UTIL_JSON_HH

@@ -1,0 +1,91 @@
+#include "util/math.hh"
+
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace moonwalk {
+
+double
+geomean(std::span<const double> values)
+{
+    if (values.empty())
+        fatal("geomean of empty range");
+    double acc = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geomean requires positive values, got ", v);
+        acc += std::log(v);
+    }
+    return std::exp(acc / static_cast<double>(values.size()));
+}
+
+MinimizeResult
+minimizeGolden(const std::function<double(double)> &f,
+               double lo, double hi, double tol)
+{
+    if (!(lo <= hi))
+        fatal("minimizeGolden: invalid interval [", lo, ", ", hi, "]");
+
+    constexpr double inv_phi = 0.6180339887498949;
+    double a = lo;
+    double b = hi;
+    double c = b - (b - a) * inv_phi;
+    double d = a + (b - a) * inv_phi;
+    double fc = f(c);
+    double fd = f(d);
+
+    while (b - a > tol) {
+        if (fc < fd) {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - (b - a) * inv_phi;
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + (b - a) * inv_phi;
+            fd = f(d);
+        }
+    }
+
+    const double x = 0.5 * (a + b);
+    return {x, f(x)};
+}
+
+MinimizeResult
+minimizeGrid(const std::function<double(double)> &f,
+             double lo, double hi, int n)
+{
+    if (n < 2)
+        fatal("minimizeGrid needs at least 2 points, got ", n);
+
+    MinimizeResult best{lo, f(lo)};
+    for (int i = 1; i < n; ++i) {
+        const double x = lo + (hi - lo) * i / (n - 1);
+        const double v = f(x);
+        if (v < best.value)
+            best = {x, v};
+    }
+    return best;
+}
+
+std::vector<double>
+linspace(double lo, double hi, int n)
+{
+    if (n < 1)
+        fatal("linspace needs at least 1 point, got ", n);
+    std::vector<double> out;
+    out.reserve(n);
+    if (n == 1) {
+        out.push_back(lo);
+        return out;
+    }
+    for (int i = 0; i < n; ++i)
+        out.push_back(lo + (hi - lo) * i / (n - 1));
+    return out;
+}
+
+} // namespace moonwalk

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Small math helpers shared across the model: interpolation, geometric
+ * mean, and a 1-D golden-section minimizer used by the heatsink optimizer
+ * and voltage sweeps.
+ */
+#ifndef MOONWALK_UTIL_MATH_HH
+#define MOONWALK_UTIL_MATH_HH
+
+#include <cmath>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace moonwalk {
+
+/** Clamp @p x into [lo, hi]. */
+inline double
+clamp(double x, double lo, double hi)
+{
+    return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/** Linear interpolation between (x0,y0) and (x1,y1) at x. */
+inline double
+lerp(double x, double x0, double y0, double x1, double y1)
+{
+    if (x1 == x0)
+        return 0.5 * (y0 + y1);
+    return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+}
+
+/**
+ * Log-log interpolation: fits y = a * x^b through the two points and
+ * evaluates at @p x.  Natural for CMOS scaling curves, which are straight
+ * lines on log-log axes (paper, Figure 1).
+ */
+inline double
+loglogInterp(double x, double x0, double y0, double x1, double y1)
+{
+    const double lx = std::log(x);
+    const double lx0 = std::log(x0);
+    const double lx1 = std::log(x1);
+    const double ly0 = std::log(y0);
+    const double ly1 = std::log(y1);
+    return std::exp(lerp(lx, lx0, ly0, lx1, ly1));
+}
+
+/** Geometric mean of a non-empty range of positive values. */
+double geomean(std::span<const double> values);
+
+/** Relative error |a - b| / |b|; returns |a| when b == 0. */
+inline double
+relativeError(double a, double b)
+{
+    if (b == 0.0)
+        return std::fabs(a);
+    return std::fabs(a - b) / std::fabs(b);
+}
+
+/**
+ * Result of a 1-D minimization.
+ */
+struct MinimizeResult
+{
+    double x;       ///< argmin
+    double value;   ///< f(argmin)
+};
+
+/**
+ * Golden-section search for the minimum of a unimodal function on
+ * [lo, hi].
+ *
+ * @param f function to minimize
+ * @param lo lower bound
+ * @param hi upper bound
+ * @param tol absolute tolerance on x
+ * @return argmin and minimum value
+ */
+MinimizeResult minimizeGolden(const std::function<double(double)> &f,
+                              double lo, double hi, double tol = 1e-6);
+
+/**
+ * Evaluate @p f on a uniform grid of @p n points over [lo, hi] and return
+ * the grid point with the smallest value.  Robust for non-unimodal
+ * objectives; often used to seed minimizeGolden.
+ */
+MinimizeResult minimizeGrid(const std::function<double(double)> &f,
+                            double lo, double hi, int n);
+
+/** Uniformly spaced vector of @p n values covering [lo, hi] inclusive. */
+std::vector<double> linspace(double lo, double hi, int n);
+
+} // namespace moonwalk
+
+#endif // MOONWALK_UTIL_MATH_HH

@@ -1,0 +1,51 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hh"
+
+namespace moonwalk {
+
+double
+quantile(std::span<const double> sorted, double q)
+{
+    if (sorted.empty())
+        fatal("quantile of empty sample set");
+    if (q < 0.0 || q > 1.0)
+        fatal("quantile q out of [0,1]: ", q);
+    const double idx = q * (sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(idx);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - lo;
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary
+summarize(std::span<const double> samples)
+{
+    if (samples.empty())
+        fatal("summarize of empty sample set");
+
+    std::vector<double> sorted(samples.begin(), samples.end());
+    std::sort(sorted.begin(), sorted.end());
+
+    Summary s;
+    s.count = sorted.size();
+    double sum = 0.0;
+    for (double v : sorted)
+        sum += v;
+    s.mean = sum / s.count;
+    double var = 0.0;
+    for (double v : sorted)
+        var += (v - s.mean) * (v - s.mean);
+    s.stddev = s.count > 1 ? std::sqrt(var / (s.count - 1)) : 0.0;
+    s.min = sorted.front();
+    s.max = sorted.back();
+    s.p10 = quantile(sorted, 0.10);
+    s.median = quantile(sorted, 0.50);
+    s.p90 = quantile(sorted, 0.90);
+    return s;
+}
+
+} // namespace moonwalk

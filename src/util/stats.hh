@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Summary statistics over samples: mean, standard deviation and
+ * quantiles.  Used by the Monte Carlo uncertainty analysis.
+ */
+#ifndef MOONWALK_UTIL_STATS_HH
+#define MOONWALK_UTIL_STATS_HH
+
+#include <span>
+#include <vector>
+
+namespace moonwalk {
+
+/** Summary of a sample set. */
+struct Summary
+{
+    size_t count = 0;
+    double mean = 0;
+    double stddev = 0;
+    double min = 0;
+    double p10 = 0;
+    double median = 0;
+    double p90 = 0;
+    double max = 0;
+};
+
+/** Compute a Summary of @p samples (must be non-empty). */
+Summary summarize(std::span<const double> samples);
+
+/**
+ * Linear-interpolated quantile of @p sorted (ascending) samples at
+ * @p q in [0, 1].
+ */
+double quantile(std::span<const double> sorted, double q);
+
+} // namespace moonwalk
+
+#endif // MOONWALK_UTIL_STATS_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Aligned ASCII table writer used by the benchmark harness to print the
+ * paper's tables and figure series.  Also emits CSV for plotting.
+ */
+#ifndef MOONWALK_UTIL_TABLE_HH
+#define MOONWALK_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace moonwalk {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"Tech", "Mask cost"});
+ *   t.addRow({"250nm", "$65K"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Optional table title printed above the header. */
+    void setTitle(std::string title) { title_ = std::move(title); }
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+    /** Render with padded, right-aligned numeric-looking columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace moonwalk
+
+#endif // MOONWALK_UTIL_TABLE_HH

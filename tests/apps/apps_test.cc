@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "util/error.hh"
+
+namespace moonwalk::apps {
+namespace {
+
+TEST(Apps, FourApplications)
+{
+    const auto all = allApps();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(all[0].name(), "Bitcoin");
+    EXPECT_EQ(all[1].name(), "Litecoin");
+    EXPECT_EQ(all[2].name(), "Video Transcode");
+    EXPECT_EQ(all[3].name(), "Deep Learning");
+}
+
+TEST(Apps, LookupByName)
+{
+    EXPECT_EQ(appByName("Litecoin").rca.gate_count, 96.7e3);
+    EXPECT_THROW(appByName("Dogecoin"), ModelError);
+}
+
+TEST(Apps, Table5GateCounts)
+{
+    EXPECT_DOUBLE_EQ(bitcoin().rca.gate_count, 323e3);
+    EXPECT_DOUBLE_EQ(litecoin().rca.gate_count, 96.7e3);
+    EXPECT_DOUBLE_EQ(videoTranscode().rca.gate_count, 3.56e6);
+    EXPECT_DOUBLE_EQ(deepLearning().rca.gate_count, 1.51e6);
+}
+
+TEST(Apps, Table5NreParameters)
+{
+    const auto v = videoTranscode();
+    EXPECT_EQ(v.nre.frontend_cad_months, 23);
+    EXPECT_EQ(v.nre.frontend_mm, 24);
+    EXPECT_EQ(v.nre.cloud_software_mm, 7);
+    EXPECT_DOUBLE_EQ(v.nre.pcb_design_cost, 50e3);
+    EXPECT_DOUBLE_EQ(v.nre.extra_ip_cost, 200e3);
+    const auto b = bitcoin();
+    EXPECT_EQ(b.nre.frontend_mm, 9.5);
+    EXPECT_DOUBLE_EQ(b.nre.pcb_design_cost, 37e3);
+}
+
+TEST(Apps, ApplicationCharacters)
+{
+    // Section 5.3's one-line characterizations.
+    EXPECT_LT(bitcoin().rca.sram_fraction, 0.2);      // logic dense
+    EXPECT_GT(litecoin().rca.sram_fraction, 0.5);     // SRAM dense
+    EXPECT_GT(videoTranscode().rca.bytes_per_op, 0);  // DRAM bound
+    EXPECT_GT(deepLearning().rca.sla_fixed_freq_mhz, 0);  // SLA bound
+    EXPECT_TRUE(deepLearning().rca.needs_high_speed_link);
+    EXPECT_EQ(deepLearning().rca.server_rca_multiple, 64);
+}
+
+TEST(Apps, Table6Baselines)
+{
+    EXPECT_DOUBLE_EQ(bitcoin().baseline.perf_ops, 0.68e9);
+    EXPECT_DOUBLE_EQ(bitcoin().baseline.power_w, 285);
+    EXPECT_DOUBLE_EQ(bitcoin().baseline.cost, 400);
+    EXPECT_DOUBLE_EQ(videoTranscode().baseline.perf_ops, 1.8);
+    EXPECT_DOUBLE_EQ(deepLearning().baseline.cost, 3300);
+}
+
+TEST(Apps, PerfAnchorsReproducePaper28nmThroughput)
+{
+    // Table 7: 72 dies x 769 RCAs x 149 MHz x 1 hash/cycle = 8,245
+    // GH/s ~ the paper's 8,223.
+    const auto b = bitcoin().rca;
+    const double ghs =
+        72 * 769 * 149e6 * b.ops_per_cycle / b.perf_unit_scale;
+    EXPECT_NEAR(ghs, 8223.0, 0.01 * 8223.0);
+
+    // Table 9: 120 x 910 x 576 MHz / 45,447 cycles = 1,384 MH/s.
+    const auto l = litecoin().rca;
+    const double mhs =
+        120 * 910 * 576e6 * l.ops_per_cycle / l.perf_unit_scale;
+    EXPECT_NEAR(mhs, 1384.0, 0.01 * 1384.0);
+
+    // Table 10: 40 x 153 x 429 MHz / 16.63M cycles = 158 Kfps.
+    const auto v = videoTranscode().rca;
+    const double kfps =
+        40 * 153 * 429e6 * v.ops_per_cycle / v.perf_unit_scale;
+    EXPECT_NEAR(kfps, 158.0, 0.01 * 158.0);
+
+    // Table 8: 64 x 4 x 606 MHz x 3,030 ops = 470 TOps/s.
+    const auto d = deepLearning().rca;
+    const double tops =
+        64 * 4 * 606e6 * d.ops_per_cycle / d.perf_unit_scale;
+    EXPECT_NEAR(tops, 470.0, 0.01 * 470.0);
+}
+
+TEST(Apps, UnitScales)
+{
+    EXPECT_DOUBLE_EQ(bitcoin().rca.perf_unit_scale, 1e9);
+    EXPECT_DOUBLE_EQ(litecoin().rca.perf_unit_scale, 1e6);
+    EXPECT_DOUBLE_EQ(videoTranscode().rca.perf_unit_scale, 1e3);
+    EXPECT_DOUBLE_EQ(deepLearning().rca.perf_unit_scale, 1e12);
+}
+
+} // namespace
+} // namespace moonwalk::apps

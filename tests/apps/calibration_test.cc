@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Calibration regression tests: evaluating the paper's *published*
+ * operating points (Tables 7-10) through the full server model must
+ * land on the paper's frequency, throughput and wall power.  These
+ * pin the anchor constants in apps.cc and the effective per-node
+ * threshold voltages in the tech database; a drive-by change to
+ * either breaks these, not just the (flatter) optimizer outputs.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "dse/evaluator.hh"
+#include "util/math.hh"
+
+namespace moonwalk::apps {
+namespace {
+
+using tech::NodeId;
+
+/** One published TCO-optimal operating point. */
+struct PaperPoint
+{
+    const char *app;
+    NodeId node;
+    int rcas_per_die;
+    int dies_per_lane;
+    int drams_per_die;
+    double vdd;
+    double paper_freq_mhz;
+    double paper_perf_units;  ///< in the app's display unit
+    double paper_wall_w;
+    // Tolerances: Bitcoin rows are tight (the per-node delay curves
+    // were fitted on them); other apps see their own critical-path
+    // curvature and the paper's integer display rounding, so their
+    // bands are wider.
+    double freq_tol = 0.05;
+    double perf_tol = 0.07;
+    double power_tol = 0.20;
+};
+
+// Rows of Tables 7, 9 and 10 (Deep Learning is voltage-derived, not
+// voltage-specified, and is covered separately below).
+const PaperPoint kPoints[] = {
+    // Bitcoin (Table 7): dies/server 120,120,120,120,120,120,72,48.
+    {"Bitcoin", NodeId::N250, 10, 15, 0, 1.081, 37, 42, 1089},
+    {"Bitcoin", NodeId::N180, 20, 15, 0, 0.857, 54, 121, 1314},
+    {"Bitcoin", NodeId::N130, 39, 15, 0, 0.654, 77, 347, 1509},
+    {"Bitcoin", NodeId::N90, 83, 15, 0, 0.563, 93, 914, 1997},
+    {"Bitcoin", NodeId::N65, 159, 15, 0, 0.517, 100, 1888, 2541},
+    {"Bitcoin", NodeId::N40, 377, 15, 0, 0.433, 121, 5466, 3217},
+    {"Bitcoin", NodeId::N28, 769, 9, 0, 0.459, 149, 8223, 3736},
+    {"Bitcoin", NodeId::N16, 1818, 6, 0, 0.424, 169, 14687, 3246},
+    // Litecoin (Table 9), a sample across the range.  The paper
+    // prints "2" MH/s at 250nm, so that row's perf band is wide.
+    {"Litecoin", NodeId::N250, 12, 15, 0, 1.845, 78, 2, 516,
+     0.15, 0.40, 0.35},
+    {"Litecoin", NodeId::N90, 98, 15, 0, 0.924, 239, 62, 1000,
+     0.15, 0.20, 0.40},
+    {"Litecoin", NodeId::N28, 910, 15, 0, 0.656, 576, 1384, 3662},
+    {"Litecoin", NodeId::N16, 2150, 10, 0, 0.594, 776, 2938, 3664,
+     0.20, 0.25, 0.35},
+    // Video Transcode (Table 10), sample.  The paper's 65nm die is
+    // 623mm^2 with 37 RCAs; our S^2-scaled RCA area puts 37 slightly
+    // over the reticle, so the row uses 35 (within the perf band).
+    // The wide power band reflects the paper's video energy ratios
+    // deviating from CV^2 scaling in both directions across nodes
+    // (DRAM-generation effects); see EXPERIMENTS.md E11.
+    {"Video Transcode", NodeId::N65, 35, 8, 1, 1.015, 215, 30, 1024,
+     0.15, 0.20, 0.55},
+    {"Video Transcode", NodeId::N28, 153, 5, 6, 0.754, 429, 158, 1633},
+};
+
+class PaperOperatingPoints
+    : public ::testing::TestWithParam<PaperPoint>
+{
+  protected:
+    dse::ServerEvaluator eval_;
+};
+
+TEST_P(PaperOperatingPoints, FrequencyWithinFivePercent)
+{
+    const auto &c = GetParam();
+    const auto app = appByName(c.app);
+    const auto &node =
+        eval_.scaling().database().node(c.node);
+    const double f = eval_.scaling().frequencyMhz(
+        node, c.vdd, app.rca.f_nominal_28_mhz);
+    EXPECT_LT(moonwalk::relativeError(f, c.paper_freq_mhz),
+              c.freq_tol)
+        << f << " vs " << c.paper_freq_mhz;
+}
+
+TEST_P(PaperOperatingPoints, PointFeasibleAndMatchesPaper)
+{
+    const auto &c = GetParam();
+    const auto app = appByName(c.app);
+    arch::ServerConfig cfg;
+    cfg.node = c.node;
+    cfg.rcas_per_die = c.rcas_per_die;
+    cfg.dies_per_lane = c.dies_per_lane;
+    cfg.drams_per_die = c.drams_per_die;
+    cfg.vdd = c.vdd;
+
+    const auto r = eval_.evaluate(app.rca, cfg);
+    ASSERT_TRUE(r.feasible()) << r.infeasible_reason;
+    const auto &p = *r.point;
+
+    // Throughput tracks frequency.
+    const double perf_units =
+        p.perf_ops / app.rca.perf_unit_scale;
+    EXPECT_LT(moonwalk::relativeError(perf_units,
+                                      c.paper_perf_units), c.perf_tol)
+        << perf_units << " vs " << c.paper_perf_units;
+
+    // Wall power band covers PSU/fan/leakage modeling differences.
+    EXPECT_LT(moonwalk::relativeError(p.wall_power_w, c.paper_wall_w),
+              c.power_tol)
+        << p.wall_power_w << " vs " << c.paper_wall_w;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tables7_9_10, PaperOperatingPoints, ::testing::ValuesIn(kPoints),
+    [](const auto &info) {
+        std::string name = std::string(info.param.app) + "_" +
+            tech::to_string(info.param.node);
+        for (auto &ch : name)
+            if (!isalnum(static_cast<unsigned char>(ch)))
+                ch = '_';
+        return name;
+    });
+
+TEST(DeepLearningCalibration, SlaVoltagesMatchTable8)
+{
+    // Table 8: 1.285V at 40nm, 0.900V at 28nm, 0.615V at 16nm for
+    // the fixed 606 MHz clock.
+    dse::ServerEvaluator eval;
+    const auto app = deepLearning();
+    struct Row { NodeId node; double paper_vdd; double tol; };
+    const Row rows[] = {
+        {NodeId::N40, 1.285, 0.06},
+        {NodeId::N28, 0.900, 0.01},
+        {NodeId::N16, 0.615, 0.06},
+    };
+    for (const auto &row : rows) {
+        const auto &node = eval.scaling().database().node(row.node);
+        const double v = eval.scaling().voltageForFrequency(
+            node, app.rca.sla_fixed_freq_mhz,
+            app.rca.f_nominal_28_mhz);
+        ASSERT_GT(v, 0.0) << node.name;
+        EXPECT_LT(moonwalk::relativeError(v, row.paper_vdd), row.tol)
+            << node.name << ": " << v << " vs " << row.paper_vdd;
+    }
+}
+
+TEST(DeepLearningCalibration, Table8PointReproduces28nm)
+{
+    dse::ServerEvaluator eval;
+    const auto app = deepLearning();
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N28;
+    cfg.rcas_per_die = 4;   // 2x2
+    cfg.dies_per_lane = 8;  // 64 dies/server
+    const auto r = eval.evaluate(app.rca, cfg);
+    ASSERT_TRUE(r.feasible()) << r.infeasible_reason;
+    // Paper: 470 TOps/s, 3,493 W.  Our perf includes the harvested
+    // good-RCA fraction (~0.88 for a 64.5mm^2 node at 28nm), which
+    // the paper's headline number omits.
+    EXPECT_LT(moonwalk::relativeError(r.point->perf_ops / 1e12, 470.0),
+              0.15);
+    EXPECT_LT(moonwalk::relativeError(r.point->wall_power_w, 3493.0),
+              0.20);
+}
+
+TEST(EnergyAnchors, WattsPerOpMatchPaperAt28nm)
+{
+    // W per op/s at the paper's 28nm operating points (Tables 7-10):
+    // 0.454 W/GH/s, 2.645 W/MH/s, 10.34 W/Kfps, 7.431 W/TOps/s.
+    dse::ServerEvaluator eval;
+    struct Row
+    {
+        const char *app;
+        arch::ServerConfig cfg;
+        double paper_w_per_unit;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"Bitcoin",
+                    {NodeId::N28, 769, 9, 0, 0.459, 0.0}, 0.454});
+    rows.push_back({"Litecoin",
+                    {NodeId::N28, 910, 15, 0, 0.656, 0.0}, 2.645});
+    rows.push_back({"Video Transcode",
+                    {NodeId::N28, 153, 5, 6, 0.754, 0.0}, 10.34});
+    rows.push_back({"Deep Learning",
+                    {NodeId::N28, 4, 8, 0, 0.9, 0.0}, 7.431});
+    for (const auto &row : rows) {
+        const auto app = appByName(row.app);
+        const auto r = eval.evaluate(app.rca, row.cfg);
+        ASSERT_TRUE(r.feasible()) << row.app << ": "
+                                  << r.infeasible_reason;
+        const double w_per_unit =
+            r.point->watts_per_ops * app.rca.perf_unit_scale;
+        EXPECT_LT(moonwalk::relativeError(w_per_unit,
+                                          row.paper_w_per_unit), 0.20)
+            << row.app << ": " << w_per_unit << " vs "
+            << row.paper_w_per_unit;
+    }
+}
+
+} // namespace
+} // namespace moonwalk::apps

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "apps/emerging.hh"
+#include "core/optimizer.hh"
+
+namespace moonwalk::apps {
+namespace {
+
+using tech::NodeId;
+
+class EmergingTest : public ::testing::Test
+{
+  protected:
+    static dse::ExplorerOptions coarse()
+    {
+        dse::ExplorerOptions o;
+        o.voltage_steps = 8;
+        o.rca_count_steps = 6;
+        o.max_drams_per_die = 6;
+        return o;
+    }
+
+    core::MoonwalkOptimizer opt_{dse::DesignSpaceExplorer{coarse()}};
+};
+
+TEST_F(EmergingTest, TwoApps)
+{
+    const auto apps = emergingApps();
+    ASSERT_EQ(apps.size(), 2u);
+    EXPECT_EQ(apps[0].name(), "Face Recognition");
+    EXPECT_EQ(apps[1].name(), "Speech Recognition");
+}
+
+TEST_F(EmergingTest, PcieNeedExcludesOldestNodes)
+{
+    // No PCI-E IP exists at 250/180nm (Table 4): the sweep starts at
+    // 130nm.
+    for (const auto &app : emergingApps()) {
+        const auto &sweep = opt_.sweepNodes(app);
+        ASSERT_FALSE(sweep.empty()) << app.name();
+        EXPECT_EQ(sweep.front().node, NodeId::N130) << app.name();
+        EXPECT_EQ(sweep.size(), 6u) << app.name();
+    }
+}
+
+TEST_F(EmergingTest, NreIncludesPcieAndDramIp)
+{
+    const auto app = faceRecognition();
+    const auto &sweep = opt_.sweepNodes(app);
+    for (const auto &r : sweep) {
+        // PCI-E ctlr+PHY and DRAM ctlr+PHY are all licensed.
+        const auto &cat = opt_.nreModel().ipCatalog();
+        const double min_ip =
+            *cat.cost(nre::IpBlock::PcieController, r.node) +
+            *cat.cost(nre::IpBlock::PciePhy, r.node) +
+            *cat.cost(nre::IpBlock::DramController, r.node) +
+            *cat.cost(nre::IpBlock::DramPhy, r.node);
+        EXPECT_GE(r.nre.ip, min_ip) << tech::to_string(r.node);
+    }
+}
+
+TEST_F(EmergingTest, AsicBeatsBaselineEverywhere)
+{
+    for (const auto &app : emergingApps()) {
+        const double base = opt_.baselineTcoPerOps(app);
+        for (const auto &r : opt_.sweepNodes(app)) {
+            EXPECT_LT(r.tcoPerOps(), base / 2.0)
+                << app.name() << " " << tech::to_string(r.node);
+        }
+    }
+}
+
+TEST_F(EmergingTest, DramProvisioned)
+{
+    for (const auto &app : emergingApps()) {
+        for (const auto &r : opt_.sweepNodes(app))
+            EXPECT_GE(r.optimal.config.drams_per_die, 1)
+                << app.name();
+    }
+}
+
+TEST_F(EmergingTest, NodeRangesExist)
+{
+    for (const auto &app : emergingApps()) {
+        const auto ranges = opt_.optimalNodeRanges(app);
+        ASSERT_GE(ranges.size(), 2u) << app.name();
+        EXPECT_FALSE(ranges.front().line.node.has_value());
+        EXPECT_TRUE(ranges.back().line.node.has_value());
+    }
+}
+
+} // namespace
+} // namespace moonwalk::apps

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "arch/dram.hh"
+#include "tech/database.hh"
+
+namespace moonwalk::arch {
+namespace {
+
+using tech::DramGeneration;
+using tech::NodeId;
+
+TEST(Dram, BandwidthOrdering)
+{
+    // Each generation strictly improves bandwidth.
+    EXPECT_LT(dramSpec(DramGeneration::SDR).bandwidth_bps,
+              dramSpec(DramGeneration::DDR).bandwidth_bps);
+    EXPECT_LT(dramSpec(DramGeneration::DDR).bandwidth_bps,
+              dramSpec(DramGeneration::LPDDR3).bandwidth_bps);
+}
+
+TEST(Dram, Lpddr3SupportsPaperVideoRates)
+{
+    // Section 6.3 calibration: one LPDDR3 device sustains ~660 fps
+    // of the video RCA's 9.7 MB/frame traffic.
+    const auto lp3 = dramSpec(DramGeneration::LPDDR3);
+    EXPECT_NEAR(lp3.bandwidth_bps / 9.7e6, 660.0, 20.0);
+}
+
+TEST(Dram, PowerAndPitchPositive)
+{
+    for (auto gen : {DramGeneration::SDR, DramGeneration::DDR,
+                     DramGeneration::LPDDR3}) {
+        const auto d = dramSpec(gen);
+        EXPECT_GT(d.power_w, 0.0);
+        EXPECT_LT(d.power_w, 3.0);
+        EXPECT_GT(d.board_pitch_mm, 5.0);
+        EXPECT_LT(d.board_pitch_mm, 20.0);
+        EXPECT_GT(d.unit_cost, 0.0);
+    }
+}
+
+TEST(Dram, LowPowerGenerationDrawsLess)
+{
+    EXPECT_LT(dramSpec(DramGeneration::LPDDR3).power_w,
+              dramSpec(DramGeneration::SDR).power_w);
+}
+
+TEST(Dram, InterfaceAreaMonotoneInFeature)
+{
+    const auto &db = tech::defaultTechDatabase();
+    double prev = 1e9;
+    for (tech::NodeId id : tech::kAllNodes) {
+        const double a = dramInterfaceAreaMm2(db.node(id));
+        EXPECT_LT(a, prev) << tech::to_string(id);
+        EXPECT_GT(a, 1.0);
+        prev = a;
+    }
+    // 28nm reference macro is 10mm^2.
+    EXPECT_DOUBLE_EQ(dramInterfaceAreaMm2(db.node(NodeId::N28)),
+                     10.0);
+}
+
+} // namespace
+} // namespace moonwalk::arch

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "arch/offchip.hh"
+
+namespace moonwalk::arch {
+namespace {
+
+TEST(OffPcb, MenuOrderedByBandwidthAndCost)
+{
+    const auto &menu = offPcbMenu();
+    ASSERT_GE(menu.size(), 3u);
+    for (size_t i = 1; i < menu.size(); ++i) {
+        EXPECT_GT(menu[i].bandwidth_bps, menu[i - 1].bandwidth_bps);
+        EXPECT_GT(menu[i].cost, menu[i - 1].cost);
+    }
+}
+
+TEST(OffPcb, ControlPlaneGetsCheapestTier)
+{
+    const auto sel = selectOffPcb(0.0);
+    EXPECT_EQ(sel.nic.name, "1 GigE");
+    EXPECT_EQ(sel.count, 1);
+}
+
+TEST(OffPcb, PicksCheapestSufficientTier)
+{
+    EXPECT_EQ(selectOffPcb(0.05e9).nic.name, "1 GigE");
+    EXPECT_EQ(selectOffPcb(0.5e9).nic.name, "10 GigE");
+    EXPECT_EQ(selectOffPcb(2e9).nic.name, "40 GigE");
+    EXPECT_EQ(selectOffPcb(8e9).nic.name, "100 GigE");
+}
+
+TEST(OffPcb, ReplicatesTopTier)
+{
+    const auto sel = selectOffPcb(35e9);
+    EXPECT_EQ(sel.nic.name, "100 GigE");
+    EXPECT_EQ(sel.count, 4);
+    EXPECT_GE(sel.totalBandwidthBps(), 35e9);
+    EXPECT_DOUBLE_EQ(sel.totalCost(), 4 * sel.nic.cost);
+    EXPECT_DOUBLE_EQ(sel.totalPowerW(), 4 * sel.nic.power_w);
+}
+
+TEST(OffPcb, BoundaryExactlyAtTier)
+{
+    // Exactly the tier bandwidth still fits one interface.
+    const auto sel = selectOffPcb(1.0e9);
+    EXPECT_EQ(sel.nic.name, "10 GigE");
+    EXPECT_EQ(sel.count, 1);
+}
+
+} // namespace
+} // namespace moonwalk::arch

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "arch/server.hh"
+#include "tech/database.hh"
+#include "util/error.hh"
+#include "util/math.hh"
+
+namespace moonwalk::arch {
+namespace {
+
+using tech::NodeId;
+
+class ServerArchTest : public ::testing::Test
+{
+  protected:
+    const tech::TechDatabase &db_ = tech::defaultTechDatabase();
+};
+
+TEST_F(ServerArchTest, ConfigCounts)
+{
+    ServerConfig cfg;
+    cfg.rcas_per_die = 769;
+    cfg.dies_per_lane = 9;
+    cfg.drams_per_die = 0;
+    EXPECT_EQ(cfg.diesPerServer(), 72);
+    EXPECT_EQ(cfg.rcasPerServer(), 72 * 769);
+    EXPECT_EQ(cfg.dramsPerServer(), 0);
+}
+
+TEST_F(ServerArchTest, RcaAreaScalesWithDensity)
+{
+    const auto rca = apps::bitcoin().rca;
+    const double a28 =
+        rca.areaAtNode(db_.node(NodeId::N28).density_factor);
+    const double a250 =
+        rca.areaAtNode(db_.node(NodeId::N250).density_factor);
+    EXPECT_NEAR(a28, 540.0 / 769.0, 1e-9);
+    // S^2 area growth: (250/28)^2 = 79.7x.
+    EXPECT_NEAR(a250 / a28, (250.0 / 28.0) * (250.0 / 28.0), 1e-9);
+}
+
+TEST_F(ServerArchTest, PaperDieAreasReproduced)
+{
+    // Tables 7 and 9: RCAs-per-die at the published die areas.
+    struct Case
+    {
+        const char *app;
+        NodeId node;
+        int rcas;
+        double paper_area;
+    };
+    const Case cases[] = {
+        {"Bitcoin", NodeId::N250, 10, 559},
+        {"Bitcoin", NodeId::N180, 20, 579},
+        {"Bitcoin", NodeId::N28, 769, 540},
+        {"Bitcoin", NodeId::N16, 1818, 420},
+        {"Litecoin", NodeId::N250, 12, 567},
+        {"Litecoin", NodeId::N28, 910, 540},
+        {"Litecoin", NodeId::N16, 2150, 420},
+    };
+    for (const auto &c : cases) {
+        const auto app = apps::appByName(c.app);
+        ServerConfig cfg;
+        cfg.node = c.node;
+        cfg.rcas_per_die = c.rcas;
+        const auto fp =
+            computeFloorplan(app.rca, db_.node(c.node), cfg);
+        EXPECT_LT(moonwalk::relativeError(fp.total(), c.paper_area),
+                  0.03)
+            << c.app << " " << tech::to_string(c.node) << ": "
+            << fp.total() << " vs " << c.paper_area;
+    }
+}
+
+TEST_F(ServerArchTest, DramInterfacesAddArea)
+{
+    const auto app = apps::videoTranscode();
+    ServerConfig no_dram;
+    no_dram.node = NodeId::N28;
+    no_dram.rcas_per_die = 100;
+    ServerConfig with_dram = no_dram;
+    with_dram.drams_per_die = 6;
+    const auto &n = db_.node(NodeId::N28);
+    EXPECT_GT(computeFloorplan(app.rca, n, with_dram).total(),
+              computeFloorplan(app.rca, n, no_dram).total());
+}
+
+TEST_F(ServerArchTest, DarkSiliconAddsArea)
+{
+    const auto app = apps::deepLearning();
+    ServerConfig cfg;
+    cfg.node = NodeId::N28;
+    cfg.rcas_per_die = 4;
+    const auto &n = db_.node(NodeId::N28);
+    const double base = computeFloorplan(app.rca, n, cfg).total();
+    cfg.dark_silicon_fraction = 0.155;  // the paper's 28nm DL choice
+    const double padded = computeFloorplan(app.rca, n, cfg).total();
+    EXPECT_NEAR(padded / base, 1.155, 0.01);
+}
+
+TEST_F(ServerArchTest, FloorplanRejectsBadConfig)
+{
+    const auto app = apps::bitcoin();
+    ServerConfig cfg;
+    cfg.rcas_per_die = 0;
+    EXPECT_THROW(
+        computeFloorplan(app.rca, db_.node(NodeId::N28), cfg),
+        ModelError);
+    cfg.rcas_per_die = 1;
+    cfg.dark_silicon_fraction = 0.9;
+    EXPECT_THROW(
+        computeFloorplan(app.rca, db_.node(NodeId::N28), cfg),
+        ModelError);
+}
+
+TEST_F(ServerArchTest, DramSpecGenerations)
+{
+    const auto sdr = dramSpec(tech::DramGeneration::SDR);
+    const auto lp3 = dramSpec(tech::DramGeneration::LPDDR3);
+    EXPECT_LT(sdr.bandwidth_bps, lp3.bandwidth_bps);
+    // Section 6.3: SDRAM costs marginally more than LPDDR.
+    EXPECT_GT(sdr.unit_cost, lp3.unit_cost);
+}
+
+TEST_F(ServerArchTest, DramInterfaceAreaScalesWeakly)
+{
+    const auto &n28 = db_.node(NodeId::N28);
+    const auto &n250 = db_.node(NodeId::N250);
+    const double ratio = dramInterfaceAreaMm2(n250) /
+        dramInterfaceAreaMm2(n28);
+    // PHYs scale ~S (8.9x), much slower than logic's S^2 (79.7x).
+    EXPECT_NEAR(ratio, 250.0 / 28.0, 1e-9);
+}
+
+} // namespace
+} // namespace moonwalk::arch

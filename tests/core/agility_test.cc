@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/agility.hh"
+#include "util/error.hh"
+
+namespace moonwalk::core {
+namespace {
+
+using tech::NodeId;
+
+class AgilityTest : public ::testing::Test
+{
+  protected:
+    static dse::ExplorerOptions coarse()
+    {
+        dse::ExplorerOptions o;
+        o.voltage_steps = 8;
+        o.rca_count_steps = 6;
+        return o;
+    }
+
+    MoonwalkOptimizer opt_{dse::DesignSpaceExplorer{coarse()}};
+    AgilityPlanner planner_{opt_};
+};
+
+TEST_F(AgilityTest, PlanAccounting)
+{
+    AgilityParams p;
+    p.horizon_years = 6;
+    p.annual_workload_tco = 10e6;
+    p.respin_periods = {2};
+    for (const auto &plan : planner_.evaluateAll(apps::bitcoin(), p)) {
+        EXPECT_EQ(plan.respin_period_years, 2);
+        EXPECT_EQ(plan.tapeouts, 3);
+        EXPECT_GT(plan.total_nre, 0.0);
+        EXPECT_GT(plan.total_served_tco, 0.0);
+        // Served cost never exceeds staying on the baseline.
+        EXPECT_LE(plan.total_served_tco,
+                  AgilityPlanner::baselineCost(p) * (1 + 1e-12));
+    }
+}
+
+TEST_F(AgilityTest, ZeroDriftPrefersOneTapeout)
+{
+    // Without software drift there is no reason to respin: the best
+    // plan builds once.
+    AgilityParams p;
+    p.horizon_years = 6;
+    p.annual_workload_tco = 20e6;
+    p.software_drift_per_year = 0.0;
+    const auto best = planner_.best(apps::bitcoin(), p);
+    EXPECT_EQ(best.respin_period_years, 6);
+    EXPECT_EQ(best.tapeouts, 1);
+}
+
+TEST_F(AgilityTest, HighDriftShortensCadence)
+{
+    AgilityParams slow;
+    slow.horizon_years = 6;
+    slow.annual_workload_tco = 30e6;
+    slow.software_drift_per_year = 0.0;
+    AgilityParams fast = slow;
+    fast.software_drift_per_year = 1.5;  // ASIC halves in value fast
+    const auto b_slow = planner_.best(apps::bitcoin(), slow);
+    const auto b_fast = planner_.best(apps::bitcoin(), fast);
+    EXPECT_LT(b_fast.respin_period_years, b_slow.respin_period_years);
+}
+
+TEST_F(AgilityTest, FrequentRespinsFavorCheaperNre)
+{
+    // At an annual scale where a single build would justify a newer
+    // node, yearly respins push toward older (cheaper-NRE) silicon:
+    // the chosen node under high drift is not newer than under none.
+    AgilityParams none;
+    none.horizon_years = 6;
+    none.annual_workload_tco = 50e6;
+    none.software_drift_per_year = 0.0;
+    AgilityParams high = none;
+    high.software_drift_per_year = 2.0;
+    const auto b_none = planner_.best(apps::bitcoin(), none);
+    const auto b_high = planner_.best(apps::bitcoin(), high);
+    EXPECT_LE(tech::nodeIndex(b_high.node),
+              tech::nodeIndex(b_none.node));
+}
+
+TEST_F(AgilityTest, TotalCostBeatsBaselineAtScale)
+{
+    AgilityParams p;
+    p.horizon_years = 6;
+    p.annual_workload_tco = 30e6;
+    const auto best = planner_.best(apps::bitcoin(), p);
+    EXPECT_LT(best.totalCost(), AgilityPlanner::baselineCost(p));
+}
+
+TEST_F(AgilityTest, PeriodsLongerThanHorizonIgnored)
+{
+    AgilityParams p;
+    p.horizon_years = 2;
+    p.annual_workload_tco = 10e6;
+    p.respin_periods = {1, 2, 3, 6};
+    for (const auto &plan : planner_.evaluateAll(apps::bitcoin(), p))
+        EXPECT_LE(plan.respin_period_years, 2);
+}
+
+TEST_F(AgilityTest, Rejections)
+{
+    AgilityParams p;
+    p.horizon_years = 0;
+    EXPECT_THROW(planner_.evaluateAll(apps::bitcoin(), p), ModelError);
+    p.horizon_years = 3;
+    p.annual_workload_tco = -1;
+    EXPECT_THROW(planner_.best(apps::bitcoin(), p), ModelError);
+    p.annual_workload_tco = 1e6;
+    p.software_drift_per_year = -0.5;
+    EXPECT_THROW(planner_.best(apps::bitcoin(), p), ModelError);
+}
+
+} // namespace
+} // namespace moonwalk::core

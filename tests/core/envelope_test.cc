@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the lower-envelope (optimal node range) machinery of
+ * Figures 10/11, using synthetic lines with known crossovers.
+ */
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hh"
+#include "util/error.hh"
+
+namespace moonwalk::core {
+namespace {
+
+using tech::NodeId;
+
+TotalCostLine
+line(std::optional<NodeId> node, double nre, double slope)
+{
+    return {node, nre, slope};
+}
+
+TEST(Envelope, BaselineAloneCoversEverything)
+{
+    const auto ranges = MoonwalkOptimizer::optimalNodeRanges(
+        std::vector<TotalCostLine>{line(std::nullopt, 0, 1.0)});
+    ASSERT_EQ(ranges.size(), 1u);
+    EXPECT_EQ(ranges[0].b_low, 0.0);
+    EXPECT_TRUE(std::isinf(ranges[0].b_high));
+    EXPECT_FALSE(ranges[0].line.node.has_value());
+}
+
+TEST(Envelope, SingleCrossover)
+{
+    // ASIC: NRE 100, slope 0.5 -> crossover at B = 200.
+    const auto ranges = MoonwalkOptimizer::optimalNodeRanges(std::vector<TotalCostLine>{
+        line(std::nullopt, 0, 1.0),
+        line(NodeId::N65, 100, 0.5),
+    });
+    ASSERT_EQ(ranges.size(), 2u);
+    EXPECT_FALSE(ranges[0].line.node.has_value());
+    EXPECT_NEAR(ranges[0].b_high, 200.0, 1e-9);
+    EXPECT_EQ(*ranges[1].line.node, NodeId::N65);
+    EXPECT_NEAR(ranges[1].b_low, 200.0, 1e-9);
+}
+
+TEST(Envelope, MiddleLineSkippedWhenNeverOptimal)
+{
+    // The middle line is dominated by the envelope of the outer two.
+    const auto ranges = MoonwalkOptimizer::optimalNodeRanges(std::vector<TotalCostLine>{
+        line(std::nullopt, 0, 1.0),
+        line(NodeId::N90, 500, 0.9),   // never cheapest
+        line(NodeId::N28, 100, 0.1),
+    });
+    ASSERT_EQ(ranges.size(), 2u);
+    EXPECT_FALSE(ranges[0].line.node.has_value());
+    EXPECT_EQ(*ranges[1].line.node, NodeId::N28);
+}
+
+TEST(Envelope, ThreeSegmentChain)
+{
+    const auto ranges = MoonwalkOptimizer::optimalNodeRanges(std::vector<TotalCostLine>{
+        line(std::nullopt, 0, 1.0),
+        line(NodeId::N250, 50, 0.5),   // takes over at B = 100
+        line(NodeId::N16, 1000, 0.1),  // takes over at B = 2375
+    });
+    ASSERT_EQ(ranges.size(), 3u);
+    EXPECT_NEAR(ranges[1].b_low, 100.0, 1e-9);
+    EXPECT_NEAR(ranges[2].b_low, 2375.0, 1e-9);
+    EXPECT_EQ(*ranges[2].line.node, NodeId::N16);
+}
+
+TEST(Envelope, EqualSlopeKeepsCheaperNre)
+{
+    const auto ranges = MoonwalkOptimizer::optimalNodeRanges(std::vector<TotalCostLine>{
+        line(std::nullopt, 0, 1.0),
+        line(NodeId::N65, 100, 0.5),
+        line(NodeId::N90, 200, 0.5),  // same slope, more NRE: dropped
+    });
+    for (const auto &r : ranges)
+        EXPECT_NE(r.line.node.value_or(NodeId::N250), NodeId::N90);
+}
+
+TEST(Envelope, CheaperAndShallowerDominatesSteeper)
+{
+    // N28 has lower NRE *and* lower slope than N90: N90 never appears.
+    const auto ranges = MoonwalkOptimizer::optimalNodeRanges(std::vector<TotalCostLine>{
+        line(std::nullopt, 0, 1.0),
+        line(NodeId::N90, 500, 0.5),
+        line(NodeId::N28, 400, 0.3),
+    });
+    ASSERT_EQ(ranges.size(), 2u);
+    EXPECT_EQ(*ranges[1].line.node, NodeId::N28);
+}
+
+TEST(Envelope, SegmentsTileTheAxis)
+{
+    const auto ranges = MoonwalkOptimizer::optimalNodeRanges(std::vector<TotalCostLine>{
+        line(std::nullopt, 0, 1.0),
+        line(NodeId::N250, 60, 0.6),
+        line(NodeId::N65, 300, 0.25),
+        line(NodeId::N16, 5000, 0.05),
+    });
+    EXPECT_EQ(ranges.front().b_low, 0.0);
+    for (size_t i = 1; i < ranges.size(); ++i)
+        EXPECT_DOUBLE_EQ(ranges[i].b_low, ranges[i - 1].b_high);
+    EXPECT_TRUE(std::isinf(ranges.back().b_high));
+}
+
+TEST(Envelope, EnvelopeIsActuallyMinimal)
+{
+    // Property: at sample points, the envelope's line is the argmin.
+    const std::vector<TotalCostLine> lines = {
+        line(std::nullopt, 0, 1.0),
+        line(NodeId::N250, 61, 0.55),
+        line(NodeId::N180, 86, 0.40),
+        line(NodeId::N65, 1194, 0.05),
+        line(NodeId::N16, 6451, 0.007),
+    };
+    const auto ranges = MoonwalkOptimizer::optimalNodeRanges(lines);
+    for (double b = 1.0; b < 1e7; b *= 1.7) {
+        double best = 1e300;
+        for (const auto &l : lines)
+            best = std::min(best, l.at(b));
+        // Which segment covers b?
+        for (const auto &r : ranges) {
+            if (b >= r.b_low && b < r.b_high) {
+                EXPECT_NEAR(r.line.at(b), best,
+                            1e-9 * std::max(1.0, best));
+            }
+        }
+    }
+}
+
+TEST(Envelope, RejectsEmptyInput)
+{
+    EXPECT_THROW(MoonwalkOptimizer::optimalNodeRanges(std::vector<TotalCostLine>{}), ModelError);
+}
+
+} // namespace
+} // namespace moonwalk::core

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tech-parity-node selection (Figure 12) properties.
+ */
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hh"
+#include "util/error.hh"
+
+namespace moonwalk::core {
+namespace {
+
+using tech::NodeId;
+
+class ParityTest : public ::testing::Test
+{
+  protected:
+    static dse::ExplorerOptions coarse()
+    {
+        dse::ExplorerOptions o;
+        o.voltage_steps = 10;
+        o.rca_count_steps = 8;
+        return o;
+    }
+
+    MoonwalkOptimizer opt_{dse::DesignSpaceExplorer{coarse()}};
+
+    int
+    indexOf(const std::optional<NodeId> &node)
+    {
+        // baseline sorts before every node.
+        return node ? 1 + tech::nodeIndex(*node) : 0;
+    }
+};
+
+TEST_F(ParityTest, MonotoneInWorkload)
+{
+    // For a fixed parity node, bigger workloads never pick older
+    // nodes.
+    const auto app = apps::bitcoin();
+    int prev = -1;
+    for (double b = 1e5; b <= 1e11; b *= 10.0) {
+        const auto pick =
+            opt_.optimalNodeForParity(app, NodeId::N250, 1.0, b);
+        const int idx = indexOf(pick);
+        EXPECT_GE(idx, prev) << "at " << b;
+        prev = idx;
+    }
+}
+
+TEST_F(ParityTest, ParityScaleEffects)
+{
+    // A better hypothetical baseline (the "/N" keys) has two
+    // effects.  (1) Less gain to harvest: small workloads stop
+    // justifying a build at all.
+    const auto app = apps::bitcoin();
+    const auto n1 =
+        opt_.optimalNodeForParity(app, NodeId::N250, 1.0, 1e6);
+    const auto n8 =
+        opt_.optimalNodeForParity(app, NodeId::N250, 8.0, 1e6);
+    EXPECT_TRUE(n1.has_value());
+    EXPECT_FALSE(n8.has_value());
+
+    // (2) Conditional on building, a better baseline scales every
+    // ASIC line's slope up, which acts like a larger workload: the
+    // chosen node is never older (Figure 12's /N rows shift right).
+    int prev = -1;
+    for (double scale : {1.0, 2.0, 4.0, 8.0}) {
+        const auto pick = opt_.optimalNodeForParity(
+            app, NodeId::N250, scale, 100e6);
+        ASSERT_TRUE(pick.has_value()) << "/" << scale;
+        const int idx = indexOf(pick);
+        EXPECT_GE(idx, prev) << "at /" << scale;
+        prev = idx;
+    }
+}
+
+TEST_F(ParityTest, NewerParityNodesPushTowardBaseline)
+{
+    // If the baseline already matches a 16nm ASIC, no build ever
+    // pays off.
+    const auto app = apps::bitcoin();
+    for (double b : {1e6, 1e8, 1e10}) {
+        const auto pick =
+            opt_.optimalNodeForParity(app, NodeId::N16, 1.0, b);
+        EXPECT_FALSE(pick.has_value()) << "at " << b;
+    }
+}
+
+TEST_F(ParityTest, PaperReadingExample)
+{
+    // Section 7.5: "if the parity node is 250nm and the emerging
+    // computation has a $25M TCO, then 40nm would be a reasonable
+    // target node."  Accept the neighborhood (65nm-28nm).
+    const auto pick = opt_.optimalNodeForParity(
+        apps::bitcoin(), NodeId::N250, 1.0, 25e6);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_GE(tech::nodeIndex(*pick), tech::nodeIndex(NodeId::N65));
+    EXPECT_LE(tech::nodeIndex(*pick), tech::nodeIndex(NodeId::N28));
+}
+
+TEST_F(ParityTest, InfeasibleParityNodeRejected)
+{
+    // Deep Learning cannot be built at 250nm, so using it as a
+    // parity reference is a user error.
+    EXPECT_THROW(opt_.optimalNodeForParity(apps::deepLearning(),
+                                           NodeId::N250, 1.0, 1e6),
+                 ModelError);
+}
+
+} // namespace
+} // namespace moonwalk::core

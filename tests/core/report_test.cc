@@ -1,0 +1,83 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+
+namespace moonwalk::core {
+namespace {
+
+class ReportTest : public ::testing::Test
+{
+  protected:
+    static dse::ExplorerOptions coarse()
+    {
+        dse::ExplorerOptions o;
+        o.voltage_steps = 8;
+        o.rca_count_steps = 6;
+        return o;
+    }
+
+    MoonwalkOptimizer opt_{dse::DesignSpaceExplorer{coarse()}};
+    ReportGenerator gen_{opt_};
+};
+
+TEST_F(ReportTest, TextContainsAllSections)
+{
+    std::ostringstream os;
+    gen_.writeText(os, apps::bitcoin(), 25e6);
+    const auto s = os.str();
+    EXPECT_NE(s.find("Moonwalk report: Bitcoin"), std::string::npos);
+    EXPECT_NE(s.find("TCO-optimal ASIC Cloud server per node"),
+              std::string::npos);
+    EXPECT_NE(s.find("NRE breakdown"), std::string::npos);
+    EXPECT_NE(s.find("Optimal node vs workload scale"),
+              std::string::npos);
+    EXPECT_NE(s.find("Two-for-two rule"), std::string::npos);
+    EXPECT_NE(s.find("Recommendation: build at"), std::string::npos);
+    // All eight nodes appear.
+    for (tech::NodeId id : tech::kAllNodes)
+        EXPECT_NE(s.find(tech::to_string(id)), std::string::npos);
+}
+
+TEST_F(ReportTest, WorkloadSectionsSkippedWithoutForecast)
+{
+    std::ostringstream os;
+    gen_.writeText(os, apps::bitcoin());
+    EXPECT_EQ(os.str().find("Two-for-two"), std::string::npos);
+    EXPECT_EQ(os.str().find("Recommendation"), std::string::npos);
+}
+
+TEST_F(ReportTest, JsonStructure)
+{
+    const auto j = gen_.toJson(apps::litecoin(), 10e6);
+    const auto s = j.dump();
+    EXPECT_NE(s.find("\"application\":\"Litecoin\""),
+              std::string::npos);
+    EXPECT_NE(s.find("\"nodes\":["), std::string::npos);
+    EXPECT_NE(s.find("\"optimal_node_ranges\""), std::string::npos);
+    EXPECT_NE(s.find("\"two_for_two\""), std::string::npos);
+    EXPECT_NE(s.find("\"nre\""), std::string::npos);
+    EXPECT_NE(s.find("\"server_cost_breakdown\""), std::string::npos);
+}
+
+TEST_F(ReportTest, JsonOmitsWorkloadWhenZero)
+{
+    const auto s = gen_.toJson(apps::litecoin()).dump();
+    EXPECT_EQ(s.find("two_for_two"), std::string::npos);
+    EXPECT_EQ(s.find("workload_tco"), std::string::npos);
+}
+
+TEST_F(ReportTest, DeepLearningReportListsOnlyFeasibleNodes)
+{
+    std::ostringstream os;
+    gen_.writeText(os, apps::deepLearning());
+    const auto s = os.str();
+    // The per-node table starts after the header; 250nm never
+    // appears since DL cannot be built there.
+    EXPECT_EQ(s.find("250nm"), std::string::npos);
+    EXPECT_NE(s.find("40nm"), std::string::npos);
+}
+
+} // namespace
+} // namespace moonwalk::core

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "core/sensitivity.hh"
+#include "util/error.hh"
+
+namespace moonwalk::core {
+namespace {
+
+using tech::NodeId;
+
+dse::ExplorerOptions
+coarse()
+{
+    dse::ExplorerOptions o;
+    o.voltage_steps = 10;
+    o.rca_count_steps = 8;
+    return o;
+}
+
+const NodeResult *
+find(const std::vector<NodeResult> &sweep, NodeId id)
+{
+    for (const auto &r : sweep)
+        if (r.node == id)
+            return &r;
+    return nullptr;
+}
+
+TEST(Sensitivity, BaselineScenarioMatchesDefaultOptimizer)
+{
+    ScenarioRunner base(Scenario{}, coarse());
+    MoonwalkOptimizer def{dse::DesignSpaceExplorer{coarse()}};
+    const auto &a = base.optimizer().sweepNodes(apps::bitcoin());
+    const auto &b = def.sweepNodes(apps::bitcoin());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].tcoPerOps(), b[i].tcoPerOps());
+        EXPECT_DOUBLE_EQ(a[i].nre.total(), b[i].nre.total());
+    }
+}
+
+TEST(Sensitivity, FreeMasksCollapseNreGap)
+{
+    Scenario s;
+    s.name = "masks at 1%";
+    s.mask_cost_scale = 0.01;
+    ScenarioRunner cheap(s, coarse());
+    ScenarioRunner base(Scenario{}, coarse());
+
+    const auto *c16 = find(cheap.optimizer().sweepNodes(
+                               apps::bitcoin()), NodeId::N16);
+    const auto *b16 = find(base.optimizer().sweepNodes(
+                               apps::bitcoin()), NodeId::N16);
+    ASSERT_TRUE(c16 && b16);
+    // 16nm NRE is ~88% masks; killing mask cost cuts it hugely.
+    EXPECT_LT(c16->nre.total(), 0.25 * b16->nre.total());
+
+    // With near-free masks, advanced nodes become optimal at far
+    // smaller workloads.
+    const auto ranges_cheap =
+        cheap.optimizer().optimalNodeRanges(apps::bitcoin());
+    const auto ranges_base =
+        base.optimizer().optimalNodeRanges(apps::bitcoin());
+    double b16_cheap = -1.0;
+    double b16_base = -1.0;
+    for (const auto &r : ranges_cheap)
+        if (r.line.node == NodeId::N16)
+            b16_cheap = r.b_low;
+    for (const auto &r : ranges_base)
+        if (r.line.node == NodeId::N16)
+            b16_base = r.b_low;
+    if (b16_cheap > 0 && b16_base > 0) {
+        EXPECT_LT(b16_cheap, 0.3 * b16_base);
+    }
+}
+
+TEST(Sensitivity, ExpensiveElectricityFavorsEnergyEfficiency)
+{
+    Scenario s;
+    s.name = "3x electricity";
+    s.electricity_scale = 3.0;
+    ScenarioRunner pricey(s, coarse());
+    ScenarioRunner base(Scenario{}, coarse());
+
+    const auto *p = find(pricey.optimizer().sweepNodes(
+                             apps::litecoin()), NodeId::N28);
+    const auto *b = find(base.optimizer().sweepNodes(
+                             apps::litecoin()), NodeId::N28);
+    ASSERT_TRUE(p && b);
+    // The optimizer buys energy efficiency with voltage.
+    EXPECT_LE(p->optimal.config.vdd, b->optimal.config.vdd);
+    EXPECT_LE(p->optimal.watts_per_ops, b->optimal.watts_per_ops);
+}
+
+TEST(Sensitivity, StrongerCoolingRaisesThermalCeiling)
+{
+    Scenario s;
+    s.name = "2x fans";
+    s.fan_pressure_scale = 2.0;
+    ScenarioRunner strong(s, coarse());
+    ScenarioRunner base(Scenario{}, coarse());
+
+    const auto *hs = find(strong.optimizer().sweepNodes(
+                              apps::bitcoin()), NodeId::N28);
+    const auto *hb = find(base.optimizer().sweepNodes(
+                              apps::bitcoin()), NodeId::N28);
+    ASSERT_TRUE(hs && hb);
+    EXPECT_GT(hs->optimal.max_die_power_w,
+              hb->optimal.max_die_power_w);
+}
+
+TEST(Sensitivity, HigherDefectDensityRaisesDieCost)
+{
+    Scenario s;
+    s.name = "4x defects";
+    s.defect_density_scale = 4.0;
+    ScenarioRunner dirty(s, coarse());
+    ScenarioRunner base(Scenario{}, coarse());
+    const auto *d = find(dirty.optimizer().sweepNodes(
+                             apps::deepLearning()), NodeId::N28);
+    const auto *b = find(base.optimizer().sweepNodes(
+                             apps::deepLearning()), NodeId::N28);
+    ASSERT_TRUE(d && b);
+    // Big DDN RCAs lose more to harvesting; delivered perf per die
+    // drops, so TCO/op/s worsens.
+    EXPECT_GT(d->optimal.tco_per_ops, b->optimal.tco_per_ops);
+}
+
+TEST(Sensitivity, SalaryScaleMovesLaborNotMasks)
+{
+    Scenario s;
+    s.name = "2x salaries";
+    s.salary_scale = 2.0;
+    ScenarioRunner exp(s, coarse());
+    ScenarioRunner base(Scenario{}, coarse());
+    const auto *e = find(exp.optimizer().sweepNodes(apps::bitcoin()),
+                         NodeId::N65);
+    const auto *b = find(base.optimizer().sweepNodes(apps::bitcoin()),
+                         NodeId::N65);
+    ASSERT_TRUE(e && b);
+    EXPECT_NEAR(e->nre.frontend_labor, 2.0 * b->nre.frontend_labor,
+                1.0);
+    EXPECT_DOUBLE_EQ(e->nre.mask, b->nre.mask);
+    // Backend CAD tool cost is schedule-based, and the schedule
+    // shrinks as the loaded rate rises.
+    EXPECT_LT(e->nre.backend_cad, b->nre.backend_cad);
+}
+
+TEST(Sensitivity, IpScaleOnlyTouchesIp)
+{
+    Scenario s;
+    s.name = "2x IP";
+    s.ip_cost_scale = 2.0;
+    ScenarioRunner exp(s, coarse());
+    ScenarioRunner base(Scenario{}, coarse());
+    const auto *e = find(exp.optimizer().sweepNodes(
+                             apps::videoTranscode()), NodeId::N28);
+    const auto *b = find(base.optimizer().sweepNodes(
+                             apps::videoTranscode()), NodeId::N28);
+    ASSERT_TRUE(e && b);
+    EXPECT_NEAR(e->nre.ip, 2.0 * b->nre.ip, 1.0);
+    EXPECT_DOUBLE_EQ(e->nre.frontend_labor, b->nre.frontend_labor);
+}
+
+TEST(Sensitivity, RejectsNonPositiveScales)
+{
+    Scenario s;
+    s.mask_cost_scale = 0.0;
+    EXPECT_THROW(ScenarioRunner(s, coarse()), ModelError);
+    Scenario s2;
+    s2.electricity_scale = -1.0;
+    EXPECT_THROW(ScenarioRunner(s2, coarse()), ModelError);
+}
+
+} // namespace
+} // namespace moonwalk::core

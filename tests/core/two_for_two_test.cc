@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "core/two_for_two.hh"
+#include "util/error.hh"
+
+namespace moonwalk::core {
+namespace {
+
+using tech::NodeId;
+
+class TwoForTwoTest : public ::testing::Test
+{
+  protected:
+    static dse::ExplorerOptions coarse()
+    {
+        dse::ExplorerOptions o;
+        o.voltage_steps = 10;
+        o.rca_count_steps = 8;
+        return o;
+    }
+
+    MoonwalkOptimizer opt_{dse::DesignSpaceExplorer{coarse()}};
+    TwoForTwoRule rule_{opt_};
+};
+
+TEST_F(TwoForTwoTest, Condition2AlwaysHoldsForBitcoin)
+{
+    // Table 6: ASICs beat the GPU baseline by orders of magnitude,
+    // so condition 2 passes at every node regardless of scale.
+    for (const auto &v : rule_.evaluate(apps::bitcoin(), 1e6)) {
+        EXPECT_TRUE(v.condition2) << tech::to_string(v.node);
+        EXPECT_GT(v.tco_per_ops_gain, 2.0);
+    }
+}
+
+TEST_F(TwoForTwoTest, Condition1GatesByScale)
+{
+    // A $100K workload cannot justify even the cheapest mask set; a
+    // $100M workload justifies many nodes.
+    for (const auto &v : rule_.evaluate(apps::bitcoin(), 100e3))
+        EXPECT_FALSE(v.condition1) << tech::to_string(v.node);
+
+    int passing = 0;
+    for (const auto &v : rule_.evaluate(apps::bitcoin(), 100e6))
+        if (v.passes())
+            ++passing;
+    EXPECT_GE(passing, 6);
+}
+
+TEST_F(TwoForTwoTest, PaperYouTubeExample)
+{
+    // Section 1: "if YouTube spends $30 million a year on video
+    // transcoding, and the NRE of developing the accelerator is $10
+    // million, a 3x ratio, they clearly pass the bar."  Check our
+    // video NREs leave a 28nm build passing at $30M scale.
+    const auto verdicts = rule_.evaluate(apps::videoTranscode(), 30e6);
+    bool found28 = false;
+    for (const auto &v : verdicts) {
+        if (v.node == NodeId::N28) {
+            found28 = true;
+            EXPECT_TRUE(v.passes());
+            EXPECT_GT(v.tco_over_nre, 3.0);
+        }
+    }
+    EXPECT_TRUE(found28);
+}
+
+TEST_F(TwoForTwoTest, NetSavingConsistent)
+{
+    const double w = 50e6;
+    for (const auto &v : rule_.evaluate(apps::litecoin(), w)) {
+        // Passing nodes must show positive net saving at 2x gain.
+        if (v.passes()) {
+            EXPECT_GT(v.net_saving, 0.0) << tech::to_string(v.node);
+        }
+        // Saving never exceeds the workload itself.
+        EXPECT_LT(v.net_saving, w);
+    }
+}
+
+TEST_F(TwoForTwoTest, BreakEvenMatchesVerdicts)
+{
+    const auto be = rule_.breakEvenTco(apps::bitcoin());
+    ASSERT_TRUE(be.has_value());
+    // Just below break-even: nothing passes; just above: something
+    // does.
+    for (const auto &v : rule_.evaluate(apps::bitcoin(), *be * 0.99))
+        EXPECT_FALSE(v.passes());
+    bool any = false;
+    for (const auto &v : rule_.evaluate(apps::bitcoin(), *be * 1.01))
+        any = any || v.passes();
+    EXPECT_TRUE(any);
+}
+
+TEST_F(TwoForTwoTest, BreakEvenUsesTheCheapestPassingNre)
+{
+    const auto be = rule_.breakEvenTco(apps::bitcoin());
+    ASSERT_TRUE(be.has_value());
+    // Bitcoin's cheapest NRE is the 250nm build at ~$560K; break-even
+    // is twice that.
+    EXPECT_GT(*be, 0.9e6);
+    EXPECT_LT(*be, 1.6e6);
+}
+
+TEST_F(TwoForTwoTest, CustomRatio)
+{
+    TwoForTwoRule strict(opt_, 10.0);
+    const auto be2 = rule_.breakEvenTco(apps::bitcoin());
+    const auto be10 = strict.breakEvenTco(apps::bitcoin());
+    ASSERT_TRUE(be2 && be10);
+    EXPECT_NEAR(*be10 / *be2, 5.0, 1e-9);
+}
+
+TEST_F(TwoForTwoTest, RejectsNegativeWorkload)
+{
+    EXPECT_THROW(rule_.evaluate(apps::bitcoin(), -1.0), ModelError);
+}
+
+} // namespace
+} // namespace moonwalk::core

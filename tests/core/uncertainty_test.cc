@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/uncertainty.hh"
+#include "util/error.hh"
+
+namespace moonwalk::core {
+namespace {
+
+UncertaintySpec
+tinySpec(int samples)
+{
+    UncertaintySpec s;
+    s.samples = samples;
+    s.seed = 7;
+    return s;
+}
+
+TEST(Uncertainty, FractionsSumToOne)
+{
+    UncertaintyAnalysis mc(tinySpec(12));
+    const auto r = mc.run(apps::bitcoin(), 25e6);
+    double total = 0.0;
+    for (const auto &[name, frac] : r.choice_fraction) {
+        EXPECT_GT(frac, 0.0);
+        EXPECT_LE(frac, 1.0);
+        total += frac;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+    EXPECT_FALSE(r.modal_choice.empty());
+    EXPECT_EQ(r.total_cost.count, 12u);
+}
+
+TEST(Uncertainty, DeterministicForSeed)
+{
+    UncertaintyAnalysis a(tinySpec(8));
+    UncertaintyAnalysis b(tinySpec(8));
+    const auto ra = a.run(apps::bitcoin(), 25e6);
+    const auto rb = b.run(apps::bitcoin(), 25e6);
+    EXPECT_EQ(ra.choice_fraction, rb.choice_fraction);
+    EXPECT_DOUBLE_EQ(ra.total_cost.mean, rb.total_cost.mean);
+}
+
+TEST(Uncertainty, ZeroSigmaCollapsesToNominal)
+{
+    UncertaintySpec s;
+    s.samples = 4;
+    s.mask_cost_sigma = 0;
+    s.wafer_cost_sigma = 0;
+    s.salary_sigma = 0;
+    s.ip_cost_sigma = 0;
+    s.electricity_sigma = 0;
+    s.backend_cost_sigma = 0;
+    UncertaintyAnalysis mc(s);
+    const auto r = mc.run(apps::bitcoin(), 25e6);
+    // Every sample sees the identical model: one choice, zero spread.
+    EXPECT_EQ(r.choice_fraction.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.total_cost.stddev, 0.0);
+}
+
+TEST(Uncertainty, TinyWorkloadAlwaysBaseline)
+{
+    UncertaintyAnalysis mc(tinySpec(6));
+    const auto r = mc.run(apps::bitcoin(), 1e4);
+    EXPECT_EQ(r.modal_choice, "baseline");
+    EXPECT_DOUBLE_EQ(r.choice_fraction.at("baseline"), 1.0);
+    // Baseline cost is exact: no spread.
+    EXPECT_DOUBLE_EQ(r.total_cost.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(r.total_cost.mean, 1e4);
+}
+
+TEST(Uncertainty, HugeWorkloadNeverBaseline)
+{
+    UncertaintyAnalysis mc(tinySpec(6));
+    const auto r = mc.run(apps::bitcoin(), 1e9);
+    EXPECT_EQ(r.choice_fraction.count("baseline"), 0u);
+}
+
+TEST(Uncertainty, Rejections)
+{
+    EXPECT_THROW(UncertaintyAnalysis(tinySpec(0)), ModelError);
+    UncertaintyAnalysis mc(tinySpec(2));
+    EXPECT_THROW(mc.run(apps::bitcoin(), 0.0), ModelError);
+}
+
+} // namespace
+} // namespace moonwalk::core

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "cost/die_cost.hh"
+#include "tech/database.hh"
+#include "util/error.hh"
+#include "util/math.hh"
+
+namespace moonwalk::cost {
+namespace {
+
+using tech::NodeId;
+
+class DieCostTest : public ::testing::Test
+{
+  protected:
+    const tech::TechDatabase &db_ = tech::defaultTechDatabase();
+    DieCostModel model_;
+};
+
+TEST_F(DieCostTest, PaperDieCostsWithinBand)
+{
+    // Tables 7-10 die costs ($) for (node, area): harvested arrays
+    // make die cost ~ wafer / gross dies.
+    struct Case { NodeId node; double area; double paper; };
+    const Case cases[] = {
+        {NodeId::N250, 559, 16}, {NodeId::N180, 579, 18},
+        {NodeId::N130, 588, 29}, {NodeId::N90, 600, 32},
+        {NodeId::N65, 599, 33}, {NodeId::N40, 540, 42},
+        {NodeId::N28, 540, 66}, {NodeId::N16, 420, 74},
+        {NodeId::N28, 498, 65},  // video transcode
+        {NodeId::N16, 177, 34},
+    };
+    for (const auto &c : cases) {
+        const double cost = model_.dieCost(db_.node(c.node), c.area);
+        EXPECT_LT(moonwalk::relativeError(cost, c.paper), 0.25)
+            << tech::to_string(c.node) << " " << c.area << "mm^2: "
+            << cost << " vs " << c.paper;
+    }
+}
+
+TEST_F(DieCostTest, CostIncreasesWithArea)
+{
+    const auto &n = db_.node(NodeId::N28);
+    double prev = 0.0;
+    for (double a : {100.0, 200.0, 400.0, 600.0}) {
+        const double c = model_.dieCost(n, a);
+        EXPECT_GT(c, prev);
+        prev = c;
+    }
+}
+
+TEST_F(DieCostTest, SuperlinearAtLargeAreaFromEdgeLoss)
+{
+    const auto &n = db_.node(NodeId::N28);
+    const double c300 = model_.dieCost(n, 300.0);
+    const double c600 = model_.dieCost(n, 600.0);
+    EXPECT_GT(c600, 2.0 * c300);
+}
+
+TEST_F(DieCostTest, GoodRcaFractionNearOneForSmallRcas)
+{
+    const auto &n = db_.node(NodeId::N28);
+    // A 0.7mm^2 Bitcoin RCA virtually always yields.
+    EXPECT_GT(model_.goodRcaFraction(n, 0.7), 0.995);
+    // A 65mm^2 DaDianNao node at 28nm has noticeable fallout.
+    EXPECT_LT(model_.goodRcaFraction(n, 65.0), 0.99);
+    EXPECT_GT(model_.goodRcaFraction(n, 65.0), 0.80);
+}
+
+TEST_F(DieCostTest, OversizedDieRejected)
+{
+    EXPECT_THROW(model_.dieCost(db_.node(NodeId::N250), 40000.0),
+                 ModelError);
+}
+
+} // namespace
+} // namespace moonwalk::cost

@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "cost/yield.hh"
+#include "util/error.hh"
+
+namespace moonwalk::cost {
+namespace {
+
+TEST(Yield, MurphyLimits)
+{
+    EXPECT_DOUBLE_EQ(murphyYield(0.0, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(murphyYield(100.0, 0.0), 1.0);
+    // Yield falls with area and defect density.
+    EXPECT_LT(murphyYield(600.0, 0.2), murphyYield(100.0, 0.2));
+    EXPECT_LT(murphyYield(100.0, 0.5), murphyYield(100.0, 0.1));
+}
+
+TEST(Yield, MurphyKnownValue)
+{
+    // AD = 1: y = (1 - e^-1)^2 = 0.3996.
+    EXPECT_NEAR(murphyYield(500.0, 0.2), 0.3996, 1e-3);
+}
+
+TEST(Yield, PoissonKnownValue)
+{
+    // AD = 1: y = e^-1.
+    EXPECT_NEAR(poissonYield(500.0, 0.2), 0.3679, 1e-3);
+}
+
+TEST(Yield, PoissonBelowMurphy)
+{
+    // Murphy (clustered defects) is always at least Poisson.
+    for (double a : {50.0, 200.0, 600.0})
+        EXPECT_GE(murphyYield(a, 0.25), poissonYield(a, 0.25));
+}
+
+TEST(Yield, RejectsNegativeInputs)
+{
+    EXPECT_THROW(murphyYield(-1.0, 0.1), ModelError);
+    EXPECT_THROW(poissonYield(10.0, -0.1), ModelError);
+}
+
+} // namespace
+} // namespace moonwalk::cost

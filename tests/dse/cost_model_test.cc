@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Server-cost accounting invariants across evaluated design points
+ * (the categories of Figure 7).
+ */
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "dse/evaluator.hh"
+
+namespace moonwalk::dse {
+namespace {
+
+using tech::NodeId;
+
+class CostModelTest : public ::testing::Test
+{
+  protected:
+    ServerEvaluator eval_;
+
+    DesignPoint eval(int rcas, int dies, double vdd) const
+    {
+        arch::ServerConfig cfg;
+        cfg.node = NodeId::N28;
+        cfg.rcas_per_die = rcas;
+        cfg.dies_per_lane = dies;
+        cfg.vdd = vdd;
+        auto r = eval_.evaluate(apps::bitcoin().rca, cfg);
+        EXPECT_TRUE(r.feasible()) << r.infeasible_reason;
+        return *r.point;
+    }
+};
+
+TEST_F(CostModelTest, MoreDiesCostMore)
+{
+    const auto small = eval(300, 4, 0.45);
+    const auto large = eval(300, 12, 0.45);
+    EXPECT_GT(large.cost_breakdown.silicon,
+              2.5 * small.cost_breakdown.silicon);
+    EXPECT_GT(large.cost_breakdown.package,
+              2.5 * small.cost_breakdown.package);
+    // System components are per-server constants.
+    EXPECT_DOUBLE_EQ(large.cost_breakdown.system,
+                     small.cost_breakdown.system);
+}
+
+TEST_F(CostModelTest, HigherVoltageCostsPowerDelivery)
+{
+    const auto lo = eval(300, 6, 0.42);
+    const auto hi = eval(300, 6, 0.50);
+    EXPECT_GT(hi.cost_breakdown.power_delivery,
+              lo.cost_breakdown.power_delivery);
+    // Silicon cost is voltage-independent.
+    EXPECT_DOUBLE_EQ(hi.cost_breakdown.silicon,
+                     lo.cost_breakdown.silicon);
+}
+
+TEST_F(CostModelTest, SiliconDominatesAtScale)
+{
+    // Figure 7: silicon is the dominant server-cost component for
+    // dense configurations.
+    const auto p = eval(600, 12, 0.43);
+    const auto &c = p.cost_breakdown;
+    EXPECT_GT(c.silicon, c.package);
+    EXPECT_GT(c.silicon, c.cooling);
+    EXPECT_GT(c.silicon, c.power_delivery);
+    EXPECT_GT(c.silicon, c.system);
+    EXPECT_GT(c.silicon / c.total(), 0.45);
+}
+
+TEST_F(CostModelTest, CoolingIncludesFansPerLane)
+{
+    const auto p = eval(300, 4, 0.45);
+    // 8 lane fans at $20 minimum, plus heatsinks per die.
+    EXPECT_GE(p.cost_breakdown.cooling, 8 * 20.0);
+}
+
+TEST_F(CostModelTest, BreakdownSumsToTotal)
+{
+    const auto p = eval(450, 9, 0.44);
+    const auto &c = p.cost_breakdown;
+    EXPECT_NEAR(c.total(),
+                c.silicon + c.package + c.cooling +
+                    c.power_delivery + c.dram + c.system,
+                1e-9);
+    EXPECT_DOUBLE_EQ(p.server_cost, c.total());
+    EXPECT_DOUBLE_EQ(c.dram, 0.0);  // Bitcoin has no DRAM
+}
+
+TEST_F(CostModelTest, TcoBreakdownConsistent)
+{
+    const auto p = eval(450, 9, 0.44);
+    EXPECT_DOUBLE_EQ(p.tco_breakdown.server_capex, p.server_cost);
+    EXPECT_GT(p.tco_breakdown.energy, 0.0);
+    EXPECT_GT(p.tco_breakdown.total(), p.server_cost);
+}
+
+} // namespace
+} // namespace moonwalk::dse

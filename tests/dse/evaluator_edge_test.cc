@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Edge-case coverage of the evaluator: every rejection reason is
+ * reachable, and secondary accounting (DRAM power, NIC cost, fan
+ * power, leakage, yield harvesting) shows up where it should.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "dse/evaluator.hh"
+
+namespace moonwalk::dse {
+namespace {
+
+using tech::NodeId;
+
+class EvaluatorEdge : public ::testing::Test
+{
+  protected:
+    ServerEvaluator eval_;
+};
+
+TEST_F(EvaluatorEdge, RejectionEmptyConfiguration)
+{
+    arch::ServerConfig cfg;
+    cfg.rcas_per_die = 0;
+    const auto r = eval_.evaluate(apps::bitcoin().rca, cfg);
+    EXPECT_EQ(r.infeasible_reason, "empty configuration");
+    arch::ServerConfig cfg2;
+    cfg2.dies_per_lane = 0;
+    EXPECT_FALSE(eval_.evaluate(apps::bitcoin().rca, cfg2).feasible());
+}
+
+TEST_F(EvaluatorEdge, RejectionSlaUnreachableNamesNode)
+{
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N130;
+    cfg.rcas_per_die = 1;
+    const auto r = eval_.evaluate(apps::deepLearning().rca, cfg);
+    ASSERT_FALSE(r.feasible());
+    EXPECT_NE(r.infeasible_reason.find("130nm"), std::string::npos);
+}
+
+TEST_F(EvaluatorEdge, DramPowerAndCostAccounted)
+{
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N28;
+    cfg.rcas_per_die = 100;
+    cfg.dies_per_lane = 4;
+    cfg.vdd = 0.70;
+    cfg.drams_per_die = 4;
+    const auto r = eval_.evaluate(apps::videoTranscode().rca, cfg);
+    ASSERT_TRUE(r.feasible()) << r.infeasible_reason;
+    const auto &p = *r.point;
+    // 8 lanes x 4 dies x 4 DRAMs at 0.7W each.
+    EXPECT_NEAR(p.dram_power_w, 8 * 4 * 4 * 0.7, 1e-9);
+    EXPECT_NEAR(p.cost_breakdown.dram, 8 * 4 * 4 * 5.0, 1e-9);
+}
+
+TEST_F(EvaluatorEdge, OffPcbInterfaceSizedToTraffic)
+{
+    // Bitcoin moves control-plane traffic only: the cheapest 1 GigE
+    // suffices.  Deep Learning streams batch activations and needs a
+    // faster tier, which shows up in the system cost.
+    arch::ServerConfig btc;
+    btc.node = NodeId::N28;
+    btc.rcas_per_die = 200;
+    btc.dies_per_lane = 4;
+    btc.vdd = 0.45;
+    const auto rb = eval_.evaluate(apps::bitcoin().rca, btc);
+    ASSERT_TRUE(rb.feasible());
+    EXPECT_EQ(rb.point->offpcb_interface, "1 GigE");
+    EXPECT_EQ(rb.point->offpcb_count, 1);
+
+    arch::ServerConfig dl;
+    dl.node = NodeId::N28;
+    dl.rcas_per_die = 4;
+    dl.dies_per_lane = 8;
+    const auto rd = eval_.evaluate(apps::deepLearning().rca, dl);
+    ASSERT_TRUE(rd.feasible());
+    EXPECT_NE(rd.point->offpcb_interface, "1 GigE");
+    EXPECT_GT(rd.point->cost_breakdown.system,
+              rb.point->cost_breakdown.system);
+}
+
+TEST_F(EvaluatorEdge, FanPowerIncluded)
+{
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N28;
+    cfg.rcas_per_die = 200;
+    cfg.dies_per_lane = 4;
+    cfg.vdd = 0.45;
+    const auto r = eval_.evaluate(apps::bitcoin().rca, cfg);
+    ASSERT_TRUE(r.feasible());
+    EXPECT_GT(r.point->fan_power_w, 0.0);
+    // Wall power exceeds the silicon+fan sum (conversion losses).
+    EXPECT_GT(r.point->wall_power_w,
+              r.point->silicon_power_w + r.point->fan_power_w);
+}
+
+TEST_F(EvaluatorEdge, YieldHarvestingDiscountsLargeRcas)
+{
+    // Same total silicon, different RCA granularity: the coarse-RCA
+    // design delivers less because whole large RCAs die per defect.
+    const auto fine = apps::bitcoin().rca;  // 0.7mm^2 RCA
+    auto coarse = fine;
+    coarse.area_28_mm2 = fine.area_28_mm2 * 64;
+    coarse.ops_per_cycle = fine.ops_per_cycle * 64;
+    coarse.gate_count = fine.gate_count * 64;
+
+    arch::ServerConfig cfg_fine;
+    cfg_fine.node = NodeId::N28;
+    cfg_fine.rcas_per_die = 640;
+    cfg_fine.dies_per_lane = 6;
+    cfg_fine.vdd = 0.45;
+    arch::ServerConfig cfg_coarse = cfg_fine;
+    cfg_coarse.rcas_per_die = 10;
+
+    const auto rf = eval_.evaluate(fine, cfg_fine);
+    const auto rc = eval_.evaluate(coarse, cfg_coarse);
+    ASSERT_TRUE(rf.feasible() && rc.feasible());
+    EXPECT_GT(rf.point->perf_ops, rc.point->perf_ops);
+}
+
+TEST_F(EvaluatorEdge, SlaVoltageClampedToNodeMinimum)
+{
+    // An RCA whose SLA clock is trivially low still runs at the node
+    // minimum voltage, not below it.
+    auto rca = apps::deepLearning().rca;
+    rca.sla_fixed_freq_mhz = 1.0;
+    rca.needs_high_speed_link = false;
+    rca.server_rca_multiple = 1;
+    rca.allowed_rcas_per_die.clear();
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N28;
+    cfg.rcas_per_die = 2;
+    cfg.dies_per_lane = 2;
+    const auto r = eval_.evaluate(rca, cfg);
+    ASSERT_TRUE(r.feasible()) << r.infeasible_reason;
+    const auto &node = eval_.scaling().database().node(NodeId::N28);
+    EXPECT_GE(r.point->config.vdd, node.vdd_min);
+    EXPECT_NEAR(r.point->freq_mhz, 1.0, 1e-9);
+}
+
+TEST_F(EvaluatorEdge, MaxRcasPerDieShrinksWithDramAndDark)
+{
+    const auto rca = apps::videoTranscode().rca;
+    const auto &node = eval_.scaling().database().node(NodeId::N28);
+    const int plain = eval_.maxRcasPerDie(rca, node, 0, 0.0);
+    const int with_dram = eval_.maxRcasPerDie(rca, node, 8, 0.0);
+    const int with_dark = eval_.maxRcasPerDie(rca, node, 0, 0.2);
+    EXPECT_GT(plain, with_dram);
+    EXPECT_GT(plain, with_dark);
+    EXPECT_GT(with_dram, 0);
+}
+
+TEST_F(EvaluatorEdge, UtilizationReportedWhenDramBound)
+{
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N16;
+    cfg.rcas_per_die = 200;
+    cfg.dies_per_lane = 3;
+    cfg.vdd = 0.7;
+    cfg.drams_per_die = 1;
+    const auto r = eval_.evaluate(apps::videoTranscode().rca, cfg);
+    ASSERT_TRUE(r.feasible()) << r.infeasible_reason;
+    EXPECT_LT(r.point->compute_utilization, 1.0);
+    // Perf equals the DRAM bound, not the compute bound.
+    const auto dram = arch::dramSpec(tech::DramGeneration::LPDDR3);
+    const double bound = 24 * dram.bandwidth_bps /
+        apps::videoTranscode().rca.bytes_per_op;
+    EXPECT_NEAR(r.point->perf_ops, bound, 1e-6 * bound);
+}
+
+} // namespace
+} // namespace moonwalk::dse

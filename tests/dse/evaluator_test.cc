@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "dse/evaluator.hh"
+
+namespace moonwalk::dse {
+namespace {
+
+using tech::NodeId;
+
+class EvaluatorTest : public ::testing::Test
+{
+  protected:
+    ServerEvaluator eval_;
+
+    arch::ServerConfig bitcoin28() const
+    {
+        arch::ServerConfig cfg;
+        cfg.node = NodeId::N28;
+        cfg.rcas_per_die = 769;
+        cfg.dies_per_lane = 9;
+        cfg.vdd = 0.459;  // the paper's TCO-optimal point (Table 7)
+        return cfg;
+    }
+};
+
+TEST_F(EvaluatorTest, PaperBitcoinPointIsFeasible)
+{
+    const auto r = eval_.evaluate(apps::bitcoin().rca, bitcoin28());
+    ASSERT_TRUE(r.feasible()) << r.infeasible_reason;
+    const auto &p = *r.point;
+    EXPECT_NEAR(p.die_area_mm2, 540.0, 5.0);
+    // Performance within 25% of the paper's 8,223 GH/s.
+    EXPECT_GT(p.perf_ops, 0.75 * 8223e9);
+    EXPECT_LT(p.perf_ops, 1.25 * 8223e9);
+    // Wall power within 35% of 3,736 W.
+    EXPECT_GT(p.wall_power_w, 0.65 * 3736);
+    EXPECT_LT(p.wall_power_w, 1.35 * 3736);
+    // Server cost within 35% of $8.2K.
+    EXPECT_GT(p.server_cost, 0.65 * 8200);
+    EXPECT_LT(p.server_cost, 1.35 * 8200);
+}
+
+TEST_F(EvaluatorTest, MetricsConsistent)
+{
+    const auto r = eval_.evaluate(apps::bitcoin().rca, bitcoin28());
+    ASSERT_TRUE(r.feasible());
+    const auto &p = *r.point;
+    EXPECT_NEAR(p.cost_per_ops, p.server_cost / p.perf_ops, 1e-15);
+    EXPECT_NEAR(p.watts_per_ops, p.wall_power_w / p.perf_ops, 1e-15);
+    EXPECT_NEAR(p.server_cost, p.cost_breakdown.total(), 1e-6);
+    EXPECT_GT(p.tco_per_ops, p.cost_per_ops);
+    EXPECT_LE(p.die_power_w, p.max_die_power_w);
+}
+
+TEST_F(EvaluatorTest, VoltageOutOfRangeRejected)
+{
+    auto cfg = bitcoin28();
+    cfg.vdd = 0.1;
+    auto r = eval_.evaluate(apps::bitcoin().rca, cfg);
+    EXPECT_FALSE(r.feasible());
+    EXPECT_EQ(r.infeasible_reason, "voltage out of range");
+    cfg.vdd = 2.0;  // above 1.5 * 0.9V
+    r = eval_.evaluate(apps::bitcoin().rca, cfg);
+    EXPECT_FALSE(r.feasible());
+}
+
+TEST_F(EvaluatorTest, ReticleLimitRejected)
+{
+    auto cfg = bitcoin28();
+    cfg.rcas_per_die = 2000;  // > 640mm^2 at 28nm
+    const auto r = eval_.evaluate(apps::bitcoin().rca, cfg);
+    EXPECT_FALSE(r.feasible());
+    EXPECT_EQ(r.infeasible_reason, "die exceeds reticle");
+}
+
+TEST_F(EvaluatorTest, ThermalLimitBindsAtHighVoltage)
+{
+    // A full lane of reticle-sized Bitcoin dies at maximum voltage
+    // must trip the junction limit.
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N28;
+    cfg.rcas_per_die = 769;
+    cfg.dies_per_lane = 15;
+    cfg.vdd = 1.35;
+    const auto r = eval_.evaluate(apps::bitcoin().rca, cfg);
+    EXPECT_FALSE(r.feasible());
+    EXPECT_TRUE(r.infeasible_reason == "junction temperature limit" ||
+                r.infeasible_reason == "exceeds server power budget")
+        << r.infeasible_reason;
+}
+
+TEST_F(EvaluatorTest, VideoNeedsDram)
+{
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N28;
+    cfg.rcas_per_die = 100;
+    cfg.dies_per_lane = 5;
+    cfg.vdd = 0.75;
+    cfg.drams_per_die = 0;
+    const auto r = eval_.evaluate(apps::videoTranscode().rca, cfg);
+    EXPECT_FALSE(r.feasible());
+    EXPECT_EQ(r.infeasible_reason, "application needs DRAM");
+}
+
+TEST_F(EvaluatorTest, DramBandwidthCapsVideoThroughput)
+{
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N28;
+    cfg.rcas_per_die = 153;
+    cfg.dies_per_lane = 4;
+    cfg.vdd = 0.754;
+    cfg.drams_per_die = 1;  // starved: compute wants ~6 LPDDR3
+    const auto r = eval_.evaluate(apps::videoTranscode().rca, cfg);
+    ASSERT_TRUE(r.feasible()) << r.infeasible_reason;
+    EXPECT_LT(r.point->compute_utilization, 0.5);
+
+    cfg.drams_per_die = 8;
+    const auto r8 = eval_.evaluate(apps::videoTranscode().rca, cfg);
+    ASSERT_TRUE(r8.feasible()) << r8.infeasible_reason;
+    EXPECT_GT(r8.point->perf_ops, 3.0 * r.point->perf_ops);
+}
+
+TEST_F(EvaluatorTest, SlaPinsDeepLearningVoltage)
+{
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N40;
+    cfg.rcas_per_die = 2;  // the 2x1 grid of Table 8
+    cfg.dies_per_lane = 4;
+    cfg.vdd = 0.5;  // ignored: SLA dictates the voltage
+    const auto r = eval_.evaluate(apps::deepLearning().rca, cfg);
+    ASSERT_TRUE(r.feasible()) << r.infeasible_reason;
+    EXPECT_NEAR(r.point->freq_mhz, 606.0, 1.0);
+    // Overdriven above 40nm nominal (paper: 1.285V).
+    EXPECT_GT(r.point->config.vdd, 0.9);
+    EXPECT_LT(r.point->config.vdd, 1.35);
+}
+
+TEST_F(EvaluatorTest, SlaUnreachableAtOldNodes)
+{
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N65;
+    cfg.rcas_per_die = 1;
+    cfg.dies_per_lane = 4;
+    const auto r = eval_.evaluate(apps::deepLearning().rca, cfg);
+    EXPECT_FALSE(r.feasible());
+    EXPECT_NE(r.infeasible_reason.find("SLA"), std::string::npos);
+}
+
+TEST_F(EvaluatorTest, DeepLearningGridRestrictions)
+{
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N28;
+    cfg.rcas_per_die = 3;  // not one of 1x1/2x1/2x2/3x3/2x4
+    cfg.dies_per_lane = 8;
+    const auto r = eval_.evaluate(apps::deepLearning().rca, cfg);
+    EXPECT_FALSE(r.feasible());
+}
+
+TEST_F(EvaluatorTest, DeepLearningServerMultiple)
+{
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N28;
+    cfg.rcas_per_die = 4;
+    cfg.dies_per_lane = 3;  // 8 lanes * 3 dies * 4 = 96, not % 64
+    const auto r = eval_.evaluate(apps::deepLearning().rca, cfg);
+    EXPECT_FALSE(r.feasible());
+    EXPECT_EQ(r.infeasible_reason,
+              "server RCA count not a system multiple");
+}
+
+TEST_F(EvaluatorTest, LaneFitRejectsOverpacking)
+{
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N28;
+    cfg.rcas_per_die = 769;
+    cfg.dies_per_lane = 15;
+    cfg.vdd = 0.40;
+    // 540mm^2 dies: 15 fit with the default 2mm margin...
+    const auto ok = eval_.evaluate(apps::bitcoin().rca, cfg);
+    EXPECT_TRUE(ok.feasible()) << ok.infeasible_reason;
+    // ...but video dies with 6 DRAMs each cannot pack 15 deep.
+    arch::ServerConfig vcfg;
+    vcfg.node = NodeId::N28;
+    vcfg.rcas_per_die = 153;
+    vcfg.dies_per_lane = 15;
+    vcfg.vdd = 0.754;
+    vcfg.drams_per_die = 6;
+    const auto bad = eval_.evaluate(apps::videoTranscode().rca, vcfg);
+    EXPECT_FALSE(bad.feasible());
+    EXPECT_EQ(bad.infeasible_reason, "dies do not fit the lane");
+}
+
+TEST_F(EvaluatorTest, LowerVoltageImprovesEnergyEfficiency)
+{
+    // The feasible window at 9 large dies per lane is narrow
+    // (thermals cap Bitcoin around 0.5V at 28nm, like the truncated
+    // curves of Figure 4).
+    auto lo = bitcoin28();
+    lo.vdd = 0.42;
+    auto hi = bitcoin28();
+    hi.vdd = 0.46;
+    const auto rl = eval_.evaluate(apps::bitcoin().rca, lo);
+    const auto rh = eval_.evaluate(apps::bitcoin().rca, hi);
+    ASSERT_TRUE(rl.feasible() && rh.feasible());
+    EXPECT_LT(rl.point->watts_per_ops, rh.point->watts_per_ops);
+    EXPECT_GT(rl.point->cost_per_ops, rh.point->cost_per_ops);
+}
+
+} // namespace
+} // namespace moonwalk::dse

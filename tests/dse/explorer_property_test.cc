@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Exploration invariants checked at every technology node for two
+ * contrasting applications (logic-dense Bitcoin, SRAM-dense
+ * Litecoin): every design the explorer emits must satisfy all
+ * constraints, and the reported optimum must be the sweep's best.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "dse/explorer.hh"
+
+namespace moonwalk::dse {
+namespace {
+
+using tech::NodeId;
+
+struct Case
+{
+    const char *app;
+    NodeId node;
+};
+
+class ExploreAllNodes : public ::testing::TestWithParam<Case>
+{
+  protected:
+    static ExplorerOptions coarse()
+    {
+        ExplorerOptions o;
+        o.voltage_steps = 8;
+        o.rca_count_steps = 8;
+        o.max_drams_per_die = 6;
+        return o;
+    }
+
+    DesignSpaceExplorer explorer_{coarse()};
+};
+
+TEST_P(ExploreAllNodes, EveryEmittedDesignSatisfiesConstraints)
+{
+    const auto app = apps::appByName(GetParam().app);
+    const auto &node =
+        explorer_.evaluator().scaling().database()
+            .node(GetParam().node);
+    const auto result = explorer_.explore(app.rca, GetParam().node);
+    ASSERT_TRUE(result.tco_optimal.has_value());
+
+    auto check = [&](const DesignPoint &p) {
+        EXPECT_GE(p.config.vdd, node.vdd_min - 1e-9);
+        EXPECT_LE(p.config.vdd, node.vddMax() + 1e-9);
+        EXPECT_LE(p.die_area_mm2, node.max_die_area_mm2 + 1e-9);
+        EXPECT_LE(p.die_power_w, p.max_die_power_w + 1e-9);
+        EXPECT_LE(p.wall_power_w, 4000.0 + 1e-6);
+        EXPECT_GT(p.perf_ops, 0.0);
+        EXPECT_GT(p.server_cost, 0.0);
+        EXPECT_LE(p.compute_utilization, 1.0 + 1e-12);
+        // Derived metrics consistent.
+        EXPECT_NEAR(p.tco_per_ops * p.perf_ops,
+                    p.tco_breakdown.total(),
+                    1e-6 * p.tco_breakdown.total());
+    };
+    check(*result.tco_optimal);
+    for (const auto &p : result.pareto)
+        check(p);
+}
+
+TEST_P(ExploreAllNodes, OptimumIsBestOfParetoFront)
+{
+    const auto app = apps::appByName(GetParam().app);
+    const auto result = explorer_.explore(app.rca, GetParam().node);
+    ASSERT_TRUE(result.tco_optimal.has_value());
+    EXPECT_TRUE(isParetoFront(result.pareto));
+    double best = 1e300;
+    for (const auto &p : result.pareto)
+        best = std::min(best, p.tco_per_ops);
+    // With a TCO linear in ($, W) per op/s, the optimum lies on the
+    // Pareto front.
+    EXPECT_NEAR(best, result.tco_optimal->tco_per_ops, 1e-9 * best);
+}
+
+TEST_P(ExploreAllNodes, FeasibleCountedCorrectly)
+{
+    const auto app = apps::appByName(GetParam().app);
+    const auto result = explorer_.explore(app.rca, GetParam().node);
+    EXPECT_GT(result.feasible, 0u);
+    EXPECT_GE(result.evaluated, result.feasible);
+    EXPECT_GE(result.feasible, result.pareto.size());
+}
+
+std::vector<Case>
+allCases()
+{
+    std::vector<Case> cases;
+    for (const char *app : {"Bitcoin", "Litecoin"})
+        for (NodeId id : tech::kAllNodes)
+            cases.push_back({app, id});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AppsByNodes, ExploreAllNodes, ::testing::ValuesIn(allCases()),
+    [](const auto &info) {
+        return std::string(info.param.app) + "_" +
+            tech::to_string(info.param.node);
+    });
+
+} // namespace
+} // namespace moonwalk::dse

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "dse/explorer.hh"
+
+namespace moonwalk::dse {
+namespace {
+
+using tech::NodeId;
+
+class ExplorerTest : public ::testing::Test
+{
+  protected:
+    // Coarse sweeps keep unit tests fast; benches use defaults.
+    static ExplorerOptions coarse()
+    {
+        ExplorerOptions o;
+        o.voltage_steps = 12;
+        o.rca_count_steps = 10;
+        o.max_drams_per_die = 8;
+        o.dark_fractions = {0.0, 0.10};
+        return o;
+    }
+
+    DesignSpaceExplorer explorer_{coarse()};
+};
+
+TEST_F(ExplorerTest, RcaCandidatesRespectReticle)
+{
+    const auto rca = apps::bitcoin().rca;
+    const auto counts =
+        explorer_.rcaCountCandidates(rca, NodeId::N28, 0, 0.0);
+    ASSERT_FALSE(counts.empty());
+    EXPECT_EQ(counts.front(), 1);
+    // Reticle max: 640mm^2 / 0.702mm^2 ~ 910 RCAs.
+    EXPECT_GT(counts.back(), 850);
+    EXPECT_LT(counts.back(), 920);
+    // Sorted unique.
+    for (size_t i = 1; i < counts.size(); ++i)
+        EXPECT_GT(counts[i], counts[i - 1]);
+}
+
+TEST_F(ExplorerTest, RcaCandidatesForRestrictedGrids)
+{
+    const auto rca = apps::deepLearning().rca;
+    const auto counts40 =
+        explorer_.rcaCountCandidates(rca, NodeId::N40, 0, 0.0);
+    // 3x3 (1184mm^2) and 2x4 do not fit a 40nm reticle.
+    EXPECT_EQ(counts40, (std::vector<int>{1, 2, 4}));
+    const auto counts16 =
+        explorer_.rcaCountCandidates(rca, NodeId::N16, 0, 0.0);
+    EXPECT_EQ(counts16, (std::vector<int>{1, 2, 4, 8, 9}));
+}
+
+TEST_F(ExplorerTest, BitcoinExplorationFindsOptimum)
+{
+    const auto result =
+        explorer_.explore(apps::bitcoin().rca, NodeId::N28);
+    ASSERT_TRUE(result.tco_optimal.has_value());
+    EXPECT_GT(result.feasible, 0u);
+    EXPECT_GT(result.evaluated, result.feasible);
+    EXPECT_FALSE(result.pareto.empty());
+    EXPECT_TRUE(isParetoFront(result.pareto));
+
+    // The optimum must not beat every Pareto point in both metrics
+    // (it lies on or inside the front).
+    const auto &opt = *result.tco_optimal;
+    for (const auto &p : result.pareto)
+        EXPECT_FALSE(opt.dominates(p) && p.dominates(opt));
+}
+
+TEST_F(ExplorerTest, OptimalTcoBelowAllSweepPoints)
+{
+    const auto result =
+        explorer_.explore(apps::bitcoin().rca, NodeId::N40);
+    ASSERT_TRUE(result.tco_optimal.has_value());
+    for (const auto &p : result.pareto)
+        EXPECT_GE(p.tco_per_ops,
+                  result.tco_optimal->tco_per_ops - 1e-12);
+}
+
+TEST_F(ExplorerTest, VoltageSweepMatchesFigure4Shape)
+{
+    // Figure 4: voltage rises left to right; $/op/s falls (faster
+    // silicon) while W/op/s rises.
+    const auto curve = explorer_.sweepVoltage(
+        apps::bitcoin().rca, NodeId::N28, 769, 9);
+    ASSERT_GT(curve.size(), 3u);
+    for (size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GT(curve[i].config.vdd, curve[i - 1].config.vdd);
+        EXPECT_LT(curve[i].cost_per_ops, curve[i - 1].cost_per_ops);
+        EXPECT_GT(curve[i].watts_per_ops, curve[i - 1].watts_per_ops);
+    }
+}
+
+TEST_F(ExplorerTest, DeepLearningInfeasibleBelow40nm)
+{
+    for (NodeId id : {NodeId::N250, NodeId::N180, NodeId::N130,
+                      NodeId::N90, NodeId::N65}) {
+        const auto r = explorer_.explore(apps::deepLearning().rca, id);
+        EXPECT_FALSE(r.tco_optimal.has_value()) << tech::to_string(id);
+    }
+    const auto r40 =
+        explorer_.explore(apps::deepLearning().rca, NodeId::N40);
+    EXPECT_TRUE(r40.tco_optimal.has_value());
+}
+
+TEST_F(ExplorerTest, VideoOptimalUsesMultipleDramsAt28nm)
+{
+    const auto r =
+        explorer_.explore(apps::videoTranscode().rca, NodeId::N28);
+    ASSERT_TRUE(r.tco_optimal.has_value());
+    EXPECT_GE(r.tco_optimal->config.drams_per_die, 2);
+}
+
+TEST_F(ExplorerTest, FixedDieExplorationRestrictsSpace)
+{
+    const auto full = explorer_.explore(apps::bitcoin().rca,
+                                        NodeId::N40);
+    ASSERT_TRUE(full.tco_optimal.has_value());
+    const auto fixed = explorer_.exploreFixedDie(
+        apps::bitcoin().rca, NodeId::N40, 10, 0, 0.0);
+    ASSERT_TRUE(fixed.tco_optimal.has_value());
+    // A frozen (tiny) die design can do no better than the full
+    // exploration.
+    EXPECT_GE(fixed.tco_optimal->tco_per_ops,
+              full.tco_optimal->tco_per_ops - 1e-12);
+}
+
+} // namespace
+} // namespace moonwalk::dse

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "dse/pareto.hh"
+
+namespace moonwalk::dse {
+namespace {
+
+DesignPoint
+point(double cost, double watts)
+{
+    DesignPoint p;
+    p.cost_per_ops = cost;
+    p.watts_per_ops = watts;
+    return p;
+}
+
+TEST(Pareto, Dominates)
+{
+    EXPECT_TRUE(point(1, 1).dominates(point(2, 2)));
+    EXPECT_TRUE(point(1, 2).dominates(point(1, 3)));
+    EXPECT_FALSE(point(1, 3).dominates(point(2, 2)));
+    EXPECT_FALSE(point(1, 1).dominates(point(1, 1)));
+}
+
+TEST(Pareto, ExtractsFront)
+{
+    std::vector<DesignPoint> pts = {
+        point(1, 10), point(2, 5), point(3, 7),  // (3,7) dominated
+        point(4, 2), point(5, 2),                // (5,2) dominated
+    };
+    const auto front = paretoFront(pts);
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0].cost_per_ops, 1);
+    EXPECT_EQ(front[1].cost_per_ops, 2);
+    EXPECT_EQ(front[2].cost_per_ops, 4);
+    EXPECT_TRUE(isParetoFront(front));
+}
+
+TEST(Pareto, SingletonAndEmpty)
+{
+    EXPECT_TRUE(paretoFront({}).empty());
+    const auto one = paretoFront({point(1, 1)});
+    EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(Pareto, AllDominatedByOne)
+{
+    std::vector<DesignPoint> pts = {
+        point(5, 5), point(1, 1), point(3, 3),
+    };
+    const auto front = paretoFront(pts);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0].cost_per_ops, 1);
+}
+
+TEST(Pareto, FrontSortedAndAntichain)
+{
+    std::vector<DesignPoint> pts;
+    // A convex-ish cloud.
+    for (int i = 0; i < 100; ++i) {
+        const double x = 1.0 + (i % 17) * 0.35;
+        const double y = 20.0 / x + (i % 5);
+        pts.push_back(point(x, y));
+    }
+    const auto front = paretoFront(pts);
+    EXPECT_TRUE(isParetoFront(front));
+    for (size_t i = 1; i < front.size(); ++i) {
+        EXPECT_GT(front[i].cost_per_ops, front[i - 1].cost_per_ops);
+        EXPECT_LT(front[i].watts_per_ops, front[i - 1].watts_per_ops);
+    }
+}
+
+TEST(Pareto, IsParetoFrontDetectsViolation)
+{
+    EXPECT_FALSE(isParetoFront({point(1, 1), point(2, 2)}));
+    EXPECT_TRUE(isParetoFront({point(1, 2), point(2, 1)}));
+}
+
+} // namespace
+} // namespace moonwalk::dse

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Cross-application relationships the paper leans on: Bitcoin is the
+ * power-density extreme, Litecoin the SRAM/low-density extreme, Video
+ * the DRAM-bound case, Deep Learning the SLA-bound case.  These are
+ * emergent properties of the whole pipeline, not encoded anywhere.
+ */
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hh"
+
+namespace moonwalk {
+namespace {
+
+using tech::NodeId;
+
+class CrossApp : public ::testing::Test
+{
+  protected:
+    static dse::ExplorerOptions coarse()
+    {
+        dse::ExplorerOptions o;
+        o.voltage_steps = 12;
+        o.rca_count_steps = 10;
+        o.max_drams_per_die = 8;
+        return o;
+    }
+
+    core::MoonwalkOptimizer opt_{dse::DesignSpaceExplorer{coarse()}};
+
+    const core::NodeResult *
+    at(const apps::AppSpec &app, NodeId node)
+    {
+        for (const auto &r : opt_.sweepNodes(app))
+            if (r.node == node)
+                return &r;
+        return nullptr;
+    }
+};
+
+TEST_F(CrossApp, BitcoinHasHighestPowerDensityPotential)
+{
+    // At the same (node, voltage), a full Bitcoin die dissipates more
+    // per mm^2 than a full Litecoin die: that is why its optima sit
+    // at far lower voltage.
+    dse::ServerEvaluator eval;
+    arch::ServerConfig cfg;
+    cfg.node = NodeId::N28;
+    cfg.dies_per_lane = 4;
+    cfg.vdd = 0.5;
+
+    cfg.rcas_per_die = 700;
+    const auto btc = eval.evaluate(apps::bitcoin().rca, cfg);
+    cfg.rcas_per_die = 850;
+    const auto ltc = eval.evaluate(apps::litecoin().rca, cfg);
+    ASSERT_TRUE(btc.feasible() && ltc.feasible());
+    const double btc_density =
+        btc.point->die_power_w / btc.point->die_area_mm2;
+    const double ltc_density =
+        ltc.point->die_power_w / ltc.point->die_area_mm2;
+    EXPECT_GT(btc_density, 1.5 * ltc_density);
+}
+
+TEST_F(CrossApp, OnlyVideoBuysDram)
+{
+    for (const auto &app :
+         {apps::bitcoin(), apps::litecoin(), apps::deepLearning()}) {
+        for (const auto &r : opt_.sweepNodes(app)) {
+            EXPECT_EQ(r.optimal.config.drams_per_die, 0)
+                << app.name();
+            EXPECT_DOUBLE_EQ(r.optimal.cost_breakdown.dram, 0.0);
+        }
+    }
+    for (const auto &r : opt_.sweepNodes(apps::videoTranscode()))
+        EXPECT_GE(r.optimal.config.drams_per_die, 1);
+}
+
+TEST_F(CrossApp, NreOrderingTracksDesignComplexity)
+{
+    // At a fixed node, NRE ordering follows frontend effort + IP:
+    // video (3.56M gates, decoder license, DRAM PHY) is the most
+    // expensive; bitcoin the cheapest.
+    const auto *btc = at(apps::bitcoin(), NodeId::N65);
+    const auto *ltc = at(apps::litecoin(), NodeId::N65);
+    const auto *vid = at(apps::videoTranscode(), NodeId::N65);
+    ASSERT_TRUE(btc && ltc && vid);
+    EXPECT_LT(btc->nre.total(), ltc->nre.total());
+    EXPECT_LT(ltc->nre.total(), vid->nre.total());
+}
+
+TEST_F(CrossApp, DeepLearningVoltageIsSlaDerivedNotSwept)
+{
+    // DL's per-node voltage must match voltageForFrequency exactly
+    // (clamped to vdd_min); other apps land on sweep grid points.
+    const auto &scaling = opt_.explorer().evaluator().scaling();
+    const auto dl = apps::deepLearning();
+    for (const auto &r : opt_.sweepNodes(dl)) {
+        const auto &node = scaling.database().node(r.node);
+        const double v = std::max(
+            scaling.voltageForFrequency(node,
+                                        dl.rca.sla_fixed_freq_mhz,
+                                        dl.rca.f_nominal_28_mhz),
+            node.vdd_min);
+        EXPECT_NEAR(r.optimal.config.vdd, v, 1e-6)
+            << tech::to_string(r.node);
+    }
+}
+
+TEST_F(CrossApp, EveryAppBeatsItsBaselineAt28nm)
+{
+    for (const auto &app : apps::allApps()) {
+        const auto *r = at(app, NodeId::N28);
+        ASSERT_NE(r, nullptr) << app.name();
+        EXPECT_LT(r->tcoPerOps() * 50.0, opt_.baselineTcoPerOps(app))
+            << app.name();
+    }
+}
+
+TEST_F(CrossApp, ServerPowersStayInPaperRegime)
+{
+    // All four apps' optima live in the 0.5-4 kW wall-power regime of
+    // Tables 7-10.
+    for (const auto &app : apps::allApps()) {
+        for (const auto &r : opt_.sweepNodes(app)) {
+            EXPECT_GT(r.optimal.wall_power_w, 300.0)
+                << app.name() << " " << tech::to_string(r.node);
+            EXPECT_LE(r.optimal.wall_power_w, 4000.0)
+                << app.name() << " " << tech::to_string(r.node);
+        }
+    }
+}
+
+TEST_F(CrossApp, ReportedFrequenciesAreOrdered)
+{
+    // Paper pattern: Litecoin clocks fastest (short SRAM paths),
+    // Bitcoin slowest (near-threshold), at 28nm.
+    const auto *btc = at(apps::bitcoin(), NodeId::N28);
+    const auto *ltc = at(apps::litecoin(), NodeId::N28);
+    ASSERT_TRUE(btc && ltc);
+    EXPECT_GT(ltc->optimal.freq_mhz, 2.0 * btc->optimal.freq_mhz);
+}
+
+} // namespace
+} // namespace moonwalk

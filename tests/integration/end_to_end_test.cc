@@ -1,0 +1,142 @@
+/**
+ * @file
+ * End-to-end workflow tests: a user defines a *new* accelerator (not
+ * one of the paper's four), explores the node space and picks a node —
+ * exactly the library's intended use.
+ */
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hh"
+
+namespace moonwalk {
+namespace {
+
+using tech::NodeId;
+
+apps::AppSpec
+customRegexAccelerator()
+{
+    // A made-up mid-size streaming accelerator.
+    apps::AppSpec app;
+    auto &r = app.rca;
+    r.name = "RegexMatch";
+    r.perf_unit = "GB/s";
+    r.perf_unit_scale = 1e9;
+    r.gate_count = 800e3;
+    r.ops_per_cycle = 8.0;         // bytes matched per cycle
+    r.f_nominal_28_mhz = 700.0;
+    r.energy_per_op_28_j = 40e-12; // 40 pJ per byte
+    r.area_28_mm2 = 2.0;
+    r.sram_fraction = 0.4;
+
+    auto &n = app.nre;
+    n.app_name = r.name;
+    n.rca_gate_count = r.gate_count;
+    n.frontend_cad_months = 14;
+    n.frontend_mm = 16;
+    n.fpga_job_distribution_mm = 2;
+    n.fpga_bios_mm = 1;
+    n.cloud_software_mm = 3;
+    n.pcb_design_cost = 40e3;
+
+    app.baseline = {"Xeon software", 2e9, 300.0, 2000.0};
+    return app;
+}
+
+class EndToEnd : public ::testing::Test
+{
+  protected:
+    static dse::ExplorerOptions coarse()
+    {
+        dse::ExplorerOptions o;
+        o.voltage_steps = 12;
+        o.rca_count_steps = 10;
+        return o;
+    }
+
+    core::MoonwalkOptimizer opt_{dse::DesignSpaceExplorer{coarse()}};
+};
+
+TEST_F(EndToEnd, CustomAcceleratorSweepsAllNodes)
+{
+    const auto app = customRegexAccelerator();
+    const auto &sweep = opt_.sweepNodes(app);
+    EXPECT_EQ(sweep.size(), 8u);
+    for (const auto &r : sweep) {
+        EXPECT_GT(r.optimal.perf_ops, 0.0);
+        EXPECT_GT(r.nre.total(), 0.0);
+        EXPECT_LE(r.optimal.die_area_mm2, 640.0);
+        EXPECT_LE(r.optimal.wall_power_w, 4000.0);
+    }
+}
+
+TEST_F(EndToEnd, NodeSelectionFollowsWorkloadScale)
+{
+    const auto app = customRegexAccelerator();
+    const auto ranges = opt_.optimalNodeRanges(app);
+    ASSERT_GE(ranges.size(), 2u);
+    // Every range break is a genuine improvement: slope decreases and
+    // NRE increases along the envelope.
+    for (size_t i = 1; i < ranges.size(); ++i) {
+        EXPECT_LT(ranges[i].line.slope, ranges[i - 1].line.slope);
+        EXPECT_GT(ranges[i].line.nre, ranges[i - 1].line.nre);
+    }
+}
+
+TEST_F(EndToEnd, TwoForTwoRuleApplication)
+{
+    // The paper's two-for-two rule: deploy when TCO > 2x NRE and the
+    // TCO/op/s gain > 2x.  Verify the library exposes everything the
+    // rule needs.
+    const auto app = customRegexAccelerator();
+    const auto &sweep = opt_.sweepNodes(app);
+    const double base = opt_.baselineTcoPerOps(app);
+    bool some_node_passes = false;
+    const double workload_tco = 20e6;  // $20M/3yr workload
+    for (const auto &r : sweep) {
+        const double gain = base / r.tcoPerOps();
+        const bool cond1 = workload_tco > 2.0 * r.nre.total();
+        const bool cond2 = gain > 2.0;
+        if (cond1 && cond2)
+            some_node_passes = true;
+    }
+    EXPECT_TRUE(some_node_passes);
+}
+
+TEST_F(EndToEnd, ExplorationResultInternallyConsistent)
+{
+    const auto app = customRegexAccelerator();
+    const auto res =
+        opt_.explorer().explore(app.rca, NodeId::N65);
+    ASSERT_TRUE(res.tco_optimal.has_value());
+    EXPECT_TRUE(dse::isParetoFront(res.pareto));
+    // The TCO optimum is attainable from the front: some front point
+    // has TCO within a hair of it (the optimum lies on the front for
+    // a linear TCO weighting).
+    double best_front = 1e300;
+    for (const auto &p : res.pareto)
+        best_front = std::min(best_front, p.tco_per_ops);
+    EXPECT_NEAR(best_front, res.tco_optimal->tco_per_ops,
+                1e-9 * best_front);
+}
+
+TEST_F(EndToEnd, DeterministicResults)
+{
+    // Two independent optimizers produce identical sweeps (the model
+    // is pure; no hidden state).
+    core::MoonwalkOptimizer a{dse::DesignSpaceExplorer{coarse()}};
+    core::MoonwalkOptimizer b{dse::DesignSpaceExplorer{coarse()}};
+    const auto app = customRegexAccelerator();
+    const auto &ra = a.sweepNodes(app);
+    const auto &rb = b.sweepNodes(app);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ra[i].tcoPerOps(), rb[i].tcoPerOps());
+        EXPECT_EQ(ra[i].optimal.config.rcas_per_die,
+                  rb[i].optimal.config.rcas_per_die);
+        EXPECT_DOUBLE_EQ(ra[i].nre.total(), rb[i].nre.total());
+    }
+}
+
+} // namespace
+} // namespace moonwalk

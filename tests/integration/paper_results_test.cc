@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Integration tests against the paper's headline numbers (moderate
+ * sweep resolution for runtime; the bench harness uses full
+ * resolution).  Bands are deliberately loose — our thermal substrate
+ * is analytic, not the authors' CFD — but the *shape* assertions
+ * (who wins, monotonic trends, crossover ordering) are strict.
+ */
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hh"
+
+namespace moonwalk {
+namespace {
+
+using tech::NodeId;
+
+class PaperResults : public ::testing::Test
+{
+  protected:
+    static dse::ExplorerOptions medium()
+    {
+        dse::ExplorerOptions o;
+        o.voltage_steps = 24;
+        o.rca_count_steps = 20;
+        o.max_drams_per_die = 10;
+        o.dark_fractions = {0.0, 0.08, 0.16};
+        return o;
+    }
+
+    core::MoonwalkOptimizer opt_{dse::DesignSpaceExplorer{medium()}};
+
+    const core::NodeResult *
+    result(const apps::AppSpec &app, NodeId node)
+    {
+        for (const auto &r : opt_.sweepNodes(app))
+            if (r.node == node)
+                return &r;
+        return nullptr;
+    }
+};
+
+TEST_F(PaperResults, Table7Bitcoin28nmWithinBands)
+{
+    const auto *r = result(apps::bitcoin(), NodeId::N28);
+    ASSERT_NE(r, nullptr);
+    const auto &p = r->optimal;
+    // Paper: 769 RCAs, 540mm^2, Vdd 0.459, TCO/GH/s 2.912.
+    EXPECT_GT(p.config.rcas_per_die, 500);
+    EXPECT_GT(p.die_area_mm2, 350.0);
+    EXPECT_LT(p.config.vdd, 0.75 * 0.9);  // far below nominal
+    const double tco_ghs = p.tco_per_ops * 1e9;
+    EXPECT_GT(tco_ghs, 2.912 * 0.5);
+    EXPECT_LT(tco_ghs, 2.912 * 2.0);
+}
+
+TEST_F(PaperResults, Table7BitcoinSpansNodesWithRightRatios)
+{
+    // Paper TCO/GH/s: 186.2 at 250nm down to 1.378 at 16nm (135x).
+    const auto *r250 = result(apps::bitcoin(), NodeId::N250);
+    const auto *r16 = result(apps::bitcoin(), NodeId::N16);
+    ASSERT_NE(r250, nullptr);
+    ASSERT_NE(r16, nullptr);
+    const double span = r250->tcoPerOps() / r16->tcoPerOps();
+    EXPECT_GT(span, 135.0 * 0.4);
+    EXPECT_LT(span, 135.0 * 2.5);
+}
+
+TEST_F(PaperResults, BitcoinVoltagesDropAcrossNodes)
+{
+    // Section 6.2: "a general trend of decreasing voltages" across
+    // nodes (paper: 1.081V at 250nm down to 0.424V at 16nm).  Allow
+    // small non-monotonic wiggles, as in the paper's own tables.
+    const auto &sweep = opt_.sweepNodes(apps::bitcoin());
+    ASSERT_GE(sweep.size(), 2u);
+    for (size_t i = 1; i < sweep.size(); ++i) {
+        EXPECT_LT(sweep[i].optimal.config.vdd,
+                  1.15 * sweep[i - 1].optimal.config.vdd)
+            << tech::to_string(sweep[i].node);
+    }
+    EXPECT_LT(sweep.back().optimal.config.vdd,
+              0.65 * sweep.front().optimal.config.vdd);
+}
+
+TEST_F(PaperResults, LitecoinRunsNearerNominalThanBitcoin)
+{
+    // Table 9 caption: Litecoin is SRAM-dominated with low power
+    // density, so TCO-optimal voltage sits closer to nominal.
+    const auto *lite = result(apps::litecoin(), NodeId::N28);
+    const auto *btc = result(apps::bitcoin(), NodeId::N28);
+    ASSERT_NE(lite, nullptr);
+    ASSERT_NE(btc, nullptr);
+    EXPECT_GT(lite->optimal.config.vdd, btc->optimal.config.vdd);
+}
+
+TEST_F(PaperResults, Table6AsicVsBaselineImprovements)
+{
+    // Table 6 improvement factors at 28nm: Bitcoin 800x, Litecoin
+    // 128x, Video 10,000x, DL 397x; require the right order of
+    // magnitude.
+    struct Case { apps::AppSpec app; double paper_factor; };
+    const Case cases[] = {
+        {apps::bitcoin(), 2320.0 / 2.9},
+        {apps::litecoin(), 2500.0 / 19.5},
+        {apps::videoTranscode(), 791e3 / 78.5},
+        {apps::deepLearning(), 17580.0 / 44.3},
+    };
+    for (const auto &c : cases) {
+        const auto *r = result(c.app, NodeId::N28);
+        ASSERT_NE(r, nullptr) << c.app.name();
+        const double factor =
+            opt_.baselineTcoPerOps(c.app) / r->tcoPerOps();
+        EXPECT_GT(factor, c.paper_factor / 4.0) << c.app.name();
+        EXPECT_LT(factor, c.paper_factor * 4.0) << c.app.name();
+    }
+}
+
+TEST_F(PaperResults, VideoDramCountGrowsWithNode)
+{
+    // Table 10: 1 DRAM/die through 65nm, 3 at 40nm, 6 at 28nm, 9 at
+    // 16nm; require monotonic growth from 65nm on.
+    const auto *r65 = result(apps::videoTranscode(), NodeId::N65);
+    const auto *r28 = result(apps::videoTranscode(), NodeId::N28);
+    const auto *r16 = result(apps::videoTranscode(), NodeId::N16);
+    ASSERT_NE(r65, nullptr);
+    ASSERT_NE(r28, nullptr);
+    ASSERT_NE(r16, nullptr);
+    EXPECT_LE(r65->optimal.config.drams_per_die,
+              r28->optimal.config.drams_per_die);
+    EXPECT_LE(r28->optimal.config.drams_per_die,
+              r16->optimal.config.drams_per_die);
+    EXPECT_GE(r28->optimal.config.drams_per_die, 2);
+}
+
+TEST_F(PaperResults, VideoOldNodesCannotSaturateOneDram)
+{
+    // Section 6.3: 130/90/65nm designs cannot saturate a single
+    // DRAM's bandwidth.
+    const auto *r65 = result(apps::videoTranscode(), NodeId::N65);
+    ASSERT_NE(r65, nullptr);
+    EXPECT_EQ(r65->optimal.config.drams_per_die, 1);
+    EXPECT_GE(r65->optimal.compute_utilization, 0.99);
+}
+
+TEST_F(PaperResults, DeepLearning40nmMatchesTable8Shape)
+{
+    const auto *r40 = result(apps::deepLearning(), NodeId::N40);
+    ASSERT_NE(r40, nullptr);
+    // Paper: 2x1 grid, overdriven ~1.285V, 607 MHz.  Our analytic
+    // thermal model admits 2x2 as well (see EXPERIMENTS.md), but
+    // never the reticle-busting 3x3, and the overdriven operating
+    // point matches.
+    EXPECT_LE(r40->optimal.config.rcas_per_die, 4);
+    EXPECT_GT(r40->optimal.config.vdd, 0.9);
+    EXPECT_NEAR(r40->optimal.freq_mhz, 606.0, 1.0);
+}
+
+TEST_F(PaperResults, Figure9SlopeChangeAt65nm)
+{
+    // From 250 to 65nm TCO/op/s improves faster than NRE grows;
+    // after 65nm NRE grows faster (Section 7.1).  Compare the total
+    // factor on each side.
+    const auto &sweep = opt_.sweepNodes(apps::bitcoin());
+    auto find = [&](NodeId id) {
+        for (const auto &r : sweep)
+            if (r.node == id)
+                return &r;
+        return static_cast<const core::NodeResult *>(nullptr);
+    };
+    const auto *r250 = find(NodeId::N250);
+    const auto *r65 = find(NodeId::N65);
+    const auto *r16 = find(NodeId::N16);
+    ASSERT_TRUE(r250 && r65 && r16);
+
+    const double tco_gain_old = r250->tcoPerOps() / r65->tcoPerOps();
+    const double nre_growth_old = r65->nre.total() / r250->nre.total();
+    EXPECT_GT(tco_gain_old, nre_growth_old);
+
+    // After 65nm the TCO-gain-per-NRE-dollar collapses (paper's
+    // Bitcoin: 20.4x gain / 2.1x NRE before vs 6.6x / 5.4x after).
+    const double tco_gain_new = r65->tcoPerOps() / r16->tcoPerOps();
+    const double nre_growth_new = r16->nre.total() / r65->nre.total();
+    EXPECT_GT(tco_gain_old / nre_growth_old,
+              2.0 * tco_gain_new / nre_growth_new);
+}
+
+TEST_F(PaperResults, Figure10CrossoverOrdering)
+{
+    // Figure 10: nodes become optimal in age order as the workload
+    // TCO grows; the first ASIC crossover is well below $10M and 16nm
+    // only wins at billion-dollar scale.
+    const auto ranges = opt_.optimalNodeRanges(apps::bitcoin());
+    ASSERT_GE(ranges.size(), 4u);
+    EXPECT_FALSE(ranges.front().line.node.has_value());
+    EXPECT_LT(ranges[1].b_low, 10e6);   // paper: $610K
+    ASSERT_TRUE(ranges.back().line.node.has_value());
+    if (*ranges.back().line.node == NodeId::N16) {
+        EXPECT_GT(ranges.back().b_low, 300e6);  // paper: $5.6B
+    }
+}
+
+} // namespace
+} // namespace moonwalk

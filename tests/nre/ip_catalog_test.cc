@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "nre/ip_catalog.hh"
+
+namespace moonwalk::nre {
+namespace {
+
+using tech::NodeId;
+
+TEST(IpCatalog, Table4SpotValues)
+{
+    IpCatalog cat;
+    EXPECT_DOUBLE_EQ(*cat.cost(IpBlock::DramPhy, NodeId::N16), 750e3);
+    EXPECT_DOUBLE_EQ(*cat.cost(IpBlock::DramPhy, NodeId::N130), 150e3);
+    EXPECT_DOUBLE_EQ(*cat.cost(IpBlock::PciePhy, NodeId::N65), 325e3);
+    EXPECT_DOUBLE_EQ(*cat.cost(IpBlock::Pll, NodeId::N28), 35e3);
+    EXPECT_DOUBLE_EQ(*cat.cost(IpBlock::LvdsIo, NodeId::N250), 7.5e3);
+}
+
+TEST(IpCatalog, StandardCellsFreeAt65nmAndOlder)
+{
+    IpCatalog cat;
+    for (NodeId id : {NodeId::N250, NodeId::N180, NodeId::N130,
+                      NodeId::N90, NodeId::N65}) {
+        EXPECT_DOUBLE_EQ(*cat.cost(IpBlock::StdCellsSram, id), 0.0)
+            << tech::to_string(id);
+    }
+    for (NodeId id : {NodeId::N40, NodeId::N28, NodeId::N16}) {
+        EXPECT_DOUBLE_EQ(*cat.cost(IpBlock::StdCellsSram, id), 100e3)
+            << tech::to_string(id);
+    }
+}
+
+TEST(IpCatalog, NoDramOrPcieIpAtOldestNodes)
+{
+    IpCatalog cat;
+    for (NodeId id : {NodeId::N250, NodeId::N180}) {
+        EXPECT_FALSE(cat.available(IpBlock::DramController, id));
+        EXPECT_FALSE(cat.available(IpBlock::DramPhy, id));
+        EXPECT_FALSE(cat.available(IpBlock::PcieController, id));
+        EXPECT_FALSE(cat.available(IpBlock::PciePhy, id));
+    }
+    EXPECT_TRUE(cat.available(IpBlock::DramPhy, NodeId::N130));
+}
+
+TEST(IpCatalog, PhyCostsRiseWithAdvancingNodes)
+{
+    // Figure 3: "High-speed I/O blocks rise exponentially."
+    IpCatalog cat;
+    double prev = 0.0;
+    for (NodeId id : {NodeId::N130, NodeId::N90, NodeId::N65,
+                      NodeId::N40, NodeId::N28, NodeId::N16}) {
+        const double c = *cat.cost(IpBlock::DramPhy, id);
+        EXPECT_GE(c, prev) << tech::to_string(id);
+        prev = c;
+    }
+}
+
+TEST(IpCatalog, BlockNames)
+{
+    EXPECT_EQ(to_string(IpBlock::DramPhy), "DRAM PHY");
+    EXPECT_EQ(to_string(IpBlock::StdCellsSram), "Standard Cells, SRAM");
+}
+
+} // namespace
+} // namespace moonwalk::nre

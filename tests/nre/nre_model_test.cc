@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "nre/nre_model.hh"
+#include "tech/database.hh"
+#include "util/error.hh"
+
+namespace moonwalk::nre {
+namespace {
+
+using tech::NodeId;
+
+class NreModelTest : public ::testing::Test
+{
+  protected:
+    const tech::TechDatabase &db_ = tech::defaultTechDatabase();
+    NreModel model_;
+
+    AppNreParams simpleApp() const
+    {
+        AppNreParams a;
+        a.app_name = "toy";
+        a.rca_gate_count = 100e3;
+        a.frontend_cad_months = 5;
+        a.frontend_mm = 6;
+        a.fpga_job_distribution_mm = 1;
+        a.fpga_bios_mm = 1;
+        a.cloud_software_mm = 1;
+        a.pcb_design_cost = 30e3;
+        return a;
+    }
+};
+
+TEST_F(NreModelTest, LaborCostIncludesOverhead)
+{
+    NreParameters p;
+    // 12 man-months at $115K/yr with 65% overhead.
+    EXPECT_NEAR(p.laborCost(12, 115e3), 115e3 * 1.65, 1e-6);
+}
+
+TEST_F(NreModelTest, MaskCostComesFromNode)
+{
+    const auto b = model_.compute(db_.node(NodeId::N28), simpleApp(),
+                                  {});
+    EXPECT_DOUBLE_EQ(b.mask, 2.25e6);
+    EXPECT_DOUBLE_EQ(b.package, 105e3);
+}
+
+TEST_F(NreModelTest, BackendScalesWithGates)
+{
+    auto small = simpleApp();
+    auto large = simpleApp();
+    large.rca_gate_count = 10 * small.rca_gate_count;
+    const auto &n = db_.node(NodeId::N65);
+    const auto bs = model_.compute(n, small, {});
+    const auto bl = model_.compute(n, large, {});
+    EXPECT_GT(bl.backend_labor, 5.0 * bs.backend_labor);
+    EXPECT_GT(bl.backend_cad, 5.0 * bs.backend_cad);
+    // Frontend is design-complexity driven, not node/gate driven here.
+    EXPECT_DOUBLE_EQ(bl.frontend_labor, bs.frontend_labor);
+}
+
+TEST_F(NreModelTest, BackendCadFollowsLaborSchedule)
+{
+    const auto &n = db_.node(NodeId::N28);
+    const auto app = simpleApp();
+    const double months = model_.backendManMonths(n, app);
+    const auto b = model_.compute(n, app, {});
+    EXPECT_NEAR(b.backend_cad,
+                months * model_.parameters().backend_cad_per_month,
+                1e-6);
+}
+
+TEST_F(NreModelTest, SixteenNmBackendDoublePatterningPenalty)
+{
+    const auto app = simpleApp();
+    const auto b28 = model_.compute(db_.node(NodeId::N28), app, {});
+    const auto b16 = model_.compute(db_.node(NodeId::N16), app, {});
+    EXPECT_NEAR(b16.backend_labor / b28.backend_labor, 0.263 / 0.131,
+                1e-9);
+}
+
+TEST_F(NreModelTest, PllRequiredOnlyAbove150Mhz)
+{
+    const auto &n = db_.node(NodeId::N28);
+    const auto app = simpleApp();
+    DesignIpNeeds slow{.clock_mhz = 149.0};
+    DesignIpNeeds fast{.clock_mhz = 151.0};
+    EXPECT_NEAR(model_.ipCost(n, app, fast) -
+                    model_.ipCost(n, app, slow),
+                35e3, 1e-6);
+}
+
+TEST_F(NreModelTest, DramFallsBackToFreeSdrAtOldNodes)
+{
+    const auto app = simpleApp();
+    DesignIpNeeds needs{.dram_interfaces = 2};
+    // 180nm: no DDR IP -> free SDR controller, so IP cost equals the
+    // no-DRAM cost.
+    EXPECT_DOUBLE_EQ(model_.ipCost(db_.node(NodeId::N180), app, needs),
+                     model_.ipCost(db_.node(NodeId::N180), app, {}));
+    // 65nm: controller + PHY are licensed once regardless of count.
+    EXPECT_NEAR(model_.ipCost(db_.node(NodeId::N65), app, needs) -
+                    model_.ipCost(db_.node(NodeId::N65), app, {}),
+                125e3 + 175e3, 1e-6);
+}
+
+TEST_F(NreModelTest, HighSpeedLinkImpossibleAtOldestNodes)
+{
+    const auto app = simpleApp();
+    DesignIpNeeds needs{.high_speed_link = true};
+    EXPECT_THROW(model_.ipCost(db_.node(NodeId::N250), app, needs),
+                 ModelError);
+    EXPECT_NO_THROW(model_.ipCost(db_.node(NodeId::N130), app, needs));
+}
+
+TEST_F(NreModelTest, ExtraIpCostFlowsThrough)
+{
+    auto app = simpleApp();
+    app.extra_ip_cost = 200e3;  // e.g. the video decoder license
+    const auto b = model_.compute(db_.node(NodeId::N65), app, {});
+    EXPECT_DOUBLE_EQ(b.ip, 200e3);
+}
+
+TEST_F(NreModelTest, SystemLevelNre)
+{
+    const auto b = model_.compute(db_.node(NodeId::N65), simpleApp(),
+                                  {});
+    EXPECT_DOUBLE_EQ(b.pcb_design, 30e3);
+    EXPECT_GT(b.system_labor, 0.0);
+    EXPECT_DOUBLE_EQ(b.systemLevel(), b.system_labor + b.pcb_design);
+}
+
+TEST_F(NreModelTest, TotalIsSumOfComponents)
+{
+    const auto b = model_.compute(db_.node(NodeId::N40), simpleApp(),
+                                  DesignIpNeeds{.clock_mhz = 400});
+    EXPECT_NEAR(b.total(),
+                b.mask + b.package + b.frontend_labor +
+                    b.frontend_cad + b.backend_labor + b.backend_cad +
+                    b.ip + b.system_labor + b.pcb_design,
+                1e-9);
+}
+
+} // namespace
+} // namespace moonwalk::nre

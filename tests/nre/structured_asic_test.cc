@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "nre/structured_asic.hh"
+#include "tech/database.hh"
+#include "util/error.hh"
+
+namespace moonwalk::nre {
+namespace {
+
+using tech::NodeId;
+
+class StructuredAsicTest : public ::testing::Test
+{
+  protected:
+    NreModel model_;
+    StructuredAsicParams params_;
+    const tech::TechDatabase &db_ = tech::defaultTechDatabase();
+};
+
+TEST_F(StructuredAsicTest, PenaltiesAppliedToRca)
+{
+    const auto rca = apps::bitcoin().rca;
+    const auto s = applyStructuredPenalties(rca, params_);
+    EXPECT_NEAR(s.area_28_mm2, rca.area_28_mm2 * 2.2, 1e-12);
+    EXPECT_NEAR(s.energy_per_op_28_j,
+                rca.energy_per_op_28_j * 1.9, 1e-21);
+    EXPECT_NEAR(s.f_nominal_28_mhz, rca.f_nominal_28_mhz * 0.7,
+                1e-9);
+    // Function is unchanged.
+    EXPECT_DOUBLE_EQ(s.ops_per_cycle, rca.ops_per_cycle);
+    EXPECT_DOUBLE_EQ(s.gate_count, rca.gate_count);
+}
+
+TEST_F(StructuredAsicTest, NreMuchCheaperAtAdvancedNodes)
+{
+    const auto app = apps::bitcoin();
+    const DesignIpNeeds needs{.clock_mhz = 120};
+    const auto &n28 = db_.node(NodeId::N28);
+    const auto full = model_.compute(n28, app.nre, needs);
+    const auto structured =
+        structuredAsicNre(model_, n28, app.nre, needs, params_);
+    // 28nm full-custom NRE is mask-dominated; the structured option
+    // pays only 30% of masks and half the backend.
+    EXPECT_LT(structured.total(), 0.55 * full.total());
+    EXPECT_NEAR(structured.mask, 0.30 * full.mask, 1e-6);
+    EXPECT_NEAR(structured.backend_labor, 0.5 * full.backend_labor,
+                1e-6);
+    EXPECT_DOUBLE_EQ(structured.package, 0.0);
+    // Frontend and system costs unchanged.
+    EXPECT_DOUBLE_EQ(structured.frontend_labor, full.frontend_labor);
+    EXPECT_DOUBLE_EQ(structured.system_labor, full.system_labor);
+}
+
+TEST_F(StructuredAsicTest, SavingSmallerAtOldNodes)
+{
+    // Old-node NRE is labor/IP dominated, so the structured discount
+    // shrinks (relative saving at 250nm < at 16nm).
+    const auto app = apps::bitcoin().nre;
+    const DesignIpNeeds needs{.clock_mhz = 100};
+    auto ratio = [&](NodeId id) {
+        const auto &n = db_.node(id);
+        return structuredAsicNre(model_, n, app, needs, params_)
+                   .total() /
+            model_.compute(n, app, needs).total();
+    };
+    EXPECT_GT(ratio(NodeId::N250), ratio(NodeId::N16));
+}
+
+TEST_F(StructuredAsicTest, KeepVendorPackageToggle)
+{
+    StructuredAsicParams keep = params_;
+    keep.reuse_vendor_package = false;
+    const auto app = apps::bitcoin().nre;
+    const auto &n = db_.node(NodeId::N40);
+    const auto b = structuredAsicNre(model_, n, app, {}, keep);
+    EXPECT_DOUBLE_EQ(b.package, model_.parameters().package_nre);
+}
+
+TEST_F(StructuredAsicTest, RejectsNonsensePenalties)
+{
+    const auto rca = apps::bitcoin().rca;
+    StructuredAsicParams bad = params_;
+    bad.area_penalty = 0.5;  // structured cannot beat full custom
+    EXPECT_THROW(applyStructuredPenalties(rca, bad), ModelError);
+    bad = params_;
+    bad.freq_penalty = 1.5;
+    EXPECT_THROW(applyStructuredPenalties(rca, bad), ModelError);
+
+    StructuredAsicParams bad_nre = params_;
+    bad_nre.mask_fraction = 0.0;
+    EXPECT_THROW(structuredAsicNre(model_,
+                                   db_.node(NodeId::N28),
+                                   apps::bitcoin().nre, {}, bad_nre),
+                 ModelError);
+    bad_nre = params_;
+    bad_nre.backend_scale = 1.5;
+    EXPECT_THROW(structuredAsicNre(model_,
+                                   db_.node(NodeId::N28),
+                                   apps::bitcoin().nre, {}, bad_nre),
+                 ModelError);
+}
+
+} // namespace
+} // namespace moonwalk::nre

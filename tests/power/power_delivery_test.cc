@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "power/power_delivery.hh"
+#include "util/error.hh"
+
+namespace moonwalk::power {
+namespace {
+
+TEST(Psu, EfficiencyCurvePeaksAtHalfLoad)
+{
+    PsuParams psu;
+    EXPECT_DOUBLE_EQ(psu.efficiencyAt(0.5), psu.eta_peak);
+    EXPECT_LT(psu.efficiencyAt(1.0), psu.eta_peak);
+    EXPECT_LT(psu.efficiencyAt(0.1), psu.eta_peak);
+    EXPECT_NEAR(psu.efficiencyAt(1.0), psu.eta_peak - psu.eta_droop,
+                1e-12);
+    // Clamped outside the physical range.
+    EXPECT_DOUBLE_EQ(psu.efficiencyAt(2.0), psu.efficiencyAt(1.0));
+}
+
+TEST(PowerDelivery, PhasesSizedByCurrent)
+{
+    // 3,000W at 0.5V = 6,000A = 200 x 30A phases.
+    const auto plan = planPowerDelivery(3000.0, 0.5, 72, 0.0);
+    EXPECT_EQ(plan.dcdc_phases, 200);
+    EXPECT_DOUBLE_EQ(plan.dcdc_cost, 200 * 2.2);
+}
+
+TEST(PowerDelivery, PerDieMinimumPhases)
+{
+    // Tiny rail, many dies: local regulation dominates.
+    const auto plan = planPowerDelivery(10.0, 1.0, 120, 0.0);
+    EXPECT_EQ(plan.dcdc_phases, 120);
+}
+
+TEST(PowerDelivery, NearThresholdCostsMoreConversion)
+{
+    // Same power at lower voltage needs more phases.
+    const auto hi = planPowerDelivery(2000.0, 0.9, 72, 0.0);
+    const auto lo = planPowerDelivery(2000.0, 0.45, 72, 0.0);
+    EXPECT_GT(lo.dcdc_phases, 1.9 * hi.dcdc_phases);
+    EXPECT_GT(lo.dcdc_cost, 1.9 * hi.dcdc_cost);
+    // Wall power is voltage-independent (efficiency model is flat).
+    EXPECT_NEAR(lo.wall_power_w, hi.wall_power_w, 1e-9);
+}
+
+TEST(PowerDelivery, WallPowerAccounting)
+{
+    const auto plan = planPowerDelivery(1000.0, 0.6, 10, 200.0);
+    // DC side: 1000/0.93 + 200; wall adds PSU loss at ~87% load.
+    const double dc = 1000.0 / 0.93 + 200.0;
+    EXPECT_NEAR(plan.wall_power_w, dc / plan.psu_efficiency, 1e-9);
+    EXPECT_GT(plan.wall_power_w, dc);
+    EXPECT_NEAR(plan.dcdc_loss_w, 1000.0 / 0.93 - 1000.0, 1e-9);
+    EXPECT_NEAR(plan.psu_rated_w, dc * 1.15, 1e-9);
+    EXPECT_NEAR(plan.psu_efficiency, 0.9368, 1e-3);
+}
+
+TEST(PowerDelivery, EffectiveRatesMatchCalibration)
+{
+    // DESIGN.md calibration: effective chain efficiency ~0.87 and
+    // PSU cost ~0.11 $/W of DC power.
+    const auto plan = planPowerDelivery(3000.0, 0.46, 72, 300.0);
+    const double chain = 3000.0 /
+        (plan.wall_power_w - 300.0 / plan.psu_efficiency);
+    EXPECT_NEAR(chain, 0.87, 0.01);
+    EXPECT_NEAR(plan.psu_cost / (plan.wall_power_w *
+                                 plan.psu_efficiency),
+                0.109, 0.002);
+}
+
+TEST(PowerDelivery, Rejections)
+{
+    EXPECT_THROW(planPowerDelivery(-1.0, 0.9, 1, 0.0), ModelError);
+    EXPECT_THROW(planPowerDelivery(10.0, 0.0, 1, 0.0), ModelError);
+    EXPECT_THROW(planPowerDelivery(10.0, 0.9, 0, 0.0), ModelError);
+    EXPECT_THROW(planPowerDelivery(10.0, 0.9, 1, -5.0), ModelError);
+}
+
+} // namespace
+} // namespace moonwalk::power

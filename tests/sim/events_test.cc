@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "sim/events.hh"
+#include "util/error.hh"
+
+namespace moonwalk::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    while (q.step()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+    EXPECT_EQ(q.fired(), 3u);
+}
+
+TEST(EventQueue, SimultaneousEventsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1.0, [&order, i] { order.push_back(i); });
+    while (q.step()) {
+    }
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 10)
+            q.schedule(q.now() + 1.0, chain);
+    };
+    q.schedule(0.0, chain);
+    while (q.step()) {
+    }
+    EXPECT_EQ(count, 10);
+    EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon)
+{
+    EventQueue q;
+    int fired = 0;
+    for (double t : {1.0, 2.0, 3.0, 4.0})
+        q.schedule(t, [&] { ++fired; });
+    q.runUntil(2.5);
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(q.now(), 2.5);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(5.0);
+    EXPECT_DOUBLE_EQ(q.now(), 5.0);
+}
+
+TEST(EventQueue, RejectsPastScheduling)
+{
+    EventQueue q;
+    q.schedule(2.0, [] {});
+    q.step();
+    EXPECT_THROW(q.schedule(1.0, [] {}), ModelError);
+}
+
+} // namespace
+} // namespace moonwalk::sim

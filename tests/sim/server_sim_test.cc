@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "sim/server_sim.hh"
+#include "util/error.hh"
+#include "util/math.hh"
+
+namespace moonwalk::sim {
+namespace {
+
+/** A small server so tests run fast: 4 ASICs x 8 RCAs at 1M ops/s. */
+ServerModel
+smallServer()
+{
+    ServerModel m;
+    m.asics = 4;
+    m.rcas_per_asic = 8;
+    m.rca_ops_per_s = 1e6;
+    m.asic_queue_depth = 16;
+    return m;
+}
+
+TEST(ServerSim, CapacityArithmetic)
+{
+    ServerSimulator sim(smallServer());
+    EXPECT_DOUBLE_EQ(sim.capacityOpsPerS(), 32e6);
+}
+
+TEST(ServerSim, LightLoadLatencyIsServicePlusOverheads)
+{
+    ServerSimulator sim(smallServer());
+    Workload w;
+    w.ops_per_job = 1e4;       // 10 ms of work? no: 10e3/1e6 = 10 ms
+    w.arrival_rate = 5.0;      // essentially no queueing
+    w.duration_s = 20.0;
+    const auto s = sim.run(w);
+    ASSERT_GT(s.jobs_completed, 50u);
+    const double expected = 1e4 / 1e6 + sim.model().dispatch_latency_s +
+        sim.model().interconnect_latency_s;
+    EXPECT_NEAR(s.latency_p50, expected, 1e-9);
+    EXPECT_NEAR(s.latency_max, expected, 1e-6);
+    EXPECT_EQ(s.jobs_dropped, 0u);
+}
+
+TEST(ServerSim, ThroughputTracksOfferedLoadBelowSaturation)
+{
+    ServerSimulator sim(smallServer());
+    Workload w;
+    w.ops_per_job = 1e5;
+    w.arrival_rate = 100.0;  // offered 10M ops/s vs 32M capacity
+    w.duration_s = 80.0;     // ~8000 jobs: Poisson noise ~1%
+    const auto s = sim.run(w);
+    const double offered = w.arrival_rate * w.ops_per_job;
+    EXPECT_LT(moonwalk::relativeError(s.achieved_ops_per_s, offered),
+              0.05);
+    EXPECT_NEAR(s.rca_utilization, offered / sim.capacityOpsPerS(),
+                0.05);
+}
+
+TEST(ServerSim, SaturationApproachesModelCapacity)
+{
+    // The analytic model's perf_ops is the saturated throughput: at
+    // 3x overload the simulator must deliver ~capacity.
+    ServerSimulator sim(smallServer());
+    Workload w;
+    w.ops_per_job = 1e5;
+    w.arrival_rate = 3.0 * sim.capacityOpsPerS() / w.ops_per_job;
+    w.duration_s = 10.0;
+    const auto s = sim.run(w);
+    EXPECT_GT(s.achieved_ops_per_s, 0.95 * sim.capacityOpsPerS());
+    EXPECT_LE(s.achieved_ops_per_s,
+              1.02 * sim.capacityOpsPerS());
+    EXPECT_GT(s.jobs_dropped, 0u);
+    EXPECT_GT(s.rca_utilization, 0.95);
+}
+
+TEST(ServerSim, LatencyGrowsWithLoad)
+{
+    ServerSimulator sim(smallServer());
+    Workload light;
+    light.ops_per_job = 1e5;
+    light.arrival_rate = 0.3 * 32e6 / 1e5;
+    light.duration_s = 10.0;
+    Workload heavy = light;
+    heavy.arrival_rate = 0.95 * 32e6 / 1e5;
+    const auto sl = sim.run(light);
+    const auto sh = sim.run(heavy);
+    EXPECT_GT(sh.latency_p99, sl.latency_p99);
+    EXPECT_GE(sh.latency_p99, sh.latency_p50);
+}
+
+TEST(ServerSim, DeterministicForFixedSeed)
+{
+    ServerSimulator sim(smallServer());
+    Workload w;
+    w.ops_per_job = 5e4;
+    w.arrival_rate = 200.0;
+    w.duration_s = 5.0;
+    w.seed = 42;
+    const auto a = sim.run(w);
+    const auto b = sim.run(w);
+    EXPECT_EQ(a.jobs_offered, b.jobs_offered);
+    EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+    EXPECT_DOUBLE_EQ(a.latency_p99, b.latency_p99);
+
+    w.seed = 43;
+    const auto c = sim.run(w);
+    EXPECT_NE(a.jobs_offered, c.jobs_offered);
+}
+
+TEST(ServerSim, ConservationOfJobs)
+{
+    ServerSimulator sim(smallServer());
+    Workload w;
+    w.ops_per_job = 1e5;
+    w.arrival_rate = 2.0 * 32e6 / 1e5;
+    w.duration_s = 5.0;
+    w.warmup_fraction = 0.0;
+    const auto s = sim.run(w);
+    // Every offered job either completes or is dropped (queues drain
+    // after the horizon).
+    EXPECT_EQ(s.jobs_offered, s.jobs_completed_total + s.jobs_dropped);
+    // The measured subset excludes the post-horizon drain.
+    EXPECT_LE(s.jobs_completed, s.jobs_completed_total);
+}
+
+TEST(ServerSim, QueueDepthZeroDropsBurst)
+{
+    auto m = smallServer();
+    m.asic_queue_depth = 0;
+    ServerSimulator sim(m);
+    Workload w;
+    w.ops_per_job = 1e6;  // 1 s of service: server pins quickly
+    w.arrival_rate = 200.0;
+    w.duration_s = 2.0;
+    w.warmup_fraction = 0.0;
+    const auto s = sim.run(w);
+    EXPECT_GT(s.jobs_dropped, 0u);
+    // At most one job per RCA can ever be in service.
+    EXPECT_LE(s.jobs_completed, 32u + 64u);
+}
+
+TEST(ServerSim, RejectsBadInputs)
+{
+    ServerModel bad;
+    bad.asics = 0;
+    EXPECT_THROW(ServerSimulator{bad}, ModelError);
+
+    ServerSimulator sim(smallServer());
+    Workload w;
+    w.ops_per_job = 0.0;
+    EXPECT_THROW(sim.run(w), ModelError);
+    w.ops_per_job = 1.0;
+    w.warmup_fraction = 1.0;
+    EXPECT_THROW(sim.run(w), ModelError);
+}
+
+} // namespace
+} // namespace moonwalk::sim

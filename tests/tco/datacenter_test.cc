@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "tco/datacenter.hh"
+#include "util/error.hh"
+
+namespace moonwalk::tco {
+namespace {
+
+TEST(Datacenter, PlanBasicArithmetic)
+{
+    DatacenterPlanner planner;
+    // 100 servers' worth of work: 4kW boxes, 3 per 15kW rack.
+    const auto p = planner.plan(1000.0, 10.0, 4000.0, 8000.0);
+    EXPECT_EQ(p.servers, 100);
+    EXPECT_EQ(p.servers_per_rack, 3);
+    EXPECT_EQ(p.racks, 34);  // ceil(100/3)
+    EXPECT_DOUBLE_EQ(p.aggregate_ops, 1000.0);
+    EXPECT_DOUBLE_EQ(p.critical_power_w, 400e3);
+    EXPECT_DOUBLE_EQ(p.server_capex, 800e3);
+    EXPECT_DOUBLE_EQ(p.rack_capex, 34 * 6e3);
+}
+
+TEST(Datacenter, RoundsServersUp)
+{
+    DatacenterPlanner planner;
+    const auto p = planner.plan(101.0, 10.0, 1000.0, 1000.0);
+    EXPECT_EQ(p.servers, 11);
+    EXPECT_GE(p.aggregate_ops, 101.0);
+}
+
+TEST(Datacenter, SpaceLimitWhenServersAreSmall)
+{
+    DatacenterParams params;
+    params.rack_power_w = 100e3;  // power never binds
+    DatacenterPlanner planner(TcoModel{}, params);
+    const auto p = planner.plan(1000.0, 10.0, 100.0, 500.0);
+    EXPECT_EQ(p.servers_per_rack, params.rack_units);
+}
+
+TEST(Datacenter, TcoIncludesEnergyAndRackOverhead)
+{
+    DatacenterPlanner planner;
+    const auto p = planner.plan(100.0, 10.0, 2000.0, 5000.0);
+    TcoModel tco;
+    EXPECT_NEAR(p.tco.total(),
+                tco.total(p.server_capex, p.critical_power_w), 1e-6);
+    EXPECT_GT(p.totalCost(), p.tco.total());
+}
+
+TEST(Datacenter, OversizedServerRejected)
+{
+    DatacenterPlanner planner;
+    EXPECT_THROW(planner.plan(10.0, 10.0, 20e3, 1000.0), ModelError);
+}
+
+TEST(Datacenter, BadInputsRejected)
+{
+    DatacenterPlanner planner;
+    EXPECT_THROW(planner.plan(0.0, 10.0, 100.0, 100.0), ModelError);
+    EXPECT_THROW(planner.plan(10.0, -1.0, 100.0, 100.0), ModelError);
+    EXPECT_THROW(planner.plan(10.0, 10.0, 100.0, 0.0), ModelError);
+}
+
+TEST(Datacenter, BitcoinExampleScale)
+{
+    // A 1 EH/s Bitcoin fleet on the paper's 28nm servers
+    // (~8,223 GH/s, 3,736W, $8.2K): ~122K servers, tens of MW.
+    DatacenterPlanner planner;
+    const auto p = planner.plan(1e18, 8223e9, 3736.0, 8200.0);
+    EXPECT_NEAR(static_cast<double>(p.servers), 121611, 5.0);
+    EXPECT_GT(p.critical_power_w, 400e6);
+    EXPECT_EQ(p.servers_per_rack, 4);
+}
+
+} // namespace
+} // namespace moonwalk::tco

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "tco/tco_model.hh"
+#include "util/error.hh"
+#include "util/math.hh"
+
+namespace moonwalk::tco {
+namespace {
+
+TEST(Tco, WattCostMatchesPaperFit)
+{
+    // Tables 7-10 obey TCO ~ server_cost + k * power with
+    // k = 4.18-4.34 $/W; the default parameters must land inside.
+    TcoModel model;
+    EXPECT_GT(model.wattCost(), 4.1);
+    EXPECT_LT(model.wattCost(), 4.4);
+}
+
+TEST(Tco, LinearInCostAndPower)
+{
+    TcoModel model;
+    const double t0 = model.total(1000.0, 500.0);
+    EXPECT_NEAR(model.total(2000.0, 500.0), t0 + 1000.0, 1e-9);
+    EXPECT_NEAR(model.total(1000.0, 1000.0),
+                t0 + 500.0 * model.wattCost(), 1e-9);
+}
+
+TEST(Tco, BreakdownComponents)
+{
+    TcoModel model;
+    const auto b = model.compute(8200.0, 3736.0);
+    EXPECT_DOUBLE_EQ(b.server_capex, 8200.0);
+    EXPECT_GT(b.datacenter_capex, 0.0);
+    EXPECT_GT(b.energy, 0.0);
+    EXPECT_DOUBLE_EQ(b.interest, 0.0);  // default: matches paper fit
+    EXPECT_NEAR(b.total(), model.total(8200.0, 3736.0), 1e-9);
+}
+
+TEST(Tco, InterestAddsCost)
+{
+    TcoParameters p;
+    p.annual_interest = 0.08;
+    TcoModel with_interest(p);
+    TcoModel without;
+    EXPECT_GT(with_interest.total(1000.0, 100.0),
+              without.total(1000.0, 100.0));
+}
+
+TEST(Tco, PaperTable6BaselineTcoPerOps)
+{
+    // Table 6: AMD 7970 Bitcoin server: 0.68 GH/s, 285W, $400 ->
+    // 2,320 $/GH/s.
+    TcoModel model;
+    const double tco = model.tcoPerOps(400.0, 285.0, 0.68);
+    EXPECT_LT(moonwalk::relativeError(tco, 2320.0), 0.08);
+}
+
+TEST(Tco, PaperTable7BitcoinAsic28nm)
+{
+    // Table 7, 28nm: $8.2K server, 3,736W, 8,223 GH/s -> 2.912.
+    TcoModel model;
+    const double tco = model.tcoPerOps(8200.0, 3736.0, 8223.0);
+    EXPECT_LT(moonwalk::relativeError(tco, 2.912), 0.08);
+}
+
+TEST(Tco, RejectsBadInputs)
+{
+    TcoModel model;
+    EXPECT_THROW(model.total(-1.0, 10.0), moonwalk::ModelError);
+    EXPECT_THROW(model.tcoPerOps(10.0, 10.0, 0.0),
+                 moonwalk::ModelError);
+}
+
+TEST(Tco, EnergyDominatesDatacenterCapexAtDefaultPrices)
+{
+    TcoModel model;
+    const auto b = model.compute(0.0, 1000.0);
+    EXPECT_GT(b.energy, 0.8 * b.datacenter_capex);
+}
+
+} // namespace
+} // namespace moonwalk::tco

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "tech/database.hh"
+#include "util/error.hh"
+
+namespace moonwalk::tech {
+namespace {
+
+TEST(TechDatabase, HasAllEightNodes)
+{
+    const auto &db = defaultTechDatabase();
+    EXPECT_EQ(db.nodes().size(), 8u);
+    for (NodeId id : kAllNodes)
+        EXPECT_EQ(db.node(id).id, id);
+}
+
+TEST(TechDatabase, Table1MaskCosts)
+{
+    const auto &db = defaultTechDatabase();
+    EXPECT_DOUBLE_EQ(db.node(NodeId::N250).mask_cost, 65e3);
+    EXPECT_DOUBLE_EQ(db.node(NodeId::N180).mask_cost, 105e3);
+    EXPECT_DOUBLE_EQ(db.node(NodeId::N130).mask_cost, 290e3);
+    EXPECT_DOUBLE_EQ(db.node(NodeId::N90).mask_cost, 560e3);
+    EXPECT_DOUBLE_EQ(db.node(NodeId::N65).mask_cost, 700e3);
+    EXPECT_DOUBLE_EQ(db.node(NodeId::N40).mask_cost, 1.25e6);
+    EXPECT_DOUBLE_EQ(db.node(NodeId::N28).mask_cost, 2.25e6);
+    EXPECT_DOUBLE_EQ(db.node(NodeId::N16).mask_cost, 5.70e6);
+}
+
+TEST(TechDatabase, Table1WaferCosts)
+{
+    const auto &db = defaultTechDatabase();
+    EXPECT_DOUBLE_EQ(db.node(NodeId::N250).wafer_cost, 720);
+    EXPECT_DOUBLE_EQ(db.node(NodeId::N65).wafer_cost, 3300);
+    EXPECT_DOUBLE_EQ(db.node(NodeId::N16).wafer_cost, 11100);
+    // 200mm wafers for the two oldest nodes only.
+    EXPECT_DOUBLE_EQ(db.node(NodeId::N250).wafer_diameter_mm, 200);
+    EXPECT_DOUBLE_EQ(db.node(NodeId::N180).wafer_diameter_mm, 200);
+    EXPECT_DOUBLE_EQ(db.node(NodeId::N130).wafer_diameter_mm, 300);
+}
+
+TEST(TechDatabase, Table2NominalVdd)
+{
+    const auto &db = defaultTechDatabase();
+    const double expected[] = {2.5, 1.8, 1.2, 1.0, 1.0, 0.9, 0.9, 0.8};
+    for (NodeId id : kAllNodes) {
+        EXPECT_DOUBLE_EQ(db.node(id).vdd_nominal,
+                         expected[nodeIndex(id)])
+            << to_string(id);
+    }
+}
+
+TEST(TechDatabase, BackendCostPerGateJumpsAt16nm)
+{
+    const auto &db = defaultTechDatabase();
+    // Double patterning doubles backend cost per gate (Table 1).
+    EXPECT_GT(db.node(NodeId::N16).backend_cost_per_gate,
+              1.9 * db.node(NodeId::N28).backend_cost_per_gate);
+}
+
+TEST(TechDatabase, MetalLayers)
+{
+    const auto &db = defaultTechDatabase();
+    EXPECT_EQ(db.node(NodeId::N250).metal_layers, 5);
+    EXPECT_EQ(db.node(NodeId::N180).metal_layers, 6);
+    EXPECT_EQ(db.node(NodeId::N130).metal_layers, 9);
+    EXPECT_EQ(db.node(NodeId::N16).metal_layers, 9);
+}
+
+TEST(TechDatabase, ScalingFactorBetweenNodes)
+{
+    const auto &db = defaultTechDatabase();
+    EXPECT_NEAR(db.scalingFactor(NodeId::N180, NodeId::N130),
+                180.0 / 130.0, 1e-12);
+    // The paper calls out the wide 28 -> 16 step (S = 1.75).
+    EXPECT_NEAR(db.scalingFactor(NodeId::N28, NodeId::N16), 1.75,
+                1e-12);
+}
+
+TEST(TechDatabase, NodeByFeature)
+{
+    const auto &db = defaultTechDatabase();
+    EXPECT_EQ(db.nodeByFeature(65).id, NodeId::N65);
+    EXPECT_THROW(db.nodeByFeature(45), ModelError);
+}
+
+TEST(TechDatabase, VddRangeOrdering)
+{
+    const auto &db = defaultTechDatabase();
+    for (const auto &n : db.nodes()) {
+        EXPECT_LT(n.vth, n.vdd_min) << n.name;
+        EXPECT_LT(n.vdd_min, n.vdd_nominal) << n.name;
+        EXPECT_NEAR(n.vddMax(), 1.5 * n.vdd_nominal, 1e-12) << n.name;
+    }
+}
+
+TEST(TechDatabase, DramGenerations)
+{
+    const auto &db = defaultTechDatabase();
+    EXPECT_EQ(db.node(NodeId::N250).dram_generation,
+              DramGeneration::SDR);
+    EXPECT_EQ(db.node(NodeId::N180).dram_generation,
+              DramGeneration::SDR);
+    EXPECT_EQ(db.node(NodeId::N90).dram_generation,
+              DramGeneration::DDR);
+    EXPECT_EQ(db.node(NodeId::N65).dram_generation,
+              DramGeneration::LPDDR3);
+}
+
+TEST(TechDatabase, GrossDiesPerWafer)
+{
+    const auto &db = defaultTechDatabase();
+    // A 540mm^2 die on a 300mm wafer: ~102 gross dies.
+    const double gross =
+        db.node(NodeId::N28).grossDiesPerWafer(540.0);
+    EXPECT_GT(gross, 90.0);
+    EXPECT_LT(gross, 115.0);
+    // A die larger than the wafer yields zero.
+    EXPECT_EQ(db.node(NodeId::N28).grossDiesPerWafer(1e6), 0.0);
+    EXPECT_THROW(db.node(NodeId::N28).grossDiesPerWafer(-1.0),
+                 ModelError);
+}
+
+TEST(TechDatabase, ScalingFactorsFollowFeatureWidth)
+{
+    const auto &db = defaultTechDatabase();
+    for (const auto &n : db.nodes()) {
+        const double s = 28.0 / n.feature_nm;
+        EXPECT_NEAR(n.density_factor, s * s, 1e-12) << n.name;
+        EXPECT_NEAR(n.freq_factor, s, 1e-12) << n.name;
+        EXPECT_NEAR(n.cap_factor, 1.0 / s, 1e-12) << n.name;
+    }
+}
+
+} // namespace
+} // namespace moonwalk::tech

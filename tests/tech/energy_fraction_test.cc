@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Energy-scaling-fraction behavior: the share of an accelerator's
+ * energy that does not scale with node capacitance (eDRAM, I/O
+ * drivers) compresses cross-node energy ratios in both directions.
+ */
+#include <gtest/gtest.h>
+
+#include "tech/scaling.hh"
+
+namespace moonwalk::tech {
+namespace {
+
+class EnergyFraction : public ::testing::Test
+{
+  protected:
+    ScalingModel model_;
+};
+
+TEST_F(EnergyFraction, FullScalingMatchesDefault)
+{
+    const auto &n = model_.database().node(NodeId::N65);
+    EXPECT_DOUBLE_EQ(model_.energyPerOpJ(n, 0.9, 1e-9),
+                     model_.energyPerOpJ(n, 0.9, 1e-9, 1.0));
+}
+
+TEST_F(EnergyFraction, AnchorNodeUnaffected)
+{
+    // At 28nm (cap_factor == 1) the fraction is irrelevant.
+    const auto &n28 = model_.database().node(NodeId::N28);
+    for (double fs : {0.0, 0.5, 1.0}) {
+        EXPECT_DOUBLE_EQ(model_.energyPerOpJ(n28, 0.7, 1e-9, fs),
+                         model_.energyPerOpJ(n28, 0.7, 1e-9, 1.0));
+    }
+}
+
+TEST_F(EnergyFraction, CompressesRatiosBothDirections)
+{
+    const auto &n250 = model_.database().node(NodeId::N250);
+    const auto &n16 = model_.database().node(NodeId::N16);
+    // Old node: partial scaling means *less* energy than pure CV^2.
+    EXPECT_LT(model_.energyPerOpJ(n250, 0.9, 1e-9, 0.8),
+              model_.energyPerOpJ(n250, 0.9, 1e-9, 1.0));
+    // New node: partial scaling means *more* energy than pure CV^2.
+    EXPECT_GT(model_.energyPerOpJ(n16, 0.9, 1e-9, 0.8),
+              model_.energyPerOpJ(n16, 0.9, 1e-9, 1.0));
+}
+
+TEST_F(EnergyFraction, ZeroFractionIsVoltageOnly)
+{
+    // fs = 0: energy depends on voltage alone, identical across
+    // nodes.
+    const auto &n250 = model_.database().node(NodeId::N250);
+    const auto &n16 = model_.database().node(NodeId::N16);
+    EXPECT_DOUBLE_EQ(model_.energyPerOpJ(n250, 0.8, 1e-9, 0.0),
+                     model_.energyPerOpJ(n16, 0.8, 1e-9, 0.0));
+}
+
+TEST_F(EnergyFraction, InterpolatesLinearly)
+{
+    const auto &n = model_.database().node(NodeId::N65);
+    const double e0 = model_.energyPerOpJ(n, 0.9, 1e-9, 0.0);
+    const double e1 = model_.energyPerOpJ(n, 0.9, 1e-9, 1.0);
+    const double eh = model_.energyPerOpJ(n, 0.9, 1e-9, 0.5);
+    EXPECT_NEAR(eh, 0.5 * (e0 + e1), 1e-18);
+}
+
+} // namespace
+} // namespace moonwalk::tech

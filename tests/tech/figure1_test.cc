@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Reproduces the cross-node ranges the paper quotes for Figure 1
+ * (Section 2): "The space from 250nm to 16nm spans a 89x range in mask
+ * cost, a 152x range in energy/op, a 28x range in cost per op/s (558x
+ * for non-power density limited designs), a 256x range in maximum
+ * accelerator size in transistors, and a 15.5x range in maximum
+ * transistor frequency."
+ */
+#include <gtest/gtest.h>
+
+#include "tech/scaling.hh"
+
+namespace moonwalk::tech {
+namespace {
+
+class Figure1 : public ::testing::Test
+{
+  protected:
+    ScalingModel model_;
+
+    double range(double (ScalingModel::*fn)(NodeId) const) const
+    {
+        const double a = (model_.*fn)(NodeId::N250);
+        const double b = (model_.*fn)(NodeId::N16);
+        return a > b ? a / b : b / a;
+    }
+};
+
+TEST_F(Figure1, MaskCostRange89x)
+{
+    EXPECT_NEAR(range(&ScalingModel::maskCostNorm), 5.70e6 / 65e3,
+                1e-9);  // 87.7x, the paper rounds to 89x
+    EXPECT_NEAR(range(&ScalingModel::maskCostNorm), 89.0, 2.0);
+}
+
+TEST_F(Figure1, EnergyPerOpRange152x)
+{
+    EXPECT_NEAR(range(&ScalingModel::energyPerOpNorm), 152.0, 2.0);
+}
+
+TEST_F(Figure1, CostPerOpsRange558xUnlimited)
+{
+    EXPECT_NEAR(range(&ScalingModel::costPerOpsNormUnlimited), 558.0,
+                10.0);
+}
+
+TEST_F(Figure1, CostPerOpsRange28xPowerLimited)
+{
+    EXPECT_NEAR(range(&ScalingModel::costPerOpsNormPowerLimited), 28.0,
+                2.0);
+}
+
+TEST_F(Figure1, MaxTransistorsRange256x)
+{
+    // Pure S^2 density scaling gives (250/16)^2 = 244x; the paper's
+    // figure annotates 256x.
+    EXPECT_NEAR(range(&ScalingModel::maxTransistorsNorm), 256.0, 15.0);
+}
+
+TEST_F(Figure1, FrequencyRange15p5x)
+{
+    EXPECT_NEAR(range(&ScalingModel::frequencyNorm), 15.5, 0.2);
+}
+
+TEST_F(Figure1, PowerLimitedCurveMatchesUnlimitedThrough90nm)
+{
+    for (NodeId id : {NodeId::N250, NodeId::N180, NodeId::N130,
+                      NodeId::N90}) {
+        EXPECT_DOUBLE_EQ(model_.costPerOpsNormUnlimited(id),
+                         model_.costPerOpsNormPowerLimited(id))
+            << to_string(id);
+    }
+}
+
+TEST_F(Figure1, TwentyEightHasWorseCostPerOpsThan40PowerLimited)
+{
+    // Section 2: "28nm has higher $ per op/s than 40nm because wafer
+    // cost rises faster than usable compute density improves."
+    EXPECT_GT(model_.costPerOpsNormPowerLimited(NodeId::N28),
+              model_.costPerOpsNormPowerLimited(NodeId::N40));
+}
+
+TEST_F(Figure1, EnergyImprovementSlowsAfter90nm)
+{
+    // Dennard-era steps improve energy/op much faster than
+    // post-Dennard steps of similar S.
+    const double pre = model_.energyPerOpNorm(NodeId::N130) /
+        model_.energyPerOpNorm(NodeId::N90);
+    const double post = model_.energyPerOpNorm(NodeId::N40) /
+        model_.energyPerOpNorm(NodeId::N28);
+    EXPECT_GT(pre, post);
+}
+
+TEST_F(Figure1, DennardDottedLineBeatsRealEnergyAfter90nm)
+{
+    for (NodeId id : {NodeId::N65, NodeId::N40, NodeId::N28,
+                      NodeId::N16}) {
+        EXPECT_LT(model_.energyPerOpDennardNorm(id),
+                  model_.energyPerOpNorm(id))
+            << to_string(id);
+    }
+}
+
+TEST_F(Figure1, AllSeriesNormalizedTo250nm)
+{
+    EXPECT_DOUBLE_EQ(model_.maskCostNorm(NodeId::N250), 1.0);
+    EXPECT_DOUBLE_EQ(model_.energyPerOpNorm(NodeId::N250), 1.0);
+    EXPECT_DOUBLE_EQ(model_.costPerOpsNormUnlimited(NodeId::N250), 1.0);
+    EXPECT_DOUBLE_EQ(model_.maxTransistorsNorm(NodeId::N250), 1.0);
+    EXPECT_DOUBLE_EQ(model_.frequencyNorm(NodeId::N250), 1.0);
+}
+
+TEST_F(Figure1, MonotonicSeries)
+{
+    for (int i = 1; i < kNumNodes; ++i) {
+        const NodeId prev = kAllNodes[i - 1];
+        const NodeId cur = kAllNodes[i];
+        EXPECT_GT(model_.maskCostNorm(cur), model_.maskCostNorm(prev));
+        EXPECT_LT(model_.energyPerOpNorm(cur),
+                  model_.energyPerOpNorm(prev));
+        EXPECT_GT(model_.maxTransistorsNorm(cur),
+                  model_.maxTransistorsNorm(prev));
+        EXPECT_GT(model_.frequencyNorm(cur),
+                  model_.frequencyNorm(prev));
+        EXPECT_LT(model_.costPerOpsNormUnlimited(cur),
+                  model_.costPerOpsNormUnlimited(prev));
+    }
+}
+
+} // namespace
+} // namespace moonwalk::tech

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "nre/ip_catalog.hh"
+#include "tech/projection.hh"
+#include "util/error.hh"
+
+namespace moonwalk::tech {
+namespace {
+
+TEST(Projection, TrendsContinueMonotonically)
+{
+    const auto &n16 = defaultTechDatabase().node(NodeId::N16);
+    const auto n10 = projectNode(10.0);
+    const auto n7 = projectNode(7.0);
+
+    EXPECT_GT(n10.mask_cost, n16.mask_cost);
+    EXPECT_GT(n7.mask_cost, n10.mask_cost);
+    EXPECT_GT(n10.wafer_cost, n16.wafer_cost);
+    EXPECT_GT(n7.wafer_cost, n10.wafer_cost);
+    EXPECT_LT(n10.vdd_nominal, n16.vdd_nominal);
+    EXPECT_LT(n7.vdd_nominal, n10.vdd_nominal);
+    EXPECT_GT(n10.vth, n16.vth);
+    EXPECT_GT(n10.backend_cost_per_gate, n16.backend_cost_per_gate);
+}
+
+TEST(Projection, PlausibleSevenNmMaskSet)
+{
+    // Industry quotes for 7nm mask sets run $15-30M.
+    const auto n7 = projectNode(7.0);
+    EXPECT_GT(n7.mask_cost, 12e6);
+    EXPECT_LT(n7.mask_cost, 35e6);
+}
+
+TEST(Projection, ScalingFactorsFollowS)
+{
+    const auto n10 = projectNode(10.0);
+    const double s = 2.8;
+    EXPECT_NEAR(n10.density_factor, s * s, 1e-12);
+    EXPECT_NEAR(n10.freq_factor, s, 1e-12);
+    EXPECT_NEAR(n10.cap_factor, 1.0 / s, 1e-12);
+    EXPECT_NE(n10.name.find("projected"), std::string::npos);
+}
+
+TEST(Projection, VoltageOrderingPreserved)
+{
+    const auto n7 = projectNode(7.0);
+    EXPECT_LT(n7.vth, n7.vdd_min);
+    EXPECT_LT(n7.vdd_min, n7.vdd_nominal);
+}
+
+TEST(Projection, RejectsNonsenseTargets)
+{
+    EXPECT_THROW(projectNode(16.0), ModelError);
+    EXPECT_THROW(projectNode(28.0), ModelError);
+    EXPECT_THROW(projectNode(1.0), ModelError);
+}
+
+TEST(Projection, IpCostsExtrapolate)
+{
+    using nre::IpBlock;
+    // PHYs keep climbing.
+    const double phy16 = 750e3;
+    EXPECT_GT(nre::projectedIpCost(IpBlock::DramPhy, 10.0), phy16);
+    EXPECT_GT(nre::projectedIpCost(IpBlock::PciePhy, 7.0),
+              nre::projectedIpCost(IpBlock::PciePhy, 10.0));
+    // Flat-priced blocks stay flat.
+    EXPECT_DOUBLE_EQ(
+        nre::projectedIpCost(IpBlock::DramController, 7.0), 125e3);
+    EXPECT_DOUBLE_EQ(
+        nre::projectedIpCost(IpBlock::StdCellsSram, 10.0), 100e3);
+    EXPECT_THROW(nre::projectedIpCost(IpBlock::DramPhy, 20.0),
+                 ModelError);
+}
+
+} // namespace
+} // namespace moonwalk::tech

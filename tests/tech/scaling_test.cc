@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "tech/scaling.hh"
+
+namespace moonwalk::tech {
+namespace {
+
+class ScalingTest : public ::testing::Test
+{
+  protected:
+    ScalingModel model_;
+};
+
+TEST_F(ScalingTest, FrequencyAtReferencePointIsAnchor)
+{
+    const auto &n28 = model_.database().node(NodeId::N28);
+    EXPECT_NEAR(model_.frequencyMhz(n28, 0.9, 427.0), 427.0, 1e-9);
+}
+
+TEST_F(ScalingTest, FrequencyScalesWithNodeAtNominal)
+{
+    const auto &n16 = model_.database().node(NodeId::N16);
+    // At 16nm nominal voltage, frequency is freq_factor (1.75x) of
+    // the 28nm anchor.
+    EXPECT_NEAR(model_.frequencyMhz(n16, n16.vdd_nominal, 400.0),
+                700.0, 1e-9);
+}
+
+TEST_F(ScalingTest, FrequencyMonotonicInVoltage)
+{
+    const auto &n = model_.database().node(NodeId::N65);
+    double prev = 0.0;
+    for (double v = n.vdd_min; v <= n.vddMax(); v += 0.01) {
+        const double f = model_.frequencyMhz(n, v, 500.0);
+        EXPECT_GT(f, prev) << "at " << v << "V";
+        prev = f;
+    }
+}
+
+TEST_F(ScalingTest, FrequencyZeroAtThreshold)
+{
+    const auto &n = model_.database().node(NodeId::N28);
+    EXPECT_EQ(model_.frequencyMhz(n, n.vth, 400.0), 0.0);
+    EXPECT_EQ(model_.frequencyMhz(n, n.vth - 0.1, 400.0), 0.0);
+}
+
+TEST_F(ScalingTest, VoltageForFrequencyInvertsModel)
+{
+    const auto &n = model_.database().node(NodeId::N40);
+    const double target = 606.0;
+    const double v = model_.voltageForFrequency(n, target, 606.0);
+    ASSERT_GT(v, 0.0);
+    EXPECT_NEAR(model_.frequencyMhz(n, v, 606.0), target,
+                target * 1e-6);
+    // 40nm must overdrive above nominal to hold a 28nm-nominal clock
+    // (Table 8: 1.285V at 40nm).
+    EXPECT_GT(v, n.vdd_nominal);
+}
+
+TEST_F(ScalingTest, VoltageForFrequencyUnreachable)
+{
+    const auto &n65 = model_.database().node(NodeId::N65);
+    // 65nm cannot reach the Deep Learning SLA clock even at max
+    // voltage: this is what restricts DL to >= 40nm (Section 6.1).
+    EXPECT_LT(model_.voltageForFrequency(n65, 606.0, 606.0), 0.0);
+}
+
+TEST_F(ScalingTest, EnergyQuadraticInVoltage)
+{
+    const auto &n = model_.database().node(NodeId::N28);
+    const double e_half = model_.energyPerOpJ(n, 0.45, 1e-9);
+    const double e_full = model_.energyPerOpJ(n, 0.9, 1e-9);
+    EXPECT_NEAR(e_full / e_half, 4.0, 1e-9);
+}
+
+TEST_F(ScalingTest, EnergyScalesWithCapacitanceAcrossNodes)
+{
+    const auto &n65 = model_.database().node(NodeId::N65);
+    // At the same voltage, 65nm energy/op is cap_factor (65/28)x the
+    // 28nm anchor.
+    EXPECT_NEAR(model_.energyPerOpJ(n65, 0.9, 1e-9),
+                1e-9 * 65.0 / 28.0, 1e-15);
+}
+
+TEST_F(ScalingTest, LeakageGrowsWithAreaAndVoltage)
+{
+    const auto &n = model_.database().node(NodeId::N28);
+    const double l1 = model_.leakagePowerW(n, 0.9, 100.0);
+    const double l2 = model_.leakagePowerW(n, 0.9, 200.0);
+    const double l3 = model_.leakagePowerW(n, 0.45, 200.0);
+    EXPECT_NEAR(l2, 2.0 * l1, 1e-12);
+    EXPECT_LT(l3, l2);
+}
+
+// -- Parameterized monotonicity sweep over all nodes -------------------
+
+class ScalingAllNodes : public ::testing::TestWithParam<NodeId>
+{
+  protected:
+    ScalingModel model_;
+};
+
+TEST_P(ScalingAllNodes, SpeedTermPositiveAboveVddMin)
+{
+    const auto &n = model_.database().node(GetParam());
+    EXPECT_GT(model_.speedTerm(n, n.vdd_min), 0.0);
+    EXPECT_GT(model_.speedTerm(n, n.vdd_nominal), 0.0);
+}
+
+TEST_P(ScalingAllNodes, EnergyPositiveAndFiniteOverVoltageRange)
+{
+    const auto &n = model_.database().node(GetParam());
+    for (double v = n.vdd_min; v <= n.vddMax(); v += 0.05) {
+        const double e = model_.energyPerOpJ(n, v, 1e-9);
+        EXPECT_GT(e, 0.0);
+        EXPECT_LT(e, 1e-6);
+    }
+}
+
+TEST_P(ScalingAllNodes, VoltageForFrequencyRoundTrips)
+{
+    const auto &n = model_.database().node(GetParam());
+    const double f_mid =
+        0.5 * model_.frequencyMhz(n, n.vdd_nominal, 500.0);
+    const double v = model_.voltageForFrequency(n, f_mid, 500.0);
+    ASSERT_GT(v, 0.0);
+    EXPECT_NEAR(model_.frequencyMhz(n, v, 500.0), f_mid, f_mid * 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNodes, ScalingAllNodes,
+                         ::testing::ValuesIn(kAllNodes),
+                         [](const auto &info) {
+                             return to_string(info.param);
+                         });
+
+} // namespace
+} // namespace moonwalk::tech

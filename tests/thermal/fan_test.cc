@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "thermal/fan.hh"
+
+namespace moonwalk::thermal {
+namespace {
+
+TEST(Fan, CurveEndpoints)
+{
+    Fan f;
+    EXPECT_DOUBLE_EQ(f.pressureAt(0.0), f.p_max);
+    EXPECT_DOUBLE_EQ(f.pressureAt(f.q_max), 0.0);
+    EXPECT_DOUBLE_EQ(f.pressureAt(2.0 * f.q_max), 0.0);
+}
+
+TEST(Fan, CurveMonotonicallyDecreasing)
+{
+    Fan f;
+    double prev = f.p_max + 1.0;
+    for (double q = 0.0; q <= f.q_max; q += f.q_max / 20) {
+        EXPECT_LT(f.pressureAt(q), prev);
+        prev = f.pressureAt(q);
+    }
+}
+
+TEST(Fan, OperatingPointBalancesPressure)
+{
+    Fan f;
+    auto impedance = [](double q) { return 4e6 * q * q; };
+    const double q = f.operatingFlow(impedance);
+    EXPECT_GT(q, 0.0);
+    EXPECT_LT(q, f.q_max);
+    EXPECT_NEAR(f.pressureAt(q), impedance(q),
+                0.01 * f.p_max);
+}
+
+TEST(Fan, HigherImpedanceLowersFlow)
+{
+    Fan f;
+    const double q1 = f.operatingFlow([](double q) {
+        return 1e6 * q * q;
+    });
+    const double q2 = f.operatingFlow([](double q) {
+        return 8e6 * q * q;
+    });
+    EXPECT_GT(q1, q2);
+}
+
+TEST(Fan, FreeFlowAgainstZeroImpedance)
+{
+    Fan f;
+    const double q = f.operatingFlow([](double) { return 0.0; });
+    EXPECT_NEAR(q, f.q_max, 1e-6);
+}
+
+TEST(Fan, ElectricalPowerReasonable)
+{
+    Fan f;
+    // At half flow: P = p(q) q / eta.
+    const double q = 0.5 * f.q_max;
+    EXPECT_NEAR(f.electricalPowerAt(q),
+                f.pressureAt(q) * q / f.efficiency, 1e-12);
+    EXPECT_LT(f.electricalPowerAt(q), 100.0);  // sane for a 1U fan
+}
+
+} // namespace
+} // namespace moonwalk::thermal

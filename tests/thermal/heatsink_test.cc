@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "thermal/heatsink.hh"
+#include "util/error.hh"
+
+namespace moonwalk::thermal {
+namespace {
+
+HeatSinkGeometry
+defaultGeom()
+{
+    return {};
+}
+
+TEST(HeatSink, GeometryHelpers)
+{
+    HeatSinkGeometry g = defaultGeom();
+    EXPECT_TRUE(g.valid());
+    EXPECT_GT(g.finGap(), 0.0);
+    EXPECT_GT(g.flowArea(), 0.0);
+    EXPECT_GT(g.metalVolume(), 0.0);
+}
+
+TEST(HeatSink, TooManyFinsInvalid)
+{
+    HeatSinkGeometry g = defaultGeom();
+    g.fin_count = 200;
+    g.fin_thickness = 1e-3;  // 200mm of fin metal in a 45mm width
+    EXPECT_FALSE(g.valid());
+}
+
+TEST(HeatSink, ResistancePositiveAndFinite)
+{
+    const auto p = evaluateHeatSink(defaultGeom(), 0.01, 540e-6);
+    EXPECT_GT(p.r_junction_air, 0.01);
+    EXPECT_LT(p.r_junction_air, 10.0);
+    EXPECT_GT(p.pressure_drop, 0.0);
+    EXPECT_GT(p.air_velocity, 0.0);
+}
+
+TEST(HeatSink, MoreFlowLowersResistance)
+{
+    const auto slow = evaluateHeatSink(defaultGeom(), 0.004, 540e-6);
+    const auto fast = evaluateHeatSink(defaultGeom(), 0.016, 540e-6);
+    EXPECT_LT(fast.r_junction_air, slow.r_junction_air);
+    EXPECT_GT(fast.pressure_drop, slow.pressure_drop);
+}
+
+TEST(HeatSink, SmallerDieHasWorseResistance)
+{
+    // Less spreading area plus larger junction-to-case term.
+    const auto big = evaluateHeatSink(defaultGeom(), 0.01, 540e-6);
+    const auto small = evaluateHeatSink(defaultGeom(), 0.01, 100e-6);
+    EXPECT_GT(small.r_junction_air, big.r_junction_air);
+}
+
+TEST(HeatSink, MoreFinAreaHelpsAtFixedFlow)
+{
+    HeatSinkGeometry sparse = defaultGeom();
+    sparse.fin_count = 8;
+    HeatSinkGeometry dense = defaultGeom();
+    dense.fin_count = 32;
+    const auto ps = evaluateHeatSink(sparse, 0.01, 540e-6);
+    const auto pd = evaluateHeatSink(dense, 0.01, 540e-6);
+    EXPECT_LT(pd.r_junction_air, ps.r_junction_air);
+    // ... but costs more pressure.
+    EXPECT_GT(pd.pressure_drop, ps.pressure_drop);
+}
+
+TEST(HeatSink, RejectsBadInputs)
+{
+    EXPECT_THROW(evaluateHeatSink(defaultGeom(), 0.0, 540e-6),
+                 ModelError);
+    EXPECT_THROW(evaluateHeatSink(defaultGeom(), 0.01, -1.0),
+                 ModelError);
+    HeatSinkGeometry bad = defaultGeom();
+    bad.fin_height = -1.0;
+    EXPECT_THROW(evaluateHeatSink(bad, 0.01, 540e-6), ModelError);
+}
+
+TEST(HeatSink, CostGrowsWithMetal)
+{
+    HeatSinkGeometry small = defaultGeom();
+    HeatSinkGeometry tall = defaultGeom();
+    tall.fin_height = 2.0 * small.fin_height;
+    EXPECT_GT(heatSinkCost(tall), heatSinkCost(small));
+    EXPECT_GT(heatSinkCost(small), 0.0);
+    EXPECT_LT(heatSinkCost(small), 50.0);
+}
+
+} // namespace
+} // namespace moonwalk::thermal

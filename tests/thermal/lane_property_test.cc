@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Property sweep over the lane thermal model: physical invariants
+ * that must hold at every (dies-per-lane, die-area) grid point.
+ */
+#include <gtest/gtest.h>
+
+#include "thermal/air.hh"
+#include "thermal/lane.hh"
+
+namespace moonwalk::thermal {
+namespace {
+
+struct GridPoint
+{
+    int dies;
+    double area_mm2;
+};
+
+class LaneGrid : public ::testing::TestWithParam<GridPoint>
+{
+  protected:
+    LaneThermalModel model_;
+};
+
+TEST_P(LaneGrid, BudgetPositiveAndBounded)
+{
+    const auto &r = model_.solve(GetParam().dies, GetParam().area_mm2);
+    EXPECT_GT(r.max_power_per_die_w, 0.5);
+    EXPECT_LT(r.max_power_per_die_w, 1000.0);
+}
+
+TEST_P(LaneGrid, HeatsinkGeometryValid)
+{
+    const auto &r = model_.solve(GetParam().dies, GetParam().area_mm2);
+    EXPECT_TRUE(r.heatsink.valid());
+    // Fins stay within the duct envelope.
+    EXPECT_LE(r.heatsink.fin_height + r.heatsink.base_thickness,
+              model_.environment().duct_height_m + 1e-9);
+    EXPECT_LE(r.heatsink.width,
+              model_.environment().duct_width_m + 1e-9);
+}
+
+TEST_P(LaneGrid, FlowWithinFanEnvelope)
+{
+    const auto &r = model_.solve(GetParam().dies, GetParam().area_mm2);
+    EXPECT_GT(r.airflow_m3s, 0.0);
+    EXPECT_LE(r.airflow_m3s, model_.environment().fan.q_max);
+    EXPECT_GE(r.fan_power_w, 0.0);
+    EXPECT_LT(r.fan_power_w, 200.0);
+}
+
+TEST_P(LaneGrid, EnergyConservation)
+{
+    // Total lane heat at the budget cannot exceed what the airflow
+    // can absorb at the allowed temperature rise.
+    const auto &env = model_.environment();
+    const auto &r = model_.solve(GetParam().dies, GetParam().area_mm2);
+    const double lane_heat = GetParam().dies * r.max_power_per_die_w;
+    const double mdot_cp = r.airflow_m3s * kAirRhoCp;
+    const double max_absorb =
+        mdot_cp * (env.tj_max_c - env.ambient_c);
+    EXPECT_LE(lane_heat, max_absorb * (1.0 + 1e-9));
+}
+
+TEST_P(LaneGrid, ResistanceTimesBudgetWithinDeltaT)
+{
+    // The first die of the lane sees ambient air; its junction rise
+    // R * P must fit the budget.
+    const auto &env = model_.environment();
+    const auto &r = model_.solve(GetParam().dies, GetParam().area_mm2);
+    EXPECT_LE(r.r_junction_air * r.max_power_per_die_w,
+              env.tj_max_c - env.ambient_c + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DiesByArea, LaneGrid,
+    ::testing::Values(
+        GridPoint{1, 60}, GridPoint{1, 300}, GridPoint{1, 620},
+        GridPoint{4, 60}, GridPoint{4, 300}, GridPoint{4, 620},
+        GridPoint{8, 60}, GridPoint{8, 300}, GridPoint{8, 620},
+        GridPoint{12, 100}, GridPoint{12, 450},
+        GridPoint{15, 60}, GridPoint{15, 300}, GridPoint{15, 540}),
+    [](const auto &info) {
+        return "d" + std::to_string(info.param.dies) + "_a" +
+            std::to_string(static_cast<int>(info.param.area_mm2));
+    });
+
+TEST(LaneGridGlobal, BudgetMonotoneInDiesAtFixedArea)
+{
+    LaneThermalModel model;
+    for (double area : {100.0, 300.0, 600.0}) {
+        double prev = 1e18;
+        for (int dies = 1; dies <= 15; ++dies) {
+            const double p =
+                model.solve(dies, area).max_power_per_die_w;
+            EXPECT_LE(p, prev * (1.0 + 1e-9))
+                << dies << " dies, " << area << " mm^2";
+            prev = p;
+        }
+    }
+}
+
+TEST(LaneGridGlobal, BudgetMonotoneInAreaAtFixedDies)
+{
+    LaneThermalModel model;
+    for (int dies : {2, 8, 14}) {
+        double prev = 0.0;
+        for (double area = 60.0; area <= 620.0; area += 80.0) {
+            const double p =
+                model.solve(dies, area).max_power_per_die_w;
+            EXPECT_GE(p, prev * (1.0 - 1e-9))
+                << dies << " dies, " << area << " mm^2";
+            prev = p;
+        }
+    }
+}
+
+} // namespace
+} // namespace moonwalk::thermal

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "thermal/lane.hh"
+#include "util/error.hh"
+
+namespace moonwalk::thermal {
+namespace {
+
+TEST(Lane, BudgetInPlausibleServerRange)
+{
+    LaneThermalModel model;
+    // A 9-die lane of 540mm^2 ASICs (the 28nm Bitcoin configuration)
+    // should support tens of watts per die.
+    const auto &r = model.solve(9, 540.0);
+    EXPECT_GT(r.max_power_per_die_w, 30.0);
+    EXPECT_LT(r.max_power_per_die_w, 200.0);
+    EXPECT_GT(r.airflow_m3s, 0.001);
+    EXPECT_GT(r.fan_power_w, 0.0);
+    EXPECT_GT(r.heatsink_unit_cost, 0.0);
+}
+
+TEST(Lane, MoreDiesLowerPerDieBudget)
+{
+    LaneThermalModel model;
+    double prev = 1e9;
+    for (int dies : {1, 3, 6, 9, 12, 15}) {
+        const auto &r = model.solve(dies, 540.0);
+        EXPECT_LT(r.max_power_per_die_w, prev) << dies << " dies";
+        prev = r.max_power_per_die_w;
+    }
+}
+
+TEST(Lane, BiggerDiesGetMoreTotalLanePower)
+{
+    // Total extractable lane power should not collapse with area;
+    // bigger dies spread heat better per die.
+    LaneThermalModel model;
+    const auto &small = model.solve(8, 100.0);
+    const auto &large = model.solve(8, 600.0);
+    EXPECT_GT(large.max_power_per_die_w, small.max_power_per_die_w);
+}
+
+TEST(Lane, CacheReturnsSameResult)
+{
+    LaneThermalModel model;
+    const auto &a = model.solve(9, 540.0);
+    const auto &b = model.solve(9, 541.0);  // same 20mm^2 bucket
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Lane, MaxDiesPerLaneGeometry)
+{
+    LaneThermalModel model;
+    // 540mm^2 dies: edge 23.2mm + 2mm margin -> 15 per 400mm lane.
+    EXPECT_EQ(model.maxDiesPerLane(540.0, 2.0), 15);
+    // DRAM-laden video dies take more board: fewer fit.
+    EXPECT_LT(model.maxDiesPerLane(540.0, 60.0),
+              model.maxDiesPerLane(540.0, 2.0));
+}
+
+TEST(Lane, HotterAmbientShrinksBudget)
+{
+    LaneEnvironment hot;
+    hot.ambient_c = 35.0;
+    LaneThermalModel cool_model;
+    LaneThermalModel hot_model(hot);
+    EXPECT_LT(hot_model.solve(9, 540.0).max_power_per_die_w,
+              cool_model.solve(9, 540.0).max_power_per_die_w);
+}
+
+TEST(Lane, WeakFanShrinksBudget)
+{
+    LaneEnvironment weak;
+    weak.fan.q_max = 0.005;
+    weak.fan.p_max = 200.0;
+    LaneThermalModel weak_model(weak);
+    LaneThermalModel strong_model;
+    EXPECT_LT(weak_model.solve(9, 540.0).max_power_per_die_w,
+              strong_model.solve(9, 540.0).max_power_per_die_w);
+}
+
+TEST(Lane, RejectsBadInputs)
+{
+    LaneThermalModel model;
+    EXPECT_THROW(model.solve(0, 540.0), ModelError);
+    EXPECT_THROW(model.solve(9, -5.0), ModelError);
+}
+
+// Downstream heating invariant: with n dies the budget must be below
+// the single-die budget divided by the air-heating-free bound.
+TEST(Lane, DownstreamHeatingReducesBudgetConsistently)
+{
+    LaneThermalModel model;
+    const auto &one = model.solve(1, 400.0);
+    const auto &ten = model.solve(10, 400.0);
+    EXPECT_LT(ten.max_power_per_die_w, one.max_power_per_die_w);
+    // But never to zero: air flow still removes heat.
+    EXPECT_GT(ten.max_power_per_die_w, 0.05 * one.max_power_per_die_w);
+}
+
+} // namespace
+} // namespace moonwalk::thermal

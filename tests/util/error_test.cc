@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+
+namespace moonwalk {
+namespace {
+
+TEST(Error, FatalThrowsModelError)
+{
+    EXPECT_THROW(fatal("boom"), ModelError);
+}
+
+TEST(Error, FatalConcatenatesArguments)
+{
+    try {
+        fatal("expected ", 42, " got ", 3.5, " for ", "thing");
+        FAIL() << "fatal did not throw";
+    } catch (const ModelError &e) {
+        EXPECT_STREQ(e.what(), "expected 42 got 3.5 for thing");
+    }
+}
+
+TEST(Error, ModelErrorIsRuntimeError)
+{
+    // Callers may catch the standard hierarchy.
+    try {
+        fatal("x");
+    } catch (const std::runtime_error &e) {
+        SUCCEED();
+        return;
+    }
+    FAIL();
+}
+
+TEST(ErrorDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant ", 7, " violated"),
+                 "moonwalk panic: invariant 7 violated");
+}
+
+} // namespace
+} // namespace moonwalk

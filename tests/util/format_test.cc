@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "util/format.hh"
+
+namespace moonwalk {
+namespace {
+
+TEST(Format, SiSuffixes)
+{
+    EXPECT_EQ(si(65e3), "65K");
+    EXPECT_EQ(si(5.70e6), "5.7M");
+    EXPECT_EQ(si(1.9e9, 2), "1.9B");
+    EXPECT_EQ(si(720), "720");
+    EXPECT_EQ(si(0.5), "0.5");
+}
+
+TEST(Format, SiNegative)
+{
+    EXPECT_EQ(si(-65e3), "-65K");
+}
+
+TEST(Format, Money)
+{
+    EXPECT_EQ(money(105e3), "$105K");
+    EXPECT_EQ(money(2.25e6), "$2.25M");
+    EXPECT_EQ(money(-400), "-$400");
+}
+
+TEST(Format, SigDigits)
+{
+    EXPECT_EQ(sig(186.2, 4), "186.2");
+    EXPECT_EQ(sig(0.4536, 3), "0.454");
+}
+
+TEST(Format, Fixed)
+{
+    EXPECT_EQ(fixed(2.912, 2), "2.91");
+    EXPECT_EQ(fixed(10.0, 1), "10.0");
+}
+
+TEST(Format, Times)
+{
+    EXPECT_EQ(times(3.68), "3.68x");
+    EXPECT_EQ(times(12.0, 2), "12x");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(percent(0.155), "15.5%");
+    EXPECT_EQ(percent(0.65, 0), "65%");
+}
+
+} // namespace
+} // namespace moonwalk

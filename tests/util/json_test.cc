@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "util/json.hh"
+
+namespace moonwalk {
+namespace {
+
+TEST(Json, Scalars)
+{
+    EXPECT_EQ(Json(nullptr).dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(42).dump(), "42");
+    EXPECT_EQ(Json(2.5).dump(), "2.5");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersPrintWithoutExponent)
+{
+    EXPECT_EQ(Json(5.7e6).dump(), "5700000");
+    EXPECT_EQ(Json(-65000.0).dump(), "-65000");
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+    EXPECT_EQ(Json(std::string(1, '\x01')).dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ArraysAndObjects)
+{
+    Json arr = Json::array();
+    arr.push(1).push("two").push(Json::object());
+    EXPECT_EQ(arr.dump(), "[1,\"two\",{}]");
+
+    Json obj = Json::object();
+    obj.set("a", 1).set("b", Json::array());
+    EXPECT_EQ(obj.dump(), "{\"a\":1,\"b\":[]}");
+}
+
+TEST(Json, ObjectPreservesInsertionOrderAndOverwrites)
+{
+    Json obj = Json::object();
+    obj.set("z", 1);
+    obj.set("a", 2);
+    obj.set("z", 3);  // overwrite keeps position
+    EXPECT_EQ(obj.dump(), "{\"z\":3,\"a\":2}");
+}
+
+TEST(Json, PrettyPrint)
+{
+    Json obj = Json::object();
+    obj.set("k", Json::array().push(1));
+    EXPECT_EQ(obj.dump(2), "{\n  \"k\": [\n    1\n  ]\n}");
+}
+
+TEST(Json, TypeErrors)
+{
+    Json scalar(1);
+    EXPECT_THROW(scalar.push(2), ModelError);
+    EXPECT_THROW(scalar.set("k", 2), ModelError);
+    Json arr = Json::array();
+    EXPECT_THROW(arr.set("k", 2), ModelError);
+    EXPECT_FALSE(arr.isObject());
+    EXPECT_TRUE(arr.isArray());
+}
+
+} // namespace
+} // namespace moonwalk

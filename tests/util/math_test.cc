@@ -1,0 +1,80 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "util/math.hh"
+
+namespace moonwalk {
+namespace {
+
+TEST(Math, Clamp)
+{
+    EXPECT_EQ(clamp(5.0, 0.0, 10.0), 5.0);
+    EXPECT_EQ(clamp(-1.0, 0.0, 10.0), 0.0);
+    EXPECT_EQ(clamp(11.0, 0.0, 10.0), 10.0);
+}
+
+TEST(Math, Lerp)
+{
+    EXPECT_DOUBLE_EQ(lerp(0.5, 0.0, 10.0, 1.0, 20.0), 15.0);
+    EXPECT_DOUBLE_EQ(lerp(0.0, 0.0, 10.0, 1.0, 20.0), 10.0);
+    // Degenerate interval returns the midpoint of y.
+    EXPECT_DOUBLE_EQ(lerp(3.0, 2.0, 4.0, 2.0, 8.0), 6.0);
+}
+
+TEST(Math, LogLogInterpIsPowerLaw)
+{
+    // Through (1, 1) and (10, 100) the fit is y = x^2.
+    EXPECT_NEAR(loglogInterp(3.0, 1.0, 1.0, 10.0, 100.0), 9.0, 1e-9);
+}
+
+TEST(Math, Geomean)
+{
+    const double v[] = {1.0, 4.0, 16.0};
+    EXPECT_NEAR(geomean(v), 4.0, 1e-12);
+}
+
+TEST(Math, GeomeanRejectsNonPositive)
+{
+    const double v[] = {1.0, -2.0};
+    EXPECT_THROW(geomean(v), ModelError);
+    EXPECT_THROW(geomean(std::span<const double>{}), ModelError);
+}
+
+TEST(Math, GoldenFindsQuadraticMinimum)
+{
+    auto f = [](double x) { return (x - 3.0) * (x - 3.0) + 2.0; };
+    const auto r = minimizeGolden(f, 0.0, 10.0, 1e-9);
+    EXPECT_NEAR(r.x, 3.0, 1e-6);
+    EXPECT_NEAR(r.value, 2.0, 1e-9);
+}
+
+TEST(Math, GridMinimumOnMultimodal)
+{
+    // Two minima; the global one is near x = 8.
+    auto f = [](double x) {
+        return std::min((x - 2) * (x - 2) + 1.0,
+                        (x - 8) * (x - 8) + 0.5);
+    };
+    const auto r = minimizeGrid(f, 0.0, 10.0, 101);
+    EXPECT_NEAR(r.x, 8.0, 0.1);
+}
+
+TEST(Math, Linspace)
+{
+    const auto v = linspace(0.0, 1.0, 5);
+    ASSERT_EQ(v.size(), 5u);
+    EXPECT_DOUBLE_EQ(v.front(), 0.0);
+    EXPECT_DOUBLE_EQ(v.back(), 1.0);
+    EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(Math, RelativeError)
+{
+    EXPECT_DOUBLE_EQ(relativeError(11.0, 10.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeError(3.0, 0.0), 3.0);
+}
+
+} // namespace
+} // namespace moonwalk

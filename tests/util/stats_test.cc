@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "util/stats.hh"
+
+namespace moonwalk {
+namespace {
+
+TEST(Stats, SummaryOfKnownSamples)
+{
+    const double v[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+    const auto s = summarize(v);
+    EXPECT_EQ(s.count, 10u);
+    EXPECT_DOUBLE_EQ(s.mean, 5.5);
+    EXPECT_NEAR(s.stddev, 3.0277, 1e-3);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 10.0);
+    EXPECT_DOUBLE_EQ(s.median, 5.5);
+}
+
+TEST(Stats, SummaryUnsortedInput)
+{
+    const double v[] = {9, 1, 5};
+    const auto s = summarize(v);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.median, 5.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Stats, SingleSample)
+{
+    const double v[] = {7.0};
+    const auto s = summarize(v);
+    EXPECT_DOUBLE_EQ(s.mean, 7.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.p10, 7.0);
+    EXPECT_DOUBLE_EQ(s.p90, 7.0);
+}
+
+TEST(Stats, QuantileInterpolates)
+{
+    const double v[] = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 10.0);
+}
+
+TEST(Stats, Rejections)
+{
+    EXPECT_THROW(summarize({}), ModelError);
+    const double v[] = {1.0};
+    EXPECT_THROW(quantile(v, 1.5), ModelError);
+    EXPECT_THROW(quantile({}, 0.5), ModelError);
+}
+
+} // namespace
+} // namespace moonwalk

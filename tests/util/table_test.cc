@@ -1,0 +1,64 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/error.hh"
+#include "util/table.hh"
+
+namespace moonwalk {
+namespace {
+
+TEST(Table, PrintsAlignedColumns)
+{
+    TextTable t({"Tech", "Mask cost"});
+    t.addRow({"250nm", "$65K"});
+    t.addRow({"16nm", "$5.70M"});
+    std::ostringstream os;
+    t.print(os);
+    const auto s = os.str();
+    EXPECT_NE(s.find("Tech"), std::string::npos);
+    EXPECT_NE(s.find("$5.70M"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, TitleAppearsWhenSet)
+{
+    TextTable t({"a"});
+    t.setTitle("Table 1");
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("== Table 1 =="), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only one"}), ModelError);
+}
+
+TEST(Table, RejectsEmptyHeader)
+{
+    EXPECT_THROW(TextTable({}), ModelError);
+}
+
+TEST(Table, CsvQuotesCommas)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"a,b", "1"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "name,value\n\"a,b\",1\n");
+}
+
+TEST(Table, RowCount)
+{
+    TextTable t({"x"});
+    EXPECT_EQ(t.rowCount(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+} // namespace
+} // namespace moonwalk

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * moonwalk — command-line front end to the library.
+ *
+ *   moonwalk apps                 list the built-in applications
+ *   moonwalk nodes                show the technology node database
+ *   moonwalk sweep <app>          per-node TCO-optimal designs + NRE
+ *   moonwalk report <app> [tco] [--json]
+ *                                 full analysis (optionally JSON)
+ *   moonwalk select <app> <tco>   pick the NRE+TCO-optimal node
+ *   moonwalk ranges <app>         optimal-node ranges vs scale
+ *   moonwalk porting <app>        tick/tock porting penalties
+ *   moonwalk simulate <app> [load]
+ *                                 discrete-event server validation
+ *   moonwalk provision <app> <ops-in-display-units>
+ *                                 scale out to a fleet (servers,
+ *                                 racks, megawatts, lifetime TCO)
+ *
+ * <app> is one of: Bitcoin, Litecoin, "Video Transcode",
+ * "Deep Learning".  <tco> accepts scientific notation (e.g. 30e6).
+ */
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/sensitivity.hh"
+#include "sim/server_sim.hh"
+#include "tco/datacenter.hh"
+#include "util/error.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+using namespace moonwalk;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: moonwalk <command> [args]\n"
+        "  apps | nodes | sweep <app> | report <app> [tco] [--json]\n"
+        "  select <app> <tco> | ranges <app> | porting <app>\n"
+        "  simulate <app> [load] | provision <app> <units>\n";
+    return 2;
+}
+
+core::MoonwalkOptimizer &
+optimizer()
+{
+    static core::MoonwalkOptimizer opt;
+    return opt;
+}
+
+int
+cmdApps()
+{
+    TextTable t({"Application", "RCA gates", "Unit", "Baseline"});
+    for (const auto &app : apps::allApps()) {
+        t.addRow({app.name(), si(app.rca.gate_count),
+                  app.rca.perf_unit, app.baseline.hardware});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdNodes()
+{
+    TextTable t({"Tech", "Mask $", "Wafer $", "Vdd", "Vth(eff)",
+                 "DRAM gen", "BE $/gate"});
+    for (const auto &n : tech::defaultTechDatabase().nodes()) {
+        const char *gen =
+            n.dram_generation == tech::DramGeneration::SDR ? "SDR" :
+            n.dram_generation == tech::DramGeneration::DDR ? "DDR" :
+            "LPDDR3";
+        t.addRow({n.name, money(n.mask_cost), fixed(n.wafer_cost, 0),
+                  fixed(n.vdd_nominal, 1), fixed(n.vth, 3), gen,
+                  fixed(n.backend_cost_per_gate, 3)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdSweep(const apps::AppSpec &app)
+{
+    core::ReportGenerator gen(optimizer());
+    gen.writeText(std::cout, app, 0.0);
+    return 0;
+}
+
+int
+cmdReport(const apps::AppSpec &app, double tco, bool json)
+{
+    core::ReportGenerator gen(optimizer());
+    if (json)
+        std::cout << gen.toJson(app, tco).dump(2) << "\n";
+    else
+        gen.writeText(std::cout, app, tco);
+    return 0;
+}
+
+int
+cmdSelect(const apps::AppSpec &app, double tco)
+{
+    auto &opt = optimizer();
+    std::string pick = app.baseline.hardware;
+    double total = tco;
+    const double base = opt.baselineTcoPerOps(app);
+    for (const auto &range : opt.optimalNodeRanges(app)) {
+        if (tco >= range.b_low && tco < range.b_high) {
+            total = range.line.at(tco);
+            if (range.line.node)
+                pick = tech::to_string(*range.line.node);
+        }
+    }
+    std::cout << "workload: " << money(tco) << " pre-ASIC TCO\n"
+              << "build at: " << pick << "\n"
+              << "total (NRE + served TCO): " << money(total, 3)
+              << "  (saves " << money(tco - total, 3) << ", "
+              << percent(1.0 - total / tco) << ")\n";
+    (void)base;
+    return 0;
+}
+
+int
+cmdRanges(const apps::AppSpec &app)
+{
+    for (const auto &range : optimizer().optimalNodeRanges(app)) {
+        const std::string who = range.line.node ?
+            tech::to_string(*range.line.node) : app.baseline.hardware;
+        std::cout << money(range.b_low, 3) << " .. "
+                  << (std::isinf(range.b_high) ? std::string("inf")
+                                               : money(range.b_high,
+                                                       3))
+                  << " : " << who << "\n";
+    }
+    return 0;
+}
+
+int
+cmdPorting(const apps::AppSpec &app)
+{
+    TextTable t({"From", "To", "TCO penalty"});
+    for (const auto &e : optimizer().portingStudy(app)) {
+        t.addRow({tech::to_string(e.from), tech::to_string(e.to),
+                  times(e.tco_penalty, 3)});
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdSimulate(const apps::AppSpec &app, double load)
+{
+    auto &opt = optimizer();
+    const core::NodeResult *r28 = nullptr;
+    for (const auto &r : opt.sweepNodes(app))
+        if (r.node == tech::NodeId::N28)
+            r28 = &r;
+    if (!r28) {
+        std::cerr << app.name() << " cannot be built at 28nm\n";
+        return 1;
+    }
+    sim::ServerModel m;
+    m.asics = r28->optimal.config.diesPerServer();
+    m.rcas_per_asic = r28->optimal.config.rcas_per_die;
+    m.rca_ops_per_s = r28->optimal.perf_ops /
+        (double(m.asics) * m.rcas_per_asic);
+    sim::ServerSimulator simulator(m);
+    sim::Workload w;
+    w.ops_per_job = m.rca_ops_per_s * 1e-3;
+    w.arrival_rate = load * simulator.capacityOpsPerS() /
+        w.ops_per_job;
+    w.duration_s = 0.5;
+    const auto s = simulator.run(w);
+    std::cout << "offered " << percent(load, 0) << " of capacity -> "
+              << "achieved "
+              << percent(s.achieved_ops_per_s /
+                         simulator.capacityOpsPerS())
+              << ", p99 latency " << sig(s.latency_p99 * 1e3, 3)
+              << " ms, dropped " << s.jobs_dropped << "\n";
+    return 0;
+}
+
+int
+cmdProvision(const apps::AppSpec &app, double units)
+{
+    auto &opt = optimizer();
+    const core::NodeResult *r28 = nullptr;
+    for (const auto &r : opt.sweepNodes(app))
+        if (r.node == tech::NodeId::N28)
+            r28 = &r;
+    if (!r28) {
+        std::cerr << app.name() << " cannot be built at 28nm\n";
+        return 1;
+    }
+    const auto &p = r28->optimal;
+    tco::DatacenterPlanner planner(
+        opt.explorer().evaluator().tco());
+    const auto plan = planner.plan(
+        units * app.rca.perf_unit_scale, p.perf_ops,
+        p.wall_power_w, p.server_cost);
+    std::cout << "target: " << sig(units, 4) << " "
+              << app.rca.perf_unit << " on 28nm " << app.name()
+              << " servers\n"
+              << "  servers        : " << plan.servers << " ("
+              << plan.servers_per_rack << " per rack)\n"
+              << "  racks          : " << plan.racks << "\n"
+              << "  critical power : "
+              << fixed(plan.critical_power_w / 1e6, 2) << " MW\n"
+              << "  server capex   : " << money(plan.server_capex, 3)
+              << "\n"
+              << "  lifetime TCO   : " << money(plan.totalCost(), 3)
+              << " (energy " << money(plan.tco.energy, 3) << ")\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty())
+        return usage();
+
+    bool json = false;
+    for (auto it = args.begin(); it != args.end();) {
+        if (*it == "--json") {
+            json = true;
+            it = args.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    const std::string &cmd = args[0];
+    try {
+        if (cmd == "apps")
+            return cmdApps();
+        if (cmd == "nodes")
+            return cmdNodes();
+        if (args.size() < 2)
+            return usage();
+        const auto app = apps::appByName(args[1]);
+        if (cmd == "sweep")
+            return cmdSweep(app);
+        if (cmd == "report") {
+            const double tco =
+                args.size() > 2 ? std::atof(args[2].c_str()) : 0.0;
+            return cmdReport(app, tco, json);
+        }
+        if (cmd == "select") {
+            if (args.size() < 3)
+                return usage();
+            return cmdSelect(app, std::atof(args[2].c_str()));
+        }
+        if (cmd == "ranges")
+            return cmdRanges(app);
+        if (cmd == "porting")
+            return cmdPorting(app);
+        if (cmd == "simulate") {
+            const double load =
+                args.size() > 2 ? std::atof(args[2].c_str()) : 0.8;
+            return cmdSimulate(app, load);
+        }
+        if (cmd == "provision") {
+            if (args.size() < 3)
+                return usage();
+            return cmdProvision(app, std::atof(args[2].c_str()));
+        }
+    } catch (const ModelError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
