@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/error.hh"
 
 namespace moonwalk::core {
@@ -31,24 +34,58 @@ const std::vector<NodeResult> &
 MoonwalkOptimizer::sweepNodes(const apps::AppSpec &app) const
 {
     auto it = cache_.find(app.name());
-    if (it != cache_.end())
+    if (it != cache_.end()) {
+        if (obs::metricsEnabled())
+            obs::metrics().counter("core.sweep.cache.hits").inc();
         return it->second;
+    }
+
+    obs::TraceSpan span("sweepNodes " + app.name(), "core");
+    const bool counted = obs::metricsEnabled();
+    const uint64_t t0 = counted ? obs::monotonicNowNs() : 0;
 
     std::vector<NodeResult> results;
     for (tech::NodeId id : tech::kAllNodes) {
+        const uint64_t node_t0 = counted ? obs::monotonicNowNs() : 0;
         auto exploration = explorer_.explore(app.rca, id);
-        if (!exploration.tco_optimal)
+        if (counted) {
+            // Per-node explore timing, independent of whether the
+            // node turns out feasible.
+            obs::metrics()
+                .timer("core.explore." + app.name() + "." +
+                       tech::to_string(id))
+                .record(obs::monotonicNowNs() - node_t0);
+        }
+        if (!exploration.tco_optimal) {
+            MOONWALK_LOG(Debug, "core.sweep")
+                .msg("node infeasible")
+                .field("app", app.name())
+                .field("node", tech::to_string(id));
             continue;  // SLA unreachable or nothing fits
+        }
         NodeResult r;
         r.node = id;
         r.optimal = *exploration.tco_optimal;
         try {
             r.nre = nreOf(app, r.optimal);
         } catch (const ModelError &) {
+            MOONWALK_LOG(Debug, "core.sweep")
+                .msg("missing IP")
+                .field("app", app.name())
+                .field("node", tech::to_string(id));
             continue;  // required IP does not exist at this node
         }
         results.push_back(std::move(r));
     }
+    if (counted) {
+        obs::metrics()
+            .timer("core.sweep." + app.name())
+            .record(obs::monotonicNowNs() - t0);
+    }
+    MOONWALK_LOG(Info, "core.sweep")
+        .msg("node sweep complete")
+        .field("app", app.name())
+        .field("feasible_nodes", results.size());
     return cache_.emplace(app.name(), std::move(results)).first->second;
 }
 

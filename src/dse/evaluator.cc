@@ -5,9 +5,22 @@
 
 #include "arch/dram.hh"
 #include "arch/offchip.hh"
+#include "obs/metrics.hh"
 #include "util/error.hh"
 
 namespace moonwalk::dse {
+
+namespace {
+
+// Out-of-line so the registry lookup never lands in evaluate()'s hot
+// path; only reached when metrics collection is switched on.
+[[gnu::noinline]] void
+bumpCounter(const std::string &name)
+{
+    obs::metrics().counter(name).inc();
+}
+
+} // namespace
 
 ServerEvaluator::ServerEvaluator(const tech::TechDatabase &db,
                                  thermal::LaneEnvironment lane_env,
@@ -39,7 +52,17 @@ ServerEvaluator::evaluate(const arch::RcaSpec &rca,
                           const arch::ServerConfig &cfg) const
 {
     EvalResult result;
-    auto reject = [&](std::string reason) {
+    // One relaxed load up front; all metric updates below hide
+    // behind it (out of line, [[unlikely]]) so the default
+    // (disabled) path stays benchmark-neutral.
+    const bool counted = obs::metricsEnabled();
+    if (counted) [[unlikely]]
+        bumpCounter("dse.evaluations");
+    // @p slug is a stable machine-readable tag for the reject-reason
+    // counters; @p reason stays the human-readable API string.
+    auto reject = [&](const char *slug, std::string reason) {
+        if (counted) [[unlikely]]
+            bumpCounter(std::string("dse.infeasible.") + slug);
         result.infeasible_reason = std::move(reason);
         return result;
     };
@@ -47,9 +70,9 @@ ServerEvaluator::evaluate(const arch::RcaSpec &rca,
     const tech::TechNode &node = scaling_.database().node(cfg.node);
 
     if (cfg.dies_per_lane < 1 || cfg.rcas_per_die < 1)
-        return reject("empty configuration");
+        return reject("empty_config", "empty configuration");
     if (rca.bytes_per_op > 0.0 && cfg.drams_per_die < 1)
-        return reject("application needs DRAM");
+        return reject("needs_dram", "application needs DRAM");
 
     // -- Voltage and frequency ------------------------------------------
     double vdd = cfg.vdd;
@@ -60,32 +83,34 @@ ServerEvaluator::evaluate(const arch::RcaSpec &rca,
         const double v_needed = scaling_.voltageForFrequency(
             node, rca.sla_fixed_freq_mhz, rca.f_nominal_28_mhz);
         if (v_needed < 0.0)
-            return reject("SLA frequency unreachable at " + node.name);
+            return reject("sla_unreachable",
+                          "SLA frequency unreachable at " + node.name);
         vdd = std::max(v_needed, node.vdd_min);
         freq_mhz = rca.sla_fixed_freq_mhz;
     } else {
         if (vdd < node.vdd_min || vdd > node.vddMax())
-            return reject("voltage out of range");
+            return reject("voltage_range", "voltage out of range");
         freq_mhz = scaling_.frequencyMhz(node, vdd,
                                          rca.f_nominal_28_mhz);
         if (freq_mhz <= 0.0)
-            return reject("below threshold voltage");
+            return reject("below_vth", "below threshold voltage");
     }
 
     // -- Die floorplan ----------------------------------------------------
     const auto fp = computeFloorplan(rca, node, cfg);
     const double area = fp.total();
     if (area > node.max_die_area_mm2)
-        return reject("die exceeds reticle");
+        return reject("reticle", "die exceeds reticle");
 
     // -- Server grouping (DaDianNao 8x8 systems) -------------------------
     if (cfg.rcasPerServer() % rca.server_rca_multiple != 0)
-        return reject("server RCA count not a system multiple");
+        return reject("server_grouping",
+                      "server RCA count not a system multiple");
     if (!rca.allowed_rcas_per_die.empty() &&
         std::find(rca.allowed_rcas_per_die.begin(),
                   rca.allowed_rcas_per_die.end(), cfg.rcas_per_die) ==
             rca.allowed_rcas_per_die.end()) {
-        return reject("RCA grid not in allowed set");
+        return reject("rca_grid", "RCA grid not in allowed set");
     }
 
     // -- Performance per die ----------------------------------------------
@@ -122,12 +147,12 @@ ServerEvaluator::evaluate(const arch::RcaSpec &rca,
                              dram.board_pitch_mm : 0.0);
     const int fit = lane_.maxDiesPerLane(area, extra_pitch);
     if (cfg.dies_per_lane > std::min(fit, options_.max_dies_per_lane))
-        return reject("dies do not fit the lane");
+        return reject("lane_fit", "dies do not fit the lane");
 
     // -- Thermal feasibility -----------------------------------------------
     const auto &thermal = lane_.solve(cfg.dies_per_lane, area);
     if (die_power > thermal.max_power_per_die_w)
-        return reject("junction temperature limit");
+        return reject("thermal", "junction temperature limit");
 
     // -- Server power ----------------------------------------------------------
     const int dies = cfg.diesPerServer();
@@ -148,7 +173,7 @@ ServerEvaluator::evaluate(const arch::RcaSpec &rca,
         bom_.dcdc);
     const double wall = pd.wall_power_w;
     if (wall > bom_.max_server_power_w)
-        return reject("exceeds server power budget");
+        return reject("power_budget", "exceeds server power budget");
 
     // -- Costs ----------------------------------------------------------------
     DesignPoint p;
@@ -185,6 +210,8 @@ ServerEvaluator::evaluate(const arch::RcaSpec &rca,
     p.watts_per_ops = wall / p.perf_ops;
     p.tco_per_ops = p.tco_breakdown.total() / p.perf_ops;
 
+    if (counted) [[unlikely]]
+        bumpCounter("dse.feasible");
     result.point = p;
     return result;
 }

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <set>
 
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/math.hh"
 
 namespace moonwalk::dse {
@@ -134,6 +137,16 @@ ExplorationResult
 DesignSpaceExplorer::explore(const arch::RcaSpec &rca,
                              tech::NodeId node) const
 {
+    const std::string node_name =
+        evaluator_.scaling().database().node(node).name;
+    // One span per (application, node) sweep; the trace file shows
+    // where a multi-node optimization spends its time.
+    obs::TraceSpan span("explore " + rca.name + " @ " + node_name,
+                        "dse");
+    span.arg("app", rca.name).arg("node", node_name);
+    const bool counted = obs::metricsEnabled();
+    const uint64_t t0 = counted ? obs::monotonicNowNs() : 0;
+
     ExplorationResult result;
     std::vector<DesignPoint> feasible;
 
@@ -156,6 +169,8 @@ DesignSpaceExplorer::explore(const arch::RcaSpec &rca,
             }
         }
     }
+
+    const size_t coarse_evaluated = result.evaluated;
 
     // Local refinement around the best RCA count: the geometric grid
     // can miss the true optimum by a few RCAs, which matters when
@@ -188,6 +203,29 @@ DesignSpaceExplorer::explore(const arch::RcaSpec &rca,
             });
         result.pareto = paretoFront(std::move(feasible));
     }
+
+    if (counted) {
+        auto &reg = obs::metrics();
+        reg.timer("dse.sweep." + rca.name + "." + node_name)
+            .record(obs::monotonicNowNs() - t0);
+        reg.counter("dse.refinement.evaluations")
+            .inc(result.evaluated - coarse_evaluated);
+        // Snapshot the evaluator's thermal solve cache so the dump
+        // shows how well voltage sweeps reuse solves.
+        reg.gauge("thermal.cache.hits")
+            .set(static_cast<double>(evaluator_.lane().cacheHits()));
+        reg.gauge("thermal.cache.misses")
+            .set(static_cast<double>(evaluator_.lane().cacheMisses()));
+    }
+    span.arg("evaluated", static_cast<double>(result.evaluated))
+        .arg("feasible", static_cast<double>(result.feasible));
+    MOONWALK_LOG(Info, "dse.explore")
+        .msg("sweep done")
+        .field("app", rca.name)
+        .field("node", node_name)
+        .field("evaluated", result.evaluated)
+        .field("feasible", result.feasible)
+        .field("pareto", result.pareto.size());
     return result;
 }
 

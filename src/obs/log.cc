@@ -1,0 +1,102 @@
+#include "obs/log.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace moonwalk::obs {
+
+namespace {
+
+/** Reads MOONWALK_LOG once, before any explicit setLogLevel(). */
+LogLevel
+initialLevel()
+{
+    const char *env = std::getenv("MOONWALK_LOG");
+    if (!env)
+        return LogLevel::Off;
+    if (auto lvl = logLevelFromString(env))
+        return *lvl;
+    std::cerr << "moonwalk: ignoring invalid MOONWALK_LOG value '"
+              << env << "' (want error|warn|info|debug|off)\n";
+    return LogLevel::Off;
+}
+
+std::atomic<LogLevel> g_level{initialLevel()};
+std::atomic<std::ostream *> g_sink{nullptr};
+std::mutex g_emit_mutex;
+
+} // namespace
+
+const char *
+to_string(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Off:   return "off";
+      case LogLevel::Error: return "error";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "?";
+}
+
+std::optional<LogLevel>
+logLevelFromString(const std::string &name)
+{
+    for (LogLevel lvl : {LogLevel::Off, LogLevel::Error, LogLevel::Warn,
+                         LogLevel::Info, LogLevel::Debug}) {
+        if (name == to_string(lvl))
+            return lvl;
+    }
+    return std::nullopt;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+void
+setLogSink(std::ostream *sink)
+{
+    g_sink.store(sink, std::memory_order_relaxed);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return level != LogLevel::Off && level <= logLevel();
+}
+
+LogRecord::LogRecord(LogLevel level, const char *component)
+{
+    os_ << '[' << to_string(level) << "] " << component << ':';
+}
+
+LogRecord::~LogRecord()
+{
+    std::ostream *sink = g_sink.load(std::memory_order_relaxed);
+    if (!sink)
+        sink = &std::cerr;
+    // One lock per emitted record keeps concurrent records intact;
+    // disabled call sites never get here.
+    std::lock_guard<std::mutex> lock(g_emit_mutex);
+    *sink << os_.str() << '\n';
+}
+
+LogRecord &
+LogRecord::msg(const std::string &text)
+{
+    os_ << ' ' << text;
+    return *this;
+}
+
+} // namespace moonwalk::obs

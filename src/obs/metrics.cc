@@ -1,0 +1,185 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/format.hh"
+#include "util/table.hh"
+
+namespace moonwalk::obs {
+
+uint64_t
+monotonicNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+Timer::record(uint64_t ns)
+{
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    uint64_t cur = min_ns_.load(std::memory_order_relaxed);
+    while (ns < cur &&
+           !min_ns_.compare_exchange_weak(cur, ns,
+                                          std::memory_order_relaxed)) {
+    }
+    cur = max_ns_.load(std::memory_order_relaxed);
+    while (ns > cur &&
+           !max_ns_.compare_exchange_weak(cur, ns,
+                                          std::memory_order_relaxed)) {
+    }
+}
+
+void
+Timer::reset()
+{
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+    min_ns_.store(UINT64_MAX, std::memory_order_relaxed);
+    max_ns_.store(0, std::memory_order_relaxed);
+}
+
+ScopedTimer::ScopedTimer(Timer &timer)
+    : timer_(metricsEnabled() ? &timer : nullptr),
+      start_ns_(timer_ ? monotonicNowNs() : 0)
+{}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (timer_)
+        timer_->record(monotonicNowNs() - start_ns_);
+}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Timer &
+MetricsRegistry::timer(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = timers_[name];
+    if (!slot)
+        slot = std::make_unique<Timer>();
+    return *slot;
+}
+
+std::vector<MetricSample>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MetricSample> out;
+    for (const auto &[name, c] : counters_) {
+        out.push_back({MetricSample::Kind::Counter, name,
+                       static_cast<double>(c->value()), 0, 0.0});
+    }
+    for (const auto &[name, g] : gauges_) {
+        out.push_back(
+            {MetricSample::Kind::Gauge, name, g->value(), 0, 0.0});
+    }
+    for (const auto &[name, t] : timers_) {
+        out.push_back({MetricSample::Kind::Timer, name,
+                       t->totalNs() / 1e6, t->count(),
+                       t->meanNs() / 1e6});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSample &a, const MetricSample &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, c] : counters_)
+        c->reset();
+    for (auto &[name, g] : gauges_)
+        g->reset();
+    for (auto &[name, t] : timers_)
+        t->reset();
+}
+
+void
+MetricsRegistry::writeTable(std::ostream &os) const
+{
+    TextTable t({"Metric", "Type", "Value", "Count", "Mean"});
+    t.setTitle("Metrics");
+    for (const auto &s : snapshot()) {
+        switch (s.kind) {
+          case MetricSample::Kind::Counter:
+            t.addRow({s.name, "counter", fixed(s.value, 0), "", ""});
+            break;
+          case MetricSample::Kind::Gauge:
+            t.addRow({s.name, "gauge", sig(s.value, 6), "", ""});
+            break;
+          case MetricSample::Kind::Timer:
+            t.addRow({s.name, "timer", fixed(s.value, 3) + " ms",
+                      fixed(static_cast<double>(s.count), 0),
+                      fixed(s.mean_ms, 3) + " ms"});
+            break;
+        }
+    }
+    t.print(os);
+}
+
+Json
+MetricsRegistry::toJson() const
+{
+    Json counters = Json::object();
+    Json gauges = Json::object();
+    Json timers = Json::object();
+    for (const auto &s : snapshot()) {
+        switch (s.kind) {
+          case MetricSample::Kind::Counter:
+            counters.set(s.name, s.value);
+            break;
+          case MetricSample::Kind::Gauge:
+            gauges.set(s.name, s.value);
+            break;
+          case MetricSample::Kind::Timer: {
+            Json t = Json::object();
+            t.set("count", static_cast<double>(s.count));
+            t.set("total_ms", s.value);
+            t.set("mean_ms", s.mean_ms);
+            timers.set(s.name, std::move(t));
+            break;
+          }
+        }
+    }
+    Json out = Json::object();
+    out.set("counters", std::move(counters));
+    out.set("gauges", std::move(gauges));
+    out.set("timers", std::move(timers));
+    return out;
+}
+
+} // namespace moonwalk::obs

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and timers.
+ *
+ * Registration is mutex-guarded and values are atomics, so a future
+ * parallel explorer can bump the same counter from many threads.
+ * Handles returned by the registry stay valid for the life of the
+ * process (metrics are never deleted, only reset).
+ *
+ * Collection is off by default; the hot paths guard their updates
+ * with metricsEnabled() — a single relaxed atomic load — so the
+ * instrumentation is benchmark-neutral when unused.
+ */
+#ifndef MOONWALK_OBS_METRICS_HH
+#define MOONWALK_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace moonwalk::obs {
+
+namespace detail {
+/** Backing flag for metricsEnabled(); not part of the public API. */
+inline std::atomic<bool> g_metrics_enabled{false};
+} // namespace detail
+
+/** Global collection switch for hot-path instrumentation.  Inline so
+ *  the guard compiles down to one relaxed load at every call site. */
+inline bool metricsEnabled()
+{
+    return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+inline void setMetricsEnabled(bool on)
+{
+    detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+/** Monotonically increasing event count. */
+class Counter
+{
+  public:
+    void inc(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-written point-in-time value, with a high-water helper. */
+class Gauge
+{
+  public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    /** Raise the gauge to @p v if it is higher (high-water mark). */
+    void max(double v)
+    {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !value_.compare_exchange_weak(
+                   cur, v, std::memory_order_relaxed)) {
+        }
+    }
+    double value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Duration accumulator (count/total/min/max in nanoseconds), fed by
+ * explicit record() calls or the RAII ScopedTimer.
+ */
+class Timer
+{
+  public:
+    void record(uint64_t ns);
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    uint64_t totalNs() const
+    {
+        return total_ns_.load(std::memory_order_relaxed);
+    }
+    uint64_t minNs() const
+    {
+        return min_ns_.load(std::memory_order_relaxed);
+    }
+    uint64_t maxNs() const
+    {
+        return max_ns_.load(std::memory_order_relaxed);
+    }
+    double meanNs() const
+    {
+        const uint64_t n = count();
+        return n ? static_cast<double>(totalNs()) / n : 0.0;
+    }
+    void reset();
+
+  private:
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> total_ns_{0};
+    std::atomic<uint64_t> min_ns_{UINT64_MAX};
+    std::atomic<uint64_t> max_ns_{0};
+};
+
+/** Times a scope into a Timer; no-op when metrics are disabled. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Timer &timer);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Timer *timer_;
+    uint64_t start_ns_;
+};
+
+/** One row of a registry snapshot. */
+struct MetricSample
+{
+    enum class Kind { Counter, Gauge, Timer };
+    Kind kind;
+    std::string name;
+    double value;         ///< count, gauge value, or total ms
+    uint64_t count;       ///< timer observation count (timers only)
+    double mean_ms;       ///< timers only
+};
+
+/**
+ * The registry.  Lookup is by name; the first lookup registers the
+ * metric, later lookups return the same instance.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry. */
+    static MetricsRegistry &instance();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Timer &timer(const std::string &name);
+
+    /** All metrics, sorted by name. */
+    std::vector<MetricSample> snapshot() const;
+
+    /** Zero every metric (registration survives). */
+    void resetAll();
+
+    /** Render the snapshot as an aligned table via util/table. */
+    void writeTable(std::ostream &os) const;
+
+    /** Render the snapshot as a JSON object via util/json. */
+    Json toJson() const;
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mutex_;
+    // node-based maps keep references stable across registrations
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+/** Shorthand for MetricsRegistry::instance(). */
+inline MetricsRegistry &
+metrics()
+{
+    return MetricsRegistry::instance();
+}
+
+/** Monotonic wall-clock in nanoseconds (steady_clock). */
+uint64_t monotonicNowNs();
+
+} // namespace moonwalk::obs
+
+#endif // MOONWALK_OBS_METRICS_HH

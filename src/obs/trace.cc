@@ -1,0 +1,127 @@
+#include "obs/trace.hh"
+
+#include <fstream>
+
+#include "obs/metrics.hh"
+#include "util/format.hh"
+
+namespace moonwalk::obs {
+
+TraceCollector &
+TraceCollector::instance()
+{
+    static TraceCollector collector;
+    return collector;
+}
+
+void
+TraceCollector::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    epoch_ns_ = monotonicNowNs();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceCollector::stop()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+double
+TraceCollector::nowUs() const
+{
+    return (monotonicNowNs() - epoch_ns_) / 1e3;
+}
+
+void
+TraceCollector::record(TraceEvent event)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+size_t
+TraceCollector::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+Json
+TraceCollector::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Json spans = Json::array();
+    for (const auto &e : events_) {
+        Json ev = Json::object();
+        ev.set("name", e.name);
+        ev.set("cat", e.category);
+        ev.set("ph", "X");
+        ev.set("ts", e.ts_us);
+        ev.set("dur", e.dur_us);
+        ev.set("pid", 1);
+        ev.set("tid", 1);
+        if (!e.args.empty()) {
+            Json args = Json::object();
+            for (const auto &[k, v] : e.args)
+                args.set(k, v);
+            ev.set("args", std::move(args));
+        }
+        spans.push(std::move(ev));
+    }
+    Json doc = Json::object();
+    doc.set("traceEvents", std::move(spans));
+    doc.set("displayTimeUnit", "ms");
+    return doc;
+}
+
+bool
+TraceCollector::writeTo(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJson().dump(1) << "\n";
+    return static_cast<bool>(out);
+}
+
+TraceSpan::TraceSpan(std::string name, std::string category)
+    : active_(traceCollector().enabled())
+{
+    if (!active_)
+        return;
+    event_.name = std::move(name);
+    event_.category = std::move(category);
+    start_us_ = traceCollector().nowUs();
+}
+
+TraceSpan::~TraceSpan()
+{
+    if (!active_)
+        return;
+    event_.ts_us = start_us_;
+    event_.dur_us = traceCollector().nowUs() - start_us_;
+    traceCollector().record(std::move(event_));
+}
+
+TraceSpan &
+TraceSpan::arg(const std::string &key, std::string value)
+{
+    if (active_)
+        event_.args.emplace_back(key, std::move(value));
+    return *this;
+}
+
+TraceSpan &
+TraceSpan::arg(const std::string &key, double value)
+{
+    if (active_)
+        event_.args.emplace_back(key, sig(value, 6));
+    return *this;
+}
+
+} // namespace moonwalk::obs

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Chrome trace-event spans (chrome://tracing / Perfetto viewable).
+ *
+ * A TraceSpan is an RAII scope; on destruction it records a complete
+ * ("ph":"X") event with microsecond start and duration into the
+ * process-wide collector.  When collection is disabled (the default)
+ * span construction is a single relaxed atomic load and nothing is
+ * recorded.
+ *
+ *   {
+ *       obs::TraceSpan span("explore", "dse");
+ *       span.arg("node", "28nm");
+ *       ...work...
+ *   }  // span recorded here
+ *
+ * traceCollector().writeTo(path) emits the standard
+ * {"traceEvents":[...]} JSON object.
+ */
+#ifndef MOONWALK_OBS_TRACE_HH
+#define MOONWALK_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace moonwalk::obs {
+
+/** One completed span, times in microseconds since collection start. */
+struct TraceEvent
+{
+    std::string name;
+    std::string category;
+    double ts_us = 0;
+    double dur_us = 0;
+    /** Ordered (key, value) argument pairs shown in the viewer. */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * Process-wide span buffer.  Thread-safe; spans record under a mutex
+ * (tracing is a debugging aid, not a steady-state code path).
+ */
+class TraceCollector
+{
+  public:
+    static TraceCollector &instance();
+
+    /** Begin collecting; clears previously buffered events. */
+    void start();
+    /** Stop collecting; buffered events stay readable. */
+    void stop();
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void record(TraceEvent event);
+    size_t eventCount() const;
+
+    /** The {"traceEvents": [...]} document. */
+    Json toJson() const;
+    /** Serialize toJson() into @p path; false on I/O failure. */
+    bool writeTo(const std::string &path) const;
+
+    /** Microseconds since collection started. */
+    double nowUs() const;
+
+  private:
+    TraceCollector() = default;
+
+    std::atomic<bool> enabled_{false};
+    uint64_t epoch_ns_ = 0;
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+};
+
+/** Shorthand for TraceCollector::instance(). */
+inline TraceCollector &
+traceCollector()
+{
+    return TraceCollector::instance();
+}
+
+/** RAII span; see the file comment. */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(std::string name, std::string category = "dse");
+    ~TraceSpan();
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+    bool active() const { return active_; }
+
+    /** Attach a key/value argument (no-op when inactive). */
+    TraceSpan &arg(const std::string &key, std::string value);
+    TraceSpan &arg(const std::string &key, double value);
+
+  private:
+    bool active_;
+    double start_us_ = 0;
+    TraceEvent event_;
+};
+
+} // namespace moonwalk::obs
+
+#endif // MOONWALK_OBS_TRACE_HH

@@ -5,6 +5,9 @@
 #include <deque>
 #include <random>
 
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/error.hh"
 
 namespace moonwalk::sim {
@@ -125,6 +128,9 @@ ServerSimulator::run(const Workload &w) const
             } else if (static_cast<int>(a.queue.size()) <
                        model_.asic_queue_depth) {
                 a.queue.push_back(arrived);
+                stats.queue_depth_hwm =
+                    std::max(stats.queue_depth_hwm,
+                             static_cast<int>(a.queue.size()));
             } else {
                 ++stats.jobs_dropped;
             }
@@ -134,8 +140,14 @@ ServerSimulator::run(const Workload &w) const
     events.schedule(interarrival(rng), arrive);
 
     // Run to the horizon, then drain in-flight work.
-    while (events.step()) {
+    {
+        obs::TraceSpan span("sim.run", "sim");
+        span.arg("arrival_rate", w.arrival_rate)
+            .arg("duration_s", w.duration_s);
+        while (events.step()) {
+        }
     }
+    stats.events_dispatched = events.fired();
 
     const double window = w.duration_s - warmup_end;
     stats.achieved_ops_per_s = busy_ops / window;
@@ -153,6 +165,23 @@ ServerSimulator::run(const Workload &w) const
         stats.latency_p99 = percentile(latencies, 0.99);
         stats.latency_max = latencies.back();
     }
+
+    if (obs::metricsEnabled()) {
+        auto &reg = obs::metrics();
+        reg.counter("sim.events.dispatched")
+            .inc(stats.events_dispatched);
+        reg.counter("sim.jobs.offered").inc(stats.jobs_offered);
+        reg.counter("sim.jobs.dropped").inc(stats.jobs_dropped);
+        reg.gauge("sim.queue.depth_hwm")
+            .max(static_cast<double>(stats.queue_depth_hwm));
+    }
+    MOONWALK_LOG(Info, "sim.run")
+        .msg("simulation complete")
+        .field("offered", stats.jobs_offered)
+        .field("completed", stats.jobs_completed)
+        .field("dropped", stats.jobs_dropped)
+        .field("events", stats.events_dispatched)
+        .field("queue_hwm", stats.queue_depth_hwm);
     return stats;
 }
 

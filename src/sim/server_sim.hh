@@ -61,6 +61,10 @@ struct Workload
 struct SimStats
 {
     uint64_t jobs_offered = 0;
+    /** Discrete events fired by the event queue over the run. */
+    uint64_t events_dispatched = 0;
+    /** Deepest any single ASIC's job queue ever got. */
+    int queue_depth_hwm = 0;
     /** Jobs counted in the measurement window (arrived after warmup,
      *  completed before the horizon). */
     uint64_t jobs_completed = 0;

@@ -9,6 +9,7 @@
 #ifndef MOONWALK_THERMAL_LANE_HH
 #define MOONWALK_THERMAL_LANE_HH
 
+#include <cstdint>
 #include <map>
 #include <utility>
 
@@ -80,12 +81,20 @@ class LaneThermalModel
     int maxDiesPerLane(double die_area_mm2,
                        double extra_pitch_mm = 4.0) const;
 
+    // Solve-cache accounting, for sweep observability: solve() calls
+    // served from the memo vs full heatsink optimizations run.
+    uint64_t cacheHits() const { return cache_hits_; }
+    uint64_t cacheMisses() const { return cache_misses_; }
+    size_t cacheSize() const { return cache_.size(); }
+
   private:
     LaneThermalResult solveUncached(int dies_per_lane,
                                     double die_area_mm2) const;
 
     LaneEnvironment env_;
     mutable std::map<std::pair<int, long>, LaneThermalResult> cache_;
+    mutable uint64_t cache_hits_ = 0;
+    mutable uint64_t cache_misses_ = 0;
 };
 
 } // namespace moonwalk::thermal

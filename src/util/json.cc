@@ -1,7 +1,10 @@
 #include "util/json.hh"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "util/error.hh"
 
@@ -24,6 +27,30 @@ Json::object()
 }
 
 bool
+Json::isNull() const
+{
+    return std::holds_alternative<std::nullptr_t>(value_);
+}
+
+bool
+Json::isBool() const
+{
+    return std::holds_alternative<bool>(value_);
+}
+
+bool
+Json::isNumber() const
+{
+    return std::holds_alternative<double>(value_);
+}
+
+bool
+Json::isString() const
+{
+    return std::holds_alternative<std::string>(value_);
+}
+
+bool
 Json::isArray() const
 {
     return std::holds_alternative<std::shared_ptr<Array>>(value_);
@@ -33,6 +60,79 @@ bool
 Json::isObject() const
 {
     return std::holds_alternative<std::shared_ptr<Object>>(value_);
+}
+
+size_t
+Json::size() const
+{
+    if (isArray())
+        return std::get<std::shared_ptr<Array>>(value_)->items.size();
+    if (isObject())
+        return std::get<std::shared_ptr<Object>>(value_)
+            ->members.size();
+    return 0;
+}
+
+const Json &
+Json::at(size_t index) const
+{
+    if (!isArray())
+        fatal("Json::at(index) on a non-array");
+    const auto &items = std::get<std::shared_ptr<Array>>(value_)->items;
+    if (index >= items.size())
+        fatal("Json::at: index ", index, " out of range (size ",
+              items.size(), ")");
+    return items[index];
+}
+
+const Json &
+Json::at(const std::string &key) const
+{
+    if (!isObject())
+        fatal("Json::at(key) on a non-object");
+    for (const auto &m :
+         std::get<std::shared_ptr<Object>>(value_)->members) {
+        if (m.first == key)
+            return m.second;
+    }
+    fatal("Json::at: no member '", key, "'");
+}
+
+bool
+Json::contains(const std::string &key) const
+{
+    if (!isObject())
+        return false;
+    for (const auto &m :
+         std::get<std::shared_ptr<Object>>(value_)->members) {
+        if (m.first == key)
+            return true;
+    }
+    return false;
+}
+
+bool
+Json::asBool() const
+{
+    if (!isBool())
+        fatal("Json::asBool on a non-boolean");
+    return std::get<bool>(value_);
+}
+
+double
+Json::asDouble() const
+{
+    if (!isNumber())
+        fatal("Json::asDouble on a non-number");
+    return std::get<double>(value_);
+}
+
+const std::string &
+Json::asString() const
+{
+    if (!isString())
+        fatal("Json::asString on a non-string");
+    return std::get<std::string>(value_);
 }
 
 Json &
@@ -160,6 +260,231 @@ Json::dump(int indent) const
     std::string out;
     dumpTo(out, indent, 0);
     return out;
+}
+
+namespace {
+
+/** Recursive-descent JSON reader over a string. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    Json parseDocument()
+    {
+        Json v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON value");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const char *what) const
+    {
+        fatal("JSON parse error at offset ", pos_, ": ", what);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    char peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool consumeLiteral(const char *lit)
+    {
+        const size_t n = std::strlen(lit);
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Json parseValue()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Json(parseString());
+          case 't':
+            if (!consumeLiteral("true"))
+                fail("invalid literal");
+            return Json(true);
+          case 'f':
+            if (!consumeLiteral("false"))
+                fail("invalid literal");
+            return Json(false);
+          case 'n':
+            if (!consumeLiteral("null"))
+                fail("invalid literal");
+            return Json(nullptr);
+          default:
+            return parseNumber();
+        }
+    }
+
+    Json parseObject()
+    {
+        expect('{');
+        Json obj = Json::object();
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skipWs();
+            if (peek() != '"')
+                fail("expected object key string");
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            obj.set(key, parseValue());
+            skipWs();
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return obj;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    Json parseArray()
+    {
+        expect('[');
+        Json arr = Json::array();
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push(parseValue());
+            skipWs();
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return arr;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            c = text_[pos_++];
+            switch (c) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("invalid \\u escape digit");
+                }
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // are beyond what our own writer ever emits).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                fail("invalid escape character");
+            }
+        }
+    }
+
+    Json parseNumber()
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string tok = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double d = std::strtod(tok.c_str(), &end);
+        if (end != tok.c_str() + tok.size())
+            fail("malformed number");
+        return Json(d);
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+} // namespace
+
+Json
+Json::parse(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
 }
 
 } // namespace moonwalk

@@ -1,7 +1,9 @@
 /**
  * @file
- * Minimal JSON writer for exporting results to plotting pipelines.
- * Produces deterministic, correctly escaped output; no parsing.
+ * Minimal JSON value type for exporting results to plotting pipelines
+ * and reading them back.  Writing is deterministic and correctly
+ * escaped; parse() accepts standard JSON (used by the observability
+ * tests to validate trace output).
  */
 #ifndef MOONWALK_UTIL_JSON_HH
 #define MOONWALK_UTIL_JSON_HH
@@ -36,13 +38,38 @@ class Json
     /** Create an empty object. */
     static Json object();
 
+    /**
+     * Parse a JSON document.  Throws ModelError on malformed input
+     * (including trailing garbage).
+     */
+    static Json parse(const std::string &text);
+
     /** Append to an array (the value must be an array). */
     Json &push(Json v);
     /** Set an object key (the value must be an object). */
     Json &set(const std::string &key, Json v);
 
+    bool isNull() const;
+    bool isBool() const;
+    bool isNumber() const;
+    bool isString() const;
     bool isArray() const;
     bool isObject() const;
+
+    /** Element count of an array or object; 0 for scalars. */
+    size_t size() const;
+
+    /** Array element access; throws on non-arrays / out of range. */
+    const Json &at(size_t index) const;
+    /** Object member access; throws when absent or non-object. */
+    const Json &at(const std::string &key) const;
+    /** True when this is an object with member @p key. */
+    bool contains(const std::string &key) const;
+
+    /** Scalar readers; throw on type mismatch. */
+    bool asBool() const;
+    double asDouble() const;
+    const std::string &asString() const;
 
     /** Serialize; @p indent > 0 pretty-prints. */
     std::string dump(int indent = 0) const;

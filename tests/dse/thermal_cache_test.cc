@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Observability of the evaluator's thermal solve cache: a voltage
+ * sweep revisits identical (dies, area) thermal subproblems, so the
+ * second sweep of the same configuration must be served from cache.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "dse/explorer.hh"
+#include "obs/metrics.hh"
+
+using namespace moonwalk;
+
+TEST(ThermalCacheObservability, SecondSweepHitsCache)
+{
+    dse::DesignSpaceExplorer explorer;
+    const auto rca = apps::bitcoin().rca;
+    const auto &lane = explorer.evaluator().lane();
+
+    EXPECT_EQ(lane.cacheHits(), 0u);
+    EXPECT_EQ(lane.cacheMisses(), 0u);
+
+    const auto first = explorer.sweepVoltage(rca, tech::NodeId::N28,
+                                             769, 9);
+    ASSERT_FALSE(first.empty());
+    const uint64_t misses_after_first = lane.cacheMisses();
+    EXPECT_GT(misses_after_first, 0u);
+    // Even within one sweep the voltage steps share (dies, area)
+    // solves, so the hit rate is already positive.
+    EXPECT_GT(lane.cacheHits(), 0u);
+
+    const uint64_t hits_before = lane.cacheHits();
+    const auto second = explorer.sweepVoltage(rca, tech::NodeId::N28,
+                                              769, 9);
+    ASSERT_EQ(second.size(), first.size());
+    // The repeat sweep reuses every solve: hits grew, misses did not.
+    EXPECT_GT(lane.cacheHits(), hits_before);
+    EXPECT_EQ(lane.cacheMisses(), misses_after_first);
+
+    const double hit_rate = static_cast<double>(lane.cacheHits()) /
+        (lane.cacheHits() + lane.cacheMisses());
+    EXPECT_GT(hit_rate, 0.0);
+}
+
+TEST(ThermalCacheObservability, EvaluatorCountsFeasibility)
+{
+    // dse.* counters only tick while metrics collection is on.
+    auto &reg = obs::metrics();
+    reg.counter("dse.evaluations").reset();
+    reg.counter("dse.feasible").reset();
+    reg.counter("dse.infeasible.voltage_range").reset();
+
+    dse::ServerEvaluator eval;
+    const auto rca = apps::bitcoin().rca;
+    arch::ServerConfig cfg;
+    cfg.node = tech::NodeId::N28;
+    cfg.rcas_per_die = 769;
+    cfg.dies_per_lane = 9;
+    cfg.vdd = 0.459;
+
+    ASSERT_TRUE(eval.evaluate(rca, cfg).feasible());
+    EXPECT_EQ(reg.counter("dse.evaluations").value(), 0u);
+
+    obs::setMetricsEnabled(true);
+    ASSERT_TRUE(eval.evaluate(rca, cfg).feasible());
+    cfg.vdd = 99.0;  // far out of range
+    ASSERT_FALSE(eval.evaluate(rca, cfg).feasible());
+    obs::setMetricsEnabled(false);
+
+    EXPECT_EQ(reg.counter("dse.evaluations").value(), 2u);
+    EXPECT_EQ(reg.counter("dse.feasible").value(), 1u);
+    EXPECT_EQ(reg.counter("dse.infeasible.voltage_range").value(),
+              1u);
+}
+
+TEST(ThermalCacheObservability, ExploreRecordsSweepMetrics)
+{
+    auto &reg = obs::metrics();
+    reg.counter("dse.evaluations").reset();
+
+    dse::ExplorerOptions o;
+    o.voltage_steps = 8;
+    o.rca_count_steps = 8;
+    dse::DesignSpaceExplorer explorer{o};
+    const auto rca = apps::bitcoin().rca;
+
+    obs::setMetricsEnabled(true);
+    const auto result = explorer.explore(rca, tech::NodeId::N40);
+    obs::setMetricsEnabled(false);
+
+    ASSERT_TRUE(result.tco_optimal.has_value());
+    // The per-evaluate counter covers at least the sweep's own
+    // evaluations (bisection probes add more).
+    EXPECT_GE(reg.counter("dse.evaluations").value(),
+              result.evaluated);
+
+    const auto &timer = reg.timer("dse.sweep.Bitcoin.40nm");
+    EXPECT_GE(timer.count(), 1u);
+    EXPECT_GT(timer.totalNs(), 0u);
+
+    // Thermal cache gauges were snapshotted by the sweep.
+    EXPECT_GT(reg.gauge("thermal.cache.hits").value(), 0.0);
+    EXPECT_GT(reg.gauge("thermal.cache.misses").value(), 0.0);
+}

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/log.hh"
+
+using namespace moonwalk::obs;
+
+namespace {
+
+/** Captures log output and restores level + sink on scope exit. */
+class LogCapture
+{
+  public:
+    LogCapture()
+        : saved_level_(logLevel())
+    {
+        setLogSink(&os_);
+    }
+    ~LogCapture()
+    {
+        setLogSink(nullptr);
+        setLogLevel(saved_level_);
+    }
+    std::string text() const { return os_.str(); }
+
+  private:
+    std::ostringstream os_;
+    LogLevel saved_level_;
+};
+
+} // namespace
+
+TEST(Log, LevelParsing)
+{
+    EXPECT_EQ(logLevelFromString("debug"), LogLevel::Debug);
+    EXPECT_EQ(logLevelFromString("info"), LogLevel::Info);
+    EXPECT_EQ(logLevelFromString("warn"), LogLevel::Warn);
+    EXPECT_EQ(logLevelFromString("error"), LogLevel::Error);
+    EXPECT_EQ(logLevelFromString("off"), LogLevel::Off);
+    EXPECT_FALSE(logLevelFromString("verbose").has_value());
+    EXPECT_FALSE(logLevelFromString("").has_value());
+}
+
+TEST(Log, OffSuppressesEverything)
+{
+    LogCapture cap;
+    setLogLevel(LogLevel::Off);
+    MOONWALK_LOG(Error, "test").msg("should not appear");
+    MOONWALK_LOG(Debug, "test").msg("nor this");
+    EXPECT_TRUE(cap.text().empty());
+}
+
+TEST(Log, ThresholdFiltersBySeverity)
+{
+    LogCapture cap;
+    setLogLevel(LogLevel::Warn);
+    MOONWALK_LOG(Error, "test").msg("visible-error");
+    MOONWALK_LOG(Warn, "test").msg("visible-warn");
+    MOONWALK_LOG(Info, "test").msg("hidden-info");
+    MOONWALK_LOG(Debug, "test").msg("hidden-debug");
+    const std::string out = cap.text();
+    EXPECT_NE(out.find("visible-error"), std::string::npos);
+    EXPECT_NE(out.find("visible-warn"), std::string::npos);
+    EXPECT_EQ(out.find("hidden-info"), std::string::npos);
+    EXPECT_EQ(out.find("hidden-debug"), std::string::npos);
+}
+
+TEST(Log, StructuredFieldsRender)
+{
+    LogCapture cap;
+    setLogLevel(LogLevel::Debug);
+    MOONWALK_LOG(Info, "dse.sweep")
+        .msg("done")
+        .field("node", "28nm")
+        .field("evaluated", 12345);
+    const std::string out = cap.text();
+    EXPECT_NE(out.find("[info] dse.sweep: done"), std::string::npos);
+    EXPECT_NE(out.find("node=28nm"), std::string::npos);
+    EXPECT_NE(out.find("evaluated=12345"), std::string::npos);
+}
+
+TEST(Log, DisabledSiteDoesNotEvaluateArguments)
+{
+    LogCapture cap;
+    setLogLevel(LogLevel::Error);
+    int calls = 0;
+    auto expensive = [&calls] {
+        ++calls;
+        return std::string("x");
+    };
+    MOONWALK_LOG(Debug, "test").field("v", expensive());
+    EXPECT_EQ(calls, 0);
+    MOONWALK_LOG(Error, "test").field("v", expensive());
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Log, EnabledPredicateMatchesThreshold)
+{
+    LogCapture cap;
+    setLogLevel(LogLevel::Info);
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    EXPECT_TRUE(logEnabled(LogLevel::Info));
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+    EXPECT_FALSE(logEnabled(LogLevel::Off));
+}

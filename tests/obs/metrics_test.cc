@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+using namespace moonwalk;
+using namespace moonwalk::obs;
+
+TEST(Metrics, CounterIncrements)
+{
+    auto &reg = MetricsRegistry::instance();
+    auto &c = reg.counter("test.metrics.counter");
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, LookupByNameReturnsSameInstance)
+{
+    auto &reg = MetricsRegistry::instance();
+    auto &a = reg.counter("test.metrics.same");
+    auto &b = reg.counter("test.metrics.same");
+    EXPECT_EQ(&a, &b);
+    auto &other = reg.counter("test.metrics.other");
+    EXPECT_NE(&a, &other);
+}
+
+TEST(Metrics, GaugeSetAndHighWater)
+{
+    auto &g = MetricsRegistry::instance().gauge("test.metrics.gauge");
+    g.reset();
+    g.set(3.5);
+    EXPECT_DOUBLE_EQ(g.value(), 3.5);
+    g.max(2.0);  // below: ignored
+    EXPECT_DOUBLE_EQ(g.value(), 3.5);
+    g.max(7.25);
+    EXPECT_DOUBLE_EQ(g.value(), 7.25);
+}
+
+TEST(Metrics, TimerAccumulates)
+{
+    auto &t = MetricsRegistry::instance().timer("test.metrics.timer");
+    t.reset();
+    t.record(1000);
+    t.record(3000);
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_EQ(t.totalNs(), 4000u);
+    EXPECT_EQ(t.minNs(), 1000u);
+    EXPECT_EQ(t.maxNs(), 3000u);
+    EXPECT_DOUBLE_EQ(t.meanNs(), 2000.0);
+}
+
+TEST(Metrics, ScopedTimerRespectsEnableFlag)
+{
+    auto &t = MetricsRegistry::instance().timer("test.metrics.scoped");
+    t.reset();
+    setMetricsEnabled(false);
+    {
+        ScopedTimer scope(t);
+    }
+    EXPECT_EQ(t.count(), 0u);
+    setMetricsEnabled(true);
+    {
+        ScopedTimer scope(t);
+    }
+    setMetricsEnabled(false);
+    EXPECT_EQ(t.count(), 1u);
+}
+
+TEST(Metrics, ConcurrentCounterBumps)
+{
+    auto &reg = MetricsRegistry::instance();
+    auto &c = reg.counter("test.metrics.concurrent");
+    c.reset();
+    constexpr int kThreads = 8;
+    constexpr int kBumps = 10000;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i) {
+        // Half the threads also register fresh names, exercising the
+        // registration mutex against concurrent increments.
+        threads.emplace_back([&reg, &c, i] {
+            for (int j = 0; j < kBumps; ++j) {
+                c.inc();
+                if (i % 2 == 0 && j % 1000 == 0) {
+                    reg.counter("test.metrics.concurrent.t" +
+                                std::to_string(i))
+                        .inc();
+                }
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(),
+              static_cast<uint64_t>(kThreads) * kBumps);
+}
+
+TEST(Metrics, SnapshotNamesSortedAndTyped)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("test.snapshot.a").inc(5);
+    reg.gauge("test.snapshot.b").set(1.5);
+    reg.timer("test.snapshot.c").record(2000000);
+
+    bool saw_counter = false, saw_gauge = false, saw_timer = false;
+    const auto snap = reg.snapshot();
+    for (size_t i = 1; i < snap.size(); ++i)
+        EXPECT_LT(snap[i - 1].name, snap[i].name);
+    for (const auto &s : snap) {
+        if (s.name == "test.snapshot.a") {
+            saw_counter = s.kind == MetricSample::Kind::Counter &&
+                s.value >= 5.0;
+        } else if (s.name == "test.snapshot.b") {
+            saw_gauge = s.kind == MetricSample::Kind::Gauge &&
+                s.value == 1.5;
+        } else if (s.name == "test.snapshot.c") {
+            saw_timer = s.kind == MetricSample::Kind::Timer &&
+                s.count >= 1;
+        }
+    }
+    EXPECT_TRUE(saw_counter);
+    EXPECT_TRUE(saw_gauge);
+    EXPECT_TRUE(saw_timer);
+}
+
+TEST(Metrics, JsonAndTableRenderers)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("test.render.count").inc(3);
+    reg.gauge("test.render.gauge").set(0.5);
+    reg.timer("test.render.timer").record(1500000);
+
+    const Json j = reg.toJson();
+    ASSERT_TRUE(j.isObject());
+    EXPECT_GE(j.at("counters").at("test.render.count").asDouble(),
+              3.0);
+    EXPECT_DOUBLE_EQ(
+        j.at("gauges").at("test.render.gauge").asDouble(), 0.5);
+    EXPECT_GE(
+        j.at("timers").at("test.render.timer").at("count").asDouble(),
+        1.0);
+    // The dump round-trips through our own parser.
+    EXPECT_TRUE(Json::parse(j.dump(2)).isObject());
+
+    std::ostringstream os;
+    reg.writeTable(os);
+    EXPECT_NE(os.str().find("test.render.count"), std::string::npos);
+    EXPECT_NE(os.str().find("counter"), std::string::npos);
+}

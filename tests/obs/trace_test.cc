@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/trace.hh"
+#include "util/json.hh"
+
+using namespace moonwalk;
+using namespace moonwalk::obs;
+
+TEST(Trace, DisabledSpansRecordNothing)
+{
+    auto &tc = traceCollector();
+    tc.start();
+    tc.stop();  // enabled=false, buffer cleared by the start()
+    {
+        TraceSpan span("ignored");
+        EXPECT_FALSE(span.active());
+    }
+    EXPECT_EQ(tc.eventCount(), 0u);
+}
+
+TEST(Trace, SpansProduceValidChromeTraceJson)
+{
+    auto &tc = traceCollector();
+    tc.start();
+    {
+        TraceSpan outer("explore", "dse");
+        outer.arg("app", "Bitcoin").arg("node", "28nm");
+        {
+            TraceSpan inner("solve", "thermal");
+        }
+    }
+    tc.stop();
+    ASSERT_EQ(tc.eventCount(), 2u);
+
+    // The serialized document must parse with our own JSON reader and
+    // carry the Chrome trace-event fields Perfetto requires.
+    const Json doc = Json::parse(tc.toJson().dump(2));
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_TRUE(doc.at("traceEvents").isArray());
+    ASSERT_EQ(doc.at("traceEvents").size(), 2u);
+    for (size_t i = 0; i < doc.at("traceEvents").size(); ++i) {
+        const Json &ev = doc.at("traceEvents").at(i);
+        EXPECT_EQ(ev.at("ph").asString(), "X");
+        EXPECT_TRUE(ev.at("ts").isNumber());
+        EXPECT_TRUE(ev.at("dur").isNumber());
+        EXPECT_GE(ev.at("dur").asDouble(), 0.0);
+        EXPECT_TRUE(ev.at("name").isString());
+    }
+
+    // Inner span completed first, so it is recorded first; the outer
+    // span carries its args.
+    EXPECT_EQ(doc.at("traceEvents").at(0).at("name").asString(),
+              "solve");
+    const Json &outer_ev = doc.at("traceEvents").at(1);
+    EXPECT_EQ(outer_ev.at("args").at("app").asString(), "Bitcoin");
+    EXPECT_EQ(outer_ev.at("args").at("node").asString(), "28nm");
+}
+
+TEST(Trace, NestedSpanDurationsAreOrdered)
+{
+    auto &tc = traceCollector();
+    tc.start();
+    {
+        TraceSpan outer("outer");
+        TraceSpan inner("inner");
+    }
+    tc.stop();
+    const Json doc = tc.toJson();
+    const Json &inner = doc.at("traceEvents").at(0);
+    const Json &outer = doc.at("traceEvents").at(1);
+    EXPECT_LE(outer.at("ts").asDouble(), inner.at("ts").asDouble());
+    EXPECT_GE(outer.at("dur").asDouble(), inner.at("dur").asDouble());
+}
+
+TEST(Trace, WriteToFileRoundTrips)
+{
+    const std::string path = ::testing::TempDir() + "moonwalk_trace_test.json";
+    auto &tc = traceCollector();
+    tc.start();
+    {
+        TraceSpan span("filed", "test");
+    }
+    tc.stop();
+    ASSERT_TRUE(tc.writeTo(path));
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const Json doc = Json::parse(buf.str());
+    EXPECT_EQ(doc.at("traceEvents").size(), 1u);
+    EXPECT_EQ(doc.at("traceEvents").at(0).at("name").asString(),
+              "filed");
+    std::remove(path.c_str());
+}
+
+TEST(Trace, StartClearsPreviousEvents)
+{
+    auto &tc = traceCollector();
+    tc.start();
+    {
+        TraceSpan span("first");
+    }
+    tc.start();  // restart: previous buffer discarded
+    {
+        TraceSpan span("second");
+    }
+    tc.stop();
+    ASSERT_EQ(tc.eventCount(), 1u);
+    EXPECT_EQ(
+        tc.toJson().at("traceEvents").at(0).at("name").asString(),
+        "second");
+}

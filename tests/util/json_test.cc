@@ -72,5 +72,83 @@ TEST(Json, TypeErrors)
     EXPECT_TRUE(arr.isArray());
 }
 
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(Json::parse("null").isNull());
+    EXPECT_TRUE(Json::parse("true").asBool());
+    EXPECT_FALSE(Json::parse("false").asBool());
+    EXPECT_DOUBLE_EQ(Json::parse("42").asDouble(), 42.0);
+    EXPECT_DOUBLE_EQ(Json::parse("-2.5e3").asDouble(), -2500.0);
+    EXPECT_EQ(Json::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, Containers)
+{
+    const Json arr = Json::parse(" [1, \"two\", [3], {\"k\": 4}] ");
+    ASSERT_TRUE(arr.isArray());
+    ASSERT_EQ(arr.size(), 4u);
+    EXPECT_DOUBLE_EQ(arr.at(0).asDouble(), 1.0);
+    EXPECT_EQ(arr.at(1).asString(), "two");
+    EXPECT_DOUBLE_EQ(arr.at(2).at(0).asDouble(), 3.0);
+    EXPECT_DOUBLE_EQ(arr.at(3).at("k").asDouble(), 4.0);
+    EXPECT_TRUE(arr.at(3).contains("k"));
+    EXPECT_FALSE(arr.at(3).contains("missing"));
+
+    EXPECT_EQ(Json::parse("[]").size(), 0u);
+    EXPECT_EQ(Json::parse("{}").size(), 0u);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    EXPECT_EQ(Json::parse("\"a\\\"b\\\\c\\n\\t\"").asString(),
+              "a\"b\\c\n\t");
+    EXPECT_EQ(Json::parse("\"\\u0041\"").asString(), "A");
+}
+
+TEST(JsonParse, RoundTripsOwnOutput)
+{
+    Json obj = Json::object();
+    obj.set("name", "sweep \"quoted\"\n");
+    obj.set("count", 12345);
+    obj.set("ratio", 0.125);
+    obj.set("ok", true);
+    obj.set("none", nullptr);
+    obj.set("list", Json::array().push(1).push(2.5).push("x"));
+
+    for (int indent : {0, 2}) {
+        const Json back = Json::parse(obj.dump(indent));
+        EXPECT_EQ(back.at("name").asString(), "sweep \"quoted\"\n");
+        EXPECT_DOUBLE_EQ(back.at("count").asDouble(), 12345.0);
+        EXPECT_DOUBLE_EQ(back.at("ratio").asDouble(), 0.125);
+        EXPECT_TRUE(back.at("ok").asBool());
+        EXPECT_TRUE(back.at("none").isNull());
+        ASSERT_EQ(back.at("list").size(), 3u);
+        EXPECT_EQ(back.at("list").at(2).asString(), "x");
+        EXPECT_EQ(back.dump(indent), obj.dump(indent));
+    }
+}
+
+TEST(JsonParse, RejectsMalformedInput)
+{
+    EXPECT_THROW(Json::parse(""), ModelError);
+    EXPECT_THROW(Json::parse("{"), ModelError);
+    EXPECT_THROW(Json::parse("[1,]"), ModelError);
+    EXPECT_THROW(Json::parse("{\"k\" 1}"), ModelError);
+    EXPECT_THROW(Json::parse("\"unterminated"), ModelError);
+    EXPECT_THROW(Json::parse("tru"), ModelError);
+    EXPECT_THROW(Json::parse("1 2"), ModelError);
+    EXPECT_THROW(Json::parse("1.2.3"), ModelError);
+}
+
+TEST(JsonParse, AccessorTypeErrors)
+{
+    const Json v = Json::parse("{\"a\": [1]}");
+    EXPECT_THROW(v.at(0), ModelError);
+    EXPECT_THROW(v.at("missing"), ModelError);
+    EXPECT_THROW(v.at("a").at(5), ModelError);
+    EXPECT_THROW(v.asDouble(), ModelError);
+    EXPECT_THROW(v.at("a").at(0).asString(), ModelError);
+}
+
 } // namespace
 } // namespace moonwalk

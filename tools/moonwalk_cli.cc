@@ -18,34 +18,87 @@
  *
  * <app> is one of: Bitcoin, Litecoin, "Video Transcode",
  * "Deep Learning".  <tco> accepts scientific notation (e.g. 30e6).
+ *
+ * Observability flags (accepted by every command):
+ *   --log-level <error|warn|info|debug|off>   structured logging
+ *   --metrics       dump the metrics registry at exit (--json aware)
+ *   --trace <file>  write Chrome trace-event spans (Perfetto-viewable)
  */
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/report.hh"
 #include "core/sensitivity.hh"
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/server_sim.hh"
 #include "tco/datacenter.hh"
 #include "util/error.hh"
 #include "util/format.hh"
 #include "util/table.hh"
 
+#ifndef MOONWALK_VERSION
+#define MOONWALK_VERSION "unknown"
+#endif
+
 using namespace moonwalk;
 
 namespace {
+
+constexpr const char *kCommands =
+    "apps, nodes, sweep, report, select, ranges, porting, simulate, "
+    "provision, version";
+constexpr const char *kFlags =
+    "--json, --metrics, --trace <file>, "
+    "--log-level <error|warn|info|debug|off>";
 
 int
 usage()
 {
     std::cerr <<
-        "usage: moonwalk <command> [args]\n"
+        "usage: moonwalk <command> [args] [flags]\n"
         "  apps | nodes | sweep <app> | report <app> [tco] [--json]\n"
         "  select <app> <tco> | ranges <app> | porting <app>\n"
-        "  simulate <app> [load] | provision <app> <units>\n";
+        "  simulate <app> [load] | provision <app> <units> | version\n"
+        "flags: " << kFlags << "\n";
     return 2;
+}
+
+/** One-line diagnostic naming the bad token + valid choices; rc 2. */
+int
+badToken(const std::string &what, const std::string &token,
+         const std::string &valid)
+{
+    std::cerr << "moonwalk: unknown " << what << " '" << token
+              << "' (valid: " << valid << ")\n";
+    return 2;
+}
+
+std::string
+validAppNames()
+{
+    std::string names;
+    for (const auto &app : apps::allApps()) {
+        if (!names.empty())
+            names += ", ";
+        names += app.name();
+    }
+    return names;
+}
+
+/** appByName with a CLI-grade diagnostic instead of an exception. */
+std::optional<apps::AppSpec>
+findApp(const std::string &name)
+{
+    for (auto &app : apps::allApps())
+        if (app.name() == name)
+            return app;
+    return std::nullopt;
 }
 
 core::MoonwalkOptimizer &
@@ -220,63 +273,159 @@ cmdProvision(const apps::AppSpec &app, double units)
     return 0;
 }
 
+/** Flags shared by every command. */
+struct GlobalOptions
+{
+    bool json = false;
+    bool metrics = false;
+    std::string trace_path;
+};
+
+/**
+ * Dump the metrics registry, first folding in the thermal solve-cache
+ * totals (and derived hit rate) from the long-lived evaluator.
+ */
+void
+dumpMetrics(bool json)
+{
+    const auto &lane = optimizer().explorer().evaluator().lane();
+    const double hits = static_cast<double>(lane.cacheHits());
+    const double misses = static_cast<double>(lane.cacheMisses());
+    auto &reg = obs::metrics();
+    reg.gauge("thermal.cache.hits").set(hits);
+    reg.gauge("thermal.cache.misses").set(misses);
+    if (hits + misses > 0) {
+        reg.gauge("thermal.cache.hit_rate")
+            .set(hits / (hits + misses));
+    }
+    if (json)
+        std::cout << reg.toJson().dump(2) << "\n";
+    else
+        reg.writeTable(std::cout);
+}
+
+int
+run(const std::vector<std::string> &args, const GlobalOptions &g)
+{
+    const std::string &cmd = args[0];
+    if (cmd == "version") {
+        std::cout << "moonwalk " << MOONWALK_VERSION << "\n";
+        return 0;
+    }
+    if (cmd == "apps")
+        return cmdApps();
+    if (cmd == "nodes")
+        return cmdNodes();
+
+    const bool known =
+        cmd == "sweep" || cmd == "report" || cmd == "select" ||
+        cmd == "ranges" || cmd == "porting" || cmd == "simulate" ||
+        cmd == "provision";
+    if (!known)
+        return badToken("command", cmd, kCommands);
+    if (args.size() < 2)
+        return usage();
+
+    const auto app = findApp(args[1]);
+    if (!app)
+        return badToken("application", args[1], validAppNames());
+
+    if (cmd == "sweep")
+        return cmdSweep(*app);
+    if (cmd == "report") {
+        const double tco =
+            args.size() > 2 ? std::atof(args[2].c_str()) : 0.0;
+        return cmdReport(*app, tco, g.json);
+    }
+    if (cmd == "select") {
+        if (args.size() < 3)
+            return usage();
+        return cmdSelect(*app, std::atof(args[2].c_str()));
+    }
+    if (cmd == "ranges")
+        return cmdRanges(*app);
+    if (cmd == "porting")
+        return cmdPorting(*app);
+    if (cmd == "simulate") {
+        const double load =
+            args.size() > 2 ? std::atof(args[2].c_str()) : 0.8;
+        return cmdSimulate(*app, load);
+    }
+    // provision
+    if (args.size() < 3)
+        return usage();
+    return cmdProvision(*app, std::atof(args[2].c_str()));
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> args(argv + 1, argv + argc);
+    std::vector<std::string> raw(argv + 1, argv + argc);
+
+    GlobalOptions g;
+    std::vector<std::string> args;
+    for (size_t i = 0; i < raw.size(); ++i) {
+        const std::string &a = raw[i];
+        if (a.rfind("--", 0) != 0) {
+            args.push_back(a);
+            continue;
+        }
+        if (a == "--json") {
+            g.json = true;
+        } else if (a == "--metrics") {
+            g.metrics = true;
+        } else if (a == "--trace") {
+            if (i + 1 >= raw.size()) {
+                std::cerr << "moonwalk: --trace needs a file path\n";
+                return 2;
+            }
+            g.trace_path = raw[++i];
+        } else if (a == "--log-level") {
+            if (i + 1 >= raw.size()) {
+                std::cerr << "moonwalk: --log-level needs a level\n";
+                return 2;
+            }
+            const auto lvl = obs::logLevelFromString(raw[++i]);
+            if (!lvl) {
+                return badToken("log level", raw[i],
+                                "error, warn, info, debug, off");
+            }
+            obs::setLogLevel(*lvl);
+        } else {
+            return badToken("flag", a, kFlags);
+        }
+    }
     if (args.empty())
         return usage();
 
-    bool json = false;
-    for (auto it = args.begin(); it != args.end();) {
-        if (*it == "--json") {
-            json = true;
-            it = args.erase(it);
-        } else {
-            ++it;
-        }
-    }
+    if (g.metrics)
+        obs::setMetricsEnabled(true);
+    if (!g.trace_path.empty())
+        obs::traceCollector().start();
 
-    const std::string &cmd = args[0];
+    int rc;
     try {
-        if (cmd == "apps")
-            return cmdApps();
-        if (cmd == "nodes")
-            return cmdNodes();
-        if (args.size() < 2)
-            return usage();
-        const auto app = apps::appByName(args[1]);
-        if (cmd == "sweep")
-            return cmdSweep(app);
-        if (cmd == "report") {
-            const double tco =
-                args.size() > 2 ? std::atof(args[2].c_str()) : 0.0;
-            return cmdReport(app, tco, json);
-        }
-        if (cmd == "select") {
-            if (args.size() < 3)
-                return usage();
-            return cmdSelect(app, std::atof(args[2].c_str()));
-        }
-        if (cmd == "ranges")
-            return cmdRanges(app);
-        if (cmd == "porting")
-            return cmdPorting(app);
-        if (cmd == "simulate") {
-            const double load =
-                args.size() > 2 ? std::atof(args[2].c_str()) : 0.8;
-            return cmdSimulate(app, load);
-        }
-        if (cmd == "provision") {
-            if (args.size() < 3)
-                return usage();
-            return cmdProvision(app, std::atof(args[2].c_str()));
-        }
+        rc = run(args, g);
     } catch (const ModelError &e) {
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        rc = 1;
     }
-    return usage();
+
+    if (!g.trace_path.empty()) {
+        obs::traceCollector().stop();
+        if (obs::traceCollector().writeTo(g.trace_path)) {
+            std::cerr << "moonwalk: wrote "
+                      << obs::traceCollector().eventCount()
+                      << " trace spans to " << g.trace_path << "\n";
+        } else {
+            std::cerr << "moonwalk: cannot write trace to "
+                      << g.trace_path << "\n";
+            rc = rc ? rc : 1;
+        }
+    }
+    if (g.metrics)
+        dumpMetrics(g.json);
+    return rc;
 }
