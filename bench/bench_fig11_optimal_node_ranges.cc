@@ -17,6 +17,9 @@ int
 main()
 {
     auto &opt = bench::sharedOptimizer();
+    // Sweep all four applications in parallel before the serial
+    // per-app envelope rendering below.
+    opt.prefetch(apps::allApps());
 
     for (const auto &app : apps::allApps()) {
         const auto lines = opt.totalCostLines(app);

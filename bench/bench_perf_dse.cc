@@ -3,12 +3,29 @@
  * google-benchmark microbenchmarks of the engine itself: single
  * design-point evaluation, thermal solves, Pareto extraction, and a
  * full per-node exploration.
+ *
+ * `bench_perf_dse --scaling [--json]` instead runs the thread-scaling
+ * study: the full bitcoin sweep (every node, full resolution) at 1, 2,
+ * 4, and all hardware threads, reporting wall time and speedup and
+ * checking that every thread count produced identical designs.  With
+ * --json the rows are machine-readable for the perf trajectory.
  */
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "apps/apps.hh"
+#include "core/optimizer.hh"
 #include "dse/explorer.hh"
+#include "exec/thread_pool.hh"
 #include "thermal/lane.hh"
+#include "util/table.hh"
 
 using namespace moonwalk;
 
@@ -88,6 +105,111 @@ BM_ParetoExtraction(benchmark::State &state)
 }
 BENCHMARK(BM_ParetoExtraction)->Arg(1000)->Arg(100000);
 
+/**
+ * Canonical digest of a node sweep: every decision the sweep made, at
+ * full precision, so any cross-thread-count divergence — even one ULP
+ * — shows up as a digest mismatch.
+ */
+std::string
+sweepDigest(const std::vector<core::NodeResult> &sweep)
+{
+    std::ostringstream os;
+    os.precision(17);
+    for (const auto &r : sweep) {
+        os << tech::to_string(r.node) << ' '
+           << r.optimal.config.rcas_per_die << ' '
+           << r.optimal.config.dies_per_lane << ' '
+           << r.optimal.config.drams_per_die << ' '
+           << r.optimal.config.vdd << ' '
+           << r.optimal.tco_per_ops << ' '
+           << r.nre.total() << '\n';
+    }
+    return os.str();
+}
+
+int
+runScaling(bool json)
+{
+    const auto app = apps::bitcoin();
+    std::vector<int> counts{1, 2, 4};
+    const int hw = exec::defaultConcurrency();
+    if (hw > 4)
+        counts.push_back(hw);
+
+    struct Row { int threads; double wall_ms; std::string digest; };
+    std::vector<Row> rows;
+    for (int threads : counts) {
+        // A fresh optimizer per thread count: cold sweep caches, so
+        // each run pays the full exploration cost.
+        dse::ExplorerOptions options;
+        options.max_threads = threads;
+        core::MoonwalkOptimizer opt{
+            dse::DesignSpaceExplorer{options}};
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto &sweep = opt.sweepNodes(app);
+        const auto t1 = std::chrono::steady_clock::now();
+        rows.push_back(
+            {threads,
+             std::chrono::duration<double, std::milli>(t1 - t0).count(),
+             sweepDigest(sweep)});
+    }
+
+    bool identical = true;
+    for (const auto &row : rows)
+        identical = identical && row.digest == rows.front().digest;
+
+    if (json) {
+        std::cout << "{\"bench\":\"dse_scaling\",\"app\":\""
+                  << app.name() << "\",\"identical\":"
+                  << (identical ? "true" : "false") << ",\"runs\":[";
+        for (size_t i = 0; i < rows.size(); ++i) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "%s{\"threads\":%d,\"wall_ms\":%.3f,"
+                          "\"speedup\":%.3f}",
+                          i ? "," : "", rows[i].threads,
+                          rows[i].wall_ms,
+                          rows[0].wall_ms / rows[i].wall_ms);
+            std::cout << buf;
+        }
+        std::cout << "]}\n";
+    } else {
+        TextTable t({"Threads", "Wall (ms)", "Speedup"});
+        t.setTitle("Full " + app.name() +
+                   " sweep, thread scaling (identical results: " +
+                   (identical ? "yes" : "NO") + ")");
+        for (const auto &row : rows) {
+            char wall[32], speedup[32];
+            std::snprintf(wall, sizeof(wall), "%.1f", row.wall_ms);
+            std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                          rows.front().wall_ms / row.wall_ms);
+            t.addRow({std::to_string(row.threads), wall, speedup});
+        }
+        t.print(std::cout);
+    }
+    return identical ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    bool scaling = false;
+    bool json = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scaling") == 0)
+            scaling = true;
+        else if (std::strcmp(argv[i], "--json") == 0)
+            json = true;
+    }
+    if (scaling)
+        return runScaling(json);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

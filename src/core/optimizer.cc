@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "exec/parallel.hh"
 #include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -33,50 +34,66 @@ MoonwalkOptimizer::nreOf(const apps::AppSpec &app,
 const std::vector<NodeResult> &
 MoonwalkOptimizer::sweepNodes(const apps::AppSpec &app) const
 {
-    auto it = cache_.find(app.name());
-    if (it != cache_.end()) {
-        if (obs::metricsEnabled())
-            obs::metrics().counter("core.sweep.cache.hits").inc();
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        auto it = cache_.find(app.name());
+        if (it != cache_.end()) {
+            if (obs::metricsEnabled())
+                obs::metrics().counter("core.sweep.cache.hits").inc();
+            return it->second;
+        }
     }
 
     obs::TraceSpan span("sweepNodes " + app.name(), "core");
     const bool counted = obs::metricsEnabled();
     const uint64_t t0 = counted ? obs::monotonicNowNs() : 0;
 
+    // Explore every node in parallel (each exploration itself fans
+    // out over its sweep grid on the same pool), then reduce in node
+    // order — identical results and ordering at any thread count.
+    const auto per_node = exec::parallelMap<std::optional<NodeResult>>(
+        tech::kAllNodes.size(),
+        [&](size_t i) -> std::optional<NodeResult> {
+            const tech::NodeId id = tech::kAllNodes[i];
+            const uint64_t node_t0 =
+                counted ? obs::monotonicNowNs() : 0;
+            auto exploration = explorer_.explore(app.rca, id);
+            if (counted) {
+                // Per-node explore timing, independent of whether the
+                // node turns out feasible.
+                obs::metrics()
+                    .timer("core.explore." + app.name() + "." +
+                           tech::to_string(id))
+                    .record(obs::monotonicNowNs() - node_t0);
+            }
+            if (!exploration.tco_optimal) {
+                MOONWALK_LOG(Debug, "core.sweep")
+                    .msg("node infeasible")
+                    .field("app", app.name())
+                    .field("node", tech::to_string(id));
+                return std::nullopt;  // SLA unreachable or nothing fits
+            }
+            NodeResult r;
+            r.node = id;
+            r.optimal = *exploration.tco_optimal;
+            try {
+                r.nre = nreOf(app, r.optimal);
+            } catch (const ModelError &) {
+                MOONWALK_LOG(Debug, "core.sweep")
+                    .msg("missing IP")
+                    .field("app", app.name())
+                    .field("node", tech::to_string(id));
+                return std::nullopt;  // required IP missing at node
+            }
+            return r;
+        },
+        explorer_.options().max_threads);
+
     std::vector<NodeResult> results;
-    for (tech::NodeId id : tech::kAllNodes) {
-        const uint64_t node_t0 = counted ? obs::monotonicNowNs() : 0;
-        auto exploration = explorer_.explore(app.rca, id);
-        if (counted) {
-            // Per-node explore timing, independent of whether the
-            // node turns out feasible.
-            obs::metrics()
-                .timer("core.explore." + app.name() + "." +
-                       tech::to_string(id))
-                .record(obs::monotonicNowNs() - node_t0);
-        }
-        if (!exploration.tco_optimal) {
-            MOONWALK_LOG(Debug, "core.sweep")
-                .msg("node infeasible")
-                .field("app", app.name())
-                .field("node", tech::to_string(id));
-            continue;  // SLA unreachable or nothing fits
-        }
-        NodeResult r;
-        r.node = id;
-        r.optimal = *exploration.tco_optimal;
-        try {
-            r.nre = nreOf(app, r.optimal);
-        } catch (const ModelError &) {
-            MOONWALK_LOG(Debug, "core.sweep")
-                .msg("missing IP")
-                .field("app", app.name())
-                .field("node", tech::to_string(id));
-            continue;  // required IP does not exist at this node
-        }
-        results.push_back(std::move(r));
-    }
+    for (const auto &r : per_node)
+        if (r)
+            results.push_back(*r);
+
     if (counted) {
         obs::metrics()
             .timer("core.sweep." + app.name())
@@ -86,7 +103,23 @@ MoonwalkOptimizer::sweepNodes(const apps::AppSpec &app) const
         .msg("node sweep complete")
         .field("app", app.name())
         .field("feasible_nodes", results.size());
-    return cache_.emplace(app.name(), std::move(results)).first->second;
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    // emplace keeps the first insertion if a racing thread swept the
+    // same app concurrently; both computed identical results.
+    return cache_.emplace(app.name(), std::move(results))
+        .first->second;
+}
+
+void
+MoonwalkOptimizer::prefetch(const std::vector<apps::AppSpec> &apps)
+    const
+{
+    obs::TraceSpan span("prefetch " + std::to_string(apps.size()) +
+                            " apps",
+                        "core");
+    exec::parallelFor(
+        apps.size(), [&](size_t i) { (void)sweepNodes(apps[i]); },
+        explorer_.options().max_threads);
 }
 
 double

@@ -8,6 +8,7 @@
 #define MOONWALK_CORE_OPTIMIZER_HH
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -72,6 +73,13 @@ struct PortingEntry
  * for an application, prices the NRE of each optimal design, and
  * answers the paper's node-selection questions.  Exploration results
  * are cached per application name.
+ *
+ * sweepNodes() fans out across technology nodes on the exec runtime
+ * (and prefetch() additionally across applications, for the
+ * multi-app envelope/parity analyses); results are reduced in node
+ * order, so every answer is identical at any thread count.  The
+ * per-app cache is mutex-guarded, making the optimizer safe to query
+ * from concurrent analyses.
  */
 class MoonwalkOptimizer
 {
@@ -90,6 +98,15 @@ class MoonwalkOptimizer
      */
     const std::vector<NodeResult> &sweepNodes(const apps::AppSpec &app)
         const;
+
+    /**
+     * Warm the per-app sweep cache for many applications in parallel
+     * (apps x nodes x sweep cells all share the exec pool).  The
+     * envelope (Figure 11) and parity (Figure 12) analyses call this
+     * before their per-app loops so the heavy exploration work fans
+     * out instead of running app-by-app.
+     */
+    void prefetch(const std::vector<apps::AppSpec> &apps) const;
 
     /** NRE of one concrete design point. */
     nre::NreBreakdown nreOf(const apps::AppSpec &app,
@@ -141,6 +158,9 @@ class MoonwalkOptimizer
   private:
     dse::DesignSpaceExplorer explorer_;
     nre::NreModel nre_model_;
+    /** Guards cache_.  References returned by sweepNodes stay valid:
+     *  the map is node-based and entries are never erased. */
+    mutable std::mutex cache_mutex_;
     mutable std::map<std::string, std::vector<NodeResult>> cache_;
 };
 

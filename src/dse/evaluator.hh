@@ -50,6 +50,15 @@ struct EvaluatorOptions
  * The evaluator owns the thermal model so its per-(dies, area) solve
  * cache is reused across the hundreds of thousands of voltage steps an
  * exploration visits.
+ *
+ * THREADING CONTRACT (clone-per-worker): evaluate() is const but NOT
+ * thread-safe — it mutates the thermal model's hidden solve cache.
+ * Parallel sweeps must give each worker thread its own copy of the
+ * evaluator (exec::WorkerLocal does this in the explorer); a copy
+ * inherits a warm thermal cache with fresh statistics and thread
+ * affinity, and the thermal model panics if one instance is solved
+ * from two threads.  All other accessors are read-only and safe to
+ * share.
  */
 class ServerEvaluator
 {

@@ -48,14 +48,15 @@ DesignSpaceExplorer::rcaCountCandidates(const arch::RcaSpec &rca,
 }
 
 double
-DesignSpaceExplorer::maxFeasibleVoltage(const arch::RcaSpec &rca,
+DesignSpaceExplorer::maxFeasibleVoltage(const ServerEvaluator &ev,
+                                        const arch::RcaSpec &rca,
                                         tech::NodeId node,
                                         int rcas_per_die,
                                         int dies_per_lane,
                                         int drams_per_die,
                                         double dark) const
 {
-    const auto &tn = evaluator_.scaling().database().node(node);
+    const auto &tn = ev.scaling().database().node(node);
     arch::ServerConfig cfg;
     cfg.node = node;
     cfg.rcas_per_die = rcas_per_die;
@@ -64,11 +65,11 @@ DesignSpaceExplorer::maxFeasibleVoltage(const arch::RcaSpec &rca,
     cfg.dark_silicon_fraction = dark;
 
     cfg.vdd = tn.vdd_min;
-    if (!evaluator_.evaluate(rca, cfg).feasible())
+    if (!ev.evaluate(rca, cfg).feasible())
         return -1.0;  // structurally infeasible (or too hot even NTV)
 
     cfg.vdd = tn.vddMax();
-    if (evaluator_.evaluate(rca, cfg).feasible())
+    if (ev.evaluate(rca, cfg).feasible())
         return tn.vddMax();
 
     // Thermal and power-budget violations are monotone in voltage:
@@ -77,7 +78,7 @@ DesignSpaceExplorer::maxFeasibleVoltage(const arch::RcaSpec &rca,
     double hi = tn.vddMax();
     for (int i = 0; i < 30; ++i) {
         cfg.vdd = 0.5 * (lo + hi);
-        if (evaluator_.evaluate(rca, cfg).feasible())
+        if (ev.evaluate(rca, cfg).feasible())
             lo = cfg.vdd;
         else
             hi = cfg.vdd;
@@ -85,15 +86,28 @@ DesignSpaceExplorer::maxFeasibleVoltage(const arch::RcaSpec &rca,
     return lo;
 }
 
+double
+DesignSpaceExplorer::maxFeasibleVoltage(const arch::RcaSpec &rca,
+                                        tech::NodeId node,
+                                        int rcas_per_die,
+                                        int dies_per_lane,
+                                        int drams_per_die,
+                                        double dark) const
+{
+    return maxFeasibleVoltage(evaluator_, rca, node, rcas_per_die,
+                              dies_per_lane, drams_per_die, dark);
+}
+
 void
-DesignSpaceExplorer::sweepConfig(const arch::RcaSpec &rca,
+DesignSpaceExplorer::sweepConfig(const ServerEvaluator &ev,
+                                 const arch::RcaSpec &rca,
                                  tech::NodeId node, int rcas_per_die,
                                  int drams_per_die, double dark,
                                  std::vector<DesignPoint> &feasible,
                                  size_t &evaluated) const
 {
-    const auto &tn = evaluator_.scaling().database().node(node);
-    const int max_dies = evaluator_.options().max_dies_per_lane;
+    const auto &tn = ev.scaling().database().node(node);
+    const int max_dies = ev.options().max_dies_per_lane;
 
     for (int dies = 1; dies <= max_dies; ++dies) {
         arch::ServerConfig cfg;
@@ -107,7 +121,7 @@ DesignSpaceExplorer::sweepConfig(const arch::RcaSpec &rca,
             // The SLA pins the voltage; a single evaluation suffices.
             cfg.vdd = tn.vdd_nominal;
             ++evaluated;
-            auto r = evaluator_.evaluate(rca, cfg);
+            auto r = ev.evaluate(rca, cfg);
             if (r.feasible())
                 feasible.push_back(std::move(*r.point));
             continue;
@@ -117,7 +131,7 @@ DesignSpaceExplorer::sweepConfig(const arch::RcaSpec &rca,
         // voltage, so power-dense designs (whose thermal ceiling sits
         // barely above Vmin) still get a dense grid.
         const double v_hi = maxFeasibleVoltage(
-            rca, node, rcas_per_die, dies, drams_per_die, dark);
+            ev, rca, node, rcas_per_die, dies, drams_per_die, dark);
         if (v_hi < 0.0) {
             ++evaluated;
             continue;
@@ -126,16 +140,78 @@ DesignSpaceExplorer::sweepConfig(const arch::RcaSpec &rca,
                                    options_.voltage_steps)) {
             cfg.vdd = vdd;
             ++evaluated;
-            auto r = evaluator_.evaluate(rca, cfg);
+            auto r = ev.evaluate(rca, cfg);
             if (r.feasible())
                 feasible.push_back(std::move(*r.point));
         }
     }
 }
 
+ServerEvaluator &
+DesignSpaceExplorer::workerEvaluator() const
+{
+    // Each participating thread clones the prototype on first use and
+    // keeps the clone (and its warming thermal cache) for all later
+    // sweeps by this explorer.  The prototype itself is never solved
+    // during parallel sections, so cloning races only against other
+    // read-only uses.
+    return worker_evaluators_.get([this] { return evaluator_; });
+}
+
+std::string
+DesignSpaceExplorer::sweepKey(const arch::RcaSpec &rca,
+                              tech::NodeId node) const
+{
+    uint64_t h = exec::hashValue(exec::fnv1a(nullptr, 0),
+                                 options_.voltage_steps);
+    h = exec::hashValue(h, options_.rca_count_steps);
+    h = exec::hashValue(h, options_.max_drams_per_die);
+    for (double dark : options_.dark_fractions)
+        h = exec::hashValue(h, dark);
+    // The RCA spec by content, not identity: sensitivity studies sweep
+    // perturbed specs under one application name.
+    h = exec::hashValue(h, rca.gate_count);
+    h = exec::hashValue(h, rca.ops_per_cycle);
+    h = exec::hashValue(h, rca.f_nominal_28_mhz);
+    h = exec::hashValue(h, rca.energy_per_op_28_j);
+    h = exec::hashValue(h, rca.area_28_mm2);
+    h = exec::hashValue(h, rca.energy_scaling_fraction);
+    h = exec::hashValue(h, rca.sla_fixed_freq_mhz);
+    h = exec::hashValue(h, rca.bytes_per_op);
+    h = exec::hashValue(h, rca.offpcb_bytes_per_op);
+    h = exec::hashValue(h, rca.needs_high_speed_link);
+    h = exec::hashValue(h, rca.needs_lvds);
+    h = exec::hashValue(h, rca.server_rca_multiple);
+    h = exec::hashValue(h, rca.allow_dark_silicon);
+    for (int n : rca.allowed_rcas_per_die)
+        h = exec::hashValue(h, n);
+    const auto &node_name =
+        evaluator_.scaling().database().node(node).name;
+    return rca.name + '|' + node_name + '|' + std::to_string(h);
+}
+
 ExplorationResult
 DesignSpaceExplorer::explore(const arch::RcaSpec &rca,
                              tech::NodeId node) const
+{
+    if (!options_.cache_sweeps)
+        return exploreUncached(rca, node);
+    auto result = sweep_cache_->getOrCompute(
+        sweepKey(rca, node),
+        [&] { return exploreUncached(rca, node); });
+    if (obs::metricsEnabled()) {
+        auto &reg = obs::metrics();
+        reg.gauge("dse.sweep_cache.hits")
+            .set(static_cast<double>(sweep_cache_->hits()));
+        reg.gauge("dse.sweep_cache.misses")
+            .set(static_cast<double>(sweep_cache_->misses()));
+    }
+    return result;
+}
+
+ExplorationResult
+DesignSpaceExplorer::exploreUncached(const arch::RcaSpec &rca,
+                                     tech::NodeId node) const
 {
     const std::string node_name =
         evaluator_.scaling().database().node(node).name;
@@ -161,33 +237,62 @@ DesignSpaceExplorer::explore(const arch::RcaSpec &rca,
         dram_counts.push_back(0);
     }
 
+    // Materialize the (dark, DRAMs/die, RCAs/die) outer grid in the
+    // exact order the serial nested loops visited it, then sweep the
+    // cells in parallel.  Concatenating per-cell results in grid order
+    // (the ordered-reduction rule) makes the feasible list — and every
+    // tie-break downstream — bit-identical at any thread count.
+    struct GridCell { double dark; int drams; int rcas; };
+    std::vector<GridCell> grid;
     for (double dark : darks) {
         for (int drams : dram_counts) {
-            for (int n : rcaCountCandidates(rca, node, drams, dark)) {
-                sweepConfig(rca, node, n, drams, dark, feasible,
-                            result.evaluated);
-            }
+            for (int n : rcaCountCandidates(rca, node, drams, dark))
+                grid.push_back({dark, drams, n});
         }
+    }
+
+    struct CellResult
+    {
+        std::vector<DesignPoint> feasible;
+        size_t evaluated = 0;
+    };
+    auto cells = exec::parallelMap<CellResult>(
+        grid.size(),
+        [&](size_t i) {
+            const ServerEvaluator &ev = workerEvaluator();
+            CellResult cell;
+            sweepConfig(ev, rca, node, grid[i].rcas, grid[i].drams,
+                        grid[i].dark, cell.feasible, cell.evaluated);
+            return cell;
+        },
+        options_.max_threads);
+    for (auto &cell : cells) {
+        result.evaluated += cell.evaluated;
+        std::move(cell.feasible.begin(), cell.feasible.end(),
+                  std::back_inserter(feasible));
     }
 
     const size_t coarse_evaluated = result.evaluated;
 
     // Local refinement around the best RCA count: the geometric grid
     // can miss the true optimum by a few RCAs, which matters when
-    // comparing against ported designs (Section 6.2).
+    // comparing against ported designs (Section 6.2).  Six cells only,
+    // so it runs on the calling thread (with its worker clone — the
+    // prototype must stay quiescent while sibling explorations run).
     if (!feasible.empty() && rca.allowed_rcas_per_die.empty()) {
         const auto coarse_best = *std::min_element(
             feasible.begin(), feasible.end(),
             [](const DesignPoint &a, const DesignPoint &b) {
                 return a.tco_per_ops < b.tco_per_ops;
             });
+        const ServerEvaluator &ev = workerEvaluator();
         const int n0 = coarse_best.config.rcas_per_die;
         const int step = std::max(1, n0 / 50);
         for (int n : {n0 - 3 * step, n0 - 2 * step, n0 - step,
                       n0 + step, n0 + 2 * step, n0 + 3 * step}) {
             if (n < 1)
                 continue;
-            sweepConfig(rca, node, n,
+            sweepConfig(ev, rca, node, n,
                         coarse_best.config.drams_per_die,
                         coarse_best.config.dark_silicon_fraction,
                         feasible, result.evaluated);
@@ -210,12 +315,13 @@ DesignSpaceExplorer::explore(const arch::RcaSpec &rca,
             .record(obs::monotonicNowNs() - t0);
         reg.counter("dse.refinement.evaluations")
             .inc(result.evaluated - coarse_evaluated);
-        // Snapshot the evaluator's thermal solve cache so the dump
-        // shows how well voltage sweeps reuse solves.
+        // Snapshot the thermal solve-cache totals (prototype plus all
+        // worker clones) so the dump shows how well sweeps reuse
+        // solves.
         reg.gauge("thermal.cache.hits")
-            .set(static_cast<double>(evaluator_.lane().cacheHits()));
+            .set(static_cast<double>(thermalCacheHits()));
         reg.gauge("thermal.cache.misses")
-            .set(static_cast<double>(evaluator_.lane().cacheMisses()));
+            .set(static_cast<double>(thermalCacheMisses()));
     }
     span.arg("evaluated", static_cast<double>(result.evaluated))
         .arg("feasible", static_cast<double>(result.feasible));
@@ -227,6 +333,26 @@ DesignSpaceExplorer::explore(const arch::RcaSpec &rca,
         .field("feasible", result.feasible)
         .field("pareto", result.pareto.size());
     return result;
+}
+
+uint64_t
+DesignSpaceExplorer::thermalCacheHits() const
+{
+    uint64_t total = evaluator_.lane().cacheHits();
+    worker_evaluators_.forEach([&](const ServerEvaluator &ev) {
+        total += ev.lane().cacheHits();
+    });
+    return total;
+}
+
+uint64_t
+DesignSpaceExplorer::thermalCacheMisses() const
+{
+    uint64_t total = evaluator_.lane().cacheMisses();
+    worker_evaluators_.forEach([&](const ServerEvaluator &ev) {
+        total += ev.lane().cacheMisses();
+    });
+    return total;
 }
 
 std::vector<DesignPoint>
@@ -266,8 +392,8 @@ DesignSpaceExplorer::exploreFixedDie(const arch::RcaSpec &rca,
 {
     ExplorationResult result;
     std::vector<DesignPoint> feasible;
-    sweepConfig(rca, node, rcas_per_die, drams_per_die, dark, feasible,
-                result.evaluated);
+    sweepConfig(evaluator_, rca, node, rcas_per_die, drams_per_die,
+                dark, feasible, result.evaluated);
     result.feasible = feasible.size();
     if (!feasible.empty()) {
         result.tco_optimal = *std::min_element(

@@ -4,15 +4,29 @@
  * per lane, DRAMs per ASIC, logic voltage (and dark-silicon fill for
  * Deep Learning), and reports the Pareto frontier and TCO-optimal
  * server design for an application at a technology node.
+ *
+ * explore() runs the (dark fraction x DRAMs/die x RCAs/die) outer
+ * grid in parallel on the exec runtime.  Each participating thread
+ * evaluates with its own clone of the ServerEvaluator (whose thermal
+ * solve cache is not shareable across threads; see evaluator.hh), and
+ * per-cell results are combined strictly in grid-index order — the
+ * exec ordered-reduction rule — so every exploration result is
+ * bit-identical at any thread count.  Completed explorations are
+ * memoized in a sharded (app, node, options-hash) cache.
  */
 #ifndef MOONWALK_DSE_EXPLORER_HH
 #define MOONWALK_DSE_EXPLORER_HH
 
+#include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "dse/evaluator.hh"
 #include "dse/pareto.hh"
+#include "exec/parallel.hh"
+#include "exec/sweep_cache.hh"
 
 namespace moonwalk::dse {
 
@@ -25,6 +39,15 @@ struct ExplorerOptions
     int max_drams_per_die = 12;
     /** Dark-silicon fractions tried when the RCA allows them. */
     std::vector<double> dark_fractions = {0.0, 0.05, 0.10, 0.15, 0.20};
+    /**
+     * Threads participating in one exploration (and, via the
+     * optimizer, in node/app fan-out): 0 = the global pool width
+     * (--jobs / MOONWALK_JOBS / hardware_concurrency), 1 = fully
+     * serial.  Results are identical at every setting.
+     */
+    int max_threads = 0;
+    /** Memoize completed explore() calls per (app, node, options). */
+    bool cache_sweeps = true;
 };
 
 /** Everything an exploration produces. */
@@ -39,15 +62,24 @@ struct ExplorationResult
 };
 
 /**
- * The explorer.  Holds a ServerEvaluator (and its thermal cache); one
- * instance can explore many (application, node) pairs.
+ * The explorer.  Holds a prototype ServerEvaluator (cloned per worker
+ * thread during parallel sweeps); one instance can explore many
+ * (application, node) pairs, concurrently.
+ *
+ * Thread-safety: explore() may be called from many threads at once
+ * (the optimizer fans out across nodes and apps); the sweep cache is
+ * sharded and worker clones are per-thread.  The remaining public
+ * sweep helpers (sweepVoltage, exploreFixedDie, maxFeasibleVoltage)
+ * use the prototype evaluator directly and must not race with each
+ * other, but are safe to call between parallel explorations.
  */
 class DesignSpaceExplorer
 {
   public:
     explicit DesignSpaceExplorer(ExplorerOptions options = {},
                                  ServerEvaluator evaluator = {})
-        : options_(options), evaluator_(std::move(evaluator))
+        : options_(std::move(options)), evaluator_(std::move(evaluator)),
+          sweep_cache_(std::make_shared<SweepCache>())
     {}
 
     const ServerEvaluator &evaluator() const { return evaluator_; }
@@ -95,14 +127,49 @@ class DesignSpaceExplorer
                               int dies_per_lane, int drams_per_die,
                               double dark) const;
 
+    // -- Aggregated runtime statistics ---------------------------------
+    /** Thermal solve-cache totals summed over the prototype evaluator
+     *  and every per-worker clone. */
+    uint64_t thermalCacheHits() const;
+    uint64_t thermalCacheMisses() const;
+    /** Exploration memo-cache totals for this explorer instance. */
+    uint64_t sweepCacheHits() const { return sweep_cache_->hits(); }
+    uint64_t sweepCacheMisses() const { return sweep_cache_->misses(); }
+
   private:
-    void sweepConfig(const arch::RcaSpec &rca, tech::NodeId node,
+    using SweepCache = exec::ShardedCache<std::string, ExplorationResult>;
+
+    /** The actual sweep, bypassing the memo cache. */
+    ExplorationResult exploreUncached(const arch::RcaSpec &rca,
+                                      tech::NodeId node) const;
+
+    /** Memo key: app|node|hash(options + RCA spec). */
+    std::string sweepKey(const arch::RcaSpec &rca,
+                         tech::NodeId node) const;
+
+    double maxFeasibleVoltage(const ServerEvaluator &ev,
+                              const arch::RcaSpec &rca,
+                              tech::NodeId node, int rcas_per_die,
+                              int dies_per_lane, int drams_per_die,
+                              double dark) const;
+
+    void sweepConfig(const ServerEvaluator &ev,
+                     const arch::RcaSpec &rca, tech::NodeId node,
                      int rcas_per_die, int drams_per_die, double dark,
                      std::vector<DesignPoint> &feasible,
                      size_t &evaluated) const;
 
+    /** This thread's evaluator clone (clone-per-worker contract). */
+    ServerEvaluator &workerEvaluator() const;
+
     ExplorerOptions options_;
     ServerEvaluator evaluator_;
+    /** Per-thread evaluator clones for parallel sweeps.  Copies of
+     *  the explorer start with no clones. */
+    mutable exec::WorkerLocal<ServerEvaluator> worker_evaluators_;
+    /** Shared across copies of this explorer (same models, same
+     *  options => same results). */
+    std::shared_ptr<SweepCache> sweep_cache_;
 };
 
 } // namespace moonwalk::dse

@@ -1,0 +1,107 @@
+#include "exec/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+
+#include "exec/thread_pool.hh"
+
+namespace moonwalk::exec {
+
+namespace {
+
+/** Shared state of one parallelFor: the claim cursor, completion
+ *  count, and the first captured exception. */
+struct ForState
+{
+    explicit ForState(size_t count,
+                      const std::function<void(size_t)> &fn)
+        : n(count), body(&fn)
+    {}
+
+    const size_t n;
+    const std::function<void(size_t)> *body;
+
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::atomic<bool> failed{false};
+
+    std::mutex mutex;
+    std::condition_variable all_done;
+    std::exception_ptr error;
+
+    /** Claim and run indices until the cursor runs out.  After a
+     *  failure, remaining indices are claimed but skipped so the
+     *  completion count still reaches n. */
+    void drain()
+    {
+        size_t i;
+        while ((i = next.fetch_add(1, std::memory_order_relaxed)) < n) {
+            if (!failed.load(std::memory_order_acquire)) {
+                try {
+                    (*body)(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (!error)
+                        error = std::current_exception();
+                    failed.store(true, std::memory_order_release);
+                }
+            }
+            finish(1);
+        }
+    }
+
+    void finish(size_t count)
+    {
+        if (done.fetch_add(count, std::memory_order_acq_rel) + count ==
+            n) {
+            std::lock_guard<std::mutex> lock(mutex);
+            all_done.notify_all();
+        }
+    }
+};
+
+} // namespace
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &body,
+            int max_threads)
+{
+    if (n == 0)
+        return;
+    if (max_threads == 1 || n == 1) {
+        // Serial fast path: never touches (or creates) the pool.
+        for (size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    auto &pool = ThreadPool::global();
+    const size_t width = max_threads > 0 ?
+        static_cast<size_t>(max_threads) :
+        static_cast<size_t>(pool.size()) + 1;
+
+    // Helpers beyond the caller; each is a cheap shared_ptr capture,
+    // and a helper that arrives after the cursor is exhausted simply
+    // returns, so over-submission is harmless.
+    auto state = std::make_shared<ForState>(n, body);
+    const size_t helpers =
+        std::min({width - 1, n - 1, static_cast<size_t>(pool.size())});
+    for (size_t h = 0; h < helpers; ++h)
+        pool.submit([state] { state->drain(); });
+
+    state->drain();  // the caller always participates (see file doc)
+
+    {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->all_done.wait(lock, [&] {
+            return state->done.load(std::memory_order_acquire) ==
+                state->n;
+        });
+        if (state->error)
+            std::rethrow_exception(state->error);
+    }
+}
+
+} // namespace moonwalk::exec

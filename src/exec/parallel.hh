@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic parallel-sweep facade over the work-stealing pool.
+ *
+ * parallelFor(n, body) runs body(0..n-1) with the calling thread
+ * participating: indices are claimed from a shared atomic cursor, the
+ * caller submits up to (width - 1) helper tasks to the global pool and
+ * then drains indices itself until none remain.  Because the caller
+ * always drains, nested parallelFor calls from inside pool tasks make
+ * progress even when every pool worker is busy — there is no
+ * wait-for-a-worker deadlock by construction.
+ *
+ * THE ORDERED-REDUCTION RULE: parallel results are only ever combined
+ * in index order.  parallelMap writes result i into slot i and returns
+ * the slots in order, so any reduction over its output (concatenation,
+ * min-element with first-wins tie-break, Pareto extraction) is
+ * bit-identical to the serial loop at every thread count.  Code built
+ * on this facade must never fold results in completion order.
+ *
+ * Exceptions thrown by a body are captured; the first one (by claim
+ * order, not index order) is rethrown on the calling thread after all
+ * claimed indices finish.
+ */
+#ifndef MOONWALK_EXEC_PARALLEL_HH
+#define MOONWALK_EXEC_PARALLEL_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace moonwalk::exec {
+
+/**
+ * Run body(i) for i in [0, n) across the global pool plus the calling
+ * thread.  @p max_threads caps the number of participating threads
+ * (0 = pool width + caller; 1 = plain serial loop on the caller, the
+ * pool untouched).  Blocks until every index has run; rethrows the
+ * first body exception.
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &body,
+                 int max_threads = 0);
+
+/**
+ * Ordered parallel map: returns {fn(0), ..., fn(n-1)} — always in
+ * index order, regardless of thread count or scheduling.
+ */
+template <typename R>
+std::vector<R>
+parallelMap(size_t n, const std::function<R(size_t)> &fn,
+            int max_threads = 0)
+{
+    std::vector<std::optional<R>> slots(n);
+    parallelFor(
+        n, [&](size_t i) { slots[i].emplace(fn(i)); }, max_threads);
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto &slot : slots)
+        out.push_back(std::move(*slot));
+    return out;
+}
+
+/**
+ * One lazily-created T per participating thread.
+ *
+ * The clone-per-worker pattern: models with hidden mutable state (the
+ * evaluator's thermal solve-cache) cannot be shared across threads, so
+ * each thread working on a sweep gets its own copy, created from a
+ * prototype on first use and reused for the life of this WorkerLocal.
+ * Copying a WorkerLocal yields an empty one (per-thread state is not
+ * transferable between owners).
+ */
+template <typename T>
+class WorkerLocal
+{
+  public:
+    WorkerLocal() = default;
+    WorkerLocal(const WorkerLocal &) {}
+    WorkerLocal &operator=(const WorkerLocal &) { return *this; }
+
+    /** This thread's instance, creating it via @p make() if needed. */
+    template <typename Make>
+    T &get(Make &&make)
+    {
+        const auto id = std::this_thread::get_id();
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = slots_.find(id);
+        if (it == slots_.end()) {
+            it = slots_.emplace(id, std::make_unique<T>(make())).first;
+        }
+        return *it->second;
+    }
+
+    /** Visit every per-thread instance (e.g. to aggregate stats).
+     *  Do not call concurrently with workers still using get(). */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &[id, slot] : slots_)
+            fn(*slot);
+    }
+
+    size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return slots_.size();
+    }
+
+    void clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slots_.clear();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::thread::id, std::unique_ptr<T>> slots_;
+};
+
+} // namespace moonwalk::exec
+
+#endif // MOONWALK_EXEC_PARALLEL_HH

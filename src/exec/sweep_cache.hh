@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Sharded concurrent memo cache for sweep results.
+ *
+ * Lookups hash the key to one of Shards shards, each an independently
+ * locked map, so concurrent explorations of different (app, node)
+ * pairs rarely contend.  Values are computed OUTSIDE the shard lock:
+ * two threads racing on the same fresh key may both compute, but only
+ * the first insert wins and both observe the same value — acceptable
+ * for pure memoization of deterministic computations, and it keeps a
+ * multi-second sweep from blocking every key in its shard.
+ *
+ * The design-space layer keys this by (app, node, options-hash); see
+ * dse::DesignSpaceExplorer.
+ */
+#ifndef MOONWALK_EXEC_SWEEP_CACHE_HH
+#define MOONWALK_EXEC_SWEEP_CACHE_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace moonwalk::exec {
+
+/** FNV-1a, the building block for options/spec hashes. */
+inline uint64_t
+fnv1a(const void *data, size_t size, uint64_t seed = 14695981039346656037ULL)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint64_t h = seed;
+    for (size_t i = 0; i < size; ++i) {
+        h ^= bytes[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** Fold one trivially-copyable value into a running hash. */
+template <typename T>
+uint64_t
+hashValue(uint64_t seed, const T &value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    return fnv1a(&value, sizeof(value), seed);
+}
+
+inline uint64_t
+hashValue(uint64_t seed, const std::string &value)
+{
+    return fnv1a(value.data(), value.size(), seed);
+}
+
+/**
+ * The cache.  Key must be less-than-comparable (shard maps are
+ * ordered) and hashable via std::hash.
+ */
+template <typename Key, typename Value, size_t Shards = 16>
+class ShardedCache
+{
+    static_assert(Shards > 0);
+
+  public:
+    /**
+     * Return the cached value for @p key, computing and inserting it
+     * via @p compute() on a miss.  See the file comment for the
+     * duplicate-compute race semantics.
+     */
+    template <typename Compute>
+    Value getOrCompute(const Key &key, Compute &&compute)
+    {
+        Shard &shard = shardFor(key);
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            auto it = shard.map.find(key);
+            if (it != shard.map.end()) {
+                hits_.fetch_add(1, std::memory_order_relaxed);
+                return it->second;
+            }
+        }
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        Value value = compute();
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        // first insert wins; a racing thread's identical result is
+        // discarded
+        return shard.map.emplace(key, std::move(value)).first->second;
+    }
+
+    uint64_t hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    uint64_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+
+    size_t size() const
+    {
+        size_t total = 0;
+        for (const auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            total += shard.map.size();
+        }
+        return total;
+    }
+
+    void clear()
+    {
+        for (auto &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            shard.map.clear();
+        }
+    }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::map<Key, Value> map;
+    };
+
+    Shard &shardFor(const Key &key)
+    {
+        return shards_[std::hash<Key>{}(key) % Shards];
+    }
+
+    std::array<Shard, Shards> shards_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace moonwalk::exec
+
+#endif // MOONWALK_EXEC_SWEEP_CACHE_HH

@@ -1,0 +1,228 @@
+#include "exec/thread_pool.hh"
+
+#include <cstdlib>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "util/error.hh"
+
+namespace moonwalk::exec {
+
+namespace {
+
+// Pool workers are anonymous threads; these let onWorkerThread() (and
+// future nested-scheduling policies) identify them without a lookup.
+thread_local const ThreadPool *tl_pool = nullptr;
+
+std::atomic<int> g_requested{0};       // setGlobalConcurrency value
+std::atomic<int> g_global_size{0};     // size of the live global pool
+
+// Out of line so the registry lookup stays off the submit/execute
+// fast path; only reached when metrics collection is on.
+[[gnu::noinline]] void
+bumpCounter(const char *name, uint64_t n = 1)
+{
+    obs::metrics().counter(name).inc(n);
+}
+
+[[gnu::noinline]] void
+noteQueueDepth(size_t depth)
+{
+    auto &reg = obs::metrics();
+    reg.gauge("exec.queue.depth").set(static_cast<double>(depth));
+    reg.gauge("exec.queue.depth.max").max(static_cast<double>(depth));
+}
+
+} // namespace
+
+std::optional<int>
+parseJobs(const std::string &text)
+{
+    if (text.empty() || text.size() > 9)
+        return std::nullopt;
+    long value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        value = value * 10 + (c - '0');
+    }
+    if (value < 1 || value > kMaxJobs)
+        return std::nullopt;
+    return static_cast<int>(value);
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int n = std::min(std::max(threads, 1), kMaxJobs);
+    workers_.reserve(n);
+    for (int i = 0; i < n; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(n);
+    for (int i = 0; i < n; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        stop_.store(true, std::memory_order_release);
+    }
+    wakeup_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+bool
+ThreadPool::onWorkerThread() const
+{
+    return tl_pool == this;
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    const uint64_t cursor =
+        submit_cursor_.fetch_add(1, std::memory_order_relaxed);
+    Worker &w = *workers_[cursor % workers_.size()];
+    size_t depth;
+    {
+        std::lock_guard<std::mutex> lock(w.mutex);
+        w.tasks.push_back(std::move(task));
+        depth = queued_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+    if (obs::metricsEnabled()) [[unlikely]] {
+        bumpCounter("exec.tasks.submitted");
+        noteQueueDepth(depth);
+    }
+    wakeup_.notify_one();
+}
+
+std::function<void()>
+ThreadPool::nextTask(int index, bool &stolen)
+{
+    const int n = static_cast<int>(workers_.size());
+    // Own deque first, back (most recently pushed) end.
+    {
+        Worker &own = *workers_[index];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            auto task = std::move(own.tasks.back());
+            own.tasks.pop_back();
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            stolen = false;
+            return task;
+        }
+    }
+    // Steal from victims' front (oldest) end, scanning round-robin
+    // from our right neighbour so thieves spread across the pool.
+    for (int step = 1; step < n; ++step) {
+        Worker &victim = *workers_[(index + step) % n];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            auto task = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            stolen = true;
+            return task;
+        }
+    }
+    stolen = false;
+    return nullptr;
+}
+
+void
+ThreadPool::workerLoop(int index)
+{
+    tl_pool = this;
+    // One trace span per busy burst (idle -> busy -> idle), so the
+    // trace viewer shows scheduler occupancy without a span per task.
+    std::optional<obs::TraceSpan> burst;
+    uint64_t burst_tasks = 0;
+
+    for (;;) {
+        bool stolen = false;
+        auto task = nextTask(index, stolen);
+        if (!task) {
+            if (burst) {
+                burst->arg("tasks", static_cast<double>(burst_tasks));
+                burst.reset();
+                burst_tasks = 0;
+            }
+            std::unique_lock<std::mutex> lock(sleep_mutex_);
+            if (stop_.load(std::memory_order_acquire) &&
+                queued_.load(std::memory_order_relaxed) == 0) {
+                return;  // drained: every submitted task has run
+            }
+            wakeup_.wait(lock, [this] {
+                return stop_.load(std::memory_order_acquire) ||
+                       queued_.load(std::memory_order_relaxed) > 0;
+            });
+            continue;
+        }
+
+        if (!burst && obs::traceCollector().enabled()) {
+            burst.emplace("worker " + std::to_string(index), "exec");
+        }
+        ++burst_tasks;
+
+        const bool counted = obs::metricsEnabled();
+        const uint64_t t0 = counted ? obs::monotonicNowNs() : 0;
+        task();
+        if (counted) [[unlikely]] {
+            bumpCounter("exec.tasks.executed");
+            if (stolen)
+                bumpCounter("exec.tasks.stolen");
+            obs::metrics().timer("exec.worker.busy")
+                .record(obs::monotonicNowNs() - t0);
+        }
+    }
+}
+
+int
+defaultConcurrency()
+{
+    const int requested = g_requested.load(std::memory_order_relaxed);
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("MOONWALK_JOBS")) {
+        const auto jobs = parseJobs(env);
+        if (!jobs) {
+            fatal("MOONWALK_JOBS must be an integer in [1, ", kMaxJobs,
+                  "], got '", env, "'");
+        }
+        return *jobs;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void
+setGlobalConcurrency(int n)
+{
+    if (n < 1 || n > kMaxJobs)
+        fatal("job count must be in [1, ", kMaxJobs, "], got ", n);
+    const int live = g_global_size.load(std::memory_order_acquire);
+    if (live > 0 && live != n) {
+        fatal("global thread pool already running with ", live,
+              " threads; set --jobs/MOONWALK_JOBS before any "
+              "parallel work");
+    }
+    g_requested.store(n, std::memory_order_relaxed);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    // The pool is a function-local static so its workers are joined
+    // cleanly at exit (keeps TSan and leak checkers quiet).  Size is
+    // latched on first use.
+    static ThreadPool pool = [] {
+        const int n = defaultConcurrency();
+        g_global_size.store(n, std::memory_order_release);
+        return ThreadPool(n);
+    }();
+    return pool;
+}
+
+} // namespace moonwalk::exec

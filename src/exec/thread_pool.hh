@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Work-stealing thread pool for the Moonwalk execution runtime.
+ *
+ * Each worker owns a deque of tasks: the owner pushes and pops at the
+ * back (LIFO, cache-friendly), idle workers steal from the front of a
+ * victim's deque (FIFO, oldest work first).  Submission from outside
+ * the pool round-robins across worker deques.
+ *
+ * The process-wide pool (ThreadPool::global()) is created lazily on
+ * first use and sized by, in priority order:
+ *
+ *   1. setGlobalConcurrency(n) — the CLI's --jobs flag,
+ *   2. the MOONWALK_JOBS environment variable,
+ *   3. std::thread::hardware_concurrency().
+ *
+ * Destruction drains every queued task before joining the workers, so
+ * submitted work always runs exactly once.
+ *
+ * Observability (all gated on the PR-1 obs switches, zero cost when
+ * off): counters exec.tasks.{submitted,executed,stolen}, gauge
+ * exec.queue.depth (+ .max high-water), timer exec.worker.busy (per
+ * task execution, so utilization = busy / (wall * workers)), and one
+ * trace span per worker busy-burst when --trace is active.
+ */
+#ifndef MOONWALK_EXEC_THREAD_POOL_HH
+#define MOONWALK_EXEC_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace moonwalk::exec {
+
+/** Upper bound accepted for --jobs / MOONWALK_JOBS. */
+inline constexpr int kMaxJobs = 1024;
+
+/**
+ * Parse a job count: accepts only a full decimal integer in
+ * [1, kMaxJobs]; anything else (empty, non-numeric, zero, negative,
+ * absurd) yields nullopt so callers can emit their own diagnostic.
+ */
+std::optional<int> parseJobs(const std::string &text);
+
+/** The work-stealing pool. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (clamped to [1, kMaxJobs]). */
+    explicit ThreadPool(int threads);
+
+    /** Drains all queued tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /** True when called from one of this pool's worker threads. */
+    bool onWorkerThread() const;
+
+    /** Enqueue @p task; it runs exactly once, on some worker. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Enqueue a callable and get a future for its result.  Exceptions
+     * thrown by the callable propagate through future::get().
+     */
+    template <typename F>
+    auto async(F &&f) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(f));
+        auto future = task->get_future();
+        submit([task] { (*task)(); });
+        return future;
+    }
+
+    /** Tasks sitting in deques, not yet picked up. */
+    size_t queuedTasks() const
+    {
+        return queued_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * The lazily-created process-wide pool.  Size is fixed at first
+     * use; see the file comment for the resolution order.
+     */
+    static ThreadPool &global();
+
+  private:
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(int index);
+    /** Pop from own back, else steal from a victim's front.  Sets
+     *  @p stolen when the task came from another worker's deque. */
+    std::function<void()> nextTask(int index, bool &stolen);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    std::mutex sleep_mutex_;
+    std::condition_variable wakeup_;
+    std::atomic<bool> stop_{false};
+    std::atomic<size_t> queued_{0};
+    std::atomic<uint64_t> submit_cursor_{0};
+};
+
+/**
+ * Concurrency the global pool will use (or already uses): the --jobs
+ * override if set, else MOONWALK_JOBS, else hardware_concurrency.
+ * Throws ModelError when MOONWALK_JOBS is set but invalid.
+ */
+int defaultConcurrency();
+
+/**
+ * Set the global pool width (the CLI's --jobs).  Must be called
+ * before the first ThreadPool::global() use; throws ModelError on an
+ * out-of-range value or when the pool already exists with a
+ * different size.
+ */
+void setGlobalConcurrency(int n);
+
+} // namespace moonwalk::exec
+
+#endif // MOONWALK_EXEC_THREAD_POOL_HH

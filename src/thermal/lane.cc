@@ -19,9 +19,29 @@ LaneThermalModel::maxDiesPerLane(double die_area_mm2,
     return std::max(0, fit);
 }
 
+void
+LaneThermalModel::checkOwnerThread() const
+{
+    // Two relaxed-ish atomics per solve -- noise next to the cache
+    // lookup -- buys an always-on guard against accidentally sharing
+    // one solve cache between sweep workers (the clone-per-worker
+    // contract in the header).
+    const auto self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_relaxed)) {
+        return;  // first solve: claim ownership
+    }
+    if (expected != self) {
+        panic("LaneThermalModel::solve called from a second thread; "
+              "clone the model per worker instead of sharing it");
+    }
+}
+
 const LaneThermalResult &
 LaneThermalModel::solve(int dies_per_lane, double die_area_mm2) const
 {
+    checkOwnerThread();
     if (dies_per_lane < 1)
         fatal("lane needs at least one die, got ", dies_per_lane);
     if (die_area_mm2 <= 0.0)

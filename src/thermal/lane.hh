@@ -9,8 +9,10 @@
 #ifndef MOONWALK_THERMAL_LANE_HH
 #define MOONWALK_THERMAL_LANE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <thread>
 #include <utility>
 
 #include "thermal/fan.hh"
@@ -58,6 +60,15 @@ struct LaneThermalResult
  * Results are memoized per (dies-per-lane, die-area) pair, since the
  * design-space explorer revisits identical thermal subproblems for
  * every voltage step.
+ *
+ * THREADING CONTRACT (clone-per-worker): the memo cache behind the
+ * const solve() method is unsynchronized, so one instance must only
+ * ever be solved from a single thread.  Parallel sweeps give each
+ * worker thread its own copy (see exec::WorkerLocal); copying is the
+ * supported way to hand the model to another thread.  A copy inherits
+ * the source's warm cache but resets its hit/miss statistics and its
+ * thread affinity.  solve() enforces the contract with a cheap atomic
+ * owner-thread check and panics on a cross-thread call.
  */
 class LaneThermalModel
 {
@@ -65,6 +76,24 @@ class LaneThermalModel
     explicit LaneThermalModel(LaneEnvironment env = {})
         : env_(env)
     {}
+
+    /** Clone for another worker: warm cache, fresh stats/affinity. */
+    LaneThermalModel(const LaneThermalModel &other)
+        : env_(other.env_), cache_(other.cache_)
+    {}
+
+    LaneThermalModel &operator=(const LaneThermalModel &other)
+    {
+        if (this != &other) {
+            env_ = other.env_;
+            cache_ = other.cache_;
+            cache_hits_ = 0;
+            cache_misses_ = 0;
+            owner_.store(std::thread::id{},
+                         std::memory_order_relaxed);
+        }
+        return *this;
+    }
 
     const LaneEnvironment &environment() const { return env_; }
 
@@ -90,11 +119,16 @@ class LaneThermalModel
   private:
     LaneThermalResult solveUncached(int dies_per_lane,
                                     double die_area_mm2) const;
+    /** Claim-or-verify the owning thread; panics on a second thread
+     *  touching the unsynchronized solve cache. */
+    void checkOwnerThread() const;
 
     LaneEnvironment env_;
     mutable std::map<std::pair<int, long>, LaneThermalResult> cache_;
     mutable uint64_t cache_hits_ = 0;
     mutable uint64_t cache_misses_ = 0;
+    /** First thread to call solve(); id{} until then. */
+    mutable std::atomic<std::thread::id> owner_{};
 };
 
 } // namespace moonwalk::thermal

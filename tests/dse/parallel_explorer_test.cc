@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "apps/apps.hh"
+#include "core/optimizer.hh"
+#include "dse/explorer.hh"
+#include "thermal/lane.hh"
+
+namespace moonwalk::dse {
+namespace {
+
+using tech::NodeId;
+
+/** Coarse sweep at a chosen thread budget: fast, but still covers the
+ *  full (dark x DRAMs x RCAs x voltage) grid shape. */
+ExplorerOptions
+coarse(int threads)
+{
+    ExplorerOptions o;
+    o.voltage_steps = 10;
+    o.rca_count_steps = 8;
+    o.max_drams_per_die = 4;
+    o.dark_fractions = {0.0, 0.10};
+    o.max_threads = threads;
+    return o;
+}
+
+/** Full-precision digest of an exploration: any divergence across
+ *  thread counts — even one ULP, or a reordered Pareto point — shows
+ *  up as a string mismatch. */
+std::string
+digest(const ExplorationResult &r)
+{
+    std::ostringstream os;
+    os.precision(17);
+    const auto point = [&os](const DesignPoint &p) {
+        os << p.config.rcas_per_die << ' ' << p.config.dies_per_lane
+           << ' ' << p.config.drams_per_die << ' ' << p.config.vdd
+           << ' ' << p.config.dark_silicon_fraction << ' '
+           << p.cost_per_ops << ' ' << p.watts_per_ops << ' '
+           << p.tco_per_ops << '\n';
+    };
+    os << r.evaluated << ' ' << r.feasible << '\n';
+    if (r.tco_optimal)
+        point(*r.tco_optimal);
+    for (const auto &p : r.pareto)
+        point(p);
+    return os.str();
+}
+
+std::string
+digest(const std::vector<core::NodeResult> &sweep)
+{
+    std::ostringstream os;
+    os.precision(17);
+    for (const auto &r : sweep) {
+        os << tech::to_string(r.node) << ' '
+           << r.optimal.config.rcas_per_die << ' '
+           << r.optimal.config.dies_per_lane << ' '
+           << r.optimal.config.drams_per_die << ' '
+           << r.optimal.config.vdd << ' ' << r.optimal.tco_per_ops
+           << ' ' << r.nre.total() << '\n';
+    }
+    return os.str();
+}
+
+std::string
+digest(const std::vector<core::NodeRange> &ranges)
+{
+    std::ostringstream os;
+    os.precision(17);
+    for (const auto &r : ranges) {
+        os << (r.line.node ? tech::to_string(*r.line.node) : "baseline")
+           << ' ' << r.line.nre << ' ' << r.line.slope << ' '
+           << r.b_low << ' ' << r.b_high << '\n';
+    }
+    return os.str();
+}
+
+TEST(ParallelExplorerTest, ExploreBitIdenticalAcrossThreadCounts)
+{
+    // The ISSUE's core determinism guarantee: explore() is
+    // bit-identical at 1, 2, and 8 threads.  Fresh explorers per
+    // thread count so the sweep memo cache cannot short-circuit the
+    // comparison.
+    for (const auto &app : {apps::bitcoin(), apps::videoTranscode()}) {
+        const auto serial =
+            digest(DesignSpaceExplorer{coarse(1)}.explore(
+                app.rca, NodeId::N28));
+        EXPECT_FALSE(serial.empty());
+        for (int threads : {2, 8}) {
+            const auto parallel =
+                digest(DesignSpaceExplorer{coarse(threads)}.explore(
+                    app.rca, NodeId::N28));
+            EXPECT_EQ(parallel, serial)
+                << app.name() << " diverged at " << threads
+                << " threads";
+        }
+    }
+}
+
+TEST(ParallelExplorerTest, OptimizerEnvelopeIdenticalAcrossThreadCounts)
+{
+    // Node sweep + optimal-node ranges (the Figure 11 envelope) at 1,
+    // 2, and 8 threads; the optimizer fans out across nodes, so this
+    // also exercises nested parallelism (nodes x grid cells).
+    const auto app = apps::bitcoin();
+    std::string sweep1, ranges1;
+    for (int threads : {1, 2, 8}) {
+        core::MoonwalkOptimizer opt{DesignSpaceExplorer{coarse(threads)}};
+        const auto sweep = digest(opt.sweepNodes(app));
+        const auto ranges = digest(opt.optimalNodeRanges(app));
+        EXPECT_FALSE(sweep.empty());
+        EXPECT_FALSE(ranges.empty());
+        if (threads == 1) {
+            sweep1 = sweep;
+            ranges1 = ranges;
+        } else {
+            EXPECT_EQ(sweep, sweep1) << threads << " threads";
+            EXPECT_EQ(ranges, ranges1) << threads << " threads";
+        }
+    }
+}
+
+TEST(ParallelExplorerTest, PrefetchMatchesSerialPerAppSweeps)
+{
+    const auto apps = apps::allApps();
+    core::MoonwalkOptimizer warm{DesignSpaceExplorer{coarse(4)}};
+    warm.prefetch(apps);  // apps x nodes fan-out, warm cache
+    core::MoonwalkOptimizer cold{DesignSpaceExplorer{coarse(1)}};
+    for (const auto &app : apps) {
+        EXPECT_EQ(digest(warm.sweepNodes(app)),
+                  digest(cold.sweepNodes(app)))
+            << app.name();
+    }
+}
+
+TEST(ParallelExplorerTest, SweepCacheServesRepeatExplorations)
+{
+    DesignSpaceExplorer explorer{coarse(2)};
+    const auto first = explorer.explore(apps::bitcoin().rca,
+                                        NodeId::N40);
+    EXPECT_EQ(explorer.sweepCacheMisses(), 1u);
+    const auto second = explorer.explore(apps::bitcoin().rca,
+                                         NodeId::N40);
+    EXPECT_EQ(explorer.sweepCacheHits(), 1u);
+    EXPECT_EQ(digest(first), digest(second));
+}
+
+TEST(ParallelExplorerTest, SweepCacheKeysOnSpecContents)
+{
+    // Sensitivity/uncertainty studies sweep perturbed copies of a spec
+    // under one app name; the memo key must hash the contents, not the
+    // name, or a perturbed run would be served the stale result.
+    DesignSpaceExplorer explorer{coarse(2)};
+    auto rca = apps::bitcoin().rca;
+    const auto base = explorer.explore(rca, NodeId::N40);
+    rca.energy_per_op_28_j *= 1.25;
+    const auto perturbed = explorer.explore(rca, NodeId::N40);
+    EXPECT_EQ(explorer.sweepCacheMisses(), 2u);
+    EXPECT_EQ(explorer.sweepCacheHits(), 0u);
+    ASSERT_TRUE(base.tco_optimal && perturbed.tco_optimal);
+    EXPECT_NE(base.tco_optimal->watts_per_ops,
+              perturbed.tco_optimal->watts_per_ops);
+}
+
+TEST(ParallelExplorerTest, AggregatesWorkerThermalCacheStats)
+{
+    DesignSpaceExplorer explorer{coarse(2)};
+    (void)explorer.explore(apps::bitcoin().rca, NodeId::N28);
+    // The thermal solves ran on worker clones; the aggregate view must
+    // see them even though the prototype evaluator stayed cold.
+    EXPECT_GT(explorer.thermalCacheMisses(), 0u);
+    EXPECT_GT(explorer.thermalCacheHits(), 0u);
+}
+
+TEST(ParallelExplorerTest, ThermalCloneUsableFromAnotherThread)
+{
+    // The supported way to move a LaneThermalModel across threads is
+    // copying it: the clone keeps the warm memo cache but resets its
+    // stats and thread affinity.
+    thermal::LaneThermalModel proto;
+    const double limit = proto.solve(8, 100.0).max_power_per_die_w;
+    EXPECT_EQ(proto.cacheMisses(), 1u);
+
+    thermal::LaneThermalModel clone{proto};
+    EXPECT_EQ(clone.cacheSize(), proto.cacheSize());
+    EXPECT_EQ(clone.cacheMisses(), 0u);
+
+    double from_thread = std::nan("");
+    uint64_t clone_hits = 0;
+    std::thread worker([&] {
+        from_thread = clone.solve(8, 100.0).max_power_per_die_w;
+        clone_hits = clone.cacheHits();
+    });
+    worker.join();
+    EXPECT_EQ(from_thread, limit);
+    EXPECT_EQ(clone_hits, 1u);  // warm cache carried over
+}
+
+TEST(LaneThermalOwnerDeathTest, CrossThreadSolvePanics)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            thermal::LaneThermalModel model;
+            model.solve(8, 100.0);  // claims the owner slot
+            std::thread second([&model] { model.solve(8, 200.0); });
+            second.join();
+        },
+        "second thread");
+}
+
+} // namespace
+} // namespace moonwalk::dse

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/parallel.hh"
+#include "exec/sweep_cache.hh"
+
+namespace moonwalk::exec {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce)
+{
+    const size_t n = 1000;
+    std::vector<int> visits(n, 0);  // distinct slots, no data race
+    parallelFor(n, [&](size_t i) { visits[i]++; });
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(visits[i], 1) << "index " << i;
+}
+
+TEST(ParallelForTest, HandlesEmptyAndSingletonRanges)
+{
+    std::atomic<int> ran{0};
+    parallelFor(0, [&](size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 0);
+    parallelFor(1, [&](size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelForTest, SerialModeStaysOnCallerThread)
+{
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> seen(64);
+    parallelFor(
+        64, [&](size_t i) { seen[i] = std::this_thread::get_id(); },
+        /*max_threads=*/1);
+    for (const auto &id : seen)
+        EXPECT_EQ(id, caller);
+}
+
+TEST(ParallelForTest, RethrowsBodyException)
+{
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        parallelFor(100,
+                    [&](size_t i) {
+                        ran.fetch_add(1);
+                        if (i == 37)
+                            throw std::runtime_error("body failed");
+                    }),
+        std::runtime_error);
+    // Every claimed index completed (ran or was skipped) — no hang,
+    // and the loop never claims an index twice.
+    EXPECT_LE(ran.load(), 100);
+}
+
+TEST(ParallelForTest, NestedLoopsMakeProgress)
+{
+    // Caller-participation design: inner parallelFor calls issued from
+    // pool workers must complete even with every worker busy.
+    std::atomic<int> total{0};
+    parallelFor(4, [&](size_t) {
+        parallelFor(32, [&](size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 4 * 32);
+}
+
+TEST(ParallelMapTest, PreservesIndexOrder)
+{
+    const auto squares = parallelMap<long>(
+        257, [](size_t i) { return static_cast<long>(i * i); });
+    ASSERT_EQ(squares.size(), 257u);
+    for (size_t i = 0; i < squares.size(); ++i)
+        EXPECT_EQ(squares[i], static_cast<long>(i * i));
+}
+
+TEST(ParallelMapTest, IdenticalResultsAtEveryThreadCount)
+{
+    // THE ORDERED-REDUCTION RULE: bit-identical output regardless of
+    // parallelism.
+    const auto run = [](int threads) {
+        return parallelMap<double>(
+            512,
+            [](size_t i) {
+                double x = 1.0 + static_cast<double>(i) * 1e-3;
+                for (int k = 0; k < 20; ++k)
+                    x = x * 1.0000001 + 1.0 / (x + static_cast<double>(k));
+                return x;
+            },
+            threads);
+    };
+    const auto serial = run(1);
+    for (int threads : {2, 8}) {
+        const auto parallel = run(threads);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (size_t i = 0; i < serial.size(); ++i)
+            EXPECT_EQ(parallel[i], serial[i]) << "threads=" << threads
+                                              << " index=" << i;
+    }
+}
+
+TEST(ParallelMapTest, SupportsMoveOnlyFriendlyTypes)
+{
+    const auto strings = parallelMap<std::string>(
+        64, [](size_t i) { return std::string(i, 'x'); });
+    for (size_t i = 0; i < strings.size(); ++i)
+        EXPECT_EQ(strings[i].size(), i);
+}
+
+TEST(WorkerLocalTest, OneInstancePerParticipatingThread)
+{
+    WorkerLocal<int> locals;
+    std::mutex mutex;
+    std::set<std::thread::id> threads;
+    std::set<const int *> instances;
+    parallelFor(256, [&](size_t) {
+        int &mine = locals.get([] { return 41; });
+        EXPECT_EQ(mine, 41);
+        // Same thread must get the same instance back.
+        EXPECT_EQ(&locals.get([] { return 0; }), &mine);
+        std::lock_guard<std::mutex> lock(mutex);
+        threads.insert(std::this_thread::get_id());
+        instances.insert(&mine);
+    });
+    EXPECT_EQ(locals.size(), threads.size());
+    EXPECT_EQ(instances.size(), threads.size());
+
+    size_t visited = 0;
+    locals.forEach([&](const int &v) {
+        EXPECT_EQ(v, 41);
+        ++visited;
+    });
+    EXPECT_EQ(visited, locals.size());
+
+    locals.clear();
+    EXPECT_EQ(locals.size(), 0u);
+}
+
+TEST(WorkerLocalTest, CopiesStartEmpty)
+{
+    WorkerLocal<int> locals;
+    (void)locals.get([] { return 1; });
+    ASSERT_EQ(locals.size(), 1u);
+    WorkerLocal<int> copy{locals};
+    EXPECT_EQ(copy.size(), 0u);
+    copy = locals;
+    EXPECT_EQ(copy.size(), 0u);
+}
+
+TEST(ShardedCacheTest, ComputesOncePerKey)
+{
+    ShardedCache<std::string, int> cache;
+    std::atomic<int> computes{0};
+    const auto compute = [&] {
+        computes.fetch_add(1);
+        return 99;
+    };
+    EXPECT_EQ(cache.getOrCompute("k", compute), 99);
+    EXPECT_EQ(cache.getOrCompute("k", compute), 99);
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ShardedCacheTest, ConcurrentDistinctKeys)
+{
+    ShardedCache<std::string, size_t> cache;
+    parallelFor(128, [&](size_t i) {
+        const std::string key = "key-" + std::to_string(i);
+        EXPECT_EQ(cache.getOrCompute(key, [i] { return i; }), i);
+    });
+    EXPECT_EQ(cache.size(), 128u);
+    // Re-read everything: all hits, values intact.
+    parallelFor(128, [&](size_t i) {
+        const std::string key = "key-" + std::to_string(i);
+        EXPECT_EQ(cache.getOrCompute(key, [] { return size_t{0}; }), i);
+    });
+    EXPECT_EQ(cache.hits(), 128u);
+}
+
+TEST(ShardedCacheTest, RacingComputesAgreeOnFirstInsert)
+{
+    ShardedCache<int, size_t> cache;
+    // Many threads race on the same fresh key; every caller must
+    // observe the single inserted value.
+    std::atomic<size_t> disagreements{0};
+    parallelFor(64, [&](size_t) {
+        const size_t got = cache.getOrCompute(7, [] { return size_t{7}; });
+        if (got != 7)
+            disagreements.fetch_add(1);
+    });
+    EXPECT_EQ(disagreements.load(), 0u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(HashTest, FnvDistinguishesInputs)
+{
+    const uint64_t a = hashValue(fnv1a("", 0), std::string("abc"));
+    const uint64_t b = hashValue(fnv1a("", 0), std::string("abd"));
+    EXPECT_NE(a, b);
+    EXPECT_NE(hashValue(a, 1.0), hashValue(a, 2.0));
+    EXPECT_NE(hashValue(a, 1), hashValue(a, 2));
+    // Same input, same hash (the memo key must be stable).
+    EXPECT_EQ(hashValue(a, 1.5), hashValue(a, 1.5));
+}
+
+} // namespace
+} // namespace moonwalk::exec

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "util/error.hh"
+
+namespace moonwalk::exec {
+namespace {
+
+using namespace std::chrono_literals;
+
+/** Spin (politely) until @p done or ~10s elapse. */
+template <typename Pred>
+bool
+waitFor(Pred &&done)
+{
+    const auto deadline = std::chrono::steady_clock::now() + 10s;
+    while (!done()) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::sleep_for(1ms);
+    }
+    return true;
+}
+
+TEST(ParseJobsTest, AcceptsIntegersInRange)
+{
+    EXPECT_EQ(parseJobs("1"), 1);
+    EXPECT_EQ(parseJobs("4"), 4);
+    EXPECT_EQ(parseJobs("013"), 13);
+    EXPECT_EQ(parseJobs("1024"), kMaxJobs);
+}
+
+TEST(ParseJobsTest, RejectsGarbage)
+{
+    for (const char *bad :
+         {"", "0", "-1", "abc", "4x", "x4", "1.5", " 4", "4 ", "+4",
+          "1025", "99999", "999999999999999999999999"}) {
+        EXPECT_FALSE(parseJobs(bad).has_value()) << "'" << bad << "'";
+    }
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask)
+{
+    std::atomic<int> ran{0};
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.size(), 3);
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    EXPECT_TRUE(waitFor([&] { return ran.load() == 100; }));
+}
+
+TEST(ThreadPoolTest, AsyncReturnsValues)
+{
+    ThreadPool pool(2);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.async([i] { return i * i; }));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(futures[static_cast<size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPoolTest, AsyncPropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto bad = pool.async([]() -> int {
+        throw std::runtime_error("task failed");
+    });
+    auto good = pool.async([] { return 7; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // A throwing task must not poison the pool.
+    EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPoolTest, AsyncRunsOnWorkerThread)
+{
+    ThreadPool pool(2);
+    EXPECT_FALSE(pool.onWorkerThread());
+    EXPECT_TRUE(pool.async([&pool] {
+        return pool.onWorkerThread();
+    }).get());
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks)
+{
+    // Clean-shutdown contract: tasks still sitting in the deques when
+    // the destructor runs must execute, not be dropped.
+    std::atomic<int> ran{0};
+    std::promise<void> gate;
+    auto opened = gate.get_future().share();
+    {
+        ThreadPool pool(2);
+        // Pin both workers so the counting tasks stay queued.
+        for (int i = 0; i < 2; ++i)
+            pool.submit([opened] { opened.wait(); });
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+        EXPECT_TRUE(waitFor([&] { return pool.queuedTasks() >= 64; }));
+        EXPECT_EQ(ran.load(), 0);
+        gate.set_value();
+        // Destructor: drain all 64, then join.
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, UnevenTaskSizesExerciseStealing)
+{
+    auto &stolen = obs::metrics().counter("exec.tasks.stolen");
+    const uint64_t stolen_before = stolen.value();
+    const bool metrics_were_on = obs::metricsEnabled();
+    obs::setMetricsEnabled(true);
+
+    std::promise<void> gate;
+    auto opened = gate.get_future().share();
+    std::atomic<bool> pinned{false};
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        // One long task pins a worker (wait until it actually runs);
+        // submission then round-robins 32 short tasks across both
+        // deques, so the ~16 queued on the pinned worker's deque can
+        // only finish by being stolen.
+        pool.submit([opened, &pinned] {
+            pinned.store(true);
+            opened.wait();
+        });
+        ASSERT_TRUE(waitFor([&] { return pinned.load(); }));
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&ran] { ran.fetch_add(1); });
+        EXPECT_TRUE(waitFor([&] { return ran.load() == 32; }))
+            << "short tasks stuck behind the pinned worker";
+        gate.set_value();
+    }
+    obs::setMetricsEnabled(metrics_were_on);
+    EXPECT_EQ(ran.load(), 32);
+    EXPECT_GT(stolen.value(), stolen_before);
+}
+
+TEST(ThreadPoolTest, ManyProducersOneConsumerPool)
+{
+    ThreadPool pool(1);
+    std::atomic<int> ran{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+        producers.emplace_back([&pool, &ran] {
+            for (int i = 0; i < 50; ++i)
+                pool.submit([&ran] { ran.fetch_add(1); });
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+    EXPECT_TRUE(waitFor([&] { return ran.load() == 200; }));
+}
+
+TEST(GlobalConcurrencyTest, RejectsOutOfRangeWidths)
+{
+    EXPECT_THROW(setGlobalConcurrency(0), ModelError);
+    EXPECT_THROW(setGlobalConcurrency(-2), ModelError);
+    EXPECT_THROW(setGlobalConcurrency(kMaxJobs + 1), ModelError);
+}
+
+TEST(GlobalConcurrencyTest, DefaultConcurrencyIsPositive)
+{
+    EXPECT_GE(defaultConcurrency(), 1);
+    EXPECT_LE(defaultConcurrency(), kMaxJobs);
+}
+
+} // namespace
+} // namespace moonwalk::exec

@@ -23,6 +23,12 @@
  *   --log-level <error|warn|info|debug|off>   structured logging
  *   --metrics       dump the metrics registry at exit (--json aware)
  *   --trace <file>  write Chrome trace-event spans (Perfetto-viewable)
+ *
+ * Execution flags:
+ *   --jobs <n>      worker threads for parallel sweeps (default: the
+ *                   MOONWALK_JOBS environment variable, else all
+ *                   hardware threads).  Results are identical at any
+ *                   thread count.
  */
 #include <cmath>
 #include <cstdlib>
@@ -33,6 +39,7 @@
 
 #include "core/report.hh"
 #include "core/sensitivity.hh"
+#include "exec/thread_pool.hh"
 #include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -54,7 +61,7 @@ constexpr const char *kCommands =
     "apps, nodes, sweep, report, select, ranges, porting, simulate, "
     "provision, version";
 constexpr const char *kFlags =
-    "--json, --metrics, --trace <file>, "
+    "--json, --jobs <n>, --metrics, --trace <file>, "
     "--log-level <error|warn|info|debug|off>";
 
 int
@@ -279,18 +286,31 @@ struct GlobalOptions
     bool json = false;
     bool metrics = false;
     std::string trace_path;
+    int jobs = 0;  ///< 0 = MOONWALK_JOBS / hardware default
 };
+
+/** One-line exit-2 diagnostic for a bad job count. */
+int
+badJobs(const char *what, const std::string &token)
+{
+    std::cerr << "moonwalk: " << what << " must be an integer in [1, "
+              << exec::kMaxJobs << "], got '" << token << "'\n";
+    return 2;
+}
 
 /**
  * Dump the metrics registry, first folding in the thermal solve-cache
- * totals (and derived hit rate) from the long-lived evaluator.
+ * totals (and derived hit rate) aggregated over the long-lived
+ * evaluator and every parallel-sweep worker clone.
  */
 void
 dumpMetrics(bool json)
 {
-    const auto &lane = optimizer().explorer().evaluator().lane();
-    const double hits = static_cast<double>(lane.cacheHits());
-    const double misses = static_cast<double>(lane.cacheMisses());
+    const auto &explorer = optimizer().explorer();
+    const double hits =
+        static_cast<double>(explorer.thermalCacheHits());
+    const double misses =
+        static_cast<double>(explorer.thermalCacheMisses());
     auto &reg = obs::metrics();
     reg.gauge("thermal.cache.hits").set(hits);
     reg.gauge("thermal.cache.misses").set(misses);
@@ -374,6 +394,15 @@ main(int argc, char **argv)
         }
         if (a == "--json") {
             g.json = true;
+        } else if (a == "--jobs") {
+            if (i + 1 >= raw.size()) {
+                std::cerr << "moonwalk: --jobs needs a thread count\n";
+                return 2;
+            }
+            const auto jobs = exec::parseJobs(raw[++i]);
+            if (!jobs)
+                return badJobs("--jobs", raw[i]);
+            g.jobs = *jobs;
         } else if (a == "--metrics") {
             g.metrics = true;
         } else if (a == "--trace") {
@@ -399,6 +428,18 @@ main(int argc, char **argv)
     }
     if (args.empty())
         return usage();
+
+    // Resolve concurrency before any model work touches the pool:
+    // --jobs wins; otherwise a set-but-invalid MOONWALK_JOBS is a
+    // user error here, not a silent fall-back deep in the library.
+    if (g.jobs > 0) {
+        exec::setGlobalConcurrency(g.jobs);
+    } else if (const char *env = std::getenv("MOONWALK_JOBS")) {
+        const auto jobs = exec::parseJobs(env);
+        if (!jobs)
+            return badJobs("MOONWALK_JOBS", env);
+        exec::setGlobalConcurrency(*jobs);
+    }
 
     if (g.metrics)
         obs::setMetricsEnabled(true);
