@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <set>
 
 #include "obs/log.hh"
@@ -162,32 +164,57 @@ std::string
 DesignSpaceExplorer::sweepKey(const arch::RcaSpec &rca,
                               tech::NodeId node) const
 {
-    uint64_t h = exec::hashValue(exec::fnv1a(nullptr, 0),
-                                 options_.voltage_steps);
-    h = exec::hashValue(h, options_.rca_count_steps);
-    h = exec::hashValue(h, options_.max_drams_per_die);
+    // Every distinguishing field is serialized into the key verbatim
+    // (doubles by exact bit pattern) rather than folded into a 64-bit
+    // digest: a hash collision between two perturbed specs sharing an
+    // application name would silently return the wrong cached sweep,
+    // and sensitivity studies generate exactly that key population.
+    // Vector fields are length-prefixed so adjacent fields can never
+    // alias across the separator.
+    std::string key;
+    key.reserve(384);
+    auto addInt = [&key](long long v) {
+        key += std::to_string(v);
+        key += '|';
+    };
+    auto addBits = [&key](double v) {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        char buf[2 + sizeof(bits) * 2 + 1];
+        std::snprintf(buf, sizeof(buf), "%016llx|",
+                      static_cast<unsigned long long>(bits));
+        key += buf;
+    };
+    key += rca.name;
+    key += '|';
+    key += evaluator_.scaling().database().node(node).name;
+    key += '|';
+    addInt(options_.voltage_steps);
+    addInt(options_.rca_count_steps);
+    addInt(options_.max_drams_per_die);
+    addInt(static_cast<long long>(options_.dark_fractions.size()));
     for (double dark : options_.dark_fractions)
-        h = exec::hashValue(h, dark);
+        addBits(dark);
     // The RCA spec by content, not identity: sensitivity studies sweep
     // perturbed specs under one application name.
-    h = exec::hashValue(h, rca.gate_count);
-    h = exec::hashValue(h, rca.ops_per_cycle);
-    h = exec::hashValue(h, rca.f_nominal_28_mhz);
-    h = exec::hashValue(h, rca.energy_per_op_28_j);
-    h = exec::hashValue(h, rca.area_28_mm2);
-    h = exec::hashValue(h, rca.energy_scaling_fraction);
-    h = exec::hashValue(h, rca.sla_fixed_freq_mhz);
-    h = exec::hashValue(h, rca.bytes_per_op);
-    h = exec::hashValue(h, rca.offpcb_bytes_per_op);
-    h = exec::hashValue(h, rca.needs_high_speed_link);
-    h = exec::hashValue(h, rca.needs_lvds);
-    h = exec::hashValue(h, rca.server_rca_multiple);
-    h = exec::hashValue(h, rca.allow_dark_silicon);
+    addBits(rca.gate_count);
+    addBits(rca.ops_per_cycle);
+    addBits(rca.f_nominal_28_mhz);
+    addBits(rca.energy_per_op_28_j);
+    addBits(rca.area_28_mm2);
+    addBits(rca.energy_scaling_fraction);
+    addBits(rca.sla_fixed_freq_mhz);
+    addBits(rca.bytes_per_op);
+    addBits(rca.offpcb_bytes_per_op);
+    addInt(rca.needs_high_speed_link);
+    addInt(rca.needs_lvds);
+    addInt(rca.server_rca_multiple);
+    addInt(rca.allow_dark_silicon);
+    addInt(static_cast<long long>(rca.allowed_rcas_per_die.size()));
     for (int n : rca.allowed_rcas_per_die)
-        h = exec::hashValue(h, n);
-    const auto &node_name =
-        evaluator_.scaling().database().node(node).name;
-    return rca.name + '|' + node_name + '|' + std::to_string(h);
+        addInt(n);
+    return key;
 }
 
 ExplorationResult

@@ -12,7 +12,8 @@
  * per-cell results are combined strictly in grid-index order — the
  * exec ordered-reduction rule — so every exploration result is
  * bit-identical at any thread count.  Completed explorations are
- * memoized in a sharded (app, node, options-hash) cache.
+ * memoized in a sharded cache keyed by the full (app, node, options,
+ * spec-content) tuple.
  */
 #ifndef MOONWALK_DSE_EXPLORER_HH
 #define MOONWALK_DSE_EXPLORER_HH
@@ -143,7 +144,8 @@ class DesignSpaceExplorer
     ExplorationResult exploreUncached(const arch::RcaSpec &rca,
                                       tech::NodeId node) const;
 
-    /** Memo key: app|node|hash(options + RCA spec). */
+    /** Memo key: app|node|all sweep-relevant option and RCA-spec
+     *  fields serialized verbatim (no hashing, so no collisions). */
     std::string sweepKey(const arch::RcaSpec &rca,
                          tech::NodeId node) const;
 

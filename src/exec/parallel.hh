@@ -96,7 +96,9 @@ class WorkerLocal
     }
 
     /** Visit every per-thread instance (e.g. to aggregate stats).
-     *  Do not call concurrently with workers still using get(). */
+     *  May run concurrently with get() — the slot map is locked — but
+     *  @p fn must only touch state of T that is itself safe to read
+     *  while the owning thread works (e.g. atomic counters). */
     template <typename Fn>
     void forEach(Fn &&fn) const
     {

@@ -10,8 +10,12 @@
  * for pure memoization of deterministic computations, and it keeps a
  * multi-second sweep from blocking every key in its shard.
  *
- * The design-space layer keys this by (app, node, options-hash); see
- * dse::DesignSpaceExplorer.
+ * The design-space layer keys this by a string serializing the full
+ * (app, node, options, spec-content) tuple; see
+ * dse::DesignSpaceExplorer.  Keys used for correctness should encode
+ * their fields verbatim — the fnv1a helpers below are fine for shard
+ * selection or diagnostics, but a 64-bit digest is not
+ * collision-free enough to stand in for the key itself.
  */
 #ifndef MOONWALK_EXEC_SWEEP_CACHE_HH
 #define MOONWALK_EXEC_SWEEP_CACHE_HH

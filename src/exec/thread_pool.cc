@@ -17,6 +17,17 @@ thread_local const ThreadPool *tl_pool = nullptr;
 std::atomic<int> g_requested{0};       // setGlobalConcurrency value
 std::atomic<int> g_global_size{0};     // size of the live global pool
 
+// Serializes the setGlobalConcurrency handshake against the global
+// pool's first-use size latch: a racing setGlobalConcurrency either
+// lands before the latch (and is honored) or after (and reliably hits
+// the already-running fatal path) — never silently ignored.
+std::mutex &
+configMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
 // Out of line so the registry lookup stays off the submit/execute
 // fast path; only reached when metrics collection is on.
 [[gnu::noinline]] void
@@ -53,6 +64,14 @@ parseJobs(const std::string &text)
 
 ThreadPool::ThreadPool(int threads)
 {
+    // Touch the obs singletons before any worker exists: function-local
+    // statics are destroyed in reverse construction order, so this
+    // guarantees the metrics registry and trace collector outlive the
+    // global pool's at-exit destructor — a worker's final counter bump
+    // or span must never race registry teardown.
+    obs::metrics();
+    obs::traceCollector();
+
     const int n = std::min(std::max(threads, 1), kMaxJobs);
     workers_.reserve(n);
     for (int i = 0; i < n; ++i)
@@ -95,6 +114,14 @@ ThreadPool::submit(std::function<void()> task)
         bumpCounter("exec.tasks.submitted");
         noteQueueDepth(depth);
     }
+    // Lost-wakeup fence: a worker that read queued_ == 0 under
+    // sleep_mutex_ may not have blocked in wait() yet, and a notify
+    // fired in that window would vanish.  Acquiring and releasing the
+    // mutex here cannot complete until any such worker has atomically
+    // released it inside wait() — i.e. is parked and reachable by the
+    // notify — while workers that re-check the predicate afterwards
+    // observe the queued_ increment above and never block.
+    { std::lock_guard<std::mutex> fence(sleep_mutex_); }
     wakeup_.notify_one();
 }
 
@@ -202,6 +229,7 @@ setGlobalConcurrency(int n)
 {
     if (n < 1 || n > kMaxJobs)
         fatal("job count must be in [1, ", kMaxJobs, "], got ", n);
+    std::lock_guard<std::mutex> lock(configMutex());
     const int live = g_global_size.load(std::memory_order_acquire);
     if (live > 0 && live != n) {
         fatal("global thread pool already running with ", live,
@@ -216,8 +244,11 @@ ThreadPool::global()
 {
     // The pool is a function-local static so its workers are joined
     // cleanly at exit (keeps TSan and leak checkers quiet).  Size is
-    // latched on first use.
+    // latched on first use, under configMutex() so a concurrent
+    // setGlobalConcurrency call cannot slip between the size check and
+    // the latch (it would be silently ignored instead of fatal).
     static ThreadPool pool = [] {
+        std::lock_guard<std::mutex> lock(configMutex());
         const int n = defaultConcurrency();
         g_global_size.store(n, std::memory_order_release);
         return ThreadPool(n);

@@ -54,11 +54,11 @@ LaneThermalModel::solve(int dies_per_lane, double die_area_mm2) const
     const auto key = std::make_pair(dies_per_lane, bucket);
     auto it = cache_.find(key);
     if (it == cache_.end()) {
-        ++cache_misses_;
+        cache_misses_.fetch_add(1, std::memory_order_relaxed);
         it = cache_.emplace(
             key, solveUncached(dies_per_lane, bucket * 20.0)).first;
     } else {
-        ++cache_hits_;
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
     }
     return it->second;
 }

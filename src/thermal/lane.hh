@@ -68,7 +68,11 @@ struct LaneThermalResult
  * supported way to hand the model to another thread.  A copy inherits
  * the source's warm cache but resets its hit/miss statistics and its
  * thread affinity.  solve() enforces the contract with a cheap atomic
- * owner-thread check and panics on a cross-thread call.
+ * owner-thread check and panics on a cross-thread call.  The hit/miss
+ * statistics themselves are relaxed atomics, so aggregating them from
+ * another thread (the explorer's metrics epilogue reads every worker
+ * clone while siblings still solve) is safe, if only approximately
+ * point-in-time.
  */
 class LaneThermalModel
 {
@@ -87,8 +91,8 @@ class LaneThermalModel
         if (this != &other) {
             env_ = other.env_;
             cache_ = other.cache_;
-            cache_hits_ = 0;
-            cache_misses_ = 0;
+            cache_hits_.store(0, std::memory_order_relaxed);
+            cache_misses_.store(0, std::memory_order_relaxed);
             owner_.store(std::thread::id{},
                          std::memory_order_relaxed);
         }
@@ -111,9 +115,16 @@ class LaneThermalModel
                        double extra_pitch_mm = 4.0) const;
 
     // Solve-cache accounting, for sweep observability: solve() calls
-    // served from the memo vs full heatsink optimizations run.
-    uint64_t cacheHits() const { return cache_hits_; }
-    uint64_t cacheMisses() const { return cache_misses_; }
+    // served from the memo vs full heatsink optimizations run.  Safe
+    // to read from any thread while the owner solves (relaxed loads).
+    uint64_t cacheHits() const
+    {
+        return cache_hits_.load(std::memory_order_relaxed);
+    }
+    uint64_t cacheMisses() const
+    {
+        return cache_misses_.load(std::memory_order_relaxed);
+    }
     size_t cacheSize() const { return cache_.size(); }
 
   private:
@@ -125,8 +136,10 @@ class LaneThermalModel
 
     LaneEnvironment env_;
     mutable std::map<std::pair<int, long>, LaneThermalResult> cache_;
-    mutable uint64_t cache_hits_ = 0;
-    mutable uint64_t cache_misses_ = 0;
+    // Atomic (unlike cache_) so cross-thread stat aggregation during a
+    // sweep is race-free; relaxed everywhere, they are only counters.
+    mutable std::atomic<uint64_t> cache_hits_{0};
+    mutable std::atomic<uint64_t> cache_misses_{0};
     /** First thread to call solve(); id{} until then. */
     mutable std::atomic<std::thread::id> owner_{};
 };

@@ -8,6 +8,7 @@
 #include "apps/apps.hh"
 #include "core/optimizer.hh"
 #include "dse/explorer.hh"
+#include "obs/metrics.hh"
 #include "thermal/lane.hh"
 
 namespace moonwalk::dse {
@@ -154,8 +155,8 @@ TEST(ParallelExplorerTest, SweepCacheServesRepeatExplorations)
 TEST(ParallelExplorerTest, SweepCacheKeysOnSpecContents)
 {
     // Sensitivity/uncertainty studies sweep perturbed copies of a spec
-    // under one app name; the memo key must hash the contents, not the
-    // name, or a perturbed run would be served the stale result.
+    // under one app name; the memo key must encode the contents, not
+    // the name, or a perturbed run would be served the stale result.
     DesignSpaceExplorer explorer{coarse(2)};
     auto rca = apps::bitcoin().rca;
     const auto base = explorer.explore(rca, NodeId::N40);
@@ -176,6 +177,22 @@ TEST(ParallelExplorerTest, AggregatesWorkerThermalCacheStats)
     // see them even though the prototype evaluator stayed cold.
     EXPECT_GT(explorer.thermalCacheMisses(), 0u);
     EXPECT_GT(explorer.thermalCacheHits(), 0u);
+}
+
+TEST(ParallelExplorerTest, MetricsEpilogueSafeDuringConcurrentSweeps)
+{
+    // Regression (TSan): explore()'s metrics epilogue aggregates every
+    // worker clone's thermal-cache counters while sibling node
+    // explorations are still solving on those clones.  The counters
+    // are relaxed atomics precisely so this concurrent read is
+    // race-free; running the node fan-out with metrics on gives the
+    // TSan CI job a chance to see it.
+    const bool were_on = obs::metricsEnabled();
+    obs::setMetricsEnabled(true);
+    core::MoonwalkOptimizer opt{DesignSpaceExplorer{coarse(4)}};
+    const auto sweep = opt.sweepNodes(apps::bitcoin());
+    obs::setMetricsEnabled(were_on);
+    EXPECT_FALSE(sweep.empty());
 }
 
 TEST(ParallelExplorerTest, ThermalCloneUsableFromAnotherThread)

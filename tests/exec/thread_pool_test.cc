@@ -143,6 +143,24 @@ TEST(ThreadPoolTest, UnevenTaskSizesExerciseStealing)
     EXPECT_GT(stolen.value(), stolen_before);
 }
 
+TEST(ThreadPoolTest, WakesIdleWorkerForEverySubmit)
+{
+    // Regression for a lost-wakeup race in submit(): the notify used
+    // to fire without synchronizing with sleep_mutex_, so a worker
+    // caught between its predicate check and its block could miss it,
+    // leaving the task queued and future::get() hung forever.  Each
+    // iteration here lets the worker drain and go idle, then demands
+    // one more wakeup; thousands of round trips make the original
+    // window very likely to be hit at least once.
+    ThreadPool pool(1);
+    for (int i = 0; i < 2000; ++i) {
+        auto f = pool.async([i] { return i; });
+        ASSERT_EQ(f.wait_for(10s), std::future_status::ready)
+            << "submit " << i << " never woke the worker";
+        EXPECT_EQ(f.get(), i);
+    }
+}
+
 TEST(ThreadPoolTest, ManyProducersOneConsumerPool)
 {
     ThreadPool pool(1);
