@@ -1,6 +1,11 @@
 #include "bench_common.hh"
 
+#include <cmath>
+#include <cstdlib>
 #include <iostream>
+
+#include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
 
 namespace moonwalk::bench {
 
@@ -9,6 +14,113 @@ sharedOptimizer()
 {
     static core::MoonwalkOptimizer opt;
     return opt;
+}
+
+namespace {
+
+obs::RunReport *g_active = nullptr;
+
+/** argv[0] minus directories and the "bench_" prefix. */
+std::string
+benchName(const char *argv0)
+{
+    std::string name = argv0 ? argv0 : "bench";
+    const auto slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    if (name.rfind("bench_", 0) == 0)
+        name = name.substr(6);
+    return name;
+}
+
+} // namespace
+
+BenchReport::BenchReport(int argc, char **argv)
+{
+    const std::string name = benchName(argc > 0 ? argv[0] : nullptr);
+    path_ = "BENCH_" + name + ".json";
+
+    std::vector<std::string> raw(argv + (argc > 0 ? 1 : 0),
+                                 argv + argc);
+    for (size_t i = 0; i < raw.size(); ++i) {
+        const std::string &a = raw[i];
+        if (a == "--report-json") {
+            if (i + 1 >= raw.size()) {
+                std::cerr << name
+                          << ": --report-json needs a file path "
+                             "(or 'off')\n";
+                std::exit(2);
+            }
+            path_ = raw[++i];
+        } else if (a == "--jobs") {
+            const auto jobs =
+                i + 1 < raw.size() ? exec::parseJobs(raw[i + 1])
+                                   : std::nullopt;
+            if (!jobs) {
+                std::cerr << name
+                          << ": --jobs needs an integer in [1, "
+                          << exec::kMaxJobs << "]\n";
+                std::exit(2);
+            }
+            ++i;
+            exec::setGlobalConcurrency(*jobs);
+        } else {
+            std::cerr << name << ": unknown flag '" << a
+                      << "' (valid: --report-json <path|off>, "
+                         "--jobs <n>)\n";
+            std::exit(2);
+        }
+    }
+    if (path_ == "off")
+        return;
+    if (obs::RunReport::toStdout(path_)) {
+        // Benches print their tables straight to stdout; a stdout
+        // artifact would interleave with them.  The CLI supports
+        // --report-json - for pipeline use.
+        std::cerr << name << ": --report-json - is not supported by "
+                     "benches; use a file path or 'off'\n";
+        std::exit(2);
+    }
+
+    obs::setMetricsEnabled(true);
+    start_ns_ = obs::monotonicNowNs();
+    report_.emplace(name);
+    Json argv_json = Json::array();
+    for (const auto &a : raw)
+        argv_json.push(a);
+    report_->setInput("argv", std::move(argv_json));
+    report_->setInput("jobs", exec::defaultConcurrency());
+    g_active = &*report_;
+}
+
+BenchReport::~BenchReport()
+{
+    if (!report_)
+        return;
+    g_active = nullptr;
+    report_->recordPhase(
+        "total", (obs::monotonicNowNs() - start_ns_) / 1e6);
+    sharedOptimizer().explorer().publishStats();
+    if (report_->writeTo(path_))
+        std::cerr << "wrote " << path_ << "\n";
+    else
+        std::cerr << "cannot write run report to " << path_ << "\n";
+}
+
+obs::RunReport *
+BenchReport::active()
+{
+    return g_active;
+}
+
+void
+recordRow(const std::string &metric,
+          const std::vector<std::string> &labels,
+          const std::vector<double> &model,
+          const std::vector<double> &paper)
+{
+    if (g_active)
+        g_active->addRow(metric, labels, model, paper);
 }
 
 std::vector<std::string>
@@ -28,16 +140,28 @@ printServerTable(const apps::AppSpec &app)
     const double scale = app.rca.perf_unit_scale;
 
     std::vector<std::string> headers{"Property"};
-    for (const auto &r : sweep)
+    std::vector<std::string> nodes;
+    for (const auto &r : sweep) {
         headers.push_back(tech::to_string(r.node));
+        nodes.push_back(tech::to_string(r.node));
+    }
     TextTable t(headers);
     t.setTitle(app.name() + " TCO-optimal ASIC server across nodes");
 
+    // Every printed property also lands on the active bench report
+    // (app-qualified, since multi-app benches share metric names).
+    auto record = [&](const std::string &name, auto &getter) {
+        std::vector<double> model;
+        for (const auto &r : sweep)
+            model.push_back(getter(r));
+        recordRow(app.name() + ": " + name, nodes, model);
+    };
     auto row = [&](const std::string &name, auto getter, int decimals) {
         std::vector<std::string> cells{name};
         for (const auto &r : sweep)
             cells.push_back(fixed(getter(r), decimals));
         t.addRow(cells);
+        record(name, getter);
     };
     auto row_sig = [&](const std::string &name, auto getter,
                        int digits) {
@@ -45,6 +169,7 @@ printServerTable(const apps::AppSpec &app)
         for (const auto &r : sweep)
             cells.push_back(sig(getter(r), digits));
         t.addRow(cells);
+        record(name, getter);
     };
 
     row("RCAs per Die", [](const core::NodeResult &r) {
@@ -101,18 +226,25 @@ printComparison(const std::string &metric, const PaperRow &paper,
 {
     std::vector<std::string> prow{"paper"};
     std::vector<std::string> mrow{"model"};
+    std::vector<std::string> nodes;
+    std::vector<double> pvals, mvals;
+    const double nan = std::nan("");
     for (tech::NodeId id : tech::kAllNodes) {
+        nodes.push_back(tech::to_string(id));
         auto pit = paper.find(id);
         prow.push_back(pit == paper.end() ? "-" : sig(pit->second,
                                                       digits));
+        pvals.push_back(pit == paper.end() ? nan : pit->second);
         auto mit = model.find(id);
         mrow.push_back(mit == model.end() ? "-" : sig(mit->second,
                                                       digits));
+        mvals.push_back(mit == model.end() ? nan : mit->second);
     }
     TextTable cmp(nodeHeaders(metric));
     cmp.addRow(prow);
     cmp.addRow(mrow);
     cmp.print(std::cout);
+    recordRow(metric, nodes, mvals, pvals);
 }
 
 } // namespace moonwalk::bench

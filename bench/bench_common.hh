@@ -2,16 +2,21 @@
  * @file
  * Shared helpers for the benchmark harness: a process-wide optimizer
  * (so multi-app benches share exploration caches), paper-style row
- * printing, and paper reference values for side-by-side reporting.
+ * printing, paper reference values for side-by-side reporting, and a
+ * per-bench run-report harness (BenchReport) that writes the
+ * machine-readable BENCH_*.json artifact tools/perf_check diffs.
  */
 #ifndef MOONWALK_BENCH_COMMON_HH
 #define MOONWALK_BENCH_COMMON_HH
 
+#include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/optimizer.hh"
+#include "obs/report.hh"
 #include "util/format.hh"
 #include "util/table.hh"
 
@@ -19,6 +24,55 @@ namespace moonwalk::bench {
 
 /** Shared optimizer at bench (full) resolution. */
 core::MoonwalkOptimizer &sharedOptimizer();
+
+/**
+ * Run-report harness for one benchmark binary; construct it first
+ * thing in main().  It
+ *
+ *   - parses the bench's command line: --report-json <path|off>
+ *     (default: BENCH_<name>.json in the working directory, <name>
+ *     derived from argv[0] minus the "bench_" prefix) and --jobs <n>
+ *     (worker threads; model output is identical at any value).
+ *     Unknown flags exit(2).
+ *   - enables metrics collection, so the artifact's perf section
+ *     carries the full registry snapshot (histograms included);
+ *   - exposes the in-flight report via active(), which is how
+ *     printComparison()/printServerTable() record every printed model
+ *     row into the artifact automatically;
+ *   - on destruction, records the "total" phase, publishes the
+ *     explorer cache stats, and writes the artifact.
+ *
+ * Model rows are deterministic at any --jobs (the exec
+ * ordered-reduction rule), so the artifact's rows/outputs sections
+ * are byte-identical across thread counts; only the perf section
+ * varies run to run.
+ */
+class BenchReport
+{
+  public:
+    BenchReport(int argc, char **argv);
+    ~BenchReport();
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+    /** The running bench's report, or nullptr (disabled / no
+     *  harness — e.g. unit tests calling the print helpers). */
+    static obs::RunReport *active();
+
+  private:
+    std::string path_;
+    uint64_t start_ns_ = 0;
+    std::optional<obs::RunReport> report_;
+};
+
+/**
+ * Record one series on the active bench report; no-op without one.
+ * NaNs in @p paper serialize as null (absent reference value).
+ */
+void recordRow(const std::string &metric,
+               const std::vector<std::string> &labels,
+               const std::vector<double> &model,
+               const std::vector<double> &paper = {});
 
 /** "Tech" header row labels, oldest node first. */
 std::vector<std::string> nodeHeaders(const std::string &first_col);

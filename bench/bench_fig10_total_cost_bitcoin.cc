@@ -13,8 +13,9 @@
 using namespace moonwalk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     auto &opt = bench::sharedOptimizer();
     const auto app = apps::bitcoin();
     const auto lines = opt.totalCostLines(app);
@@ -37,13 +38,19 @@ main()
 
     std::cout << "\nCrossover points (node becomes cheapest overall):"
               << "\n";
+    std::vector<std::string> who_labels;
+    std::vector<double> crossovers;
     for (const auto &r : core::MoonwalkOptimizer::optimalNodeRanges(
              lines)) {
         const std::string who = r.line.node ?
             tech::to_string(*r.line.node) : "GPU baseline";
         std::cout << "  from " << money(r.b_low, 3) << ": " << who
                   << "\n";
+        who_labels.push_back(who);
+        crossovers.push_back(r.b_low);
     }
+    bench::recordRow("Bitcoin crossover TCO ($)", who_labels,
+                     crossovers);
     std::cout << "(paper: GPU < $610K, 250nm, 180nm from $867K, ..., "
                  "28nm from $1.9B, 16nm from $5.6B)\n";
     return 0;

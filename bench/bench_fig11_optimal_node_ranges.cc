@@ -14,8 +14,9 @@
 using namespace moonwalk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     auto &opt = bench::sharedOptimizer();
     // Sweep all four applications in parallel before the serial
     // per-app envelope rendering below.
@@ -44,6 +45,8 @@ main()
         t.print(std::cout);
 
         std::cout << "\nOptimal-node ranges:\n";
+        std::vector<std::string> who_labels;
+        std::vector<double> from_tco;
         for (const auto &r :
              core::MoonwalkOptimizer::optimalNodeRanges(lines)) {
             const std::string who = r.line.node ?
@@ -53,7 +56,11 @@ main()
                       << (std::isinf(r.b_high) ? "inf"
                                                : money(r.b_high, 3))
                       << "\n";
+            who_labels.push_back(who);
+            from_tco.push_back(r.b_low);
         }
+        bench::recordRow(app.name() + ": optimal from TCO ($)",
+                         who_labels, from_tco);
         std::cout << "\n";
     }
     return 0;

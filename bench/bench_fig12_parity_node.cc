@@ -40,24 +40,34 @@ chart(const apps::AppSpec &app)
         headers.push_back(money(b, 2));
     }
     TextTable t(headers);
+    Json picks_json = Json::object();
     for (const auto &p : parities) {
         std::vector<std::string> row{p.label};
+        Json picks = Json::array();
         for (double b : tcos) {
             const auto pick =
                 opt.optimalNodeForParity(app, p.node, p.scale, b);
-            row.push_back(pick ? tech::to_string(*pick) : "baseline");
+            const std::string name =
+                pick ? tech::to_string(*pick) : "baseline";
+            row.push_back(name);
+            picks.push(name);
         }
         t.addRow(row);
+        picks_json.set(p.label, std::move(picks));
     }
     t.print(std::cout);
     std::cout << "\n";
+    if (auto *rep = bench::BenchReport::active())
+        rep->setOutput(app.name() + " parity picks",
+                       std::move(picks_json));
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     // Sweep both NRE profiles in parallel up front; the charts then
     // read from the warm per-app cache.
     bench::sharedOptimizer().prefetch(

@@ -13,20 +13,29 @@
 using namespace moonwalk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     const tech::ScalingModel model;
     const auto &db = model.database();
 
     std::cout << "=== Figure 1: node trade-offs, normalized to 250nm "
                  "===\n\n";
 
+    std::vector<std::string> node_names;
+    for (tech::NodeId id : tech::kAllNodes)
+        node_names.push_back(tech::to_string(id));
+
     TextTable t(bench::nodeHeaders("Series"));
     auto series = [&](const std::string &name, auto fn, int digits) {
         std::vector<std::string> row{name};
-        for (tech::NodeId id : tech::kAllNodes)
+        std::vector<double> values;
+        for (tech::NodeId id : tech::kAllNodes) {
             row.push_back(sig((model.*fn)(id), digits));
+            values.push_back((model.*fn)(id));
+        }
         t.addRow(row);
+        bench::recordRow(name, node_names, values);
     };
     series("A mask cost (x)", &tech::ScalingModel::maskCostNorm, 4);
     series("B energy/op (x)", &tech::ScalingModel::energyPerOpNorm, 4);

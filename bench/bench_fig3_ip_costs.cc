@@ -3,6 +3,7 @@
  * Figure 3 / Table 4: IP licensing costs across technology nodes.
  * High-speed PHY blocks (DDR, PCI-E) rise exponentially with node.
  */
+#include <cmath>
 #include <iostream>
 
 #include "bench_common.hh"
@@ -11,20 +12,30 @@
 using namespace moonwalk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     nre::IpCatalog cat;
+
+    std::vector<std::string> node_names;
+    for (tech::NodeId id : tech::kAllNodes)
+        node_names.push_back(tech::to_string(id));
 
     std::cout << "=== Figure 3 / Table 4: IP licensing costs (K$) "
                  "===\n";
     TextTable t(bench::nodeHeaders("IP block"));
     for (nre::IpBlock block : nre::kAllIpBlocks) {
         std::vector<std::string> row{nre::to_string(block)};
+        std::vector<double> cost_k;
         for (tech::NodeId id : tech::kAllNodes) {
             const auto c = cat.cost(block, id);
             row.push_back(c ? fixed(*c / 1e3, 1) : "NA");
+            cost_k.push_back(c ? *c / 1e3 : std::nan(""));
         }
         t.addRow(row);
+        bench::recordRow(std::string("IP cost (K$): ") +
+                             nre::to_string(block),
+                         node_names, cost_k);
     }
     t.print(std::cout);
 

@@ -13,8 +13,9 @@
 using namespace moonwalk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     const auto app = apps::bitcoin();
     dse::DesignSpaceExplorer explorer;
     const auto &node = explorer.evaluator().scaling().database()
@@ -57,6 +58,14 @@ main()
                   << sig(p.tco_per_ops * 1e9, 4)
                   << " (paper: 769 RCAs, 540mm^2, 9/lane, 0.459V, "
                      "2.912)\n";
+        bench::recordRow(
+            "Bitcoin 28nm TCO-optimal point",
+            {"rcas_per_die", "die_area_mm2", "dies_per_lane", "vdd",
+             "tco_per_ghs"},
+            {double(p.config.rcas_per_die), p.die_area_mm2,
+             double(p.config.dies_per_lane), p.config.vdd,
+             p.tco_per_ops * 1e9},
+            {769, 540, 9, 0.459, 2.912});
     }
     (void)node;
     return 0;

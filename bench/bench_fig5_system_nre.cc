@@ -10,8 +10,9 @@
 using namespace moonwalk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     nre::NreModel model;
     const auto &params = model.parameters();
 
@@ -50,6 +51,8 @@ main()
     std::cout << "\n=== Figure 5: system-level (non-ASIC) NRE ===\n";
     TextTable f5({"Application", "PCB design", "FPGA firmware",
                   "Cloud software", "Total"});
+    std::vector<std::string> app_names;
+    std::vector<double> pcb, fpga, cloud, totals;
     for (const auto &app : apps::allApps()) {
         const auto &n = app.nre;
         const double fw = params.laborCost(
@@ -59,7 +62,17 @@ main()
                                            params.frontend_salary);
         f5.addRow({n.app_name, money(n.pcb_design_cost), money(fw),
                    money(sw), money(n.pcb_design_cost + fw + sw)});
+        app_names.push_back(n.app_name);
+        pcb.push_back(n.pcb_design_cost);
+        fpga.push_back(fw);
+        cloud.push_back(sw);
+        totals.push_back(n.pcb_design_cost + fw + sw);
     }
     f5.print(std::cout);
+    bench::recordRow("system NRE: PCB design ($)", app_names, pcb);
+    bench::recordRow("system NRE: FPGA firmware ($)", app_names, fpga);
+    bench::recordRow("system NRE: cloud software ($)", app_names,
+                     cloud);
+    bench::recordRow("system NRE: total ($)", app_names, totals);
     return 0;
 }

@@ -11,8 +11,9 @@
 using namespace moonwalk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     auto &opt = bench::sharedOptimizer();
 
     for (const auto &app : apps::allApps()) {
@@ -63,6 +64,8 @@ main()
 
         std::cout << "\nTCO-optimal improvement per node step:\n";
         const auto &sweep = opt.sweepNodes(app);
+        std::vector<std::string> steps;
+        std::vector<double> cost_x, power_x;
         for (size_t i = 1; i < sweep.size(); ++i) {
             const auto &prev = sweep[i - 1].optimal;
             const auto &cur = sweep[i].optimal;
@@ -73,7 +76,16 @@ main()
                       << ", power/perf "
                       << times(prev.watts_per_ops / cur.watts_per_ops)
                       << "\n";
+            steps.push_back(tech::to_string(sweep[i - 1].node) +
+                            "->" + tech::to_string(sweep[i].node));
+            cost_x.push_back(prev.cost_per_ops / cur.cost_per_ops);
+            power_x.push_back(prev.watts_per_ops /
+                              cur.watts_per_ops);
         }
+        bench::recordRow(app.name() + ": step cost/perf gain (x)",
+                         steps, cost_x);
+        bench::recordRow(app.name() + ": step power/perf gain (x)",
+                         steps, power_x);
         // Oldest node vs baseline.
         const auto &oldest = sweep.front().optimal;
         std::cout << "  " << b.hardware << " -> "
@@ -81,6 +93,11 @@ main()
                   << times(opt.baselineTcoPerOps(app) /
                            oldest.tco_per_ops)
                   << "\n\n";
+        bench::recordRow(app.name() + ": baseline TCO gain (x)",
+                         {b.hardware + " -> " +
+                          tech::to_string(sweep.front().node)},
+                         {opt.baselineTcoPerOps(app) /
+                          oldest.tco_per_ops});
     }
     return 0;
 }

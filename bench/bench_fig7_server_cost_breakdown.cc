@@ -11,8 +11,9 @@
 using namespace moonwalk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     auto &opt = bench::sharedOptimizer();
 
     for (const auto &app : apps::allApps()) {
@@ -20,14 +21,23 @@ main()
                   << " server cost breakdown ($) ===\n";
         TextTable t({"Tech", "Silicon", "Package", "Cooling",
                      "PowerDelivery", "DRAM", "System", "Total"});
+        std::vector<std::string> nodes;
+        std::vector<double> silicon, totals;
         for (const auto &r : opt.sweepNodes(app)) {
             const auto &c = r.optimal.cost_breakdown;
             t.addRow({tech::to_string(r.node), fixed(c.silicon, 0),
                       fixed(c.package, 0), fixed(c.cooling, 0),
                       fixed(c.power_delivery, 0), fixed(c.dram, 0),
                       fixed(c.system, 0), fixed(c.total(), 0)});
+            nodes.push_back(tech::to_string(r.node));
+            silicon.push_back(c.silicon);
+            totals.push_back(c.total());
         }
         t.print(std::cout);
+        bench::recordRow(app.name() + ": server cost silicon ($)",
+                         nodes, silicon);
+        bench::recordRow(app.name() + ": server cost total ($)",
+                         nodes, totals);
 
         // Section 6.3 headline: silicon dominates, system costs stay
         // ~constant.

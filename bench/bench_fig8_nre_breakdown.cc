@@ -11,8 +11,9 @@
 using namespace moonwalk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     auto &opt = bench::sharedOptimizer();
 
     for (const auto &app : apps::allApps()) {
@@ -21,6 +22,8 @@ main()
         TextTable t({"Tech", "Mask", "Package", "FE labor", "FE CAD",
                      "BE labor", "BE CAD", "IP", "System", "PCB",
                      "Total"});
+        std::vector<std::string> nodes;
+        std::vector<double> mask_k, total_k;
         for (const auto &r : opt.sweepNodes(app)) {
             const auto &n = r.nre;
             auto k = [](double v) { return fixed(v / 1e3, 0); };
@@ -29,8 +32,15 @@ main()
                       k(n.backend_labor), k(n.backend_cad), k(n.ip),
                       k(n.system_labor), k(n.pcb_design),
                       k(n.total())});
+            nodes.push_back(tech::to_string(r.node));
+            mask_k.push_back(n.mask / 1e3);
+            total_k.push_back(n.total() / 1e3);
         }
         t.print(std::cout);
+        bench::recordRow(app.name() + ": NRE mask (K$)", nodes,
+                         mask_k);
+        bench::recordRow(app.name() + ": NRE total (K$)", nodes,
+                         total_k);
 
         const auto &sweep = opt.sweepNodes(app);
         const auto &newest = sweep.back().nre;

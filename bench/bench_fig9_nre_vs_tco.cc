@@ -11,8 +11,9 @@
 using namespace moonwalk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     auto &opt = bench::sharedOptimizer();
 
     for (const auto &app : apps::allApps()) {
@@ -27,9 +28,14 @@ main()
                   << tech::to_string(sweep.front().node) << ") ===\n";
         TextTable t({"Tech", "NRE (x)", "TCO/op/s gain (x)",
                      "step NRE (x)", "step TCO gain (x)"});
+        std::vector<std::string> nodes;
+        std::vector<double> nre_xs, tco_xs;
         for (size_t i = 0; i < sweep.size(); ++i) {
             const double nre_x = sweep[i].nre.total() / nre0;
             const double tco_x = tco0 / sweep[i].tcoPerOps();
+            nodes.push_back(tech::to_string(sweep[i].node));
+            nre_xs.push_back(nre_x);
+            tco_xs.push_back(tco_x);
             std::string step_nre = "-";
             std::string step_tco = "-";
             if (i > 0) {
@@ -43,6 +49,9 @@ main()
         }
         t.print(std::cout);
         std::cout << "\n";
+        bench::recordRow(app.name() + ": NRE (x)", nodes, nre_xs);
+        bench::recordRow(app.name() + ": TCO/op/s gain (x)", nodes,
+                         tco_xs);
     }
     return 0;
 }

@@ -17,8 +17,9 @@
 using namespace moonwalk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     auto &opt = bench::sharedOptimizer();
 
     for (const auto &app : apps::allApps()) {
@@ -48,6 +49,8 @@ main()
         t.print(std::cout);
 
         // Single-step geometric mean (paper: 1.05-1.08x).
+        std::vector<std::string> penalty_labels;
+        std::vector<double> penalties;
         std::vector<double> single;
         for (const auto &e : entries)
             if (tech::nodeIndex(e.to) == tech::nodeIndex(e.from) + 1)
@@ -55,6 +58,8 @@ main()
         if (!single.empty()) {
             std::cout << "one-step port geomean penalty: "
                       << times(geomean(single), 3) << "\n";
+            penalty_labels.push_back("one-step geomean");
+            penalties.push_back(geomean(single));
         }
         // Full jump from the oldest feasible node to 16nm.
         for (const auto &e : entries) {
@@ -63,8 +68,13 @@ main()
                 std::cout << "full jump "
                           << tech::to_string(e.from) << " -> 16nm: "
                           << times(e.tco_penalty, 3) << "\n";
+                penalty_labels.push_back(
+                    tech::to_string(e.from) + "->16nm");
+                penalties.push_back(e.tco_penalty);
             }
         }
+        bench::recordRow(app.name() + ": porting penalty (x)",
+                         penalty_labels, penalties);
         std::cout << "\n";
     }
     return 0;

@@ -10,8 +10,9 @@
 using namespace moonwalk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     auto &opt = bench::sharedOptimizer();
 
     std::cout << "=== Table 6: ASIC servers vs best non-ASIC "
@@ -22,6 +23,8 @@ main()
     // Paper TCO/op/s reference values for the comparison column.
     const double paper_gain[] = {2320 / 2.9, 2500 / 19.5,
                                  791e3 / 78.5, 17580 / 44.3};
+    std::vector<std::string> app_names;
+    std::vector<double> model_gain, ref_gain;
     int i = 0;
     for (const auto &app : apps::allApps()) {
         const double scale = app.rca.perf_unit_scale;
@@ -49,8 +52,13 @@ main()
                   sig(p.tco_per_ops * scale, 4),
                   times(gain, 3) + " (paper " +
                       times(paper_gain[i], 3) + ")"});
+        app_names.push_back(app.name());
+        model_gain.push_back(gain);
+        ref_gain.push_back(paper_gain[i]);
         ++i;
     }
     t.print(std::cout);
+    bench::recordRow("28nm ASIC TCO gain (x)", app_names, model_gain,
+                     ref_gain);
     return 0;
 }

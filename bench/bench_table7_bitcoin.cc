@@ -11,8 +11,9 @@
 using namespace moonwalk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     auto &opt = bench::sharedOptimizer();
     const auto app = apps::bitcoin();
 

@@ -11,8 +11,9 @@
 using namespace moonwalk;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchReport report(argc, argv);
     auto &opt = bench::sharedOptimizer();
     const auto app = apps::deepLearning();
 
@@ -31,11 +32,17 @@ main()
 
     std::cout << "\nDark silicon at the optimum (paper: 15.5% at "
                  "28nm, none at 16nm):\n";
+    std::vector<std::string> nodes;
+    std::vector<double> dark;
     for (const auto &r : opt.sweepNodes(app)) {
         std::cout << "  " << tech::to_string(r.node) << ": "
                   << percent(r.optimal.config.dark_silicon_fraction)
                   << ", grid " << r.optimal.config.rcas_per_die
                   << " nodes/die\n";
+        nodes.push_back(tech::to_string(r.node));
+        dark.push_back(r.optimal.config.dark_silicon_fraction);
     }
+    bench::recordRow(app.name() + ": dark silicon fraction", nodes,
+                     dark);
     return 0;
 }

@@ -226,14 +226,36 @@ DesignSpaceExplorer::explore(const arch::RcaSpec &rca,
     auto result = sweep_cache_->getOrCompute(
         sweepKey(rca, node),
         [&] { return exploreUncached(rca, node); });
-    if (obs::metricsEnabled()) {
-        auto &reg = obs::metrics();
-        reg.gauge("dse.sweep_cache.hits")
-            .set(static_cast<double>(sweep_cache_->hits()));
-        reg.gauge("dse.sweep_cache.misses")
-            .set(static_cast<double>(sweep_cache_->misses()));
-    }
+    publishStats();
     return result;
+}
+
+void
+DesignSpaceExplorer::publishStats() const
+{
+    if (!obs::metricsEnabled())
+        return;
+    auto &reg = obs::metrics();
+    auto rate = [](uint64_t hits, uint64_t misses) {
+        const uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) / total : 0.0;
+    };
+    const uint64_t sweep_hits = sweep_cache_->hits();
+    const uint64_t sweep_misses = sweep_cache_->misses();
+    reg.gauge("dse.sweep_cache.hits")
+        .set(static_cast<double>(sweep_hits));
+    reg.gauge("dse.sweep_cache.misses")
+        .set(static_cast<double>(sweep_misses));
+    reg.gauge("dse.sweep_cache.inserts")
+        .set(static_cast<double>(sweep_cache_->inserts()));
+    reg.gauge("dse.sweep_cache.hit_rate")
+        .set(rate(sweep_hits, sweep_misses));
+    const uint64_t th_hits = thermalCacheHits();
+    const uint64_t th_misses = thermalCacheMisses();
+    reg.gauge("thermal.cache.hits").set(static_cast<double>(th_hits));
+    reg.gauge("thermal.cache.misses")
+        .set(static_cast<double>(th_misses));
+    reg.gauge("thermal.cache.hit_rate").set(rate(th_hits, th_misses));
 }
 
 ExplorationResult
@@ -342,13 +364,9 @@ DesignSpaceExplorer::exploreUncached(const arch::RcaSpec &rca,
             .record(obs::monotonicNowNs() - t0);
         reg.counter("dse.refinement.evaluations")
             .inc(result.evaluated - coarse_evaluated);
-        // Snapshot the thermal solve-cache totals (prototype plus all
-        // worker clones) so the dump shows how well sweeps reuse
-        // solves.
-        reg.gauge("thermal.cache.hits")
-            .set(static_cast<double>(thermalCacheHits()));
-        reg.gauge("thermal.cache.misses")
-            .set(static_cast<double>(thermalCacheMisses()));
+        // Snapshot both caches' totals (prototype plus all worker
+        // clones) so the dump shows how well sweeps reuse solves.
+        publishStats();
     }
     span.arg("evaluated", static_cast<double>(result.evaluated))
         .arg("feasible", static_cast<double>(result.feasible));

@@ -136,6 +136,17 @@ class DesignSpaceExplorer
     /** Exploration memo-cache totals for this explorer instance. */
     uint64_t sweepCacheHits() const { return sweep_cache_->hits(); }
     uint64_t sweepCacheMisses() const { return sweep_cache_->misses(); }
+    uint64_t sweepCacheInserts() const { return sweep_cache_->inserts(); }
+
+    /**
+     * Publish both caches' totals (and derived hit rates) as gauges in
+     * the metrics registry: thermal.cache.{hits,misses,hit_rate} and
+     * dse.sweep_cache.{hits,misses,inserts,hit_rate}.  Called after
+     * each memoized explore(); callers that bypass explore() (or want
+     * final totals in a run report) may call it directly.  No-op when
+     * metrics collection is off.
+     */
+    void publishStats() const;
 
   private:
     using SweepCache = exec::ShardedCache<std::string, ExplorationResult>;

@@ -92,7 +92,10 @@ class ShardedCache
         std::lock_guard<std::mutex> lock(shard.mutex);
         // first insert wins; a racing thread's identical result is
         // discarded
-        return shard.map.emplace(key, std::move(value)).first->second;
+        auto [it, inserted] = shard.map.emplace(key, std::move(value));
+        if (inserted)
+            inserts_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
     }
 
     uint64_t hits() const
@@ -102,6 +105,12 @@ class ShardedCache
     uint64_t misses() const
     {
         return misses_.load(std::memory_order_relaxed);
+    }
+    /** Inserts that actually landed; misses() - inserts() counts
+     *  duplicate computations lost to the first-insert-wins race. */
+    uint64_t inserts() const
+    {
+        return inserts_.load(std::memory_order_relaxed);
     }
 
     size_t size() const
@@ -137,6 +146,7 @@ class ShardedCache
     std::array<Shard, Shards> shards_;
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> inserts_{0};
 };
 
 } // namespace moonwalk::exec

@@ -68,8 +68,17 @@ ThreadPool::ThreadPool(int threads)
     // statics are destroyed in reverse construction order, so this
     // guarantees the metrics registry and trace collector outlive the
     // global pool's at-exit destructor — a worker's final counter bump
-    // or span must never race registry teardown.
-    obs::metrics();
+    // or span must never race registry teardown.  Registering the pool
+    // metrics eagerly also guarantees they appear (zero-valued) in
+    // every run report, even when a run never exercises a path that
+    // bumps them (e.g. steals on a single-worker pool).
+    auto &reg = obs::metrics();
+    reg.counter("exec.tasks.submitted");
+    reg.counter("exec.tasks.executed");
+    reg.counter("exec.tasks.stolen");
+    reg.counter("exec.worker.wakeups");
+    reg.gauge("exec.queue.depth");
+    reg.gauge("exec.queue.depth.max");
     obs::traceCollector();
 
     const int n = std::min(std::max(threads, 1), kMaxJobs);
@@ -185,6 +194,11 @@ ThreadPool::workerLoop(int index)
                 return stop_.load(std::memory_order_acquire) ||
                        queued_.load(std::memory_order_relaxed) > 0;
             });
+            // Idle-path accounting only: a wakeup means this worker
+            // slept and was prodded (work arrived or shutdown), so the
+            // counter approximates scheduler churn, not throughput.
+            if (obs::metricsEnabled()) [[unlikely]]
+                bumpCounter("exec.worker.wakeups");
             continue;
         }
 

@@ -18,10 +18,14 @@
  * submitted work always runs exactly once.
  *
  * Observability (all gated on the PR-1 obs switches, zero cost when
- * off): counters exec.tasks.{submitted,executed,stolen}, gauge
- * exec.queue.depth (+ .max high-water), timer exec.worker.busy (per
- * task execution, so utilization = busy / (wall * workers)), and one
- * trace span per worker busy-burst when --trace is active.
+ * off): counters exec.tasks.{submitted,executed,stolen} and
+ * exec.worker.wakeups (idle sleeps ended), gauge exec.queue.depth
+ * (+ .max high-water), timer exec.worker.busy (per task execution, so
+ * utilization = busy / (wall * workers); timers now expose
+ * p50/p90/p99 via their backing histogram), and one trace span per
+ * worker busy-burst when --trace is active.  All pool metrics are
+ * registered at construction so they appear (zero-valued) in every
+ * metrics snapshot and run report.
  */
 #ifndef MOONWALK_EXEC_THREAD_POOL_HH
 #define MOONWALK_EXEC_THREAD_POOL_HH

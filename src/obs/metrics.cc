@@ -2,11 +2,157 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "util/format.hh"
 #include "util/table.hh"
 
 namespace moonwalk::obs {
+
+namespace {
+
+/** Relaxed CAS-accumulate for atomic doubles (fetch_add on floating
+ *  atomics is C++20 but not universally lowered well; this is cheap
+ *  and portable). */
+void
+atomicAdd(std::atomic<double> &slot, double v)
+{
+    double cur = slot.load(std::memory_order_relaxed);
+    while (!slot.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMin(std::atomic<double> &slot, double v)
+{
+    double cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+void
+atomicMax(std::atomic<double> &slot, double v)
+{
+    double cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+int
+Histogram::bucketIndex(double v)
+{
+    if (!(v >= 1.0))  // also catches NaN
+        return 0;
+    const int e = std::min(kOctaves - 1, std::ilogb(v));
+    const double lo = std::ldexp(1.0, e);
+    const int sub = std::min(
+        kSubBuckets - 1,
+        static_cast<int>((v / lo - 1.0) * kSubBuckets));
+    return 1 + e * kSubBuckets + std::max(0, sub);
+}
+
+double
+Histogram::bucketLow(int index)
+{
+    if (index <= 0)
+        return 0.0;
+    const int e = (index - 1) / kSubBuckets;
+    const int sub = (index - 1) % kSubBuckets;
+    return std::ldexp(1.0, e) *
+        (1.0 + static_cast<double>(sub) / kSubBuckets);
+}
+
+double
+Histogram::bucketHigh(int index)
+{
+    if (index <= 0)
+        return 1.0;
+    const int e = (index - 1) / kSubBuckets;
+    const int sub = (index - 1) % kSubBuckets;
+    return std::ldexp(1.0, e) *
+        (1.0 + static_cast<double>(sub + 1) / kSubBuckets);
+}
+
+void
+Histogram::record(double v)
+{
+    if (!(v >= 0.0))  // negatives and NaN count as zero
+        v = 0.0;
+    buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, v);
+    if (!has_samples_.load(std::memory_order_relaxed)) {
+        // First sample seeds min/max; a racing first sample is folded
+        // in by the min/max CAS loops below either way.
+        double expected = 0.0;
+        min_.compare_exchange_strong(expected, v,
+                                     std::memory_order_relaxed);
+        has_samples_.store(true, std::memory_order_relaxed);
+    }
+    atomicMin(min_, v);
+    atomicMax(max_, v);
+}
+
+double
+Histogram::minValue() const
+{
+    return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double
+Histogram::maxValue() const
+{
+    return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    const uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Nearest-rank target in [1, n], interpolated inside the bucket.
+    double target = q * static_cast<double>(n);
+    if (target < 1.0)
+        target = 1.0;
+    uint64_t cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const uint64_t in_bucket =
+            buckets_[i].load(std::memory_order_relaxed);
+        if (in_bucket == 0)
+            continue;
+        if (static_cast<double>(cum + in_bucket) >= target) {
+            const double within =
+                (target - static_cast<double>(cum)) /
+                static_cast<double>(in_bucket);
+            const double est = bucketLow(i) +
+                within * (bucketHigh(i) - bucketLow(i));
+            return std::clamp(est, minValue(), maxValue());
+        }
+        cum += in_bucket;
+    }
+    return maxValue();  // racing recorders moved the total; best effort
+}
+
+void
+Histogram::reset()
+{
+    for (auto &b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(0.0, std::memory_order_relaxed);
+    max_.store(0.0, std::memory_order_relaxed);
+    has_samples_.store(false, std::memory_order_relaxed);
+}
 
 uint64_t
 monotonicNowNs()
@@ -32,6 +178,7 @@ Timer::record(uint64_t ns)
            !max_ns_.compare_exchange_weak(cur, ns,
                                           std::memory_order_relaxed)) {
     }
+    hist_.record(static_cast<double>(ns));
 }
 
 void
@@ -41,6 +188,7 @@ Timer::reset()
     total_ns_.store(0, std::memory_order_relaxed);
     min_ns_.store(UINT64_MAX, std::memory_order_relaxed);
     max_ns_.store(0, std::memory_order_relaxed);
+    hist_.reset();
 }
 
 ScopedTimer::ScopedTimer(Timer &timer)
@@ -91,6 +239,16 @@ MetricsRegistry::timer(const std::string &name)
     return *slot;
 }
 
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
 std::vector<MetricSample>
 MetricsRegistry::snapshot() const
 {
@@ -105,9 +263,30 @@ MetricsRegistry::snapshot() const
             {MetricSample::Kind::Gauge, name, g->value(), 0, 0.0});
     }
     for (const auto &[name, t] : timers_) {
-        out.push_back({MetricSample::Kind::Timer, name,
-                       t->totalNs() / 1e6, t->count(),
-                       t->meanNs() / 1e6});
+        MetricSample s{};
+        s.kind = MetricSample::Kind::Timer;
+        s.name = name;
+        s.value = t->totalNs() / 1e6;
+        s.count = t->count();
+        s.mean_ms = t->meanNs() / 1e6;
+        s.p50 = t->percentileNs(0.50) / 1e6;
+        s.p90 = t->percentileNs(0.90) / 1e6;
+        s.p99 = t->percentileNs(0.99) / 1e6;
+        s.max = t->maxNs() / 1e6;
+        out.push_back(std::move(s));
+    }
+    for (const auto &[name, h] : histograms_) {
+        MetricSample s{};
+        s.kind = MetricSample::Kind::Histogram;
+        s.name = name;
+        s.value = h->sum();
+        s.count = h->count();
+        s.mean_ms = h->mean();
+        s.p50 = h->p50();
+        s.p90 = h->p90();
+        s.p99 = h->p99();
+        s.max = h->maxValue();
+        out.push_back(std::move(s));
     }
     std::sort(out.begin(), out.end(),
               [](const MetricSample &a, const MetricSample &b) {
@@ -126,25 +305,37 @@ MetricsRegistry::resetAll()
         g->reset();
     for (auto &[name, t] : timers_)
         t->reset();
+    for (auto &[name, h] : histograms_)
+        h->reset();
 }
 
 void
 MetricsRegistry::writeTable(std::ostream &os) const
 {
-    TextTable t({"Metric", "Type", "Value", "Count", "Mean"});
+    TextTable t({"Metric", "Type", "Value", "Count", "Mean", "P50",
+                 "P99"});
     t.setTitle("Metrics");
     for (const auto &s : snapshot()) {
         switch (s.kind) {
           case MetricSample::Kind::Counter:
-            t.addRow({s.name, "counter", fixed(s.value, 0), "", ""});
+            t.addRow({s.name, "counter", fixed(s.value, 0), "", "", "",
+                      ""});
             break;
           case MetricSample::Kind::Gauge:
-            t.addRow({s.name, "gauge", sig(s.value, 6), "", ""});
+            t.addRow({s.name, "gauge", sig(s.value, 6), "", "", "",
+                      ""});
             break;
           case MetricSample::Kind::Timer:
             t.addRow({s.name, "timer", fixed(s.value, 3) + " ms",
                       fixed(static_cast<double>(s.count), 0),
-                      fixed(s.mean_ms, 3) + " ms"});
+                      fixed(s.mean_ms, 3) + " ms",
+                      fixed(s.p50, 3) + " ms",
+                      fixed(s.p99, 3) + " ms"});
+            break;
+          case MetricSample::Kind::Histogram:
+            t.addRow({s.name, "histogram", sig(s.value, 6),
+                      fixed(static_cast<double>(s.count), 0),
+                      sig(s.mean_ms, 6), sig(s.p50, 6), sig(s.p99, 6)});
             break;
         }
     }
@@ -157,6 +348,7 @@ MetricsRegistry::toJson() const
     Json counters = Json::object();
     Json gauges = Json::object();
     Json timers = Json::object();
+    Json histograms = Json::object();
     for (const auto &s : snapshot()) {
         switch (s.kind) {
           case MetricSample::Kind::Counter:
@@ -170,7 +362,23 @@ MetricsRegistry::toJson() const
             t.set("count", static_cast<double>(s.count));
             t.set("total_ms", s.value);
             t.set("mean_ms", s.mean_ms);
+            t.set("p50_ms", s.p50);
+            t.set("p90_ms", s.p90);
+            t.set("p99_ms", s.p99);
+            t.set("max_ms", s.max);
             timers.set(s.name, std::move(t));
+            break;
+          }
+          case MetricSample::Kind::Histogram: {
+            Json h = Json::object();
+            h.set("count", static_cast<double>(s.count));
+            h.set("sum", s.value);
+            h.set("mean", s.mean_ms);
+            h.set("p50", s.p50);
+            h.set("p90", s.p90);
+            h.set("p99", s.p99);
+            h.set("max", s.max);
+            histograms.set(s.name, std::move(h));
             break;
           }
         }
@@ -179,6 +387,7 @@ MetricsRegistry::toJson() const
     out.set("counters", std::move(counters));
     out.set("gauges", std::move(gauges));
     out.set("timers", std::move(timers));
+    out.set("histograms", std::move(histograms));
     return out;
 }
 

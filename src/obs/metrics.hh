@@ -14,6 +14,7 @@
 #ifndef MOONWALK_OBS_METRICS_HH
 #define MOONWALK_OBS_METRICS_HH
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -87,8 +88,77 @@ class Gauge
 };
 
 /**
+ * Fixed-memory log-bucketed distribution of non-negative samples.
+ *
+ * Values >= 1 land in log-linear buckets: each power-of-two octave is
+ * split into kSubBuckets linear slots, bounding the relative error of
+ * an interpolated quantile by 1/kSubBuckets; values below 1 (and
+ * negatives, clamped) share bucket 0.  All state is relaxed atomics,
+ * so many threads may record concurrently and any thread may read a
+ * (slightly racy, monotone-safe) snapshot while they do.  Memory is
+ * constant: 1 + 64 * kSubBuckets counters, ~4 KB per histogram.
+ *
+ * The exact minimum and maximum are tracked separately, so
+ * percentile() is clamped to the true sample range — single-valued
+ * distributions report exact percentiles, and percentile(1) == max.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kSubBuckets = 8;
+    static constexpr int kOctaves = 64;
+    static constexpr int kBuckets = 1 + kOctaves * kSubBuckets;
+
+    void record(double v);
+
+    uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+    double mean() const
+    {
+        const uint64_t n = count();
+        return n ? sum() / n : 0.0;
+    }
+    double minValue() const;
+    double maxValue() const;
+
+    /**
+     * Interpolated quantile at @p q in [0, 1] (clamped); 0 when empty.
+     * Accurate to the bucket resolution (~12.5% relative), exact at
+     * the extremes thanks to the min/max clamp.
+     */
+    double percentile(double q) const;
+
+    double p50() const { return percentile(0.50); }
+    double p90() const { return percentile(0.90); }
+    double p99() const { return percentile(0.99); }
+
+    void reset();
+
+    /** Bucket index a value lands in (exposed for boundary tests). */
+    static int bucketIndex(double v);
+    /** Inclusive lower bound of bucket @p index. */
+    static double bucketLow(int index);
+    /** Exclusive upper bound of bucket @p index. */
+    static double bucketHigh(int index);
+
+  private:
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{0.0};  ///< valid only when count_ > 0
+    std::atomic<double> max_{0.0};
+    std::atomic<bool> has_samples_{false};
+};
+
+/**
  * Duration accumulator (count/total/min/max in nanoseconds), fed by
- * explicit record() calls or the RAII ScopedTimer.
+ * explicit record() calls or the RAII ScopedTimer.  Every recording
+ * also feeds a log-bucketed Histogram, so timers expose percentile
+ * latencies (p50/p90/p99) for free wherever a ScopedTimer already
+ * runs.
  */
 class Timer
 {
@@ -115,6 +185,12 @@ class Timer
         const uint64_t n = count();
         return n ? static_cast<double>(totalNs()) / n : 0.0;
     }
+    /** Interpolated duration quantile in ns (see Histogram). */
+    double percentileNs(double q) const
+    {
+        return hist_.percentile(q);
+    }
+    const Histogram &histogram() const { return hist_; }
     void reset();
 
   private:
@@ -122,6 +198,7 @@ class Timer
     std::atomic<uint64_t> total_ns_{0};
     std::atomic<uint64_t> min_ns_{UINT64_MAX};
     std::atomic<uint64_t> max_ns_{0};
+    Histogram hist_;
 };
 
 /** Times a scope into a Timer; no-op when metrics are disabled. */
@@ -142,12 +219,17 @@ class ScopedTimer
 /** One row of a registry snapshot. */
 struct MetricSample
 {
-    enum class Kind { Counter, Gauge, Timer };
+    enum class Kind { Counter, Gauge, Timer, Histogram };
     Kind kind;
     std::string name;
-    double value;         ///< count, gauge value, or total ms
-    uint64_t count;       ///< timer observation count (timers only)
-    double mean_ms;       ///< timers only
+    double value = 0;     ///< count, gauge value, total ms, or sum
+    uint64_t count = 0;   ///< observation count (timers/histograms)
+    double mean_ms = 0;   ///< timers: ms; histograms: raw mean
+    // Distribution accessors — ms for timers, raw for histograms.
+    double p50 = 0;
+    double p90 = 0;
+    double p99 = 0;
+    double max = 0;
 };
 
 /**
@@ -163,6 +245,7 @@ class MetricsRegistry
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
     Timer &timer(const std::string &name);
+    Histogram &histogram(const std::string &name);
 
     /** All metrics, sorted by name. */
     std::vector<MetricSample> snapshot() const;
@@ -184,6 +267,7 @@ class MetricsRegistry
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
     std::map<std::string, std::unique_ptr<Timer>> timers_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 /** Shorthand for MetricsRegistry::instance(). */

@@ -1,0 +1,134 @@
+#include "obs/report.hh"
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+
+#include "obs/metrics.hh"
+
+namespace moonwalk::obs {
+
+void
+RunReport::setInput(const std::string &key, Json value)
+{
+    inputs_.emplace_back(key, std::move(value));
+}
+
+void
+RunReport::setOutput(const std::string &key, Json value)
+{
+    outputs_.emplace_back(key, std::move(value));
+}
+
+void
+RunReport::addRow(const std::string &metric,
+                  const std::vector<std::string> &labels,
+                  const std::vector<double> &model,
+                  const std::vector<double> &paper)
+{
+    rows_.push_back({metric, labels, model, paper});
+}
+
+void
+RunReport::recordPhase(const std::string &name, double wall_ms)
+{
+    phases_.push_back({name, wall_ms});
+}
+
+RunReport::ScopedPhase::ScopedPhase(RunReport &report, std::string name)
+    : report_(report), name_(std::move(name)),
+      start_ns_(monotonicNowNs())
+{}
+
+RunReport::ScopedPhase::~ScopedPhase()
+{
+    report_.recordPhase(name_,
+                        (monotonicNowNs() - start_ns_) / 1e6);
+}
+
+namespace {
+
+Json
+numberArray(const std::vector<double> &values)
+{
+    Json arr = Json::array();
+    for (double v : values) {
+        if (std::isnan(v))
+            arr.push(Json(nullptr));  // absent reference value
+        else
+            arr.push(v);
+    }
+    return arr;
+}
+
+Json
+stringArray(const std::vector<std::string> &values)
+{
+    Json arr = Json::array();
+    for (const auto &v : values)
+        arr.push(v);
+    return arr;
+}
+
+} // namespace
+
+Json
+RunReport::toJson() const
+{
+    Json doc = Json::object();
+    doc.set("schema_version", kSchemaVersion);
+    doc.set("tool", "moonwalk");
+    doc.set("command", command_);
+
+    Json inputs = Json::object();
+    for (const auto &[key, value] : inputs_)
+        inputs.set(key, value);
+    doc.set("inputs", std::move(inputs));
+
+    Json rows = Json::array();
+    for (const auto &row : rows_) {
+        Json r = Json::object();
+        r.set("metric", row.metric);
+        r.set("labels", stringArray(row.labels));
+        r.set("model", numberArray(row.model));
+        if (!row.paper.empty())
+            r.set("paper", numberArray(row.paper));
+        rows.push(std::move(r));
+    }
+    doc.set("rows", std::move(rows));
+
+    Json outputs = Json::object();
+    for (const auto &[key, value] : outputs_)
+        outputs.set(key, value);
+    doc.set("outputs", std::move(outputs));
+
+    Json phases = Json::array();
+    for (const auto &phase : phases_) {
+        Json p = Json::object();
+        p.set("name", phase.name);
+        p.set("wall_ms", phase.wall_ms);
+        phases.push(std::move(p));
+    }
+    Json perf = Json::object();
+    perf.set("phases", std::move(phases));
+    perf.set("metrics", metrics().toJson());
+    doc.set("perf", std::move(perf));
+    return doc;
+}
+
+bool
+RunReport::writeTo(const std::string &path) const
+{
+    const std::string text = toJson().dump(2) + "\n";
+    if (toStdout(path)) {
+        std::cout << text;
+        return static_cast<bool>(std::cout);
+    }
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << text;
+    return static_cast<bool>(out);
+}
+
+} // namespace moonwalk::obs

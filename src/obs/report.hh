@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Machine-readable run reports: a versioned JSON artifact describing
+ * one CLI run or one benchmark execution — what was asked (inputs),
+ * what the model decided (outputs and model-vs-paper rows), and how
+ * the run performed (per-phase wall times plus a full metrics-registry
+ * snapshot, histograms included).
+ *
+ * The artifact is the contract of tools/perf_check: two reports with
+ * the same schema version can be diffed row-by-row with per-metric
+ * tolerances, which is how CI detects model or performance
+ * regressions.  Model rows are deterministic at any thread count (the
+ * exec ordered-reduction rule), so their serialized form is
+ * byte-identical across runs; the perf section is measurement and is
+ * never expected to match exactly.
+ *
+ * Schema (version 1):
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "tool": "moonwalk",
+ *     "command": "...",            // CLI command or bench name
+ *     "inputs":  { ... },          // app, jobs, argv, options
+ *     "rows": [                    // model-vs-paper series
+ *       {"metric": "...", "labels": [...],
+ *        "model": [...], "paper": [... | null]}
+ *     ],
+ *     "outputs": { ... },          // chosen design summaries
+ *     "perf": {
+ *       "phases": [{"name": "...", "wall_ms": ...}],
+ *       "metrics": {counters, gauges, timers, histograms}
+ *     }
+ *   }
+ */
+#ifndef MOONWALK_OBS_REPORT_HH
+#define MOONWALK_OBS_REPORT_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace moonwalk::obs {
+
+/** Accumulates one run's report; render with toJson()/writeTo(). */
+class RunReport
+{
+  public:
+    static constexpr int kSchemaVersion = 1;
+
+    explicit RunReport(std::string command)
+        : command_(std::move(command))
+    {}
+
+    /** Record an input parameter (app name, jobs, options...). */
+    void setInput(const std::string &key, Json value);
+    /** Record an output value (chosen design summary...). */
+    void setOutput(const std::string &key, Json value);
+
+    /**
+     * Record one model-vs-paper series.  @p labels names the columns
+     * (typically technology nodes); @p model and @p paper are aligned
+     * with it.  Pass an empty @p paper for model-only rows; individual
+     * missing reference values may be NaN and serialize as null.
+     */
+    void addRow(const std::string &metric,
+                const std::vector<std::string> &labels,
+                const std::vector<double> &model,
+                const std::vector<double> &paper = {});
+
+    /** Record a completed phase's wall time. */
+    void recordPhase(const std::string &name, double wall_ms);
+
+    /** RAII phase timer: times construction-to-destruction. */
+    class ScopedPhase
+    {
+      public:
+        ScopedPhase(RunReport &report, std::string name);
+        ~ScopedPhase();
+        ScopedPhase(const ScopedPhase &) = delete;
+        ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+      private:
+        RunReport &report_;
+        std::string name_;
+        uint64_t start_ns_;
+    };
+
+    /** Render the report, embedding a fresh metrics snapshot. */
+    Json toJson() const;
+
+    /**
+     * Serialize to @p path ("-" writes to stdout).  Returns false when
+     * the file cannot be written.
+     */
+    bool writeTo(const std::string &path) const;
+
+    /** True when @p path means "the artifact goes to stdout" — the
+     *  cue for callers to route human-readable output to stderr. */
+    static bool toStdout(const std::string &path)
+    {
+        return path == "-";
+    }
+
+  private:
+    struct Row
+    {
+        std::string metric;
+        std::vector<std::string> labels;
+        std::vector<double> model;
+        std::vector<double> paper;  ///< empty == model-only row
+    };
+    struct Phase
+    {
+        std::string name;
+        double wall_ms;
+    };
+
+    std::string command_;
+    std::vector<std::pair<std::string, Json>> inputs_;
+    std::vector<std::pair<std::string, Json>> outputs_;
+    std::vector<Row> rows_;
+    std::vector<Phase> phases_;
+};
+
+} // namespace moonwalk::obs
+
+#endif // MOONWALK_OBS_REPORT_HH

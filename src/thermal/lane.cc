@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hh"
 #include "thermal/air.hh"
 #include "util/error.hh"
 
@@ -55,8 +56,21 @@ LaneThermalModel::solve(int dies_per_lane, double die_area_mm2) const
     auto it = cache_.find(key);
     if (it == cache_.end()) {
         cache_misses_.fetch_add(1, std::memory_order_relaxed);
-        it = cache_.emplace(
-            key, solveUncached(dies_per_lane, bucket * 20.0)).first;
+        if (obs::metricsEnabled()) [[unlikely]] {
+            // Only uncached solves are timed: hits are map lookups and
+            // would drown the histogram in sub-microsecond samples.
+            const uint64_t t0 = obs::monotonicNowNs();
+            it = cache_.emplace(
+                key,
+                solveUncached(dies_per_lane, bucket * 20.0)).first;
+            obs::metrics().histogram("thermal.solve.ns")
+                .record(static_cast<double>(
+                    obs::monotonicNowNs() - t0));
+        } else {
+            it = cache_.emplace(
+                key,
+                solveUncached(dies_per_lane, bucket * 20.0)).first;
+        }
     } else {
         cache_hits_.fetch_add(1, std::memory_order_relaxed);
     }

@@ -111,6 +111,18 @@ Json::contains(const std::string &key) const
     return false;
 }
 
+std::vector<std::string>
+Json::keys() const
+{
+    std::vector<std::string> out;
+    if (!isObject())
+        return out;
+    for (const auto &m :
+         std::get<std::shared_ptr<Object>>(value_)->members)
+        out.push_back(m.first);
+    return out;
+}
+
 bool
 Json::asBool() const
 {

@@ -65,6 +65,9 @@ class Json
     const Json &at(const std::string &key) const;
     /** True when this is an object with member @p key. */
     bool contains(const std::string &key) const;
+    /** Member names of an object, in insertion order; empty for
+     *  non-objects. */
+    std::vector<std::string> keys() const;
 
     /** Scalar readers; throw on type mismatch. */
     bool asBool() const;

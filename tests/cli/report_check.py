@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""End-to-end check of the CLI run-report artifact and perf_check.
+
+Usage: report_check.py <moonwalk-binary> <perf_check-binary>
+
+Drives `moonwalk sweep Bitcoin --report-json - --metrics`, asserts the
+JSON artifact on stdout is well formed (single document: all human
+output must have been routed to stderr), then exercises perf_check:
+identical reports pass, a perturbed model value fails.
+"""
+
+import copy
+import json
+import math
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def die(msg):
+    print("report_check: FAIL:", msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def check(cond, msg):
+    if not cond:
+        die(msg)
+
+
+def main():
+    if len(sys.argv) != 3:
+        die("usage: report_check.py <moonwalk> <perf_check>")
+    moonwalk, perf_check = sys.argv[1], sys.argv[2]
+
+    proc = subprocess.run(
+        [moonwalk, "sweep", "Bitcoin", "--report-json", "-",
+         "--metrics"],
+        capture_output=True, text=True)
+    check(proc.returncode == 0,
+          f"sweep exited {proc.returncode}: {proc.stderr[-2000:]}")
+
+    # With `--report-json -` the artifact owns stdout; tables and the
+    # metrics dump must be on stderr, so stdout parses as one document.
+    try:
+        doc = json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        die(f"stdout is not a single JSON document: {e}")
+    check("Metric" in proc.stderr or "TCO" in proc.stderr,
+          "human-readable output missing from stderr")
+
+    check(doc.get("schema_version") == 1, "schema_version != 1")
+    check(doc.get("tool") == "moonwalk", "tool != moonwalk")
+    check(doc.get("inputs", {}).get("app") == "Bitcoin",
+          "inputs.app != Bitcoin")
+    check(len(doc.get("rows", [])) > 0, "no model rows")
+    for row in doc["rows"]:
+        check(len(row["labels"]) == len(row["model"]),
+              f"row {row['metric']}: labels/model length mismatch")
+
+    perf = doc.get("perf", {})
+    phase_names = {p["name"] for p in perf.get("phases", [])}
+    check({"explore", "total"} <= phase_names,
+          f"missing phases, got {sorted(phase_names)}")
+
+    metrics = perf.get("metrics", {})
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+
+    # Thread-pool instrumentation: counters exist even when zero
+    # (steals are legitimately 0 on a single-worker pool).
+    for name in ("exec.tasks.submitted", "exec.tasks.stolen"):
+        check(name in counters, f"counter {name} missing")
+    check(counters["exec.tasks.submitted"] > 0,
+          "no tasks were submitted")
+
+    # Cache effectiveness gauges.
+    for name in ("dse.sweep_cache.hit_rate", "thermal.cache.hit_rate"):
+        check(name in gauges, f"gauge {name} missing")
+        check(0.0 <= gauges[name] <= 1.0, f"{name} out of [0,1]")
+
+    # A real sweep rejects far more configs than it accepts.
+    rejected = sum(v for k, v in counters.items()
+                   if k.startswith("dse.infeasible."))
+    check(rejected > 0, "no feasibility rejections recorded")
+
+    # At least one histogram with ordered percentiles.
+    check(len(histograms) > 0, "no histograms in snapshot")
+    ok_hist = False
+    for name, h in histograms.items():
+        if h["count"] > 0:
+            check(h["p50"] <= h["p90"] <= h["p99"] <= h["max"],
+                  f"histogram {name}: percentiles out of order")
+            ok_hist = True
+    check(ok_hist, "no histogram has samples")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp) / "base.json"
+        base.write_text(proc.stdout)
+
+        # Identical reports: no regression.
+        r = subprocess.run([perf_check, str(base), str(base)],
+                           capture_output=True, text=True)
+        check(r.returncode == 0,
+              f"perf_check self-diff exited {r.returncode}: "
+              f"{r.stderr[-2000:]}")
+
+        # Perturb one model value: must be flagged.
+        bad_doc = copy.deepcopy(doc)
+        row = bad_doc["rows"][0]
+        idx = next(i for i, v in enumerate(row["model"])
+                   if v is not None and not math.isnan(v))
+        row["model"][idx] = row["model"][idx] * 1.5 + 1.0
+        bad = Path(tmp) / "bad.json"
+        bad.write_text(json.dumps(bad_doc))
+        r = subprocess.run([perf_check, str(base), str(bad)],
+                           capture_output=True, text=True)
+        check(r.returncode != 0,
+              "perf_check accepted a perturbed model value")
+
+        # Dropping a row entirely is also a regression.
+        short_doc = copy.deepcopy(doc)
+        short_doc["rows"] = short_doc["rows"][1:]
+        short = Path(tmp) / "short.json"
+        short.write_text(json.dumps(short_doc))
+        r = subprocess.run([perf_check, str(base), str(short)],
+                           capture_output=True, text=True)
+        check(r.returncode != 0,
+              "perf_check accepted a report with a missing row")
+
+    print("report_check: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "util/stats.hh"
+
+using namespace moonwalk;
+using namespace moonwalk::obs;
+
+namespace {
+
+// Log-linear bucketing with 8 sub-buckets per octave bounds the
+// relative quantile error by 1/8; tests allow a little slack on top.
+constexpr double kRelTol = 0.15;
+
+TEST(Histogram, EmptyReportsZeros)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(h.minValue(), 0.0);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(Histogram, SingleValueIsExactAtEveryQuantile)
+{
+    Histogram h;
+    h.record(1234.5);
+    EXPECT_EQ(h.count(), 1u);
+    // Percentiles clamp to the tracked exact min/max, so a
+    // one-sample distribution is exact despite 12.5% buckets.
+    for (double q : {0.0, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.percentile(q), 1234.5) << "q=" << q;
+    EXPECT_DOUBLE_EQ(h.minValue(), 1234.5);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 1234.5);
+    EXPECT_DOUBLE_EQ(h.mean(), 1234.5);
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    // Everything below 1.0 (and non-finite garbage) lands in the
+    // underflow bucket 0.
+    EXPECT_EQ(Histogram::bucketIndex(0.0), 0);
+    EXPECT_EQ(Histogram::bucketIndex(0.999), 0);
+    EXPECT_EQ(Histogram::bucketIndex(-5.0), 0);
+    EXPECT_EQ(Histogram::bucketIndex(std::nan("")), 0);
+    // First octave starts at 1.0; octave o begins at index 1 + 8*o.
+    EXPECT_EQ(Histogram::bucketIndex(1.0), 1);
+    EXPECT_EQ(Histogram::bucketIndex(2.0), 9);
+    EXPECT_EQ(Histogram::bucketIndex(4.0), 17);
+    // Every finite value sits inside its bucket's [low, high) range.
+    for (double v : {1.0, 1.06, 1.9999, 2.0, 3.7, 1000.0, 1e9, 1e18}) {
+        const int i = Histogram::bucketIndex(v);
+        EXPECT_GE(v, Histogram::bucketLow(i)) << v;
+        EXPECT_LT(v, Histogram::bucketHigh(i)) << v;
+    }
+    // Bucket ranges tile without gaps.
+    for (int i = 1; i + 1 < Histogram::kBuckets; ++i) {
+        EXPECT_DOUBLE_EQ(Histogram::bucketHigh(i),
+                         Histogram::bucketLow(i + 1)) << i;
+    }
+}
+
+TEST(Histogram, PercentilesTrackExactQuantiles)
+{
+    // A deliberately skewed distribution spanning several octaves.
+    std::vector<double> samples;
+    Histogram h;
+    for (int i = 1; i <= 10000; ++i) {
+        const double v = std::pow(double(i), 1.7);
+        samples.push_back(v);
+        h.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+
+    EXPECT_EQ(h.count(), samples.size());
+    EXPECT_DOUBLE_EQ(h.minValue(), samples.front());
+    EXPECT_DOUBLE_EQ(h.maxValue(), samples.back());
+    for (double q : {0.10, 0.50, 0.90, 0.99}) {
+        const double exact = quantile(samples, q);
+        const double approx = h.percentile(q);
+        EXPECT_NEAR(approx, exact, kRelTol * exact) << "q=" << q;
+    }
+    // The extreme quantile clamps to the true maximum.
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), samples.back());
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h;
+    h.record(5.0);
+    h.record(500.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    h.record(7.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 7.0);
+}
+
+TEST(Histogram, TimerExposesPercentiles)
+{
+    auto &t = MetricsRegistry::instance()
+                  .timer("test.histogram.timer");
+    t.reset();
+    for (int i = 1; i <= 100; ++i)
+        t.record(static_cast<uint64_t>(i) * 1000);
+    EXPECT_DOUBLE_EQ(t.percentileNs(1.0), 100000.0);
+    EXPECT_NEAR(t.percentileNs(0.5), 50000.0, kRelTol * 50000.0);
+    EXPECT_NEAR(t.percentileNs(0.99), 99000.0, kRelTol * 99000.0);
+    EXPECT_EQ(t.histogram().count(), 100u);
+}
+
+TEST(Histogram, RegistrySnapshotAndJsonCarryPercentiles)
+{
+    auto &reg = MetricsRegistry::instance();
+    auto &h = reg.histogram("test.histogram.json");
+    h.reset();
+    for (int i = 1; i <= 1000; ++i)
+        h.record(double(i));
+
+    const Json doc = reg.toJson();
+    ASSERT_TRUE(doc.contains("histograms"));
+    const Json &entry =
+        doc.at("histograms").at("test.histogram.json");
+    EXPECT_DOUBLE_EQ(entry.at("count").asDouble(), 1000.0);
+    EXPECT_DOUBLE_EQ(entry.at("max").asDouble(), 1000.0);
+    EXPECT_NEAR(entry.at("p50").asDouble(), 500.0, kRelTol * 500.0);
+    EXPECT_NEAR(entry.at("p90").asDouble(), 900.0, kRelTol * 900.0);
+    EXPECT_NEAR(entry.at("p99").asDouble(), 990.0, kRelTol * 990.0);
+
+    bool found = false;
+    for (const auto &s : reg.snapshot()) {
+        if (s.kind == MetricSample::Kind::Histogram &&
+            s.name == "test.histogram.json") {
+            found = true;
+            EXPECT_EQ(s.count, 1000u);
+            EXPECT_DOUBLE_EQ(s.max, 1000.0);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+// Named for the TSan CI filter: many threads hammer one histogram and
+// no sample, sum, or extreme may be lost.
+TEST(HistogramConcurrency, ParallelRecordingIsLossless)
+{
+    Histogram h;
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h, t] {
+            for (int i = 0; i < kPerThread; ++i)
+                h.record(double(i % 1000) + t + 1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(h.count(),
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    double expected_sum = 0;
+    for (int t = 0; t < kThreads; ++t)
+        for (int i = 0; i < kPerThread; ++i)
+            expected_sum += double(i % 1000) + t + 1;
+    EXPECT_NEAR(h.sum(), expected_sum, 1e-6 * expected_sum);
+    EXPECT_DOUBLE_EQ(h.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 999.0 + kThreads);
+    const double p50 = h.percentile(0.5);
+    EXPECT_GT(p50, 350.0);
+    EXPECT_LT(p50, 650.0);
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/apps.hh"
+#include "dse/evaluator.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+
+using namespace moonwalk;
+using namespace moonwalk::obs;
+
+namespace {
+
+TEST(RunReport, SchemaCarriesInputsRowsOutputsAndPerf)
+{
+    RunReport report("sweep Bitcoin");
+    report.setInput("app", "Bitcoin");
+    report.setInput("jobs", 2);
+    report.addRow("tco_per_ops", {"28nm", "16nm"}, {2.9, 1.4},
+                  {2.912, 1.378});
+    report.addRow("model_only", {"a"}, {1.0});
+    report.setOutput("tco_optimal",
+                     Json::object().set("node", "16nm"));
+    report.recordPhase("explore", 12.5);
+
+    const Json doc = report.toJson();
+    EXPECT_DOUBLE_EQ(doc.at("schema_version").asDouble(),
+                     RunReport::kSchemaVersion);
+    EXPECT_EQ(doc.at("tool").asString(), "moonwalk");
+    EXPECT_EQ(doc.at("command").asString(), "sweep Bitcoin");
+    EXPECT_EQ(doc.at("inputs").at("app").asString(), "Bitcoin");
+    EXPECT_DOUBLE_EQ(doc.at("inputs").at("jobs").asDouble(), 2.0);
+
+    ASSERT_EQ(doc.at("rows").size(), 2u);
+    const Json &row = doc.at("rows").at(0);
+    EXPECT_EQ(row.at("metric").asString(), "tco_per_ops");
+    EXPECT_EQ(row.at("labels").at(1).asString(), "16nm");
+    EXPECT_DOUBLE_EQ(row.at("model").at(0).asDouble(), 2.9);
+    EXPECT_DOUBLE_EQ(row.at("paper").at(1).asDouble(), 1.378);
+    // Model-only rows omit the paper array entirely.
+    EXPECT_FALSE(doc.at("rows").at(1).contains("paper"));
+
+    EXPECT_EQ(doc.at("outputs").at("tco_optimal").at("node")
+                  .asString(),
+              "16nm");
+    const Json &phases = doc.at("perf").at("phases");
+    ASSERT_EQ(phases.size(), 1u);
+    EXPECT_EQ(phases.at(0).at("name").asString(), "explore");
+    EXPECT_DOUBLE_EQ(phases.at(0).at("wall_ms").asDouble(), 12.5);
+    // The perf section embeds a full registry snapshot.
+    EXPECT_TRUE(doc.at("perf").at("metrics").contains("counters"));
+    EXPECT_TRUE(doc.at("perf").at("metrics").contains("histograms"));
+}
+
+TEST(RunReport, MissingPaperValuesSerializeAsNull)
+{
+    RunReport report("bench");
+    report.addRow("partial", {"a", "b"}, {1.0, 2.0},
+                  {std::nan(""), 4.0});
+    const Json doc = report.toJson();
+    const Json &row = doc.at("rows").at(0);
+    EXPECT_TRUE(row.at("paper").at(0).isNull());
+    EXPECT_DOUBLE_EQ(row.at("paper").at(1).asDouble(), 4.0);
+}
+
+TEST(RunReport, ScopedPhaseRecordsElapsedWallTime)
+{
+    RunReport report("cmd");
+    {
+        RunReport::ScopedPhase phase(report, "work");
+    }
+    const Json doc = report.toJson();
+    const Json &phases = doc.at("perf").at("phases");
+    ASSERT_EQ(phases.size(), 1u);
+    EXPECT_EQ(phases.at(0).at("name").asString(), "work");
+    EXPECT_GE(phases.at(0).at("wall_ms").asDouble(), 0.0);
+}
+
+// The satellite acceptance check: a thermally-infeasible evaluation
+// bumps the matching rejection counter, and that counter shows up in
+// the run report's metrics snapshot.
+TEST(RunReport, ThermalRejectionCounterAppearsInReport)
+{
+    setMetricsEnabled(true);
+    auto &counter =
+        metrics().counter("dse.infeasible.thermal");
+    const uint64_t before = counter.value();
+
+    dse::ServerEvaluator eval;
+    arch::ServerConfig cfg;
+    cfg.node = tech::NodeId::N28;
+    cfg.rcas_per_die = 769;  // the paper's 540 mm^2 Bitcoin die...
+    cfg.dies_per_lane = 9;
+    cfg.vdd = 0.80;  // ...way above its ~0.5 V thermal ceiling
+    const auto r = eval.evaluate(apps::bitcoin().rca, cfg);
+    ASSERT_FALSE(r.feasible());
+    EXPECT_EQ(r.infeasible_reason, "junction temperature limit");
+    EXPECT_EQ(counter.value(), before + 1);
+
+    RunReport report("sweep Bitcoin");
+    const Json doc = report.toJson();
+    const Json &counters =
+        doc.at("perf").at("metrics").at("counters");
+    ASSERT_TRUE(counters.contains("dse.infeasible.thermal"));
+    EXPECT_GE(counters.at("dse.infeasible.thermal").asDouble(),
+              static_cast<double>(before + 1));
+    setMetricsEnabled(false);
+}
+
+} // namespace

@@ -23,6 +23,15 @@
  *   --log-level <error|warn|info|debug|off>   structured logging
  *   --metrics       dump the metrics registry at exit (--json aware)
  *   --trace <file>  write Chrome trace-event spans (Perfetto-viewable)
+ *   --report-json <file>
+ *                   write a versioned machine-readable run report
+ *                   (inputs, model rows, outputs, per-phase wall
+ *                   times, full metrics snapshot); implies metrics
+ *                   collection.  "-" writes the report to stdout, in
+ *                   which case all human-readable output (tables,
+ *                   --metrics dump) moves to stderr so stdout stays
+ *                   one parseable JSON document.  Diff two reports
+ *                   with tools/perf_check.
  *
  * Execution flags:
  *   --jobs <n>      worker threads for parallel sweeps (default: the
@@ -42,11 +51,13 @@
 #include "exec/thread_pool.hh"
 #include "obs/log.hh"
 #include "obs/metrics.hh"
+#include "obs/report.hh"
 #include "obs/trace.hh"
 #include "sim/server_sim.hh"
 #include "tco/datacenter.hh"
 #include "util/error.hh"
 #include "util/format.hh"
+#include "util/json.hh"
 #include "util/table.hh"
 
 #ifndef MOONWALK_VERSION
@@ -61,8 +72,21 @@ constexpr const char *kCommands =
     "apps, nodes, sweep, report, select, ranges, porting, simulate, "
     "provision, version";
 constexpr const char *kFlags =
-    "--json, --jobs <n>, --metrics, --trace <file>, "
-    "--log-level <error|warn|info|debug|off>";
+    "--json, --jobs <n>, --metrics, --report-json <file>, "
+    "--trace <file>, --log-level <error|warn|info|debug|off>";
+
+// The active run report (set in main when --report-json is given) and
+// whether its artifact goes to stdout.  Command implementations write
+// human-readable output through out(), which swings to stderr in the
+// stdout-artifact case so stdout stays one parseable JSON document.
+moonwalk::obs::RunReport *g_report = nullptr;
+bool g_report_stdout = false;
+
+std::ostream &
+out()
+{
+    return g_report_stdout ? std::cerr : std::cout;
+}
 
 int
 usage()
@@ -123,7 +147,7 @@ cmdApps()
         t.addRow({app.name(), si(app.rca.gate_count),
                   app.rca.perf_unit, app.baseline.hardware});
     }
-    t.print(std::cout);
+    t.print(out());
     return 0;
 }
 
@@ -141,15 +165,73 @@ cmdNodes()
                   fixed(n.vdd_nominal, 1), fixed(n.vth, 3), gen,
                   fixed(n.backend_cost_per_gate, 3)});
     }
-    t.print(std::cout);
+    t.print(out());
     return 0;
+}
+
+/**
+ * Record the per-node sweep results into the run report: one
+ * model-only row per headline metric (aligned across the feasible
+ * nodes) plus a summary of the TCO-optimal design.
+ */
+void
+recordSweepReport(obs::RunReport &report, const apps::AppSpec &app)
+{
+    const auto &sweep = optimizer().sweepNodes(app);
+    if (sweep.empty())
+        return;
+
+    std::vector<std::string> nodes;
+    std::vector<double> tco, cost, watts, nre;
+    for (const auto &r : sweep) {
+        nodes.push_back(tech::to_string(r.node));
+        tco.push_back(r.optimal.tco_per_ops);
+        cost.push_back(r.optimal.cost_per_ops);
+        watts.push_back(r.optimal.watts_per_ops);
+        nre.push_back(r.nre.total());
+    }
+    report.addRow("tco_per_ops", nodes, tco);
+    report.addRow("cost_per_ops", nodes, cost);
+    report.addRow("watts_per_ops", nodes, watts);
+    report.addRow("nre_total", nodes, nre);
+
+    const core::NodeResult *best = &sweep.front();
+    for (const auto &r : sweep) {
+        if (r.optimal.tco_per_ops < best->optimal.tco_per_ops)
+            best = &r;
+    }
+    Json design = Json::object();
+    design.set("node", tech::to_string(best->node));
+    design.set("rcas_per_die", best->optimal.config.rcas_per_die);
+    design.set("drams_per_die", best->optimal.config.drams_per_die);
+    design.set("dies_per_server",
+               best->optimal.config.diesPerServer());
+    design.set("vdd", best->optimal.config.vdd);
+    design.set("die_area_mm2", best->optimal.die_area_mm2);
+    design.set("freq_mhz", best->optimal.freq_mhz);
+    design.set("server_cost", best->optimal.server_cost);
+    design.set("tco_per_ops", best->optimal.tco_per_ops);
+    design.set("nre_total", best->nre.total());
+    report.setOutput("tco_optimal", std::move(design));
 }
 
 int
 cmdSweep(const apps::AppSpec &app)
 {
     core::ReportGenerator gen(optimizer());
-    gen.writeText(std::cout, app, 0.0);
+    if (g_report) {
+        {
+            // The sweep is memoized, so phasing it separately from
+            // rendering costs one cache lookup, not a second sweep.
+            obs::RunReport::ScopedPhase phase(*g_report, "explore");
+            optimizer().sweepNodes(app);
+        }
+        obs::RunReport::ScopedPhase phase(*g_report, "render");
+        gen.writeText(out(), app, 0.0);
+        recordSweepReport(*g_report, app);
+        return 0;
+    }
+    gen.writeText(out(), app, 0.0);
     return 0;
 }
 
@@ -158,9 +240,11 @@ cmdReport(const apps::AppSpec &app, double tco, bool json)
 {
     core::ReportGenerator gen(optimizer());
     if (json)
-        std::cout << gen.toJson(app, tco).dump(2) << "\n";
+        out() << gen.toJson(app, tco).dump(2) << "\n";
     else
-        gen.writeText(std::cout, app, tco);
+        gen.writeText(out(), app, tco);
+    if (g_report)
+        recordSweepReport(*g_report, app);
     return 0;
 }
 
@@ -178,11 +262,11 @@ cmdSelect(const apps::AppSpec &app, double tco)
                 pick = tech::to_string(*range.line.node);
         }
     }
-    std::cout << "workload: " << money(tco) << " pre-ASIC TCO\n"
-              << "build at: " << pick << "\n"
-              << "total (NRE + served TCO): " << money(total, 3)
-              << "  (saves " << money(tco - total, 3) << ", "
-              << percent(1.0 - total / tco) << ")\n";
+    out() << "workload: " << money(tco) << " pre-ASIC TCO\n"
+          << "build at: " << pick << "\n"
+          << "total (NRE + served TCO): " << money(total, 3)
+          << "  (saves " << money(tco - total, 3) << ", "
+          << percent(1.0 - total / tco) << ")\n";
     (void)base;
     return 0;
 }
@@ -193,11 +277,10 @@ cmdRanges(const apps::AppSpec &app)
     for (const auto &range : optimizer().optimalNodeRanges(app)) {
         const std::string who = range.line.node ?
             tech::to_string(*range.line.node) : app.baseline.hardware;
-        std::cout << money(range.b_low, 3) << " .. "
-                  << (std::isinf(range.b_high) ? std::string("inf")
-                                               : money(range.b_high,
-                                                       3))
-                  << " : " << who << "\n";
+        out() << money(range.b_low, 3) << " .. "
+              << (std::isinf(range.b_high) ? std::string("inf")
+                                           : money(range.b_high, 3))
+              << " : " << who << "\n";
     }
     return 0;
 }
@@ -210,7 +293,7 @@ cmdPorting(const apps::AppSpec &app)
         t.addRow({tech::to_string(e.from), tech::to_string(e.to),
                   times(e.tco_penalty, 3)});
     }
-    t.print(std::cout);
+    t.print(out());
     return 0;
 }
 
@@ -238,12 +321,12 @@ cmdSimulate(const apps::AppSpec &app, double load)
         w.ops_per_job;
     w.duration_s = 0.5;
     const auto s = simulator.run(w);
-    std::cout << "offered " << percent(load, 0) << " of capacity -> "
-              << "achieved "
-              << percent(s.achieved_ops_per_s /
-                         simulator.capacityOpsPerS())
-              << ", p99 latency " << sig(s.latency_p99 * 1e3, 3)
-              << " ms, dropped " << s.jobs_dropped << "\n";
+    out() << "offered " << percent(load, 0) << " of capacity -> "
+          << "achieved "
+          << percent(s.achieved_ops_per_s /
+                     simulator.capacityOpsPerS())
+          << ", p99 latency " << sig(s.latency_p99 * 1e3, 3)
+          << " ms, dropped " << s.jobs_dropped << "\n";
     return 0;
 }
 
@@ -265,18 +348,18 @@ cmdProvision(const apps::AppSpec &app, double units)
     const auto plan = planner.plan(
         units * app.rca.perf_unit_scale, p.perf_ops,
         p.wall_power_w, p.server_cost);
-    std::cout << "target: " << sig(units, 4) << " "
-              << app.rca.perf_unit << " on 28nm " << app.name()
-              << " servers\n"
-              << "  servers        : " << plan.servers << " ("
-              << plan.servers_per_rack << " per rack)\n"
-              << "  racks          : " << plan.racks << "\n"
-              << "  critical power : "
-              << fixed(plan.critical_power_w / 1e6, 2) << " MW\n"
-              << "  server capex   : " << money(plan.server_capex, 3)
-              << "\n"
-              << "  lifetime TCO   : " << money(plan.totalCost(), 3)
-              << " (energy " << money(plan.tco.energy, 3) << ")\n";
+    out() << "target: " << sig(units, 4) << " "
+          << app.rca.perf_unit << " on 28nm " << app.name()
+          << " servers\n"
+          << "  servers        : " << plan.servers << " ("
+          << plan.servers_per_rack << " per rack)\n"
+          << "  racks          : " << plan.racks << "\n"
+          << "  critical power : "
+          << fixed(plan.critical_power_w / 1e6, 2) << " MW\n"
+          << "  server capex   : " << money(plan.server_capex, 3)
+          << "\n"
+          << "  lifetime TCO   : " << money(plan.totalCost(), 3)
+          << " (energy " << money(plan.tco.energy, 3) << ")\n";
     return 0;
 }
 
@@ -286,6 +369,7 @@ struct GlobalOptions
     bool json = false;
     bool metrics = false;
     std::string trace_path;
+    std::string report_path;  ///< --report-json target; "-" = stdout
     int jobs = 0;  ///< 0 = MOONWALK_JOBS / hardware default
 };
 
@@ -299,29 +383,20 @@ badJobs(const char *what, const std::string &token)
 }
 
 /**
- * Dump the metrics registry, first folding in the thermal solve-cache
- * totals (and derived hit rate) aggregated over the long-lived
- * evaluator and every parallel-sweep worker clone.
+ * Dump the metrics registry, first publishing the sweep- and
+ * thermal-cache totals (and derived hit rates) aggregated over the
+ * long-lived evaluator and every parallel-sweep worker clone.  Routed
+ * through out() so a stdout-bound run report keeps stdout to itself.
  */
 void
 dumpMetrics(bool json)
 {
-    const auto &explorer = optimizer().explorer();
-    const double hits =
-        static_cast<double>(explorer.thermalCacheHits());
-    const double misses =
-        static_cast<double>(explorer.thermalCacheMisses());
+    optimizer().explorer().publishStats();
     auto &reg = obs::metrics();
-    reg.gauge("thermal.cache.hits").set(hits);
-    reg.gauge("thermal.cache.misses").set(misses);
-    if (hits + misses > 0) {
-        reg.gauge("thermal.cache.hit_rate")
-            .set(hits / (hits + misses));
-    }
     if (json)
-        std::cout << reg.toJson().dump(2) << "\n";
+        out() << reg.toJson().dump(2) << "\n";
     else
-        reg.writeTable(std::cout);
+        reg.writeTable(out());
 }
 
 int
@@ -329,7 +404,7 @@ run(const std::vector<std::string> &args, const GlobalOptions &g)
 {
     const std::string &cmd = args[0];
     if (cmd == "version") {
-        std::cout << "moonwalk " << MOONWALK_VERSION << "\n";
+        out() << "moonwalk " << MOONWALK_VERSION << "\n";
         return 0;
     }
     if (cmd == "apps")
@@ -405,6 +480,14 @@ main(int argc, char **argv)
             g.jobs = *jobs;
         } else if (a == "--metrics") {
             g.metrics = true;
+        } else if (a == "--report-json") {
+            if (i + 1 >= raw.size()) {
+                std::cerr
+                    << "moonwalk: --report-json needs a file path"
+                       " (or - for stdout)\n";
+                return 2;
+            }
+            g.report_path = raw[++i];
         } else if (a == "--trace") {
             if (i + 1 >= raw.size()) {
                 std::cerr << "moonwalk: --trace needs a file path\n";
@@ -441,13 +524,41 @@ main(int argc, char **argv)
         exec::setGlobalConcurrency(*jobs);
     }
 
-    if (g.metrics)
+    // A run report without metrics collection would carry an empty
+    // perf section, so --report-json implies the collection switch
+    // (though not the human-readable --metrics dump).
+    if (g.metrics || !g.report_path.empty())
         obs::setMetricsEnabled(true);
     if (!g.trace_path.empty())
         obs::traceCollector().start();
 
+    std::optional<obs::RunReport> report;
+    if (!g.report_path.empty()) {
+        std::string command;
+        for (const auto &a : args) {
+            if (!command.empty())
+                command += ' ';
+            command += a;
+        }
+        report.emplace(command);
+        g_report = &*report;
+        g_report_stdout = obs::RunReport::toStdout(g.report_path);
+        Json argv_json = Json::array();
+        for (const auto &a : raw)
+            argv_json.push(a);
+        report->setInput("argv", std::move(argv_json));
+        report->setInput("jobs", exec::defaultConcurrency());
+        if (args.size() > 1)
+            report->setInput("app", args[1]);
+    }
+
     int rc;
     try {
+        // Phase "total" brackets the whole command; commands add finer
+        // phases (explore/render) of their own.
+        std::optional<obs::RunReport::ScopedPhase> total;
+        if (report)
+            total.emplace(*report, "total");
         rc = run(args, g);
     } catch (const ModelError &e) {
         std::cerr << "error: " << e.what() << "\n";
@@ -468,5 +579,19 @@ main(int argc, char **argv)
     }
     if (g.metrics)
         dumpMetrics(g.json);
+    if (report) {
+        // Publish final cache totals so the embedded metrics snapshot
+        // reflects the whole run, then emit the artifact last.
+        optimizer().explorer().publishStats();
+        if (!report->writeTo(g.report_path)) {
+            std::cerr << "moonwalk: cannot write run report to "
+                      << g.report_path << "\n";
+            rc = rc ? rc : 1;
+        } else if (!g_report_stdout) {
+            std::cerr << "moonwalk: wrote run report to "
+                      << g.report_path << "\n";
+        }
+        g_report = nullptr;
+    }
     return rc;
 }

@@ -1,0 +1,355 @@
+/**
+ * @file
+ * perf_check — diff two moonwalk run reports (obs/report.hh schema)
+ * and exit nonzero on regression.
+ *
+ *   perf_check <baseline.json> <candidate.json> [flags]
+ *
+ * What is compared, and how strictly:
+ *
+ *   - schema_version, tool, command: must match exactly.
+ *   - rows (the model-vs-paper series): labels must match exactly and
+ *     model values must agree within --rel-tol (default 1e-9 — model
+ *     rows are deterministic, so anything beyond rounding is a model
+ *     change).  A row present in the baseline but missing from the
+ *     candidate is a regression; extra candidate rows are reported
+ *     but tolerated (new coverage is not a regression).
+ *   - outputs: numeric leaves compared within --rel-tol, everything
+ *     else exactly.
+ *   - perf.phases: informational by default (wall time on a shared CI
+ *     runner is noise); --wall-tol <x> makes a candidate phase slower
+ *     than baseline * (1 + x) a regression.
+ *   - perf.metrics: informational by default; each --metric
+ *     <name>=<reltol> enforces one counter/gauge value.
+ *
+ * Exit status: 0 = no regression, 1 = regression, 2 = usage or
+ * unreadable/malformed input.
+ */
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hh"
+#include "util/json.hh"
+
+using moonwalk::Json;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr <<
+        "usage: perf_check <baseline.json> <candidate.json>\n"
+        "  [--rel-tol <x>]        model/output tolerance "
+        "(default 1e-9)\n"
+        "  [--wall-tol <x>]       fail when a phase is slower than\n"
+        "                         baseline * (1 + x); off by default\n"
+        "  [--metric <name>=<x>]  enforce one perf metric within\n"
+        "                         relative tolerance x (repeatable)\n";
+    return 2;
+}
+
+struct Options
+{
+    std::string baseline_path;
+    std::string candidate_path;
+    double rel_tol = 1e-9;
+    double wall_tol = -1.0;  ///< < 0 = wall times informational
+    std::map<std::string, double> metric_tols;
+};
+
+int g_failures = 0;
+
+void
+fail(const std::string &what)
+{
+    std::cerr << "FAIL: " << what << "\n";
+    ++g_failures;
+}
+
+void
+note(const std::string &what)
+{
+    std::cerr << "note: " << what << "\n";
+}
+
+bool
+close(double a, double b, double rel)
+{
+    if (a == b)
+        return true;  // covers exact zeros and equal infinities
+    if (std::isnan(a) && std::isnan(b))
+        return true;
+    const double mag = std::max(std::fabs(a), std::fabs(b));
+    return std::fabs(a - b) <= rel * mag;
+}
+
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+}
+
+/** Tolerant deep comparison; @p where names the JSON path. */
+void
+compareValues(const std::string &where, const Json &base,
+              const Json &cand, double rel_tol)
+{
+    if (base.isNumber() && cand.isNumber()) {
+        if (!close(base.asDouble(), cand.asDouble(), rel_tol)) {
+            fail(where + ": " + num(base.asDouble()) + " -> " +
+                 num(cand.asDouble()));
+        }
+        return;
+    }
+    if (base.isObject() && cand.isObject()) {
+        for (const auto &key : base.keys()) {
+            if (!cand.contains(key)) {
+                fail(where + "." + key + ": missing from candidate");
+                continue;
+            }
+            compareValues(where + "." + key, base.at(key),
+                          cand.at(key), rel_tol);
+        }
+        for (const auto &key : cand.keys()) {
+            if (!base.contains(key))
+                note(where + "." + key + ": new in candidate");
+        }
+        return;
+    }
+    if (base.isArray() && cand.isArray()) {
+        if (base.size() != cand.size()) {
+            fail(where + ": length " + std::to_string(base.size()) +
+                 " -> " + std::to_string(cand.size()));
+            return;
+        }
+        for (size_t i = 0; i < base.size(); ++i) {
+            compareValues(where + "[" + std::to_string(i) + "]",
+                          base.at(i), cand.at(i), rel_tol);
+        }
+        return;
+    }
+    if (base.dump() != cand.dump())
+        fail(where + ": " + base.dump() + " -> " + cand.dump());
+}
+
+/** Index a report's rows by metric name (first occurrence wins). */
+std::map<std::string, const Json *>
+rowIndex(const Json &report)
+{
+    std::map<std::string, const Json *> index;
+    const Json &rows = report.at("rows");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const Json &row = rows.at(i);
+        index.emplace(row.at("metric").asString(), &row);
+    }
+    return index;
+}
+
+void
+compareRows(const Json &base, const Json &cand, double rel_tol)
+{
+    const auto base_rows = rowIndex(base);
+    const auto cand_rows = rowIndex(cand);
+    for (const auto &[metric, brow] : base_rows) {
+        auto it = cand_rows.find(metric);
+        if (it == cand_rows.end()) {
+            fail("row '" + metric + "' missing from candidate");
+            continue;
+        }
+        const Json &crow = *it->second;
+        compareValues("rows." + metric + ".labels",
+                      brow->at("labels"), crow.at("labels"), 0.0);
+        compareValues("rows." + metric + ".model",
+                      brow->at("model"), crow.at("model"), rel_tol);
+    }
+    for (const auto &[metric, crow] : cand_rows) {
+        (void)crow;
+        if (!base_rows.count(metric))
+            note("candidate adds row '" + metric + "'");
+    }
+}
+
+void
+comparePhases(const Json &base, const Json &cand, double wall_tol)
+{
+    std::map<std::string, double> base_ms;
+    const Json &bp = base.at("perf").at("phases");
+    for (size_t i = 0; i < bp.size(); ++i) {
+        base_ms[bp.at(i).at("name").asString()] =
+            bp.at(i).at("wall_ms").asDouble();
+    }
+    const Json &cp = cand.at("perf").at("phases");
+    for (size_t i = 0; i < cp.size(); ++i) {
+        const std::string name = cp.at(i).at("name").asString();
+        const double ms = cp.at(i).at("wall_ms").asDouble();
+        auto it = base_ms.find(name);
+        if (it == base_ms.end())
+            continue;
+        const double ratio =
+            it->second > 0.0 ? ms / it->second : 1.0;
+        std::ostringstream line;
+        line << "phase '" << name << "': " << it->second << " ms -> "
+             << ms << " ms (" << ratio << "x)";
+        if (wall_tol >= 0.0 && ms > it->second * (1.0 + wall_tol))
+            fail(line.str());
+        else
+            note(line.str());
+    }
+}
+
+/** Fetch perf.metrics.<counters|gauges>.<name> as a double. */
+bool
+metricValue(const Json &report, const std::string &name, double *out)
+{
+    const Json &metrics = report.at("perf").at("metrics");
+    for (const char *kind : {"counters", "gauges"}) {
+        if (!metrics.contains(kind))
+            continue;
+        const Json &table = metrics.at(kind);
+        if (table.contains(name)) {
+            *out = table.at(name).asDouble();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+compareMetrics(const Json &base, const Json &cand,
+               const std::map<std::string, double> &tols)
+{
+    for (const auto &[name, tol] : tols) {
+        double b = 0.0, c = 0.0;
+        if (!metricValue(base, name, &b)) {
+            fail("metric '" + name + "' missing from baseline");
+            continue;
+        }
+        if (!metricValue(cand, name, &c)) {
+            fail("metric '" + name + "' missing from candidate");
+            continue;
+        }
+        if (!close(b, c, tol)) {
+            fail("metric '" + name + "': " + num(b) + " -> " +
+                 num(c) + " (tol " + num(tol) + ")");
+        }
+    }
+}
+
+Json
+load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw moonwalk::ModelError("cannot read " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return Json::parse(buf.str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    std::vector<std::string> raw(argv + 1, argv + argc);
+    std::vector<std::string> paths;
+    for (size_t i = 0; i < raw.size(); ++i) {
+        const std::string &a = raw[i];
+        if (a.rfind("--", 0) != 0) {
+            paths.push_back(a);
+            continue;
+        }
+        auto needsValue = [&](const char *flag) -> const char * {
+            if (i + 1 >= raw.size()) {
+                std::cerr << "perf_check: " << flag
+                          << " needs a value\n";
+                return nullptr;
+            }
+            return raw[++i].c_str();
+        };
+        if (a == "--rel-tol") {
+            const char *v = needsValue("--rel-tol");
+            if (!v)
+                return 2;
+            opt.rel_tol = std::atof(v);
+        } else if (a == "--wall-tol") {
+            const char *v = needsValue("--wall-tol");
+            if (!v)
+                return 2;
+            opt.wall_tol = std::atof(v);
+        } else if (a == "--metric") {
+            const char *v = needsValue("--metric");
+            if (!v)
+                return 2;
+            const std::string spec = v;
+            const auto eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::cerr << "perf_check: --metric wants "
+                             "<name>=<reltol>, got '" << spec
+                          << "'\n";
+                return 2;
+            }
+            opt.metric_tols[spec.substr(0, eq)] =
+                std::atof(spec.c_str() + eq + 1);
+        } else {
+            std::cerr << "perf_check: unknown flag '" << a << "'\n";
+            return usage();
+        }
+    }
+    if (paths.size() != 2)
+        return usage();
+    opt.baseline_path = paths[0];
+    opt.candidate_path = paths[1];
+
+    try {
+        const Json base = load(opt.baseline_path);
+        const Json cand = load(opt.candidate_path);
+
+        const int bv =
+            static_cast<int>(base.at("schema_version").asDouble());
+        const int cv =
+            static_cast<int>(cand.at("schema_version").asDouble());
+        if (bv != cv) {
+            std::cerr << "perf_check: schema_version mismatch ("
+                      << bv << " vs " << cv << ")\n";
+            return 2;
+        }
+        if (base.at("tool").asString() != cand.at("tool").asString() ||
+            base.at("command").asString() !=
+                cand.at("command").asString()) {
+            fail("tool/command mismatch: comparing '" +
+                 base.at("command").asString() + "' against '" +
+                 cand.at("command").asString() + "'");
+        }
+
+        compareRows(base, cand, opt.rel_tol);
+        compareValues("outputs", base.at("outputs"),
+                      cand.at("outputs"), opt.rel_tol);
+        comparePhases(base, cand, opt.wall_tol);
+        compareMetrics(base, cand, opt.metric_tols);
+    } catch (const moonwalk::ModelError &e) {
+        std::cerr << "perf_check: " << e.what() << "\n";
+        return 2;
+    }
+
+    if (g_failures > 0) {
+        std::cerr << "perf_check: " << g_failures
+                  << " regression(s) between " << opt.baseline_path
+                  << " and " << opt.candidate_path << "\n";
+        return 1;
+    }
+    std::cerr << "perf_check: " << opt.candidate_path
+              << " matches " << opt.baseline_path << "\n";
+    return 0;
+}
