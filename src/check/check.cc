@@ -1,0 +1,361 @@
+#include "check/check.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "check/generator.hh"
+#include "dse/pareto.hh"
+#include "tech/database.hh"
+#include "util/error.hh"
+#include "util/math.hh"
+
+namespace moonwalk::check {
+
+namespace {
+
+/**
+ * Full-precision digest of an exploration, including the retained
+ * all_feasible list: any divergence between two evaluation paths —
+ * one ULP in one metric, one reordered point, one extra duplicate —
+ * shows up as a string mismatch.
+ */
+std::string
+digest(const dse::ExplorationResult &r)
+{
+    std::ostringstream os;
+    os.precision(17);
+    const auto point = [&os](const dse::DesignPoint &p) {
+        os << p.config.rcas_per_die << ' ' << p.config.dies_per_lane
+           << ' ' << p.config.drams_per_die << ' ' << p.config.vdd
+           << ' ' << p.config.dark_silicon_fraction << ' '
+           << p.cost_per_ops << ' ' << p.watts_per_ops << ' '
+           << p.tco_per_ops << '\n';
+    };
+    os << r.evaluated << ' ' << r.feasible << '\n';
+    if (r.tco_optimal)
+        point(*r.tco_optimal);
+    for (const auto &p : r.pareto)
+        point(p);
+    for (const auto &p : r.all_feasible)
+        point(p);
+    return os.str();
+}
+
+/** The identity of a swept configuration, bit-exact in the doubles. */
+std::string
+designTuple(const dse::DesignPoint &p)
+{
+    const auto bits = [](double v) {
+        uint64_t b;
+        std::memcpy(&b, &v, sizeof(b));
+        return b;
+    };
+    std::ostringstream os;
+    os << p.config.rcas_per_die << '/' << p.config.dies_per_lane << '/'
+       << p.config.drams_per_die << '/'
+       << bits(p.config.dark_silicon_fraction) << '/'
+       << bits(p.config.vdd);
+    return os.str();
+}
+
+/** Collects failures for one seed and owns its repro strings. */
+class SeedChecker
+{
+  public:
+    SeedChecker(const GeneratedCase &c, CheckReport &report)
+        : case_(c), report_(report)
+    {
+        std::ostringstream repro;
+        repro << "moonwalk check --seeds 1 --seed " << c.seed;
+        repro_ = repro.str();
+    }
+
+    bool failed() const { return failed_; }
+
+    /** Record one invariant evaluation; @p ok == false files a
+     *  failure carrying the seed, detail, and serialized case. */
+    void expect(bool ok, const std::string &invariant,
+                const std::string &detail)
+    {
+        ++report_.invariants_checked;
+        if (ok)
+            return;
+        failed_ = true;
+        report_.failures.push_back({case_.seed, invariant, detail,
+                                    repro_,
+                                    describeCase(case_).dump(2)});
+    }
+
+  private:
+    const GeneratedCase &case_;
+    CheckReport &report_;
+    std::string repro_;
+    bool failed_ = false;
+};
+
+dse::ExplorerOptions
+withExecution(const dse::ExplorerOptions &base, int threads, bool cache,
+              bool keep = true)
+{
+    dse::ExplorerOptions o = base;
+    o.max_threads = threads;
+    o.cache_sweeps = cache;
+    o.keep_feasible_points = keep;
+    return o;
+}
+
+/** The memo key must move when any result-shaping knob moves; a knob
+ *  the key ignores aliases two different sweeps to one entry. */
+void
+checkKeySensitivity(SeedChecker &check, const GeneratedCase &c,
+                    const dse::ServerEvaluator &ev)
+{
+    const auto opts = withExecution(c.explorer, 1, true);
+    const dse::DesignSpaceExplorer base{opts, ev};
+    const std::string key = base.sweepKey(c.rca, c.node);
+
+    const auto expectDiffers = [&](const char *what,
+                                   const std::string &other) {
+        check.expect(other != key, "cache-key-sensitivity",
+                     std::string("sweep cache key ignores ") + what);
+    };
+
+    {
+        auto perturbed = c.evaluator;
+        perturbed.max_dies_per_lane += 1;
+        dse::ServerEvaluator ev2(tech::defaultTechDatabase(), {}, {},
+                                 {}, perturbed);
+        const dse::DesignSpaceExplorer ex{opts, ev2};
+        expectDiffers("EvaluatorOptions::max_dies_per_lane",
+                      ex.sweepKey(c.rca, c.node));
+    }
+    {
+        auto perturbed = c.evaluator;
+        perturbed.die_board_margin_mm *= 1.5;
+        dse::ServerEvaluator ev2(tech::defaultTechDatabase(), {}, {},
+                                 {}, perturbed);
+        const dse::DesignSpaceExplorer ex{opts, ev2};
+        expectDiffers("EvaluatorOptions::die_board_margin_mm",
+                      ex.sweepKey(c.rca, c.node));
+    }
+    {
+        auto o2 = opts;
+        o2.voltage_steps += 1;
+        const dse::DesignSpaceExplorer ex{o2, ev};
+        expectDiffers("ExplorerOptions::voltage_steps",
+                      ex.sweepKey(c.rca, c.node));
+    }
+    {
+        auto rca2 = c.rca;
+        rca2.energy_per_op_28_j *= 1.0000001;
+        expectDiffers("RcaSpec::energy_per_op_28_j",
+                      base.sweepKey(rca2, c.node));
+    }
+}
+
+/** Feasibility must be monotone across the bisected boundary: every
+ *  voltage at or below v_hi feasible, every voltage above infeasible. */
+void
+checkMonotoneFeasibility(SeedChecker &check, const GeneratedCase &c,
+                         const dse::DesignSpaceExplorer &explorer,
+                         const dse::ExplorationResult &result)
+{
+    if (c.rca.sla_fixed_freq_mhz > 0.0 || !result.tco_optimal)
+        return;  // SLA pins the voltage; no bisection runs
+
+    const auto &tn =
+        explorer.evaluator().scaling().database().node(c.node);
+    const auto &cfg0 = result.tco_optimal->config;
+    const double v_hi = explorer.maxFeasibleVoltage(
+        c.rca, c.node, cfg0.rcas_per_die, cfg0.dies_per_lane,
+        cfg0.drams_per_die, cfg0.dark_silicon_fraction);
+    check.expect(v_hi >= tn.vdd_min, "monotone-feasibility",
+                 "boundary search found no feasible voltage for a "
+                 "configuration the sweep proved feasible");
+    if (v_hi < tn.vdd_min)
+        return;
+
+    arch::ServerConfig cfg = cfg0;
+    const auto feasibleAt = [&](double vdd) {
+        cfg.vdd = vdd;
+        return explorer.evaluator().evaluate(c.rca, cfg).feasible();
+    };
+
+    for (double vdd : linspace(tn.vdd_min, v_hi, 4)) {
+        std::ostringstream detail;
+        detail.precision(17);
+        detail << "vdd " << vdd << " below boundary " << v_hi
+               << " is infeasible";
+        check.expect(feasibleAt(vdd), "monotone-feasibility",
+                     detail.str());
+    }
+
+    // Margin above the bisection's own resolution, so the probes sit
+    // clearly past the boundary rather than inside its uncertainty.
+    const double eps = (tn.vddMax() - tn.vdd_min) * 1e-6;
+    if (v_hi + eps >= tn.vddMax())
+        return;  // feasible all the way up; nothing above to probe
+    for (double vdd : linspace(v_hi + eps, tn.vddMax(), 4)) {
+        std::ostringstream detail;
+        detail.precision(17);
+        detail << "vdd " << vdd << " above boundary " << v_hi
+               << " is feasible again";
+        check.expect(!feasibleAt(vdd), "monotone-feasibility",
+                     detail.str());
+    }
+}
+
+void
+checkParetoValidity(SeedChecker &check,
+                    const dse::ExplorationResult &result)
+{
+    check.expect(isParetoFront(result.pareto), "pareto-validity",
+                 "a Pareto front point dominates another");
+    check.expect(result.feasible == result.all_feasible.size(),
+                 "pareto-validity",
+                 "result.feasible disagrees with the retained "
+                 "feasible-point list");
+    check.expect(result.evaluated >= result.feasible,
+                 "pareto-validity",
+                 "more feasible points than evaluations");
+
+    std::set<std::string> seen;
+    size_t duplicates = 0;
+    for (const auto &p : result.all_feasible)
+        if (!seen.insert(designTuple(p)).second)
+            ++duplicates;
+    std::ostringstream dup;
+    dup << duplicates
+        << " duplicate (rcas, dies, drams, dark, vdd) design tuples";
+    check.expect(duplicates == 0, "pareto-validity", dup.str());
+
+    if (!result.tco_optimal)
+        return;
+    double best_front = 1e300;
+    for (const auto &p : result.pareto)
+        best_front = std::min(best_front, p.tco_per_ops);
+    double best_all = 1e300;
+    for (const auto &p : result.all_feasible)
+        best_all = std::min(best_all, p.tco_per_ops);
+    const double opt = result.tco_optimal->tco_per_ops;
+    check.expect(opt == best_all, "pareto-validity",
+                 "tco_optimal is not the minimum over all feasible "
+                 "points");
+    // TCO is linear in the two Pareto metrics, so the optimum lies on
+    // (or numerically within a whisker of) the front.
+    check.expect(opt <= best_front * (1.0 + 1e-9), "pareto-validity",
+                 "tco_optimal lies above the Pareto front");
+}
+
+void
+checkSeed(uint64_t seed, CheckReport &report)
+{
+    const GeneratedCase c = generateCase(seed);
+    SeedChecker check(c, report);
+
+    const dse::ServerEvaluator ev(tech::defaultTechDatabase(), {}, {},
+                                  {}, c.evaluator);
+
+    // Serial uncached baseline: the reference every other evaluation
+    // path must match byte-for-byte.
+    const dse::DesignSpaceExplorer serial{
+        withExecution(c.explorer, 1, false), ev};
+    const auto baseline = serial.explore(c.rca, c.node);
+    const std::string want = digest(baseline);
+
+    // (a) Cache transparency: cold miss and warm replay both match.
+    {
+        const dse::DesignSpaceExplorer cached{
+            withExecution(c.explorer, 1, true), ev};
+        check.expect(digest(cached.explore(c.rca, c.node)) == want,
+                     "cache-transparency",
+                     "cache_sweeps=on (cold) differs from cache off");
+        check.expect(digest(cached.explore(c.rca, c.node)) == want,
+                     "cache-transparency",
+                     "warm cache replay differs from cache off");
+        check.expect(cached.sweepCacheHits() == 1,
+                     "cache-transparency",
+                     "repeat exploration was not served from cache");
+    }
+    checkKeySensitivity(check, c, ev);
+
+    // (b) Parallel determinism, with (e) accounting measured around
+    // the 2-thread run so the counter also covers worker clones.
+    {
+        const dse::DesignSpaceExplorer two{
+            withExecution(c.explorer, 2, false), ev};
+        const uint64_t calls_before = ev.evaluateCalls();
+        const auto r2 = two.explore(c.rca, c.node);
+        const uint64_t calls = ev.evaluateCalls() - calls_before;
+        check.expect(digest(r2) == want, "parallel-determinism-2",
+                     "max_threads=2 differs from serial");
+        std::ostringstream detail;
+        detail << "result.evaluated=" << r2.evaluated
+               << " but the evaluator saw " << calls << " calls";
+        check.expect(calls == r2.evaluated, "accounting",
+                     detail.str());
+
+        const dse::DesignSpaceExplorer eight{
+            withExecution(c.explorer, 8, false), ev};
+        check.expect(digest(eight.explore(c.rca, c.node)) == want,
+                     "parallel-determinism-8",
+                     "max_threads=8 differs from serial");
+    }
+
+    // (c) + (d) on the baseline result.
+    checkMonotoneFeasibility(check, c, serial, baseline);
+    checkParetoValidity(check, baseline);
+}
+
+} // namespace
+
+CheckReport
+runSelfCheck(const CheckOptions &options)
+{
+    CheckReport report;
+    for (uint64_t i = 0; i < options.seeds; ++i) {
+        const uint64_t seed = options.start_seed + i;
+        const size_t failures_before = report.failures.size();
+        try {
+            checkSeed(seed, report);
+        } catch (const ModelError &e) {
+            const GeneratedCase c = generateCase(seed);
+            std::ostringstream repro;
+            repro << "moonwalk check --seeds 1 --seed " << seed;
+            report.failures.push_back(
+                {seed, "model-error",
+                 std::string("unexpected ModelError: ") + e.what(),
+                 repro.str(), describeCase(c).dump(2)});
+        }
+        ++report.seeds_run;
+        if (options.progress) {
+            const bool ok = report.failures.size() == failures_before;
+            *options.progress << "seed " << seed << ": "
+                              << (ok ? "ok" : "FAIL") << "\n";
+        }
+        if (options.stop_on_failure && !report.ok())
+            break;
+    }
+    return report;
+}
+
+void
+writeReport(std::ostream &os, const CheckReport &report)
+{
+    os << "self-check: " << report.seeds_run << " seeds, "
+       << report.invariants_checked << " invariants, "
+       << report.failures.size() << " failure"
+       << (report.failures.size() == 1 ? "" : "s") << "\n";
+    for (const auto &f : report.failures) {
+        os << "\nFAIL [" << f.invariant << "] seed " << f.seed << "\n"
+           << "  " << f.detail << "\n"
+           << "  reproduce: " << f.repro << "\n"
+           << "  case: " << f.case_json << "\n";
+    }
+}
+
+} // namespace moonwalk::check

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Model self-check subsystem: a battery of differential invariants
+ * run over seeded randomized inputs (see generator.hh), validating
+ * that the design-space explorer's parallel, memoized hot path is
+ * exactly equivalent to the straightforward serial computation.
+ *
+ * The paper's headline claims rest on explore() producing the same
+ * optimum regardless of thread count, cache state, or sweep order;
+ * frameworks in the same space (Chiplet Actuary, Monad) cross-check
+ * independent evaluation paths for the same reason.  Invariants:
+ *
+ *  - cache transparency: explore() with cache_sweeps on and off, and
+ *    a warm-cache replay, return byte-identical results — and the
+ *    memo key distinguishes every result-shaping knob (explorer
+ *    options, evaluator options, spec contents);
+ *  - parallel determinism: max_threads 1, 2 and 8 agree bit-for-bit;
+ *  - monotone feasibility: the voltage-bisection premise holds —
+ *    feasibility never reappears above the boundary found by
+ *    maxFeasibleVoltage, and holds everywhere below it;
+ *  - Pareto validity: the front is mutually non-dominating, contains
+ *    no duplicate design tuples, and the TCO optimum lies on it;
+ *  - accounting: ExplorationResult::evaluated equals the evaluator's
+ *    actual evaluate() call count (ServerEvaluator::evaluateCalls()).
+ *
+ * Every violation reports the seed plus the serialized case, so it
+ * reproduces with `moonwalk check --seeds 1 --seed <seed>`.
+ */
+#ifndef MOONWALK_CHECK_CHECK_HH
+#define MOONWALK_CHECK_CHECK_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace moonwalk::check {
+
+/** Harness knobs. */
+struct CheckOptions
+{
+    /** Number of consecutive seeds to run. */
+    uint64_t seeds = 25;
+    /** First seed (inclusive). */
+    uint64_t start_seed = 1;
+    /** Abort the run at the first failing seed. */
+    bool stop_on_failure = false;
+    /** When non-null, a one-line progress report per seed. */
+    std::ostream *progress = nullptr;
+};
+
+/** One invariant violation, with everything needed to reproduce it. */
+struct CheckFailure
+{
+    uint64_t seed = 0;
+    /** Which invariant tripped (e.g. "parallel-determinism-8"). */
+    std::string invariant;
+    /** Human-readable expected-vs-actual description. */
+    std::string detail;
+    /** One command that reproduces the failure. */
+    std::string repro;
+    /** The serialized generated case (JSON). */
+    std::string case_json;
+};
+
+/** Aggregate outcome of a self-check run. */
+struct CheckReport
+{
+    uint64_t seeds_run = 0;
+    uint64_t invariants_checked = 0;
+    std::vector<CheckFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/** Run the battery over [start_seed, start_seed + seeds). */
+CheckReport runSelfCheck(const CheckOptions &options = {});
+
+/** Render @p report (summary plus each failure) to @p os. */
+void writeReport(std::ostream &os, const CheckReport &report);
+
+} // namespace moonwalk::check
+
+#endif // MOONWALK_CHECK_CHECK_HH

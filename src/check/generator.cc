@@ -1,0 +1,157 @@
+#include "check/generator.hh"
+
+#include <cmath>
+
+#include "apps/apps.hh"
+#include "tech/database.hh"
+#include "util/math.hh"
+
+namespace moonwalk::check {
+
+uint64_t
+Rng::next()
+{
+    // SplitMix64: one additive step, two xor-shift-multiply mixes.
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    // 53 mantissa bits -> uniform in [0, 1) with full double precision.
+    const double u =
+        static_cast<double>(next() >> 11) * 0x1.0p-53;
+    return lo + (hi - lo) * u;
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    const auto span = static_cast<uint64_t>(hi - lo + 1);
+    return lo + static_cast<int>(next() % span);
+}
+
+GeneratedCase
+generateCase(uint64_t seed)
+{
+    // Seed 0 would collapse SplitMix64's first outputs toward the
+    // mixer constants; fold the seed through a fixed offset instead.
+    Rng rng(seed * 0x2545f4914f6cdd1dULL + 0x9e3779b97f4a7c15ULL);
+
+    GeneratedCase c;
+    c.seed = seed;
+
+    const auto apps = apps::allApps();
+    const auto &base =
+        apps[rng.uniformInt(0, static_cast<int>(apps.size()) - 1)];
+    c.base_app = base.name();
+    c.rca = base.rca;
+    c.node = tech::kAllNodes[rng.uniformInt(0, tech::kNumNodes - 1)];
+
+    // Perturb the spec multiplicatively around its anchor.  Factors in
+    // [0.6, 1.6] keep every derived quantity (die area, power density,
+    // DRAM demand) inside the envelope the evaluator's submodels are
+    // calibrated for while still exercising genuinely different design
+    // spaces per seed.
+    auto scale = [&rng](double &field) {
+        field *= rng.uniform(0.6, 1.6);
+    };
+    scale(c.rca.gate_count);
+    scale(c.rca.f_nominal_28_mhz);
+    scale(c.rca.energy_per_op_28_j);
+    scale(c.rca.area_28_mm2);
+    if (c.rca.bytes_per_op > 0.0)
+        scale(c.rca.bytes_per_op);
+    if (c.rca.offpcb_bytes_per_op > 0.0)
+        scale(c.rca.offpcb_bytes_per_op);
+    c.rca.energy_scaling_fraction =
+        clamp(c.rca.energy_scaling_fraction * rng.uniform(0.7, 1.3),
+              0.2, 1.0);
+    if (!c.rca.allow_dark_silicon && c.rca.allowed_rcas_per_die.empty())
+        c.rca.allow_dark_silicon = rng.chance(0.25);
+
+    // Small-RCA-count regime, 40% of seeds: size the RCA so only a
+    // handful fit the chosen node's reticle.  At small counts the
+    // coarse geometric grid is dense (often exhaustive), which is
+    // precisely where the local-refinement loop historically re-swept
+    // grid candidates and emitted duplicate design points — keep that
+    // regime well represented.
+    if (c.rca.allowed_rcas_per_die.empty() && rng.chance(0.4)) {
+        const auto &tn = tech::defaultTechDatabase().node(c.node);
+        const double target =
+            rng.uniformInt(2, 10) + rng.uniform(0.2, 0.8);
+        c.rca.area_28_mm2 =
+            tn.max_die_area_mm2 * tn.density_factor / target;
+    }
+
+    // Coarse sweep knobs: the harness runs several explorations per
+    // seed, so each one must stay small.
+    c.explorer.voltage_steps = rng.uniformInt(3, 6);
+    c.explorer.rca_count_steps = rng.uniformInt(3, 6);
+    c.explorer.max_drams_per_die = rng.uniformInt(1, 2);
+    c.explorer.dark_fractions = {0.0};
+    if (rng.chance(0.5))
+        c.explorer.dark_fractions.push_back(rng.uniform(0.05, 0.25));
+    c.explorer.max_threads = 1;
+
+    // Evaluator policy knobs vary per seed: the sweep cache key must
+    // distinguish them (invariant "cache transparency" fails loudly if
+    // it does not), and small lane caps keep the sweeps fast.
+    c.evaluator.max_dies_per_lane = rng.uniformInt(2, 6);
+    c.evaluator.die_board_margin_mm = rng.uniform(1.0, 4.0);
+
+    return c;
+}
+
+Json
+describeCase(const GeneratedCase &c)
+{
+    Json spec = Json::object();
+    spec.set("name", c.rca.name);
+    spec.set("gate_count", c.rca.gate_count);
+    spec.set("ops_per_cycle", c.rca.ops_per_cycle);
+    spec.set("f_nominal_28_mhz", c.rca.f_nominal_28_mhz);
+    spec.set("energy_per_op_28_j", c.rca.energy_per_op_28_j);
+    spec.set("area_28_mm2", c.rca.area_28_mm2);
+    spec.set("energy_scaling_fraction", c.rca.energy_scaling_fraction);
+    spec.set("sla_fixed_freq_mhz", c.rca.sla_fixed_freq_mhz);
+    spec.set("bytes_per_op", c.rca.bytes_per_op);
+    spec.set("offpcb_bytes_per_op", c.rca.offpcb_bytes_per_op);
+    spec.set("needs_high_speed_link", c.rca.needs_high_speed_link);
+    spec.set("needs_lvds", c.rca.needs_lvds);
+    spec.set("server_rca_multiple", c.rca.server_rca_multiple);
+    spec.set("allow_dark_silicon", c.rca.allow_dark_silicon);
+    Json grids = Json::array();
+    for (int n : c.rca.allowed_rcas_per_die)
+        grids.push(n);
+    spec.set("allowed_rcas_per_die", std::move(grids));
+
+    Json explorer = Json::object();
+    explorer.set("voltage_steps", c.explorer.voltage_steps);
+    explorer.set("rca_count_steps", c.explorer.rca_count_steps);
+    explorer.set("max_drams_per_die", c.explorer.max_drams_per_die);
+    Json darks = Json::array();
+    for (double d : c.explorer.dark_fractions)
+        darks.push(d);
+    explorer.set("dark_fractions", std::move(darks));
+
+    Json evaluator = Json::object();
+    evaluator.set("max_dies_per_lane", c.evaluator.max_dies_per_lane);
+    evaluator.set("die_board_margin_mm",
+                  c.evaluator.die_board_margin_mm);
+
+    Json out = Json::object();
+    out.set("seed", static_cast<double>(c.seed));
+    out.set("base_app", c.base_app);
+    out.set("node", tech::to_string(c.node));
+    out.set("rca", std::move(spec));
+    out.set("explorer_options", std::move(explorer));
+    out.set("evaluator_options", std::move(evaluator));
+    return out;
+}
+
+} // namespace moonwalk::check

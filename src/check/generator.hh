@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic seeded test-case generator for the model self-check
+ * harness (see check.hh).
+ *
+ * Each seed maps to one (RcaSpec, node, ExplorerOptions,
+ * EvaluatorOptions) tuple: a real application anchor perturbed
+ * multiplicatively so the generated spec stays inside the physical
+ * envelope the models were built for, plus randomized sweep and
+ * evaluator knobs.  Generation uses a self-contained SplitMix64
+ * stream — never std::random distributions, whose output is not
+ * specified across standard-library implementations — so a failing
+ * seed reproduces bit-for-bit on any platform.
+ */
+#ifndef MOONWALK_CHECK_GENERATOR_HH
+#define MOONWALK_CHECK_GENERATOR_HH
+
+#include <cstdint>
+
+#include "arch/rca.hh"
+#include "dse/evaluator.hh"
+#include "dse/explorer.hh"
+#include "tech/node.hh"
+#include "util/json.hh"
+
+namespace moonwalk::check {
+
+/**
+ * SplitMix64 pseudo-random stream (Steele et al., the JDK
+ * splittable-seed mixer): tiny, full-period over 2^64, and identical
+ * on every platform and compiler.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed) : state_(seed) {}
+
+    uint64_t next();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    int uniformInt(int lo, int hi);
+
+    /** True with probability @p p. */
+    bool chance(double p) { return uniform(0.0, 1.0) < p; }
+
+  private:
+    uint64_t state_;
+};
+
+/** One generated self-check input. */
+struct GeneratedCase
+{
+    uint64_t seed = 0;
+    /** Name of the application anchor the spec was perturbed from. */
+    std::string base_app;
+    arch::RcaSpec rca;
+    tech::NodeId node = tech::NodeId::N28;
+    dse::ExplorerOptions explorer;
+    dse::EvaluatorOptions evaluator;
+};
+
+/** The deterministic seed -> case mapping. */
+GeneratedCase generateCase(uint64_t seed);
+
+/**
+ * Serialize a case (spec contents included) as JSON, so an invariant
+ * failure report carries everything needed to reproduce it without
+ * re-running the generator.
+ */
+Json describeCase(const GeneratedCase &c);
+
+} // namespace moonwalk::check
+
+#endif // MOONWALK_CHECK_GENERATOR_HH

@@ -52,6 +52,7 @@ ServerEvaluator::evaluate(const arch::RcaSpec &rca,
                           const arch::ServerConfig &cfg) const
 {
     EvalResult result;
+    eval_calls_->fetch_add(1, std::memory_order_relaxed);
     // One relaxed load up front; all metric updates below hide
     // behind it (out of line, [[unlikely]]) so the default
     // (disabled) path stays benchmark-neutral.

@@ -11,6 +11,9 @@
 #ifndef MOONWALK_DSE_EVALUATOR_HH
 #define MOONWALK_DSE_EVALUATOR_HH
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -90,6 +93,20 @@ class ServerEvaluator
                       const tech::TechNode &node, int drams_per_die = 0,
                       double dark = 0.0) const;
 
+    /**
+     * Total evaluate() calls observed by this evaluator and every copy
+     * of it — copies share the counter, so the explorer's per-worker
+     * clones bill their evaluations to the prototype they were cloned
+     * from.  The self-check harness (src/check/) diffs this around an
+     * exploration to validate ExplorationResult::evaluated; unlike the
+     * dse.evaluations metrics counter it needs no global registry
+     * state and always counts.
+     */
+    uint64_t evaluateCalls() const
+    {
+        return eval_calls_->load(std::memory_order_relaxed);
+    }
+
   private:
     tech::ScalingModel scaling_;
     thermal::LaneThermalModel lane_;
@@ -97,6 +114,9 @@ class ServerEvaluator
     cost::ServerBomParams bom_;
     tco::TcoModel tco_;
     Options options_;
+    /** Shared across copies; relaxed increments only. */
+    std::shared_ptr<std::atomic<uint64_t>> eval_calls_ =
+        std::make_shared<std::atomic<uint64_t>>(0);
 };
 
 } // namespace moonwalk::dse

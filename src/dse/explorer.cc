@@ -13,6 +13,20 @@
 
 namespace moonwalk::dse {
 
+namespace {
+
+/**
+ * Voltage span below which an adaptive sweep window counts as a
+ * single point.  The bisection in maxFeasibleVoltage resolves the
+ * boundary to (vddMax - vdd_min) / 2^30 ≈ 5e-10 V, so any window
+ * tighter than a nanovolt is numerically one voltage: sweeping
+ * voltage_steps copies of it would waste evaluations and emit
+ * duplicate design points.
+ */
+constexpr double kVoltageSpanTolV = 1e-9;
+
+} // namespace
+
 std::vector<int>
 DesignSpaceExplorer::rcaCountCandidates(const arch::RcaSpec &rca,
                                         tech::NodeId node,
@@ -49,7 +63,7 @@ DesignSpaceExplorer::rcaCountCandidates(const arch::RcaSpec &rca,
     return {grid.begin(), grid.end()};
 }
 
-double
+DesignSpaceExplorer::VoltageWindow
 DesignSpaceExplorer::maxFeasibleVoltage(const ServerEvaluator &ev,
                                         const arch::RcaSpec &rca,
                                         tech::NodeId node,
@@ -66,13 +80,23 @@ DesignSpaceExplorer::maxFeasibleVoltage(const ServerEvaluator &ev,
     cfg.drams_per_die = drams_per_die;
     cfg.dark_silicon_fraction = dark;
 
+    // Every probe below is an evaluate() call and is tallied in the
+    // returned window so ExplorationResult::evaluated can report the
+    // evaluator's true workload (the self-check harness holds it to
+    // exact equality against ServerEvaluator::evaluateCalls()).
+    VoltageWindow win;
+
     cfg.vdd = tn.vdd_min;
+    ++win.evaluated;
     if (!ev.evaluate(rca, cfg).feasible())
-        return -1.0;  // structurally infeasible (or too hot even NTV)
+        return win;  // structurally infeasible (or too hot even NTV)
 
     cfg.vdd = tn.vddMax();
-    if (ev.evaluate(rca, cfg).feasible())
-        return tn.vddMax();
+    ++win.evaluated;
+    if (ev.evaluate(rca, cfg).feasible()) {
+        win.v_hi = tn.vddMax();
+        return win;
+    }
 
     // Thermal and power-budget violations are monotone in voltage:
     // bisect the feasibility boundary.
@@ -80,12 +104,14 @@ DesignSpaceExplorer::maxFeasibleVoltage(const ServerEvaluator &ev,
     double hi = tn.vddMax();
     for (int i = 0; i < 30; ++i) {
         cfg.vdd = 0.5 * (lo + hi);
+        ++win.evaluated;
         if (ev.evaluate(rca, cfg).feasible())
             lo = cfg.vdd;
         else
             hi = cfg.vdd;
     }
-    return lo;
+    win.v_hi = lo;
+    return win;
 }
 
 double
@@ -97,7 +123,7 @@ DesignSpaceExplorer::maxFeasibleVoltage(const arch::RcaSpec &rca,
                                         double dark) const
 {
     return maxFeasibleVoltage(evaluator_, rca, node, rcas_per_die,
-                              dies_per_lane, drams_per_die, dark);
+                              dies_per_lane, drams_per_die, dark).v_hi;
 }
 
 void
@@ -131,15 +157,18 @@ DesignSpaceExplorer::sweepConfig(const ServerEvaluator &ev,
 
         // Adaptive window: sweep only up to the highest feasible
         // voltage, so power-dense designs (whose thermal ceiling sits
-        // barely above Vmin) still get a dense grid.
-        const double v_hi = maxFeasibleVoltage(
+        // barely above Vmin) still get a dense grid.  The boundary
+        // search's own probes (up to 2 + 30 bisection steps) count
+        // toward `evaluated`; a window collapsed to vdd_min yields one
+        // sweep point, not voltage_steps copies of the same voltage.
+        const auto win = maxFeasibleVoltage(
             ev, rca, node, rcas_per_die, dies, drams_per_die, dark);
-        if (v_hi < 0.0) {
-            ++evaluated;
+        evaluated += win.evaluated;
+        if (win.v_hi < 0.0)
             continue;
-        }
-        for (double vdd : linspace(tn.vdd_min, v_hi,
-                                   options_.voltage_steps)) {
+        for (double vdd : linspace(tn.vdd_min, win.v_hi,
+                                   options_.voltage_steps,
+                                   kVoltageSpanTolV)) {
             cfg.vdd = vdd;
             ++evaluated;
             auto r = ev.evaluate(rca, cfg);
@@ -193,9 +222,16 @@ DesignSpaceExplorer::sweepKey(const arch::RcaSpec &rca,
     addInt(options_.voltage_steps);
     addInt(options_.rca_count_steps);
     addInt(options_.max_drams_per_die);
+    addInt(options_.keep_feasible_points);
     addInt(static_cast<long long>(options_.dark_fractions.size()));
     for (double dark : options_.dark_fractions)
         addBits(dark);
+    // Evaluator policy knobs shape the sweep too (sweepConfig reads
+    // max_dies_per_lane, evaluate() reads the board margin), and the
+    // cache is shared across explorer copies — omitting them aliased
+    // copies differing only in evaluator options to one key.
+    addInt(evaluator_.options().max_dies_per_lane);
+    addBits(evaluator_.options().die_board_margin_mm);
     // The RCA spec by content, not identity: sensitivity studies sweep
     // perturbed specs under one application name.
     addBits(rca.gate_count);
@@ -337,14 +373,27 @@ DesignSpaceExplorer::exploreUncached(const arch::RcaSpec &rca,
         const ServerEvaluator &ev = workerEvaluator();
         const int n0 = coarse_best.config.rcas_per_die;
         const int step = std::max(1, n0 / 50);
+        // The coarse grid for the best cell was already swept above;
+        // re-sweeping a candidate that sits on it (near-certain at
+        // small n0, where step == 1 makes n0±1..3 land on the dense
+        // low end of the geometric grid) would append duplicate
+        // DesignPoints, inflating result.feasible and polluting the
+        // Pareto front.  Candidates past the reticle limit are
+        // skipped too — every voltage there is rejected anyway.
+        const int drams = coarse_best.config.drams_per_die;
+        const double dark = coarse_best.config.dark_silicon_fraction;
+        const auto coarse_counts =
+            rcaCountCandidates(rca, node, drams, dark);
+        const std::set<int> visited(coarse_counts.begin(),
+                                    coarse_counts.end());
+        const int n_max = ev.maxRcasPerDie(
+            rca, ev.scaling().database().node(node), drams, dark);
         for (int n : {n0 - 3 * step, n0 - 2 * step, n0 - step,
                       n0 + step, n0 + 2 * step, n0 + 3 * step}) {
-            if (n < 1)
+            if (n < 1 || n > n_max || visited.count(n))
                 continue;
-            sweepConfig(ev, rca, node, n,
-                        coarse_best.config.drams_per_die,
-                        coarse_best.config.dark_silicon_fraction,
-                        feasible, result.evaluated);
+            sweepConfig(ev, rca, node, n, drams, dark, feasible,
+                        result.evaluated);
         }
     }
 
@@ -355,6 +404,8 @@ DesignSpaceExplorer::exploreUncached(const arch::RcaSpec &rca,
             [](const DesignPoint &a, const DesignPoint &b) {
                 return a.tco_per_ops < b.tco_per_ops;
             });
+        if (options_.keep_feasible_points)
+            result.all_feasible = feasible;
         result.pareto = paretoFront(std::move(feasible));
     }
 
@@ -414,7 +465,8 @@ DesignSpaceExplorer::sweepVoltage(const arch::RcaSpec &rca,
     if (v_hi < 0.0)
         return out;
     for (double vdd : linspace(tn.vdd_min, v_hi,
-                               options_.voltage_steps)) {
+                               options_.voltage_steps,
+                               kVoltageSpanTolV)) {
         arch::ServerConfig cfg;
         cfg.node = node;
         cfg.rcas_per_die = rcas_per_die;
@@ -446,6 +498,8 @@ DesignSpaceExplorer::exploreFixedDie(const arch::RcaSpec &rca,
             [](const DesignPoint &a, const DesignPoint &b) {
                 return a.tco_per_ops < b.tco_per_ops;
             });
+        if (options_.keep_feasible_points)
+            result.all_feasible = feasible;
         result.pareto = paretoFront(std::move(feasible));
     }
     return result;

@@ -49,6 +49,13 @@ struct ExplorerOptions
     int max_threads = 0;
     /** Memoize completed explore() calls per (app, node, options). */
     bool cache_sweeps = true;
+    /**
+     * Retain every feasible DesignPoint in
+     * ExplorationResult::all_feasible, not just the Pareto front.
+     * Off by default (the full list can be large); the self-check
+     * harness and duplicate-detection tests turn it on.
+     */
+    bool keep_feasible_points = false;
 };
 
 /** Everything an exploration produces. */
@@ -58,6 +65,13 @@ struct ExplorationResult
     std::vector<DesignPoint> pareto;
     /** The design minimizing TCO per op/s, if any design is feasible. */
     std::optional<DesignPoint> tco_optimal;
+    /**
+     * Every feasible point, in deterministic sweep order; populated
+     * only when ExplorerOptions::keep_feasible_points is set.
+     */
+    std::vector<DesignPoint> all_feasible;
+    /** evaluate() calls issued, including feasibility-boundary
+     *  bisection probes. */
     size_t evaluated = 0;
     size_t feasible = 0;
 };
@@ -148,23 +162,38 @@ class DesignSpaceExplorer
      */
     void publishStats() const;
 
+    /**
+     * Memo key for the sweep cache: app|node|every sweep-relevant
+     * explorer option, evaluator option, and RCA-spec field serialized
+     * verbatim (no hashing, so no collisions).  Public so the
+     * self-check harness and regression tests can assert that every
+     * result-distinguishing knob — including EvaluatorOptions, which
+     * an earlier version omitted — reaches the key.
+     */
+    std::string sweepKey(const arch::RcaSpec &rca,
+                         tech::NodeId node) const;
+
   private:
     using SweepCache = exec::ShardedCache<std::string, ExplorationResult>;
+
+    /** Feasibility-boundary search result: the highest feasible
+     *  voltage (negative when none) and the evaluate() calls spent
+     *  finding it, which accounting must charge to the sweep. */
+    struct VoltageWindow
+    {
+        double v_hi = -1.0;
+        size_t evaluated = 0;
+    };
 
     /** The actual sweep, bypassing the memo cache. */
     ExplorationResult exploreUncached(const arch::RcaSpec &rca,
                                       tech::NodeId node) const;
 
-    /** Memo key: app|node|all sweep-relevant option and RCA-spec
-     *  fields serialized verbatim (no hashing, so no collisions). */
-    std::string sweepKey(const arch::RcaSpec &rca,
-                         tech::NodeId node) const;
-
-    double maxFeasibleVoltage(const ServerEvaluator &ev,
-                              const arch::RcaSpec &rca,
-                              tech::NodeId node, int rcas_per_die,
-                              int dies_per_lane, int drams_per_die,
-                              double dark) const;
+    VoltageWindow maxFeasibleVoltage(const ServerEvaluator &ev,
+                                     const arch::RcaSpec &rca,
+                                     tech::NodeId node, int rcas_per_die,
+                                     int dies_per_lane, int drams_per_die,
+                                     double dark) const;
 
     void sweepConfig(const ServerEvaluator &ev,
                      const arch::RcaSpec &rca, tech::NodeId node,

@@ -332,6 +332,12 @@ class JsonParser
 
     Json parseValue()
     {
+        // Containers recurse one stack frame per nesting level, so an
+        // adversarial input of brackets could otherwise overflow the
+        // stack (found by the Json::parse fuzz target).  256 levels is
+        // far beyond any document the model reads or writes.
+        if (depth_ > kMaxDepth)
+            fail("nesting deeper than 256 levels");
         skipWs();
         switch (peek()) {
           case '{': return parseObject();
@@ -356,11 +362,13 @@ class JsonParser
 
     Json parseObject()
     {
+        ++depth_;
         expect('{');
         Json obj = Json::object();
         skipWs();
         if (peek() == '}') {
             ++pos_;
+            --depth_;
             return obj;
         }
         while (true) {
@@ -374,8 +382,10 @@ class JsonParser
             skipWs();
             const char c = peek();
             ++pos_;
-            if (c == '}')
+            if (c == '}') {
+                --depth_;
                 return obj;
+            }
             if (c != ',')
                 fail("expected ',' or '}' in object");
         }
@@ -383,11 +393,13 @@ class JsonParser
 
     Json parseArray()
     {
+        ++depth_;
         expect('[');
         Json arr = Json::array();
         skipWs();
         if (peek() == ']') {
             ++pos_;
+            --depth_;
             return arr;
         }
         while (true) {
@@ -395,8 +407,10 @@ class JsonParser
             skipWs();
             const char c = peek();
             ++pos_;
-            if (c == ']')
+            if (c == ']') {
+                --depth_;
                 return arr;
+            }
             if (c != ',')
                 fail("expected ',' or ']' in array");
         }
@@ -487,8 +501,11 @@ class JsonParser
         return Json(d);
     }
 
+    static constexpr int kMaxDepth = 256;
+
     const std::string &text_;
     size_t pos_ = 0;
+    int depth_ = 0;
 };
 
 } // namespace

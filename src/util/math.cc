@@ -73,13 +73,14 @@ minimizeGrid(const std::function<double(double)> &f,
 }
 
 std::vector<double>
-linspace(double lo, double hi, int n)
+linspace(double lo, double hi, int n, double collapse_tol)
 {
     if (n < 1)
         fatal("linspace needs at least 1 point, got ", n);
     std::vector<double> out;
     out.reserve(n);
-    if (n == 1) {
+    if (n == 1 ||
+        (collapse_tol > 0.0 && std::fabs(hi - lo) <= collapse_tol)) {
         out.push_back(lo);
         return out;
     }

@@ -88,8 +88,17 @@ MinimizeResult minimizeGolden(const std::function<double(double)> &f,
 MinimizeResult minimizeGrid(const std::function<double(double)> &f,
                             double lo, double hi, int n);
 
-/** Uniformly spaced vector of @p n values covering [lo, hi] inclusive. */
-std::vector<double> linspace(double lo, double hi, int n);
+/**
+ * Uniformly spaced vector of @p n values covering [lo, hi] inclusive.
+ *
+ * When @p collapse_tol is positive and |hi - lo| is at or below it,
+ * the grid collapses to the single value @p lo: emitting @p n copies
+ * of (numerically) one point only duplicates downstream work, and a
+ * sweep whose adaptive window has shrunk to a point wants exactly one
+ * evaluation there (see dse::DesignSpaceExplorer::sweepConfig).
+ */
+std::vector<double> linspace(double lo, double hi, int n,
+                             double collapse_tol = 0.0);
 
 } // namespace moonwalk
 

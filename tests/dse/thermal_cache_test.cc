@@ -90,9 +90,9 @@ TEST(ThermalCacheObservability, ExploreRecordsSweepMetrics)
     obs::setMetricsEnabled(false);
 
     ASSERT_TRUE(result.tco_optimal.has_value());
-    // The per-evaluate counter covers at least the sweep's own
-    // evaluations (bisection probes add more).
-    EXPECT_GE(reg.counter("dse.evaluations").value(),
+    // Exact accounting: result.evaluated includes the feasibility
+    // bisection probes, so it equals the per-evaluate counter.
+    EXPECT_EQ(reg.counter("dse.evaluations").value(),
               result.evaluated);
 
     const auto &timer = reg.timer("dse.sweep.Bitcoin.40nm");

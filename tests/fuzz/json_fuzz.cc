@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fuzz target for Json::parse.
+ *
+ * Built two ways (see tests/CMakeLists.txt):
+ *  - with -DMOONWALK_FUZZ=ON under clang, as a libFuzzer binary
+ *    (`fuzz_json tests/fuzz/corpus -max_total_time=60`);
+ *  - otherwise with a plain main() that replays the files given on
+ *    the command line, so CI smoke-tests the exact same harness with
+ *    no clang-only dependencies.
+ *
+ * The harness accepts any byte string: malformed input must throw
+ * ModelError and nothing else — crashes, UB, unbounded recursion, or
+ * a parse/dump round-trip mismatch are findings.  The parser's
+ * 256-level nesting cap exists because this target found the
+ * unbounded-recursion stack overflow.
+ */
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/error.hh"
+#include "util/json.hh"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    const std::string text(reinterpret_cast<const char *>(data), size);
+    try {
+        const moonwalk::Json value = moonwalk::Json::parse(text);
+        // Whatever parses must round-trip: dump() output is valid
+        // JSON that parses back to an identical serialization.
+        const std::string dumped = value.dump();
+        if (moonwalk::Json::parse(dumped).dump() != dumped)
+            moonwalk::panic("Json parse/dump round-trip mismatch");
+    } catch (const moonwalk::ModelError &) {
+        // Malformed input is the expected outcome, not a finding.
+    }
+    return 0;
+}
+
+#ifndef MOONWALK_FUZZ_LIBFUZZER
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: fuzz_json <corpus-file>...\n"
+                     "(plain corpus-replay driver; configure with "
+                     "-DMOONWALK_FUZZ=ON under clang for libFuzzer)\n");
+        return 2;
+    }
+    for (int i = 1; i < argc; ++i) {
+        std::ifstream in(argv[i], std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "fuzz_json: cannot read %s\n",
+                         argv[i]);
+            return 1;
+        }
+        std::ostringstream data;
+        data << in.rdbuf();
+        const std::string text = data.str();
+        LLVMFuzzerTestOneInput(
+            reinterpret_cast<const uint8_t *>(text.data()),
+            text.size());
+    }
+    std::printf("fuzz_json: replayed %d corpus inputs\n", argc - 1);
+    return 0;
+}
+#endif

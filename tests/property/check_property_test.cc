@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tier-1 coverage of the self-check subsystem itself: the generator
+ * is deterministic per seed, and the invariant battery passes on a
+ * pinned seed range (the same battery `moonwalk check` runs, so a
+ * model regression that breaks differential correctness fails here
+ * with a reproducing seed before CI even reaches the CLI job).
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "check/check.hh"
+#include "check/generator.hh"
+
+namespace moonwalk::check {
+namespace {
+
+TEST(CheckGenerator, DeterministicPerSeed)
+{
+    for (uint64_t seed : {1ull, 7ull, 42ull, 1000000007ull}) {
+        const auto a = generateCase(seed);
+        const auto b = generateCase(seed);
+        EXPECT_EQ(describeCase(a).dump(), describeCase(b).dump())
+            << "seed " << seed;
+    }
+}
+
+TEST(CheckGenerator, DistinctSeedsDistinctCases)
+{
+    // Not guaranteed in principle, but with multiplicative
+    // perturbations a collision across neighboring seeds would mean
+    // the stream is broken.
+    const auto a = generateCase(1);
+    const auto b = generateCase(2);
+    EXPECT_NE(describeCase(a).dump(), describeCase(b).dump());
+}
+
+TEST(CheckGenerator, SplitMix64ReferenceVector)
+{
+    // First outputs for seed 0x1234567812345678, cross-checked against
+    // the published SplitMix64 reference implementation; pins the
+    // stream so failing seeds reproduce across platforms forever.
+    Rng rng(0x1234567812345678ULL);
+    EXPECT_EQ(rng.next(), 0xecbee82afc6a46feULL);
+    EXPECT_EQ(rng.next(), 0x2129a87462662b44ULL);
+}
+
+TEST(CheckGenerator, UniformIntStaysInRange)
+{
+    Rng rng(99);
+    for (int i = 0; i < 1000; ++i) {
+        const int v = rng.uniformInt(3, 6);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 6);
+        const double d = rng.uniform(0.6, 1.6);
+        EXPECT_GE(d, 0.6);
+        EXPECT_LT(d, 1.6);
+    }
+}
+
+TEST(SelfCheck, PinnedSeedRangePasses)
+{
+    // A handful of seeds keeps this inside the tier-1 time budget;
+    // the CI `check` job runs the CLI over 25.
+    CheckOptions opts;
+    opts.seeds = 6;
+    opts.start_seed = 1;
+    const auto report = runSelfCheck(opts);
+    EXPECT_EQ(report.seeds_run, 6u);
+    EXPECT_GT(report.invariants_checked, 0u);
+    std::ostringstream os;
+    writeReport(os, report);
+    EXPECT_TRUE(report.ok()) << os.str();
+}
+
+TEST(SelfCheck, ReportNamesFailingSeedAndRepro)
+{
+    // The report renderer must surface the reproduction command.
+    CheckReport report;
+    report.seeds_run = 1;
+    report.invariants_checked = 3;
+    report.failures.push_back(
+        {17, "accounting", "expected 5, got 7",
+         "moonwalk check --seeds 1 --seed 17", "{}"});
+    std::ostringstream os;
+    writeReport(os, report);
+    const auto text = os.str();
+    EXPECT_NE(text.find("seed 17"), std::string::npos);
+    EXPECT_NE(text.find("accounting"), std::string::npos);
+    EXPECT_NE(text.find("moonwalk check --seeds 1 --seed 17"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace moonwalk::check

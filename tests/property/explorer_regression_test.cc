@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Seed-pinned regressions for the three explorer hot-path bugs this
+ * harness was built to catch, kept in tier-1 so they fail fast and in
+ * isolation (the property battery in check_property_test.cc would
+ * also catch them, but via a randomized seed):
+ *
+ *  1. sweepKey() omitted EvaluatorOptions, so two explorers with
+ *     different lane policies sharing a cache served each other's
+ *     results.
+ *  2. The local-refinement loop re-swept RCA counts already on the
+ *     coarse grid, emitting duplicate DesignPoints.
+ *  3. ExplorationResult::evaluated omitted the feasibility-bisection
+ *     probes of maxFeasibleVoltage().
+ *
+ * Plus the cache-transparency guarantee: cache_sweeps on/off and
+ * warm/cold reads return identical results.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <tuple>
+
+#include "apps/apps.hh"
+#include "dse/explorer.hh"
+#include "tech/database.hh"
+
+using namespace moonwalk;
+
+namespace {
+
+/** Small, fast sweep options shared by these tests. */
+dse::ExplorerOptions smallSweep()
+{
+    dse::ExplorerOptions o;
+    o.voltage_steps = 5;
+    o.rca_count_steps = 6;
+    o.max_drams_per_die = 1;
+    o.dark_fractions = {0.0};
+    o.max_threads = 1;
+    return o;
+}
+
+dse::ServerEvaluator evaluatorWith(dse::EvaluatorOptions eo)
+{
+    return dse::ServerEvaluator(tech::defaultTechDatabase(), {}, {}, {},
+                                eo);
+}
+
+/** Exact (bitwise) equality of two exploration results. */
+void expectIdenticalResults(const dse::ExplorationResult &a,
+                            const dse::ExplorationResult &b)
+{
+    EXPECT_EQ(a.evaluated, b.evaluated);
+    EXPECT_EQ(a.feasible, b.feasible);
+    ASSERT_EQ(a.pareto.size(), b.pareto.size());
+    for (size_t i = 0; i < a.pareto.size(); ++i) {
+        const auto &pa = a.pareto[i];
+        const auto &pb = b.pareto[i];
+        EXPECT_EQ(pa.config.rcas_per_die, pb.config.rcas_per_die);
+        EXPECT_EQ(pa.config.dies_per_lane, pb.config.dies_per_lane);
+        EXPECT_EQ(pa.config.drams_per_die, pb.config.drams_per_die);
+        EXPECT_EQ(pa.config.vdd, pb.config.vdd);
+        EXPECT_EQ(pa.cost_per_ops, pb.cost_per_ops);
+        EXPECT_EQ(pa.watts_per_ops, pb.watts_per_ops);
+        EXPECT_EQ(pa.tco_per_ops, pb.tco_per_ops);
+    }
+    ASSERT_EQ(a.tco_optimal.has_value(), b.tco_optimal.has_value());
+    if (a.tco_optimal)
+        EXPECT_EQ(a.tco_optimal->tco_per_ops,
+                  b.tco_optimal->tco_per_ops);
+}
+
+// -- Bug 1: cache key must cover every result-distinguishing knob ------
+
+TEST(SweepKeyRegression, EncodesEvaluatorOptions)
+{
+    const auto rca = apps::bitcoin().rca;
+    const auto opts = smallSweep();
+    dse::DesignSpaceExplorer base{opts, evaluatorWith({})};
+    const auto base_key = base.sweepKey(rca, tech::NodeId::N28);
+
+    // Same options => same key (the key is deterministic).
+    dse::DesignSpaceExplorer same{opts, evaluatorWith({})};
+    EXPECT_EQ(same.sweepKey(rca, tech::NodeId::N28), base_key);
+
+    // A different lane cap changes which dies_per_lane values the
+    // sweep may visit, so it must change the key.
+    dse::EvaluatorOptions cap;
+    cap.max_dies_per_lane = 4;
+    dse::DesignSpaceExplorer capped{opts, evaluatorWith(cap)};
+    EXPECT_NE(capped.sweepKey(rca, tech::NodeId::N28), base_key);
+
+    // Board margin changes lane geometry and thermals.
+    dse::EvaluatorOptions margin;
+    margin.die_board_margin_mm = 3.5;
+    dse::DesignSpaceExplorer margined{opts, evaluatorWith(margin)};
+    EXPECT_NE(margined.sweepKey(rca, tech::NodeId::N28), base_key);
+}
+
+TEST(SweepKeyRegression, EncodesKeepFeasiblePoints)
+{
+    // keep_feasible_points changes the result payload (all_feasible),
+    // so a cached slim result must not satisfy a keeping request.
+    const auto rca = apps::bitcoin().rca;
+    auto opts = smallSweep();
+    dse::DesignSpaceExplorer slim{opts, evaluatorWith({})};
+    opts.keep_feasible_points = true;
+    dse::DesignSpaceExplorer keeping{opts, evaluatorWith({})};
+    EXPECT_NE(slim.sweepKey(rca, tech::NodeId::N28),
+              keeping.sweepKey(rca, tech::NodeId::N28));
+}
+
+// -- Bug 2: refinement must not re-sweep coarse-grid RCA counts --------
+
+TEST(RefinementRegression, NoDuplicateDesignPoints)
+{
+    // Shrink the RCA so only ~5 fit a 28nm die: at small counts the
+    // coarse geometric grid is dense, so the refinement candidates
+    // around the best cell (n0 +/- 1..3) all collide with grid values
+    // — exactly the regime where the old loop re-swept them and
+    // emitted duplicates.
+    auto rca = apps::bitcoin().rca;
+    const auto &tn = tech::defaultTechDatabase().node(tech::NodeId::N28);
+    rca.area_28_mm2 = tn.max_die_area_mm2 * tn.density_factor / 5.5;
+
+    auto opts = smallSweep();
+    opts.keep_feasible_points = true;
+    dse::DesignSpaceExplorer explorer{opts, evaluatorWith({})};
+    const auto result = explorer.explore(rca, tech::NodeId::N28);
+    ASSERT_GT(result.all_feasible.size(), 0u);
+    EXPECT_EQ(result.all_feasible.size(), result.feasible);
+
+    using Tuple = std::tuple<int, int, int, uint64_t, uint64_t>;
+    auto bits = [](double v) {
+        uint64_t b = 0;
+        static_assert(sizeof(b) == sizeof(v));
+        std::memcpy(&b, &v, sizeof(b));
+        return b;
+    };
+    std::set<Tuple> seen;
+    for (const auto &p : result.all_feasible) {
+        const Tuple t{p.config.rcas_per_die, p.config.dies_per_lane,
+                      p.config.drams_per_die,
+                      bits(p.config.dark_silicon_fraction),
+                      bits(p.config.vdd)};
+        EXPECT_TRUE(seen.insert(t).second)
+            << "duplicate design point: rcas="
+            << p.config.rcas_per_die
+            << " dies=" << p.config.dies_per_lane
+            << " drams=" << p.config.drams_per_die
+            << " vdd=" << p.config.vdd;
+    }
+}
+
+// -- Bug 3: evaluated must count bisection probes ----------------------
+
+TEST(AccountingRegression, EvaluatedMatchesEvaluatorCalls)
+{
+    // The copy-shared evaluate() counter is ground truth; the sweep's
+    // reported total must match it exactly, bisection probes included
+    // (the old code undercounted by up to 32 per configuration).
+    auto opts = smallSweep();
+    opts.cache_sweeps = false;
+    opts.max_threads = 2;  // worker clones bill to the prototype
+    dse::DesignSpaceExplorer explorer{opts, evaluatorWith({})};
+
+    const uint64_t before = explorer.evaluator().evaluateCalls();
+    const auto result =
+        explorer.explore(apps::bitcoin().rca, tech::NodeId::N28);
+    const uint64_t calls =
+        explorer.evaluator().evaluateCalls() - before;
+    ASSERT_TRUE(result.tco_optimal.has_value());
+    EXPECT_EQ(calls, result.evaluated);
+}
+
+TEST(AccountingRegression, EvaluatedMatchesOnSlaPinnedApp)
+{
+    // Deep Learning pins the clock via an SLA, which takes the
+    // non-bisection path through the voltage search — the accounting
+    // identity must hold there too.
+    auto opts = smallSweep();
+    opts.cache_sweeps = false;
+    opts.dark_fractions = {0.0, 0.10};
+    dse::DesignSpaceExplorer explorer{opts, evaluatorWith({})};
+
+    const uint64_t before = explorer.evaluator().evaluateCalls();
+    const auto result =
+        explorer.explore(apps::deepLearning().rca, tech::NodeId::N28);
+    const uint64_t calls =
+        explorer.evaluator().evaluateCalls() - before;
+    EXPECT_EQ(calls, result.evaluated);
+}
+
+// -- Cache transparency ------------------------------------------------
+
+TEST(CacheTransparency, CachedAndUncachedResultsIdentical)
+{
+    const auto rca = apps::litecoin().rca;
+
+    auto cached_opts = smallSweep();
+    cached_opts.cache_sweeps = true;
+    dse::DesignSpaceExplorer cached{cached_opts, evaluatorWith({})};
+
+    auto raw_opts = smallSweep();
+    raw_opts.cache_sweeps = false;
+    dse::DesignSpaceExplorer raw{raw_opts, evaluatorWith({})};
+
+    const auto cold = cached.explore(rca, tech::NodeId::N16);
+    const auto uncached = raw.explore(rca, tech::NodeId::N16);
+    expectIdenticalResults(cold, uncached);
+    EXPECT_EQ(cached.sweepCacheHits(), 0u);
+    EXPECT_EQ(cached.sweepCacheInserts(), 1u);
+
+    // A warm read is served from the memo cache and is byte-for-byte
+    // the same result.
+    const auto warm = cached.explore(rca, tech::NodeId::N16);
+    expectIdenticalResults(cold, warm);
+    EXPECT_EQ(cached.sweepCacheHits(), 1u);
+}
+
+} // namespace

@@ -140,6 +140,26 @@ TEST(JsonParse, RejectsMalformedInput)
     EXPECT_THROW(Json::parse("1.2.3"), ModelError);
 }
 
+TEST(JsonParse, RejectsExcessiveNesting)
+{
+    // The recursive-descent parser caps nesting at 256 levels so
+    // adversarial input throws ModelError instead of overflowing the
+    // stack (found by the fuzz harness in tests/fuzz/).
+    const std::string deep_ok(200, '[');
+    EXPECT_THROW(Json::parse(deep_ok), ModelError);  // unterminated
+    std::string balanced;
+    for (int i = 0; i < 200; ++i) balanced += '[';
+    balanced += '1';
+    for (int i = 0; i < 200; ++i) balanced += ']';
+    EXPECT_NO_THROW(Json::parse(balanced));
+
+    std::string too_deep;
+    for (int i = 0; i < 300; ++i) too_deep += '[';
+    too_deep += '1';
+    for (int i = 0; i < 300; ++i) too_deep += ']';
+    EXPECT_THROW(Json::parse(too_deep), ModelError);
+}
+
 TEST(JsonParse, AccessorTypeErrors)
 {
     const Json v = Json::parse("{\"a\": [1]}");

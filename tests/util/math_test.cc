@@ -70,6 +70,22 @@ TEST(Math, Linspace)
     EXPECT_DOUBLE_EQ(v[2], 0.5);
 }
 
+TEST(Math, LinspaceCollapsesDegenerateSpan)
+{
+    // A span at or below the tolerance collapses to one point instead
+    // of n copies of (numerically) the same value — the explorer
+    // relies on this when a feasibility window is a single voltage.
+    const auto collapsed = linspace(0.6, 0.6 + 1e-12, 5, 1e-9);
+    ASSERT_EQ(collapsed.size(), 1u);
+    EXPECT_DOUBLE_EQ(collapsed.front(), 0.6);
+
+    // Above the tolerance, or with the default tolerance of zero,
+    // behavior is unchanged.
+    EXPECT_EQ(linspace(0.6, 0.7, 5, 1e-9).size(), 5u);
+    EXPECT_EQ(linspace(0.6, 0.6 + 1e-12, 5).size(), 5u);
+    EXPECT_EQ(linspace(0.6, 0.6, 1, 1e-9).size(), 1u);
+}
+
 TEST(Math, RelativeError)
 {
     EXPECT_DOUBLE_EQ(relativeError(11.0, 10.0), 0.1);

@@ -15,6 +15,14 @@
  *   moonwalk provision <app> <ops-in-display-units>
  *                                 scale out to a fleet (servers,
  *                                 racks, megawatts, lifetime TCO)
+ *   moonwalk check [--seeds N] [--seed S]
+ *                                 model self-check: differential
+ *                                 invariants (cache transparency,
+ *                                 parallel determinism, monotone
+ *                                 feasibility, Pareto validity,
+ *                                 evaluation accounting) over N
+ *                                 seeded random specs; failures print
+ *                                 a reproducing seed
  *
  * <app> is one of: Bitcoin, Litecoin, "Video Transcode",
  * "Deep Learning".  <tco> accepts scientific notation (e.g. 30e6).
@@ -46,6 +54,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hh"
 #include "core/report.hh"
 #include "core/sensitivity.hh"
 #include "exec/thread_pool.hh"
@@ -70,10 +79,11 @@ namespace {
 
 constexpr const char *kCommands =
     "apps, nodes, sweep, report, select, ranges, porting, simulate, "
-    "provision, version";
+    "provision, check, version";
 constexpr const char *kFlags =
     "--json, --jobs <n>, --metrics, --report-json <file>, "
-    "--trace <file>, --log-level <error|warn|info|debug|off>";
+    "--trace <file>, --log-level <error|warn|info|debug|off>, "
+    "--seeds <n>, --seed <s>";
 
 // The active run report (set in main when --report-json is given) and
 // whether its artifact goes to stdout.  Command implementations write
@@ -95,7 +105,8 @@ usage()
         "usage: moonwalk <command> [args] [flags]\n"
         "  apps | nodes | sweep <app> | report <app> [tco] [--json]\n"
         "  select <app> <tco> | ranges <app> | porting <app>\n"
-        "  simulate <app> [load] | provision <app> <units> | version\n"
+        "  simulate <app> [load] | provision <app> <units>\n"
+        "  check [--seeds <n>] [--seed <s>] | version\n"
         "flags: " << kFlags << "\n";
     return 2;
 }
@@ -371,7 +382,28 @@ struct GlobalOptions
     std::string trace_path;
     std::string report_path;  ///< --report-json target; "-" = stdout
     int jobs = 0;  ///< 0 = MOONWALK_JOBS / hardware default
+    unsigned long check_seeds = 25;  ///< `check`: seeds to run
+    unsigned long check_seed = 1;    ///< `check`: first seed
 };
+
+/** Parse a positive integer for --seeds / --seed; nullopt on junk. */
+std::optional<unsigned long>
+parseCount(const std::string &token)
+{
+    if (token.empty())
+        return std::nullopt;
+    unsigned long value = 0;
+    for (char ch : token) {
+        if (ch < '0' || ch > '9')
+            return std::nullopt;
+        value = value * 10 + static_cast<unsigned long>(ch - '0');
+        if (value > 1000000000UL)
+            return std::nullopt;
+    }
+    if (value == 0)
+        return std::nullopt;
+    return value;
+}
 
 /** One-line exit-2 diagnostic for a bad job count. */
 int
@@ -400,6 +432,18 @@ dumpMetrics(bool json)
 }
 
 int
+cmdCheck(const GlobalOptions &g)
+{
+    check::CheckOptions opts;
+    opts.seeds = g.check_seeds;
+    opts.start_seed = g.check_seed;
+    opts.progress = &out();
+    const auto report = check::runSelfCheck(opts);
+    check::writeReport(out(), report);
+    return report.ok() ? 0 : 1;
+}
+
+int
 run(const std::vector<std::string> &args, const GlobalOptions &g)
 {
     const std::string &cmd = args[0];
@@ -411,6 +455,8 @@ run(const std::vector<std::string> &args, const GlobalOptions &g)
         return cmdApps();
     if (cmd == "nodes")
         return cmdNodes();
+    if (cmd == "check")
+        return cmdCheck(g);
 
     const bool known =
         cmd == "sweep" || cmd == "report" || cmd == "select" ||
@@ -480,6 +526,23 @@ main(int argc, char **argv)
             g.jobs = *jobs;
         } else if (a == "--metrics") {
             g.metrics = true;
+        } else if (a == "--seeds" || a == "--seed") {
+            if (i + 1 >= raw.size()) {
+                std::cerr << "moonwalk: " << a
+                          << " needs a positive integer\n";
+                return 2;
+            }
+            const auto value = parseCount(raw[++i]);
+            if (!value) {
+                std::cerr << "moonwalk: " << a
+                          << " must be a positive integer, got '"
+                          << raw[i] << "'\n";
+                return 2;
+            }
+            if (a == "--seeds")
+                g.check_seeds = *value;
+            else
+                g.check_seed = *value;
         } else if (a == "--report-json") {
             if (i + 1 >= raw.size()) {
                 std::cerr
