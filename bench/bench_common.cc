@@ -9,10 +9,24 @@
 
 namespace moonwalk::bench {
 
+namespace {
+
+/** --cache-dir, recorded by BenchReport before the lazily-built
+ *  optimizer below exists; the explorer also honors
+ *  MOONWALK_CACHE_DIR when this stays empty. */
+std::string g_cache_dir;
+
+} // namespace
+
 core::MoonwalkOptimizer &
 sharedOptimizer()
 {
-    static core::MoonwalkOptimizer opt;
+    static core::MoonwalkOptimizer opt = [] {
+        dse::ExplorerOptions eo;
+        eo.cache_dir = g_cache_dir;
+        return core::MoonwalkOptimizer{
+            dse::DesignSpaceExplorer{std::move(eo)}};
+    }();
     return opt;
 }
 
@@ -64,10 +78,17 @@ BenchReport::BenchReport(int argc, char **argv)
             }
             ++i;
             exec::setGlobalConcurrency(*jobs);
+        } else if (a == "--cache-dir") {
+            if (i + 1 >= raw.size()) {
+                std::cerr << name
+                          << ": --cache-dir needs a directory\n";
+                std::exit(2);
+            }
+            g_cache_dir = raw[++i];
         } else {
             std::cerr << name << ": unknown flag '" << a
                       << "' (valid: --report-json <path|off>, "
-                         "--jobs <n>)\n";
+                         "--jobs <n>, --cache-dir <dir>)\n";
             std::exit(2);
         }
     }

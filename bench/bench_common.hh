@@ -31,9 +31,11 @@ core::MoonwalkOptimizer &sharedOptimizer();
  *
  *   - parses the bench's command line: --report-json <path|off>
  *     (default: BENCH_<name>.json in the working directory, <name>
- *     derived from argv[0] minus the "bench_" prefix) and --jobs <n>
- *     (worker threads; model output is identical at any value).
- *     Unknown flags exit(2).
+ *     derived from argv[0] minus the "bench_" prefix), --jobs <n>
+ *     (worker threads; model output is identical at any value) and
+ *     --cache-dir <dir> (persistent sweep cache, also enabled by
+ *     MOONWALK_CACHE_DIR; model output is identical cold, warm, or
+ *     off).  Unknown flags exit(2).
  *   - enables metrics collection, so the artifact's perf section
  *     carries the full registry snapshot (histograms included);
  *   - exposes the in-flight report via active(), which is how

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <filesystem>
 #include <ostream>
 #include <set>
 #include <sstream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
 
 #include "check/generator.hh"
 #include "dse/pareto.hh"
@@ -282,6 +287,55 @@ checkSeed(uint64_t seed, CheckReport &report)
                      "repeat exploration was not served from cache");
     }
     checkKeySensitivity(check, c, ev);
+
+    // (f) Disk-cache transparency: a cold write-through run, warm
+    // replays under 1/2/8 threads, and the cache-disabled baseline
+    // must all be byte-identical.  The warm explorers are fresh
+    // instances, so their in-memory memo is empty and a matching
+    // digest proves the result really travelled through the disk
+    // entry (decode of the exact bit patterns included).
+    {
+        namespace fs = std::filesystem;
+        std::error_code ec;
+        std::ostringstream dirname;
+        dirname << "moonwalk-check-" << ::getpid() << "-" << seed;
+        const fs::path dir = fs::temp_directory_path(ec) / dirname.str();
+        if (!ec)
+            fs::remove_all(dir, ec);  // stale dir from a killed run
+        fs::create_directories(dir, ec);
+        if (!ec) {
+            auto diskOpts = [&](int threads) {
+                auto o = withExecution(c.explorer, threads, true);
+                o.cache_dir = dir.string();
+                return o;
+            };
+            {
+                const dse::DesignSpaceExplorer cold{diskOpts(1), ev};
+                check.expect(
+                    digest(cold.explore(c.rca, c.node)) == want,
+                    "disk-cache-transparency",
+                    "cold disk-cache run differs from cache off");
+                check.expect(cold.diskCacheInserts() == 1,
+                             "disk-cache-transparency",
+                             "cold run did not publish a disk entry");
+            }
+            for (int threads : {1, 2, 8}) {
+                const dse::DesignSpaceExplorer warm{diskOpts(threads),
+                                                    ev};
+                std::ostringstream detail;
+                detail << "warm disk-cache replay at max_threads="
+                       << threads << " differs from cache off";
+                check.expect(
+                    digest(warm.explore(c.rca, c.node)) == want,
+                    "disk-cache-transparency", detail.str());
+                check.expect(warm.diskCacheHits() == 1,
+                             "disk-cache-transparency",
+                             "replay was not served from the disk "
+                             "entry");
+            }
+            fs::remove_all(dir, ec);
+        }
+    }
 
     // (b) Parallel determinism, with (e) accounting measured around
     // the 2-thread run so the counter also covers worker clones.

@@ -21,7 +21,12 @@
  *  - Pareto validity: the front is mutually non-dominating, contains
  *    no duplicate design tuples, and the TCO optimum lies on it;
  *  - accounting: ExplorationResult::evaluated equals the evaluator's
- *    actual evaluate() call count (ServerEvaluator::evaluateCalls()).
+ *    actual evaluate() call count (ServerEvaluator::evaluateCalls());
+ *  - disk-cache transparency: with a persistent cache directory
+ *    configured, a cold write-through run and warm replays under 1, 2
+ *    and 8 threads are byte-identical (digest at precision 17) to the
+ *    cache-disabled baseline, and the replays really are served from
+ *    the disk entry.
  *
  * Every violation reports the seed plus the serialized case, so it
  * reproduces with `moonwalk check --seeds 1 --seed <seed>`.

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <set>
 
+#include "dse/result_codec.hh"
 #include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -26,6 +27,23 @@ namespace {
 constexpr double kVoltageSpanTolV = 1e-9;
 
 } // namespace
+
+DesignSpaceExplorer::DesignSpaceExplorer(ExplorerOptions options,
+                                         ServerEvaluator evaluator)
+    : options_(std::move(options)), evaluator_(std::move(evaluator)),
+      sweep_cache_(std::make_shared<SweepCache>())
+{
+    const std::string dir =
+        exec::PersistentCache::resolveDir(options_.cache_dir);
+    if (!dir.empty()) {
+        // The stamp couples model semantics (kSweepModelVersion) with
+        // the payload layout (codec version): bumping either makes
+        // every old entry evict on load instead of misdecoding.
+        disk_cache_ = std::make_shared<exec::PersistentCache>(
+            dir, std::string(kSweepModelVersion) + "/codec-" +
+                     std::to_string(kResultCodecVersion));
+    }
+}
 
 std::vector<int>
 DesignSpaceExplorer::rcaCountCandidates(const arch::RcaSpec &rca,
@@ -259,9 +277,25 @@ DesignSpaceExplorer::explore(const arch::RcaSpec &rca,
 {
     if (!options_.cache_sweeps)
         return exploreUncached(rca, node);
-    auto result = sweep_cache_->getOrCompute(
-        sweepKey(rca, node),
-        [&] { return exploreUncached(rca, node); });
+    const std::string key = sweepKey(rca, node);
+    auto result = sweep_cache_->getOrCompute(key, [&] {
+        // Miss in memory: try the disk layer before recomputing.  A
+        // valid entry must decode — the digest already checked out —
+        // but a decode failure is still treated as corruption, never
+        // trusted or propagated.
+        if (disk_cache_) {
+            if (auto blob = disk_cache_->load(key)) {
+                if (auto decoded = decodeExplorationResult(*blob))
+                    return std::move(*decoded);
+                disk_cache_->discardCorrupt(key);
+            }
+        }
+        auto computed = exploreUncached(rca, node);
+        if (disk_cache_)
+            disk_cache_->store(key,
+                               encodeExplorationResult(computed));
+        return computed;
+    });
     publishStats();
     return result;
 }
@@ -286,6 +320,19 @@ DesignSpaceExplorer::publishStats() const
         .set(static_cast<double>(sweep_cache_->inserts()));
     reg.gauge("dse.sweep_cache.hit_rate")
         .set(rate(sweep_hits, sweep_misses));
+    if (disk_cache_) {
+        const auto disk = disk_cache_->stats();
+        reg.gauge("sweep.diskcache.hits")
+            .set(static_cast<double>(disk.hits));
+        reg.gauge("sweep.diskcache.misses")
+            .set(static_cast<double>(disk.misses));
+        reg.gauge("sweep.diskcache.inserts")
+            .set(static_cast<double>(disk.inserts));
+        reg.gauge("sweep.diskcache.evictions")
+            .set(static_cast<double>(disk.evictions));
+        reg.gauge("sweep.diskcache.corrupt")
+            .set(static_cast<double>(disk.corrupt));
+    }
     const uint64_t th_hits = thermalCacheHits();
     const uint64_t th_misses = thermalCacheMisses();
     reg.gauge("thermal.cache.hits").set(static_cast<double>(th_hits));

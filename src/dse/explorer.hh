@@ -27,9 +27,20 @@
 #include "dse/evaluator.hh"
 #include "dse/pareto.hh"
 #include "exec/parallel.hh"
+#include "exec/persistent_cache.hh"
 #include "exec/sweep_cache.hh"
 
 namespace moonwalk::dse {
+
+/**
+ * Version stamp of everything that turns a sweep key into numbers:
+ * evaluator, thermal, cost, TCO, and explorer code.  Persistent
+ * sweep-cache entries written under any other stamp are discarded on
+ * load.  Bump this whenever a code change alters model results —
+ * the differential self-check's disk-cache invariant will trust a
+ * stale entry as ground truth otherwise.
+ */
+inline constexpr const char *kSweepModelVersion = "sweep-model-v1";
 
 /** Sweep granularity knobs. */
 struct ExplorerOptions
@@ -47,8 +58,20 @@ struct ExplorerOptions
      * serial.  Results are identical at every setting.
      */
     int max_threads = 0;
-    /** Memoize completed explore() calls per (app, node, options). */
+    /** Memoize completed explore() calls per (app, node, options).
+     *  false bypasses BOTH the in-memory memo and the disk cache. */
     bool cache_sweeps = true;
+    /**
+     * Directory for the persistent on-disk sweep cache, layered under
+     * the in-memory memo.  Empty (the default) falls back to the
+     * MOONWALK_CACHE_DIR environment variable; when that is unset too,
+     * the disk cache is off.  Entries are keyed by the full sweepKey()
+     * and stamped with kSweepModelVersion + the result-codec version,
+     * so results survive process restarts but never a model change.
+     * Not part of sweepKey(): the directory names where results live,
+     * not what they are.
+     */
+    std::string cache_dir;
     /**
      * Retain every feasible DesignPoint in
      * ExplorationResult::all_feasible, not just the Pareto front.
@@ -91,11 +114,10 @@ struct ExplorationResult
 class DesignSpaceExplorer
 {
   public:
+    /** Opens the persistent cache when options (or the environment)
+     *  name a cache directory; defined in explorer.cc. */
     explicit DesignSpaceExplorer(ExplorerOptions options = {},
-                                 ServerEvaluator evaluator = {})
-        : options_(std::move(options)), evaluator_(std::move(evaluator)),
-          sweep_cache_(std::make_shared<SweepCache>())
-    {}
+                                 ServerEvaluator evaluator = {});
 
     const ServerEvaluator &evaluator() const { return evaluator_; }
     const ExplorerOptions &options() const { return options_; }
@@ -152,10 +174,32 @@ class DesignSpaceExplorer
     uint64_t sweepCacheMisses() const { return sweep_cache_->misses(); }
     uint64_t sweepCacheInserts() const { return sweep_cache_->inserts(); }
 
+    /** The persistent disk cache, or nullptr when off.  Shared (like
+     *  the in-memory memo) across copies of this explorer. */
+    const exec::PersistentCache *diskCache() const
+    {
+        return disk_cache_.get();
+    }
+    uint64_t diskCacheHits() const
+    {
+        return disk_cache_ ? disk_cache_->hits() : 0;
+    }
+    uint64_t diskCacheMisses() const
+    {
+        return disk_cache_ ? disk_cache_->misses() : 0;
+    }
+    uint64_t diskCacheInserts() const
+    {
+        return disk_cache_ ? disk_cache_->inserts() : 0;
+    }
+
     /**
      * Publish both caches' totals (and derived hit rates) as gauges in
-     * the metrics registry: thermal.cache.{hits,misses,hit_rate} and
-     * dse.sweep_cache.{hits,misses,inserts,hit_rate}.  Called after
+     * the metrics registry: thermal.cache.{hits,misses,hit_rate},
+     * dse.sweep_cache.{hits,misses,inserts,hit_rate} and — when the
+     * disk layer is on —
+     * sweep.diskcache.{hits,misses,inserts,evictions,corrupt}.
+     * Called after
      * each memoized explore(); callers that bypass explore() (or want
      * final totals in a run report) may call it directly.  No-op when
      * metrics collection is off.
@@ -212,6 +256,9 @@ class DesignSpaceExplorer
     /** Shared across copies of this explorer (same models, same
      *  options => same results). */
     std::shared_ptr<SweepCache> sweep_cache_;
+    /** Disk layer under the memo; nullptr when no cache directory is
+     *  configured.  Stats are per-instance but shared by copies. */
+    std::shared_ptr<exec::PersistentCache> disk_cache_;
 };
 
 } // namespace moonwalk::dse

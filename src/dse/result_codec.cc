@@ -1,0 +1,222 @@
+#include "dse/result_codec.hh"
+
+#include <cstring>
+
+namespace moonwalk::dse {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4d574552;  // "MWER"
+
+/** Append-only little encoder; plain memcpy of fixed-width values. */
+class Writer
+{
+  public:
+    explicit Writer(std::string &out) : out_(out) {}
+
+    void u32(uint32_t v) { raw(&v, sizeof(v)); }
+    void u64(uint64_t v) { raw(&v, sizeof(v)); }
+    void i32(int32_t v) { raw(&v, sizeof(v)); }
+    void f64(double v) { raw(&v, sizeof(v)); }
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        out_.append(s);
+    }
+
+  private:
+    void raw(const void *p, size_t n)
+    {
+        out_.append(static_cast<const char *>(p), n);
+    }
+    std::string &out_;
+};
+
+/** Mirror-image reader; every method reports truncation. */
+class Reader
+{
+  public:
+    explicit Reader(std::string_view in) : in_(in) {}
+
+    bool u32(uint32_t *v) { return raw(v, sizeof(*v)); }
+    bool u64(uint64_t *v) { return raw(v, sizeof(*v)); }
+    bool i32(int32_t *v) { return raw(v, sizeof(*v)); }
+    bool f64(double *v) { return raw(v, sizeof(*v)); }
+    bool str(std::string *s)
+    {
+        uint64_t n = 0;
+        if (!u64(&n) || n > in_.size() - pos_)
+            return false;
+        s->assign(in_.data() + pos_, n);
+        pos_ += n;
+        return true;
+    }
+    bool exhausted() const { return pos_ == in_.size(); }
+
+  private:
+    bool raw(void *p, size_t n)
+    {
+        if (in_.size() - pos_ < n)
+            return false;
+        std::memcpy(p, in_.data() + pos_, n);
+        pos_ += n;
+        return true;
+    }
+    std::string_view in_;
+    size_t pos_ = 0;
+};
+
+void
+encodePoint(Writer &w, const DesignPoint &p)
+{
+    w.i32(static_cast<int32_t>(p.config.node));
+    w.i32(p.config.rcas_per_die);
+    w.i32(p.config.dies_per_lane);
+    w.i32(p.config.drams_per_die);
+    w.f64(p.config.vdd);
+    w.f64(p.config.dark_silicon_fraction);
+
+    w.f64(p.die_area_mm2);
+    w.f64(p.freq_mhz);
+    w.f64(p.compute_utilization);
+    w.f64(p.max_die_power_w);
+    w.f64(p.die_power_w);
+
+    w.f64(p.perf_ops);
+    w.f64(p.silicon_power_w);
+    w.f64(p.dram_power_w);
+    w.f64(p.fan_power_w);
+    w.f64(p.wall_power_w);
+    w.f64(p.die_cost);
+    w.str(p.offpcb_interface);
+    w.i32(p.offpcb_count);
+    w.f64(p.cost_breakdown.silicon);
+    w.f64(p.cost_breakdown.package);
+    w.f64(p.cost_breakdown.cooling);
+    w.f64(p.cost_breakdown.power_delivery);
+    w.f64(p.cost_breakdown.dram);
+    w.f64(p.cost_breakdown.system);
+    w.f64(p.server_cost);
+    w.f64(p.tco_breakdown.server_capex);
+    w.f64(p.tco_breakdown.datacenter_capex);
+    w.f64(p.tco_breakdown.energy);
+    w.f64(p.tco_breakdown.interest);
+
+    w.f64(p.cost_per_ops);
+    w.f64(p.watts_per_ops);
+    w.f64(p.tco_per_ops);
+}
+
+bool
+decodePoint(Reader &r, DesignPoint *p)
+{
+    int32_t node = 0;
+    bool ok = r.i32(&node);
+    p->config.node = static_cast<tech::NodeId>(node);
+    ok = ok && r.i32(&p->config.rcas_per_die);
+    ok = ok && r.i32(&p->config.dies_per_lane);
+    ok = ok && r.i32(&p->config.drams_per_die);
+    ok = ok && r.f64(&p->config.vdd);
+    ok = ok && r.f64(&p->config.dark_silicon_fraction);
+
+    ok = ok && r.f64(&p->die_area_mm2);
+    ok = ok && r.f64(&p->freq_mhz);
+    ok = ok && r.f64(&p->compute_utilization);
+    ok = ok && r.f64(&p->max_die_power_w);
+    ok = ok && r.f64(&p->die_power_w);
+
+    ok = ok && r.f64(&p->perf_ops);
+    ok = ok && r.f64(&p->silicon_power_w);
+    ok = ok && r.f64(&p->dram_power_w);
+    ok = ok && r.f64(&p->fan_power_w);
+    ok = ok && r.f64(&p->wall_power_w);
+    ok = ok && r.f64(&p->die_cost);
+    ok = ok && r.str(&p->offpcb_interface);
+    ok = ok && r.i32(&p->offpcb_count);
+    ok = ok && r.f64(&p->cost_breakdown.silicon);
+    ok = ok && r.f64(&p->cost_breakdown.package);
+    ok = ok && r.f64(&p->cost_breakdown.cooling);
+    ok = ok && r.f64(&p->cost_breakdown.power_delivery);
+    ok = ok && r.f64(&p->cost_breakdown.dram);
+    ok = ok && r.f64(&p->cost_breakdown.system);
+    ok = ok && r.f64(&p->server_cost);
+    ok = ok && r.f64(&p->tco_breakdown.server_capex);
+    ok = ok && r.f64(&p->tco_breakdown.datacenter_capex);
+    ok = ok && r.f64(&p->tco_breakdown.energy);
+    ok = ok && r.f64(&p->tco_breakdown.interest);
+
+    ok = ok && r.f64(&p->cost_per_ops);
+    ok = ok && r.f64(&p->watts_per_ops);
+    ok = ok && r.f64(&p->tco_per_ops);
+    return ok;
+}
+
+} // namespace
+
+std::string
+encodeExplorationResult(const ExplorationResult &result)
+{
+    std::string out;
+    // Dominated by the point lists; 300 bytes is a generous per-point
+    // estimate that avoids repeated growth.
+    out.reserve(64 +
+                300 * (result.pareto.size() +
+                       result.all_feasible.size() + 1));
+    Writer w(out);
+    w.u32(kMagic);
+    w.u32(kResultCodecVersion);
+    w.u64(result.evaluated);
+    w.u64(result.feasible);
+    w.u32(result.tco_optimal ? 1 : 0);
+    if (result.tco_optimal)
+        encodePoint(w, *result.tco_optimal);
+    w.u64(result.pareto.size());
+    for (const auto &p : result.pareto)
+        encodePoint(w, p);
+    w.u64(result.all_feasible.size());
+    for (const auto &p : result.all_feasible)
+        encodePoint(w, p);
+    return out;
+}
+
+std::optional<ExplorationResult>
+decodeExplorationResult(std::string_view bytes)
+{
+    Reader r(bytes);
+    uint32_t magic = 0, version = 0;
+    if (!r.u32(&magic) || magic != kMagic || !r.u32(&version) ||
+        version != kResultCodecVersion)
+        return std::nullopt;
+
+    ExplorationResult result;
+    uint64_t evaluated = 0, feasible = 0, count = 0;
+    uint32_t has_optimal = 0;
+    if (!r.u64(&evaluated) || !r.u64(&feasible) ||
+        !r.u32(&has_optimal) || has_optimal > 1)
+        return std::nullopt;
+    result.evaluated = evaluated;
+    result.feasible = feasible;
+    if (has_optimal) {
+        DesignPoint p;
+        if (!decodePoint(r, &p))
+            return std::nullopt;
+        result.tco_optimal = std::move(p);
+    }
+    if (!r.u64(&count) || count > bytes.size())
+        return std::nullopt;
+    result.pareto.resize(count);
+    for (auto &p : result.pareto)
+        if (!decodePoint(r, &p))
+            return std::nullopt;
+    if (!r.u64(&count) || count > bytes.size())
+        return std::nullopt;
+    result.all_feasible.resize(count);
+    for (auto &p : result.all_feasible)
+        if (!decodePoint(r, &p))
+            return std::nullopt;
+    if (!r.exhausted())
+        return std::nullopt;  // trailing garbage is not our encoding
+    return result;
+}
+
+} // namespace moonwalk::dse

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Bit-exact binary serialization of ExplorationResult, the payload
+ * format of the persistent sweep cache (exec/persistent_cache.hh).
+ *
+ * Every field of every DesignPoint is encoded verbatim — doubles by
+ * bit pattern, strings length-prefixed — so a decoded result is
+ * byte-for-byte indistinguishable from the freshly computed one (the
+ * self-check harness digests both at precision 17 and insists).  The
+ * encoding is host-endian: the cache lives on one machine, not on the
+ * wire.
+ *
+ * kResultCodecVersion is folded into the persistent cache's version
+ * stamp, so a layout change silently invalidates old entries instead
+ * of misdecoding them.  decode additionally re-verifies a leading
+ * magic/version and exact trailing length, and returns nullopt — to
+ * be treated as a corrupt entry — on any mismatch.
+ */
+#ifndef MOONWALK_DSE_RESULT_CODEC_HH
+#define MOONWALK_DSE_RESULT_CODEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dse/explorer.hh"
+
+namespace moonwalk::dse {
+
+/** Bump on any layout change below. */
+inline constexpr uint32_t kResultCodecVersion = 1;
+
+/** Serialize @p result; never fails. */
+std::string encodeExplorationResult(const ExplorationResult &result);
+
+/** Parse an encodeExplorationResult() payload; nullopt when @p bytes
+ *  is not exactly one well-formed current-version encoding. */
+std::optional<ExplorationResult>
+decodeExplorationResult(std::string_view bytes);
+
+} // namespace moonwalk::dse
+
+#endif // MOONWALK_DSE_RESULT_CODEC_HH

@@ -1,0 +1,274 @@
+#include "exec/persistent_cache.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "exec/sweep_cache.hh"
+#include "obs/log.hh"
+
+namespace moonwalk::exec {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/**
+ * Entry file layout (version 1): a line-oriented header followed by
+ * the raw key and payload bytes, in that order.
+ *
+ *   moonwalk-cache 1\n
+ *   version <stamp>\n
+ *   key <bytes>\n
+ *   payload <bytes>\n
+ *   digest <16 hex chars>\n
+ *   \n
+ *   <key><payload>
+ *
+ * The digest is FNV-1a over key then payload (one running hash), so
+ * a truncated or bit-flipped body can never verify.
+ */
+constexpr const char *kMagicLine = "moonwalk-cache 1";
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+uint64_t
+bodyDigest(const std::string &key, const std::string &payload)
+{
+    return fnv1a(payload.data(), payload.size(),
+                 fnv1a(key.data(), key.size()));
+}
+
+/** Read one "\n"-terminated header line; false on EOF/overlength. */
+bool
+readLine(std::istream &in, std::string &line)
+{
+    line.clear();
+    char ch;
+    while (in.get(ch)) {
+        if (ch == '\n')
+            return true;
+        line.push_back(ch);
+        if (line.size() > 4096)
+            return false;  // headers are short; this is not an entry
+    }
+    return false;
+}
+
+/** Parse "<label> <value>"; false when the label does not match. */
+bool
+labeledValue(const std::string &line, const std::string &label,
+             std::string &value)
+{
+    if (line.rfind(label + ' ', 0) != 0)
+        return false;
+    value = line.substr(label.size() + 1);
+    return true;
+}
+
+bool
+parseSize(const std::string &text, size_t *out)
+{
+    if (text.empty() || text.size() > 18)
+        return false;
+    size_t value = 0;
+    for (char ch : text) {
+        if (ch < '0' || ch > '9')
+            return false;
+        value = value * 10 + static_cast<size_t>(ch - '0');
+    }
+    *out = value;
+    return true;
+}
+
+} // namespace
+
+PersistentCache::PersistentCache(std::string dir, std::string version)
+    : dir_(std::move(dir)), version_(std::move(version))
+{
+    if (dir_.empty())
+        return;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_, ec))
+        degrade("cannot create cache directory " + dir_);
+}
+
+std::string
+PersistentCache::entryPath(const std::string &key) const
+{
+    // 128 bits of FNV-1a (two independent seeds) name the file; the
+    // stored key disambiguates the astronomically rare collision.
+    const uint64_t a = fnv1a(key.data(), key.size());
+    const uint64_t b =
+        fnv1a(key.data(), key.size(), 0x9e3779b97f4a7c15ULL);
+    return (fs::path(dir_) / (hex64(a) + hex64(b) + ".mwc")).string();
+}
+
+std::string
+PersistentCache::resolveDir(const std::string &explicit_dir)
+{
+    if (!explicit_dir.empty())
+        return explicit_dir;
+    if (const char *env = std::getenv("MOONWALK_CACHE_DIR"))
+        return env;
+    return "";
+}
+
+void
+PersistentCache::degrade(const std::string &why)
+{
+    broken_.store(true, std::memory_order_relaxed);
+    if (!warned_.exchange(true, std::memory_order_relaxed)) {
+        MOONWALK_LOG(Warn, "exec.diskcache")
+            .msg("disk cache disabled; continuing uncached")
+            .field("why", why);
+    }
+}
+
+std::optional<std::string>
+PersistentCache::load(const std::string &key)
+{
+    if (!enabled())
+        return std::nullopt;
+    const std::string path = entryPath(key);
+
+    const auto miss = [&]() -> std::optional<std::string> {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    };
+    const auto drop = [&](std::atomic<uint64_t> &counter) {
+        counter.fetch_add(1, std::memory_order_relaxed);
+        std::error_code ec;
+        fs::remove(path, ec);  // never trusted again; best effort
+        return miss();
+    };
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return miss();
+
+    std::string line, value;
+    if (!readLine(in, line) || line != kMagicLine)
+        return drop(corrupt_);
+    if (!readLine(in, line) || !labeledValue(line, "version", value))
+        return drop(corrupt_);
+    if (value != version_)
+        return drop(evictions_);  // older model/codec; recompute
+    size_t key_size = 0, payload_size = 0;
+    if (!readLine(in, line) || !labeledValue(line, "key", value) ||
+        !parseSize(value, &key_size))
+        return drop(corrupt_);
+    if (!readLine(in, line) || !labeledValue(line, "payload", value) ||
+        !parseSize(value, &payload_size))
+        return drop(corrupt_);
+    if (!readLine(in, line) || !labeledValue(line, "digest", value))
+        return drop(corrupt_);
+    const std::string want_digest = value;
+    if (!readLine(in, line) || !line.empty())
+        return drop(corrupt_);
+
+    std::string stored_key(key_size, '\0');
+    in.read(stored_key.data(),
+            static_cast<std::streamsize>(key_size));
+    std::string payload(payload_size, '\0');
+    in.read(payload.data(),
+            static_cast<std::streamsize>(payload_size));
+    if (!in || in.get() != std::ifstream::traits_type::eof())
+        return drop(corrupt_);
+    if (hex64(bodyDigest(stored_key, payload)) != want_digest)
+        return drop(corrupt_);
+    if (stored_key != key)
+        return miss();  // 128-bit file-name collision; not our entry
+
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return payload;
+}
+
+bool
+PersistentCache::store(const std::string &key,
+                       const std::string &payload)
+{
+    if (!enabled())
+        return false;
+    const std::string path = entryPath(key);
+
+    // Process-unique temp name: racing writers (threads or separate
+    // processes) each stage their own file, then rename into place.
+    static std::atomic<uint64_t> seq{0};
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << ::getpid() << "."
+             << seq.fetch_add(1, std::memory_order_relaxed);
+    const std::string tmp = tmp_name.str();
+
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            degrade("cannot create " + tmp);
+            return false;
+        }
+        out << kMagicLine << '\n'
+            << "version " << version_ << '\n'
+            << "key " << key.size() << '\n'
+            << "payload " << payload.size() << '\n'
+            << "digest " << hex64(bodyDigest(key, payload)) << '\n'
+            << '\n';
+        out.write(key.data(), static_cast<std::streamsize>(key.size()));
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+        // Flush before checking: the stream buffers, so a disk-full
+        // failure otherwise surfaces only at close(), after the state
+        // check — the same silent-success bug RunReport::writeTo had.
+        out.flush();
+        if (!out) {
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            degrade("write failed for " + tmp);
+            return false;
+        }
+    }
+
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        std::error_code ec2;
+        fs::remove(tmp, ec2);
+        degrade("rename failed for " + path + ": " + ec.message());
+        return false;
+    }
+    inserts_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+PersistentCache::discardCorrupt(const std::string &key)
+{
+    if (dir_.empty())
+        return;
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+    std::error_code ec;
+    fs::remove(entryPath(key), ec);
+}
+
+PersistentCacheStats
+PersistentCache::stats() const
+{
+    return {hits(), misses(), inserts(), evictions(), corrupt()};
+}
+
+} // namespace moonwalk::exec

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Persistent on-disk cache for expensive deterministic computations,
+ * layered under the in-memory ShardedCache (sweep_cache.hh).
+ *
+ * The cache stores opaque byte payloads, one file per entry, under a
+ * directory the caller names (--cache-dir / MOONWALK_CACHE_DIR; empty
+ * means disabled).  Each entry file carries
+ *
+ *   - a format magic and a caller-supplied *version stamp* (the model
+ *     layer bumps it whenever code changes numeric results, so stale
+ *     entries from an older binary are discarded, never trusted);
+ *   - the full key verbatim (file names are a 128-bit FNV-1a digest
+ *     of the key, so a name collision is detected by comparing the
+ *     stored key and treated as a plain miss);
+ *   - a content digest over key + payload, verified on every load
+ *     (torn or bit-rotted entries are discarded and recomputed).
+ *
+ * Writes are atomic: the entry is written to a process-unique temp
+ * file, flushed, and rename()d into place.  Two processes racing on
+ * one key both succeed — each rename publishes a complete, identical
+ * entry (the payloads are deterministic functions of the key).
+ *
+ * Degradation: if the directory cannot be created or a write fails
+ * (read-only filesystem, disk full), the cache logs one warning and
+ * continues as a no-op — computations still happen, results are just
+ * not persisted.  Nothing in this class throws on I/O trouble.
+ *
+ * Trust model: entries are integrity-checked, not authenticated.  The
+ * cache directory must be as trusted as the binary itself; do not
+ * point MOONWALK_CACHE_DIR at a directory hostile users can write.
+ */
+#ifndef MOONWALK_EXEC_PERSISTENT_CACHE_HH
+#define MOONWALK_EXEC_PERSISTENT_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace moonwalk::exec {
+
+/** Monotonic totals for one PersistentCache instance. */
+struct PersistentCacheStats
+{
+    uint64_t hits = 0;       ///< loads served from a valid entry
+    uint64_t misses = 0;     ///< loads that found no usable entry
+    uint64_t inserts = 0;    ///< entries successfully published
+    uint64_t evictions = 0;  ///< version-mismatched entries removed
+    uint64_t corrupt = 0;    ///< integrity failures removed
+};
+
+/** The cache.  All methods are safe to call from many threads. */
+class PersistentCache
+{
+  public:
+    /**
+     * @p dir: entry directory, created on demand; empty disables the
+     * cache.  @p version: the caller's version stamp; entries written
+     * under any other stamp are evicted on load.
+     */
+    PersistentCache(std::string dir, std::string version);
+
+    /** False when constructed with an empty dir, or after the
+     *  directory turned out to be unusable. */
+    bool enabled() const
+    {
+        return !broken_.load(std::memory_order_relaxed) &&
+            !dir_.empty();
+    }
+    const std::string &directory() const { return dir_; }
+    const std::string &version() const { return version_; }
+
+    /**
+     * Fetch the payload stored for @p key, or nullopt on miss.
+     * Version-mismatched, corrupt, or colliding entries are never
+     * returned; the first two are deleted on sight.
+     */
+    std::optional<std::string> load(const std::string &key);
+
+    /**
+     * Atomically publish @p payload for @p key, replacing any prior
+     * entry.  Returns false (after warning once) when the entry
+     * cannot be durably written.
+     */
+    bool store(const std::string &key, const std::string &payload);
+
+    /** Remove the entry for @p key, counting it as corrupt — for
+     *  callers whose payload decode fails after the digest passed. */
+    void discardCorrupt(const std::string &key);
+
+    PersistentCacheStats stats() const;
+    uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+    uint64_t inserts() const { return inserts_.load(std::memory_order_relaxed); }
+    uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+    uint64_t corrupt() const { return corrupt_.load(std::memory_order_relaxed); }
+
+    /** Entry file path for @p key (tests use this to corrupt
+     *  entries); meaningful only when enabled(). */
+    std::string entryPath(const std::string &key) const;
+
+    /**
+     * Resolve the effective cache directory: @p explicit_dir when
+     * non-empty, else the MOONWALK_CACHE_DIR environment variable,
+     * else "" (disabled).
+     */
+    static std::string resolveDir(const std::string &explicit_dir);
+
+  private:
+    /** Log the degradation warning once per instance and mark the
+     *  cache broken; every later call is a cheap no-op. */
+    void degrade(const std::string &why);
+
+    std::string dir_;
+    std::string version_;
+    std::atomic<bool> broken_{false};
+    std::atomic<bool> warned_{false};
+    mutable std::atomic<uint64_t> hits_{0};
+    mutable std::atomic<uint64_t> misses_{0};
+    mutable std::atomic<uint64_t> inserts_{0};
+    mutable std::atomic<uint64_t> evictions_{0};
+    mutable std::atomic<uint64_t> corrupt_{0};
+};
+
+} // namespace moonwalk::exec
+
+#endif // MOONWALK_EXEC_PERSISTENT_CACHE_HH

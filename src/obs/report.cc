@@ -121,13 +121,17 @@ RunReport::writeTo(const std::string &path) const
 {
     const std::string text = toJson().dump(2) + "\n";
     if (toStdout(path)) {
-        std::cout << text;
+        std::cout << text << std::flush;
         return static_cast<bool>(std::cout);
     }
     std::ofstream out(path);
     if (!out)
         return false;
     out << text;
+    // Flush before the state check: ofstream buffers, so a disk-full
+    // or I/O failure otherwise surfaces only inside close() after the
+    // check already reported success.  flush() sets badbit on error.
+    out.flush();
     return static_cast<bool>(out);
 }
 

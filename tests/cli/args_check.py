@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""End-to-end checks for strict numeric-argument parsing, loud report
+write failures, and the persistent disk cache.
+
+Usage: args_check.py <moonwalk-binary> <perf_check-binary>
+
+Covers the regressions this PR pins:
+  - `moonwalk select Bitcoin banana` used to run std::atof and
+    silently optimize a $0 baseline TCO; now every numeric CLI
+    argument is strictly parsed, range-checked, and exits 2 with a
+    message naming the bad token.
+  - perf_check tolerances (`--rel-tol banana`) used to become 0.0 and
+    flip rounding noise into false regressions; now usage errors.
+  - `--report-json` to an unwritable path must fail loudly (nonzero
+    exit + diagnostic), not pretend success.
+  - a warm MOONWALK_CACHE_DIR serves the sweep from disk
+    (sweep.diskcache.hits > 0) with byte-identical model sections.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+failures = 0
+
+
+def run(argv, **kw):
+    return subprocess.run(argv, capture_output=True, text=True, **kw)
+
+
+def check(cond, msg):
+    global failures
+    if not cond:
+        failures += 1
+        print("args_check: FAIL:", msg, file=sys.stderr)
+
+
+def expect_usage_error(argv, token, env=None):
+    """argv must exit 2 and name the offending token on stderr."""
+    proc = run(argv, env=env)
+    check(proc.returncode == 2,
+          f"{' '.join(argv[1:])}: expected exit 2, got "
+          f"{proc.returncode}")
+    check(token in proc.stderr,
+          f"{' '.join(argv[1:])}: diagnostic does not name '{token}': "
+          f"{proc.stderr.strip()!r}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: args_check.py <moonwalk> <perf_check>",
+              file=sys.stderr)
+        return 1
+    moonwalk, perf_check = sys.argv[1], sys.argv[2]
+
+    # --- CLI numeric arguments: garbage must be a loud usage error.
+    expect_usage_error([moonwalk, "select", "Bitcoin", "banana"],
+                       "banana")
+    expect_usage_error([moonwalk, "select", "Bitcoin", "30e6x"],
+                       "30e6x")  # trailing junk: whole token or bust
+    expect_usage_error([moonwalk, "select", "Bitcoin", "0"], "0")
+    expect_usage_error([moonwalk, "select", "Bitcoin", "-5"], "-5")
+    expect_usage_error([moonwalk, "select", "Bitcoin", "inf"], "inf")
+    expect_usage_error([moonwalk, "select", "Bitcoin", "nan"], "nan")
+    expect_usage_error([moonwalk, "report", "Bitcoin", "banana"],
+                       "banana")
+    expect_usage_error([moonwalk, "simulate", "Bitcoin", "1.5"], "1.5")
+    expect_usage_error([moonwalk, "simulate", "Bitcoin", "0"], "0")
+    expect_usage_error([moonwalk, "provision", "Bitcoin", "lots"],
+                       "lots")
+    expect_usage_error([moonwalk, "provision", "Bitcoin", "0"], "0")
+
+    # Well-formed numbers (scientific notation included) still work.
+    proc = run([moonwalk, "select", "Bitcoin", "30e6"])
+    check(proc.returncode == 0,
+          f"select Bitcoin 30e6 exited {proc.returncode}: "
+          f"{proc.stderr[-500:]}")
+    check("build at" in proc.stdout, "select output missing verdict")
+
+    # --- perf_check tolerances: garbage is exit 2, not tolerance 0.
+    with tempfile.TemporaryDirectory() as tmp:
+        dummy = Path(tmp) / "r.json"
+        dummy.write_text("{}")
+        d = str(dummy)
+        expect_usage_error(
+            [perf_check, d, d, "--rel-tol", "banana"], "banana")
+        expect_usage_error(
+            [perf_check, d, d, "--rel-tol", "1e-9zzz"], "1e-9zzz")
+        expect_usage_error(
+            [perf_check, d, d, "--rel-tol", "-1"], "-1")
+        expect_usage_error(
+            [perf_check, d, d, "--wall-tol", "fast"], "fast")
+        expect_usage_error(
+            [perf_check, d, d, "--metric", "tco=oops"], "oops")
+
+    # --- report writes must fail loudly on an unwritable path.
+    proc = run([moonwalk, "version", "--report-json",
+                "/dev/null/nodir/report.json"])
+    check(proc.returncode != 0,
+          "unwritable --report-json exited 0 (silent data loss)")
+    check("cannot write run report" in proc.stderr,
+          f"missing write diagnostic: {proc.stderr.strip()!r}")
+
+    # --- persistent disk cache: run the same sweep twice against one
+    # cache dir; the second run must hit the disk cache and produce
+    # byte-identical model rows/outputs.
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = Path(tmp) / "cache"
+        reports = []
+        for name in ("cold.json", "warm.json"):
+            path = Path(tmp) / name
+            proc = run([moonwalk, "sweep", "Bitcoin",
+                        "--cache-dir", str(cache),
+                        "--report-json", str(path)])
+            check(proc.returncode == 0,
+                  f"sweep ({name}) exited {proc.returncode}: "
+                  f"{proc.stderr[-500:]}")
+            reports.append(json.loads(path.read_text()))
+
+        cold, warm = reports
+        check(cold["rows"] == warm["rows"],
+              "model rows differ between cold and warm cache runs")
+        check(cold["outputs"] == warm["outputs"],
+              "outputs differ between cold and warm cache runs")
+        gauges = warm["perf"]["metrics"]["gauges"]
+        check(gauges.get("sweep.diskcache.hits", 0) > 0,
+              f"warm run did not hit the disk cache: "
+              f"{ {k: v for k, v in gauges.items() if 'diskcache' in k} }")
+        cold_gauges = cold["perf"]["metrics"]["gauges"]
+        check(cold_gauges.get("sweep.diskcache.inserts", 0) > 0,
+              "cold run did not publish disk-cache entries")
+
+    if failures:
+        print(f"args_check: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print("args_check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

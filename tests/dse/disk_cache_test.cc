@@ -1,0 +1,237 @@
+/**
+ * Persistent sweep cache at the explorer level: codec round-trips
+ * bit-exactly, warm explorers are served from disk with identical
+ * results, version bumps and corruption force recomputation, and
+ * cache_sweeps=false bypasses the disk entirely.
+ */
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "dse/explorer.hh"
+#include "dse/result_codec.hh"
+
+namespace moonwalk::dse {
+namespace {
+
+namespace fs = std::filesystem;
+using tech::NodeId;
+
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : path_(fs::temp_directory_path() /
+                ("moonwalk-dse-cache-" + tag + "-" +
+                 std::to_string(::getpid())))
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    std::string str() const { return path_.string(); }
+    fs::path path() const { return path_; }
+
+  private:
+    fs::path path_;
+};
+
+ExplorerOptions
+coarse(const std::string &cache_dir = {})
+{
+    ExplorerOptions o;
+    o.voltage_steps = 8;
+    o.rca_count_steps = 8;
+    o.max_drams_per_die = 4;
+    o.dark_fractions = {0.0};
+    o.max_threads = 1;
+    o.keep_feasible_points = true;  // digest the full sweep output
+    o.cache_dir = cache_dir;
+    return o;
+}
+
+/** Precision-17 digest mirroring the self-check harness's notion of
+ *  byte-identical results. */
+std::string
+digest(const ExplorationResult &r)
+{
+    std::ostringstream os;
+    os.precision(17);
+    const auto point = [&os](const DesignPoint &p) {
+        os << p.config.rcas_per_die << ' ' << p.config.dies_per_lane
+           << ' ' << p.config.drams_per_die << ' ' << p.config.vdd
+           << ' ' << p.config.dark_silicon_fraction << ' '
+           << p.cost_per_ops << ' ' << p.watts_per_ops << ' '
+           << p.tco_per_ops << '\n';
+    };
+    os << r.evaluated << ' ' << r.feasible << '\n';
+    if (r.tco_optimal)
+        point(*r.tco_optimal);
+    for (const auto &p : r.pareto)
+        point(p);
+    for (const auto &p : r.all_feasible)
+        point(p);
+    return os.str();
+}
+
+size_t
+entryCount(const fs::path &dir)
+{
+    size_t n = 0;
+    for (const auto &e : fs::directory_iterator(dir)) {
+        (void)e;
+        ++n;
+    }
+    return n;
+}
+
+TEST(ResultCodec, RoundTripsARealExplorationBitExactly)
+{
+    DesignSpaceExplorer explorer{coarse()};
+    const auto result =
+        explorer.explore(apps::bitcoin().rca, NodeId::N28);
+    ASSERT_TRUE(result.tco_optimal.has_value());
+    ASSERT_FALSE(result.all_feasible.empty());
+
+    const std::string bytes = encodeExplorationResult(result);
+    const auto decoded = decodeExplorationResult(bytes);
+    ASSERT_TRUE(decoded.has_value());
+    // Byte-equal re-encoding implies every field (strings, ints, and
+    // double bit patterns) survived the round trip exactly.
+    EXPECT_EQ(encodeExplorationResult(*decoded), bytes);
+    EXPECT_EQ(digest(*decoded), digest(result));
+}
+
+TEST(ResultCodec, RejectsTruncationAndTrailingGarbage)
+{
+    DesignSpaceExplorer explorer{coarse()};
+    const auto result =
+        explorer.explore(apps::bitcoin().rca, NodeId::N28);
+    const std::string bytes = encodeExplorationResult(result);
+
+    EXPECT_FALSE(decodeExplorationResult("").has_value());
+    EXPECT_FALSE(decodeExplorationResult(
+                     std::string_view(bytes).substr(0, bytes.size() / 2))
+                     .has_value());
+    EXPECT_FALSE(decodeExplorationResult(bytes + "x").has_value());
+    std::string wrong_magic = bytes;
+    wrong_magic[0] ^= 0x01;
+    EXPECT_FALSE(decodeExplorationResult(wrong_magic).has_value());
+}
+
+TEST(DiskCache, WarmExplorerIsServedFromDiskIdentically)
+{
+    TempDir dir("warm");
+    const auto rca = apps::bitcoin().rca;
+
+    std::string cold_digest;
+    {
+        DesignSpaceExplorer cold{coarse(dir.str())};
+        ASSERT_NE(cold.diskCache(), nullptr);
+        cold_digest = digest(cold.explore(rca, NodeId::N28));
+        EXPECT_EQ(cold.diskCacheHits(), 0u);
+        EXPECT_EQ(cold.diskCacheMisses(), 1u);
+        EXPECT_EQ(cold.diskCacheInserts(), 1u);
+    }
+    ASSERT_EQ(entryCount(dir.path()), 1u);
+
+    // A fresh explorer has an empty in-memory memo: a hit can only
+    // come from the published disk entry.
+    DesignSpaceExplorer warm{coarse(dir.str())};
+    EXPECT_EQ(digest(warm.explore(rca, NodeId::N28)), cold_digest);
+    EXPECT_EQ(warm.diskCacheHits(), 1u);
+    EXPECT_EQ(warm.diskCacheInserts(), 0u);
+
+    // And the uncached reference agrees, so the cache is transparent.
+    auto uncached_opts = coarse();
+    uncached_opts.cache_sweeps = false;
+    DesignSpaceExplorer uncached{uncached_opts};
+    EXPECT_EQ(digest(uncached.explore(rca, NodeId::N28)), cold_digest);
+}
+
+TEST(DiskCache, ModelVersionBumpForcesRecompute)
+{
+    TempDir dir("version");
+    const auto rca = apps::bitcoin().rca;
+    {
+        DesignSpaceExplorer cold{coarse(dir.str())};
+        cold.explore(rca, NodeId::N28);
+    }
+    // Rewrite the entry's version line in place: this is exactly what
+    // an entry from an older kSweepModelVersion looks like.
+    fs::path entry;
+    for (const auto &e : fs::directory_iterator(dir.path()))
+        entry = e.path();
+    ASSERT_FALSE(entry.empty());
+    std::ifstream in(entry, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    const auto pos = text.find("version ");
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, std::strlen("version "), "version old-");
+    std::ofstream(entry, std::ios::binary | std::ios::trunc) << text;
+
+    DesignSpaceExplorer warm{coarse(dir.str())};
+    warm.explore(rca, NodeId::N28);
+    EXPECT_EQ(warm.diskCacheHits(), 0u);
+    EXPECT_EQ(warm.diskCache()->evictions(), 1u);
+    EXPECT_EQ(warm.diskCacheInserts(), 1u) << "must re-publish";
+}
+
+TEST(DiskCache, CorruptEntryIsRecomputedNotTrusted)
+{
+    TempDir dir("corrupt");
+    const auto rca = apps::bitcoin().rca;
+    std::string want;
+    {
+        DesignSpaceExplorer cold{coarse(dir.str())};
+        want = digest(cold.explore(rca, NodeId::N28));
+    }
+    fs::path entry;
+    for (const auto &e : fs::directory_iterator(dir.path()))
+        entry = e.path();
+    std::ifstream in(entry, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    text[text.size() - 9] ^= 0x40;  // flip a payload bit
+    std::ofstream(entry, std::ios::binary | std::ios::trunc) << text;
+
+    DesignSpaceExplorer warm{coarse(dir.str())};
+    EXPECT_EQ(digest(warm.explore(rca, NodeId::N28)), want);
+    EXPECT_EQ(warm.diskCacheHits(), 0u);
+    EXPECT_EQ(warm.diskCache()->corrupt(), 1u);
+}
+
+TEST(DiskCache, CacheSweepsOffBypassesDisk)
+{
+    TempDir dir("bypass");
+    auto opts = coarse(dir.str());
+    opts.cache_sweeps = false;
+    DesignSpaceExplorer explorer{opts};
+    explorer.explore(apps::bitcoin().rca, NodeId::N28);
+    EXPECT_EQ(entryCount(dir.path()), 0u)
+        << "cache_sweeps=false must not touch the disk cache";
+    EXPECT_EQ(explorer.diskCacheMisses(), 0u);
+}
+
+TEST(DiskCache, UnusableDirectoryStillProducesResults)
+{
+    auto opts = coarse("/dev/null/moonwalk-no-such-dir");
+    DesignSpaceExplorer explorer{opts};
+    const auto result =
+        explorer.explore(apps::bitcoin().rca, NodeId::N28);
+    EXPECT_TRUE(result.tco_optimal.has_value());
+    ASSERT_NE(explorer.diskCache(), nullptr);
+    EXPECT_FALSE(explorer.diskCache()->enabled());
+}
+
+} // namespace
+} // namespace moonwalk::dse

@@ -1,0 +1,239 @@
+#include "exec/persistent_cache.hh"
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+namespace fs = std::filesystem;
+using moonwalk::exec::PersistentCache;
+
+namespace {
+
+/** Fresh per-test cache directory, removed on destruction. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : path_(fs::temp_directory_path() /
+                ("moonwalk-pcache-" + tag + "-" +
+                 std::to_string(::getpid())))
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempDir() { fs::remove_all(path_); }
+    std::string str() const { return path_.string(); }
+
+  private:
+    fs::path path_;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return text;
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+}
+
+} // namespace
+
+TEST(PersistentCache, DisabledWithoutDirectory)
+{
+    PersistentCache cache("", "v1");
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_FALSE(cache.store("k", "payload"));
+    EXPECT_FALSE(cache.load("k").has_value());
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(PersistentCache, StoreThenLoadRoundTrips)
+{
+    TempDir dir("roundtrip");
+    PersistentCache cache(dir.str(), "v1");
+    ASSERT_TRUE(cache.enabled());
+
+    // Binary-safe payloads: embedded NULs and newlines must survive.
+    const std::string payload("a\0b\nc\r\xff", 7);
+    EXPECT_TRUE(cache.store("key-1", payload));
+    const auto got = cache.load("key-1");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.inserts(), 1u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(PersistentCache, MissOnAbsentKey)
+{
+    TempDir dir("miss");
+    PersistentCache cache(dir.str(), "v1");
+    EXPECT_FALSE(cache.load("never-stored").has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(PersistentCache, EntriesSurviveReopen)
+{
+    TempDir dir("reopen");
+    {
+        PersistentCache cache(dir.str(), "v1");
+        ASSERT_TRUE(cache.store("key", "persisted"));
+    }
+    PersistentCache cache(dir.str(), "v1");
+    const auto got = cache.load("key");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "persisted");
+}
+
+TEST(PersistentCache, VersionBumpEvictsOldEntries)
+{
+    TempDir dir("version");
+    {
+        PersistentCache old(dir.str(), "model-v1");
+        ASSERT_TRUE(old.store("key", "stale-result"));
+    }
+    PersistentCache cache(dir.str(), "model-v2");
+    EXPECT_FALSE(cache.load("key").has_value());
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    // The stale file is gone; a fresh store under v2 then hits.
+    EXPECT_FALSE(fs::exists(cache.entryPath("key")));
+    EXPECT_TRUE(cache.store("key", "fresh-result"));
+    ASSERT_TRUE(cache.load("key").has_value());
+}
+
+TEST(PersistentCache, CorruptPayloadIsDiscarded)
+{
+    TempDir dir("corrupt");
+    PersistentCache cache(dir.str(), "v1");
+    ASSERT_TRUE(cache.store("key", "payload-payload-payload"));
+
+    // Flip one byte near the end (inside the payload body).
+    const std::string path = cache.entryPath("key");
+    std::string text = readFile(path);
+    ASSERT_FALSE(text.empty());
+    text.back() ^= 0x01;
+    writeFile(path, text);
+
+    EXPECT_FALSE(cache.load("key").has_value());
+    EXPECT_EQ(cache.corrupt(), 1u);
+    EXPECT_FALSE(fs::exists(path)) << "corrupt entry must be removed";
+}
+
+TEST(PersistentCache, TruncatedEntryIsDiscarded)
+{
+    TempDir dir("truncated");
+    PersistentCache cache(dir.str(), "v1");
+    ASSERT_TRUE(cache.store("key", "some payload worth keeping"));
+
+    const std::string path = cache.entryPath("key");
+    const std::string text = readFile(path);
+    writeFile(path, text.substr(0, text.size() / 2));
+
+    EXPECT_FALSE(cache.load("key").has_value());
+    EXPECT_EQ(cache.corrupt(), 1u);
+    EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(PersistentCache, GarbageFileIsDiscarded)
+{
+    TempDir dir("garbage");
+    PersistentCache cache(dir.str(), "v1");
+    writeFile(cache.entryPath("key"), "not a cache entry at all\n");
+    EXPECT_FALSE(cache.load("key").has_value());
+    EXPECT_EQ(cache.corrupt(), 1u);
+}
+
+TEST(PersistentCache, ForeignKeyInEntryIsAMissNotAHit)
+{
+    // Simulate a 128-bit file-name collision: a valid entry for key A
+    // sitting at key B's path must not be returned for B (the stored
+    // key disambiguates), and must not be destroyed either — it is
+    // not corrupt, it is someone else's entry.
+    TempDir dir("collision");
+    PersistentCache cache(dir.str(), "v1");
+    ASSERT_TRUE(cache.store("key-a", "a-payload"));
+    fs::rename(cache.entryPath("key-a"), cache.entryPath("key-b"));
+
+    EXPECT_FALSE(cache.load("key-b").has_value());
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.corrupt(), 0u);
+    EXPECT_TRUE(fs::exists(cache.entryPath("key-b")));
+}
+
+TEST(PersistentCache, ConcurrentWritersOnOneKeyBothSucceed)
+{
+    TempDir dir("race");
+    PersistentCache cache(dir.str(), "v1");
+
+    // Deterministic results mean racing writers carry identical
+    // payloads; whichever rename lands last, the entry is complete
+    // and valid.  Hammer one key from several threads.
+    const std::string payload(4096, 'x');
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&] {
+            for (int i = 0; i < 25; ++i)
+                if (!cache.store("hot-key", payload))
+                    failures.fetch_add(1);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(cache.inserts(), 200u);
+
+    const auto got = cache.load("hot-key");
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, payload);
+
+    // No temp-file litter: exactly the one published entry remains.
+    size_t files = 0;
+    for (const auto &e : fs::directory_iterator(dir.str())) {
+        (void)e;
+        ++files;
+    }
+    EXPECT_EQ(files, 1u);
+}
+
+TEST(PersistentCache, UnusableDirectoryDegradesToNoop)
+{
+    // /dev/null is not a directory, so the entry dir cannot be
+    // created even with root's CAP_DAC_OVERRIDE (permission-bit
+    // tricks do not block root in CI containers).
+    PersistentCache cache("/dev/null/moonwalk-cache", "v1");
+    EXPECT_FALSE(cache.enabled());
+    EXPECT_FALSE(cache.store("k", "payload"));
+    EXPECT_FALSE(cache.load("k").has_value());
+}
+
+TEST(PersistentCache, StatsSnapshotAggregatesAllCounters)
+{
+    TempDir dir("stats");
+    PersistentCache cache(dir.str(), "v1");
+    ASSERT_TRUE(cache.store("k", "v"));
+    ASSERT_TRUE(cache.load("k").has_value());
+    EXPECT_FALSE(cache.load("absent").has_value());
+    const auto s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.inserts, 1u);
+    EXPECT_EQ(s.evictions, 0u);
+    EXPECT_EQ(s.corrupt, 0u);
+}

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 
 #include "apps/apps.hh"
 #include "dse/evaluator.hh"
@@ -106,6 +107,28 @@ TEST(RunReport, ThermalRejectionCounterAppearsInReport)
     EXPECT_GE(counters.at("dse.infeasible.thermal").asDouble(),
               static_cast<double>(before + 1));
     setMetricsEnabled(false);
+}
+
+TEST(RunReport, WriteToUnwritablePathReportsFailure)
+{
+    RunReport report("sweep Bitcoin");
+    // /dev/null is a file, so no path below it can be opened.
+    EXPECT_FALSE(report.writeTo("/dev/null/nodir/report.json"));
+}
+
+// Regression for the buffered-write bug: writeTo used to check the
+// stream state without flushing, so a full disk (every write to
+// /dev/full fails with ENOSPC, but only once the buffer drains)
+// reported success — the failure surfaced inside close(), after the
+// check.  The explicit flush makes the state check authoritative.
+TEST(RunReport, WriteToFullDeviceReportsFailure)
+{
+    std::ifstream probe("/dev/full");
+    if (!probe)
+        GTEST_SKIP() << "/dev/full not available on this platform";
+    RunReport report("sweep Bitcoin");
+    report.addRow("tco", {"28nm"}, {1.0});
+    EXPECT_FALSE(report.writeTo("/dev/full"));
 }
 
 } // namespace

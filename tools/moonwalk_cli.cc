@@ -18,11 +18,12 @@
  *   moonwalk check [--seeds N] [--seed S]
  *                                 model self-check: differential
  *                                 invariants (cache transparency,
- *                                 parallel determinism, monotone
- *                                 feasibility, Pareto validity,
- *                                 evaluation accounting) over N
- *                                 seeded random specs; failures print
- *                                 a reproducing seed
+ *                                 disk-cache transparency, parallel
+ *                                 determinism, monotone feasibility,
+ *                                 Pareto validity, evaluation
+ *                                 accounting) over N seeded random
+ *                                 specs; failures print a
+ *                                 reproducing seed
  *
  * <app> is one of: Bitcoin, Litecoin, "Video Transcode",
  * "Deep Learning".  <tco> accepts scientific notation (e.g. 30e6).
@@ -46,7 +47,14 @@
  *                   MOONWALK_JOBS environment variable, else all
  *                   hardware threads).  Results are identical at any
  *                   thread count.
+ *   --cache-dir <dir>
+ *                   persistent on-disk sweep cache (default: the
+ *                   MOONWALK_CACHE_DIR environment variable, else
+ *                   off).  Entries are versioned and integrity
+ *                   checked; results are byte-identical with the
+ *                   cache cold, warm, or off.
  */
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <iostream>
@@ -81,8 +89,9 @@ constexpr const char *kCommands =
     "apps, nodes, sweep, report, select, ranges, porting, simulate, "
     "provision, check, version";
 constexpr const char *kFlags =
-    "--json, --jobs <n>, --metrics, --report-json <file>, "
-    "--trace <file>, --log-level <error|warn|info|debug|off>, "
+    "--json, --jobs <n>, --cache-dir <dir>, --metrics, "
+    "--report-json <file>, --trace <file>, "
+    "--log-level <error|warn|info|debug|off>, "
     "--seeds <n>, --seed <s>";
 
 // The active run report (set in main when --report-json is given) and
@@ -143,11 +152,50 @@ findApp(const std::string &name)
     return std::nullopt;
 }
 
+// --cache-dir, recorded before the first command runs; the optimizer
+// below is constructed lazily, so the flag reaches its explorer.
+std::string g_cache_dir;
+
 core::MoonwalkOptimizer &
 optimizer()
 {
-    static core::MoonwalkOptimizer opt;
+    static core::MoonwalkOptimizer opt = [] {
+        dse::ExplorerOptions eo;
+        eo.cache_dir = g_cache_dir;
+        return core::MoonwalkOptimizer{
+            dse::DesignSpaceExplorer{std::move(eo)}};
+    }();
     return opt;
+}
+
+/**
+ * Strict finite-double parse for numeric CLI arguments: the whole
+ * token must be consumed and the value must be finite and in range.
+ * The previous std::atof here turned `select Bitcoin banana` into a
+ * silent $0 baseline TCO instead of a usage error.
+ */
+std::optional<double>
+parseFinite(const std::string &token)
+{
+    if (token.empty())
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE ||
+        !std::isfinite(v))
+        return std::nullopt;
+    return v;
+}
+
+/** Exit-2 diagnostic naming the unparseable numeric token. */
+int
+badNumber(const std::string &what, const std::string &token,
+          const std::string &want)
+{
+    std::cerr << "moonwalk: invalid " << what << " '" << token
+              << "' (want " << want << ")\n";
+    return 2;
 }
 
 int
@@ -474,28 +522,48 @@ run(const std::vector<std::string> &args, const GlobalOptions &g)
     if (cmd == "sweep")
         return cmdSweep(*app);
     if (cmd == "report") {
-        const double tco =
-            args.size() > 2 ? std::atof(args[2].c_str()) : 0.0;
+        double tco = 0.0;
+        if (args.size() > 2) {
+            const auto v = parseFinite(args[2]);
+            if (!v || *v < 0.0)
+                return badNumber("baseline TCO", args[2],
+                                 "a finite number >= 0");
+            tco = *v;
+        }
         return cmdReport(*app, tco, g.json);
     }
     if (cmd == "select") {
         if (args.size() < 3)
             return usage();
-        return cmdSelect(*app, std::atof(args[2].c_str()));
+        const auto tco = parseFinite(args[2]);
+        if (!tco || *tco <= 0.0)
+            return badNumber("baseline TCO", args[2],
+                             "a finite number > 0, e.g. 30e6");
+        return cmdSelect(*app, *tco);
     }
     if (cmd == "ranges")
         return cmdRanges(*app);
     if (cmd == "porting")
         return cmdPorting(*app);
     if (cmd == "simulate") {
-        const double load =
-            args.size() > 2 ? std::atof(args[2].c_str()) : 0.8;
+        double load = 0.8;
+        if (args.size() > 2) {
+            const auto v = parseFinite(args[2]);
+            if (!v || *v <= 0.0 || *v > 1.0)
+                return badNumber("load", args[2],
+                                 "a fraction of capacity in (0, 1]");
+            load = *v;
+        }
         return cmdSimulate(*app, load);
     }
     // provision
     if (args.size() < 3)
         return usage();
-    return cmdProvision(*app, std::atof(args[2].c_str()));
+    const auto units = parseFinite(args[2]);
+    if (!units || *units <= 0.0)
+        return badNumber("provision target", args[2],
+                         "a finite number > 0 in display units");
+    return cmdProvision(*app, *units);
 }
 
 } // namespace
@@ -543,6 +611,13 @@ main(int argc, char **argv)
                 g.check_seeds = *value;
             else
                 g.check_seed = *value;
+        } else if (a == "--cache-dir") {
+            if (i + 1 >= raw.size()) {
+                std::cerr
+                    << "moonwalk: --cache-dir needs a directory\n";
+                return 2;
+            }
+            g_cache_dir = raw[++i];
         } else if (a == "--report-json") {
             if (i + 1 >= raw.size()) {
                 std::cerr

@@ -25,11 +25,13 @@
  * Exit status: 0 = no regression, 1 = regression, 2 = usage or
  * unreadable/malformed input.
  */
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -63,6 +65,35 @@ struct Options
     double wall_tol = -1.0;  ///< < 0 = wall times informational
     std::map<std::string, double> metric_tols;
 };
+
+/**
+ * Strict tolerance parse: whole token, finite, >= 0.  std::atof here
+ * used to turn `--rel-tol banana` into tolerance 0.0, flipping every
+ * rounding difference into a reported regression; garbage tolerances
+ * are usage errors (exit 2), not numbers.
+ */
+std::optional<double>
+parseTolerance(const std::string &token)
+{
+    if (token.empty())
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || errno == ERANGE ||
+        !std::isfinite(v) || v < 0.0)
+        return std::nullopt;
+    return v;
+}
+
+int
+badTolerance(const std::string &what, const std::string &token)
+{
+    std::cerr << "perf_check: " << what
+              << " wants a finite relative tolerance >= 0, got '"
+              << token << "'\n";
+    return 2;
+}
 
 int g_failures = 0;
 
@@ -282,12 +313,18 @@ main(int argc, char **argv)
             const char *v = needsValue("--rel-tol");
             if (!v)
                 return 2;
-            opt.rel_tol = std::atof(v);
+            const auto tol = parseTolerance(v);
+            if (!tol)
+                return badTolerance("--rel-tol", v);
+            opt.rel_tol = *tol;
         } else if (a == "--wall-tol") {
             const char *v = needsValue("--wall-tol");
             if (!v)
                 return 2;
-            opt.wall_tol = std::atof(v);
+            const auto tol = parseTolerance(v);
+            if (!tol)
+                return badTolerance("--wall-tol", v);
+            opt.wall_tol = *tol;
         } else if (a == "--metric") {
             const char *v = needsValue("--metric");
             if (!v)
@@ -300,8 +337,12 @@ main(int argc, char **argv)
                           << "'\n";
                 return 2;
             }
-            opt.metric_tols[spec.substr(0, eq)] =
-                std::atof(spec.c_str() + eq + 1);
+            const auto tol = parseTolerance(spec.substr(eq + 1));
+            if (!tol) {
+                return badTolerance(
+                    "--metric " + spec.substr(0, eq), spec);
+            }
+            opt.metric_tols[spec.substr(0, eq)] = *tol;
         } else {
             std::cerr << "perf_check: unknown flag '" << a << "'\n";
             return usage();
