@@ -7,6 +7,7 @@
 #include <set>
 
 #include "dse/result_codec.hh"
+#include "dse/sweep_model_hash.hh"
 #include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -28,6 +29,19 @@ constexpr double kVoltageSpanTolV = 1e-9;
 
 } // namespace
 
+const char *const kSweepModelVersion =
+    "sweep-model-" MOONWALK_SWEEP_MODEL_HASH;
+
+std::string
+sweepCacheVersionStamp()
+{
+    // The stamp couples model semantics (kSweepModelVersion) with
+    // the payload layout (codec version): bumping either makes
+    // every old entry evict on load instead of misdecoding.
+    return std::string(kSweepModelVersion) + "/codec-" +
+        std::to_string(kResultCodecVersion);
+}
+
 DesignSpaceExplorer::DesignSpaceExplorer(ExplorerOptions options,
                                          ServerEvaluator evaluator)
     : options_(std::move(options)), evaluator_(std::move(evaluator)),
@@ -36,12 +50,8 @@ DesignSpaceExplorer::DesignSpaceExplorer(ExplorerOptions options,
     const std::string dir =
         exec::PersistentCache::resolveDir(options_.cache_dir);
     if (!dir.empty()) {
-        // The stamp couples model semantics (kSweepModelVersion) with
-        // the payload layout (codec version): bumping either makes
-        // every old entry evict on load instead of misdecoding.
         disk_cache_ = std::make_shared<exec::PersistentCache>(
-            dir, std::string(kSweepModelVersion) + "/codec-" +
-                     std::to_string(kResultCodecVersion));
+            dir, sweepCacheVersionStamp());
     }
 }
 
@@ -339,6 +349,19 @@ DesignSpaceExplorer::publishStats() const
     reg.gauge("thermal.cache.misses")
         .set(static_cast<double>(th_misses));
     reg.gauge("thermal.cache.hit_rate").set(rate(th_hits, th_misses));
+}
+
+void
+DesignSpaceExplorer::publishDiskUsage() const
+{
+    if (!obs::metricsEnabled() || !disk_cache_)
+        return;
+    const auto usage = disk_cache_->usage();
+    auto &reg = obs::metrics();
+    reg.gauge("sweep.diskcache.entries")
+        .set(static_cast<double>(usage.entries));
+    reg.gauge("sweep.diskcache.bytes")
+        .set(static_cast<double>(usage.bytes));
 }
 
 ExplorationResult

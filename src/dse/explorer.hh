@@ -36,11 +36,23 @@ namespace moonwalk::dse {
  * Version stamp of everything that turns a sweep key into numbers:
  * evaluator, thermal, cost, TCO, and explorer code.  Persistent
  * sweep-cache entries written under any other stamp are discarded on
- * load.  Bump this whenever a code change alters model results —
- * the differential self-check's disk-cache invariant will trust a
- * stale entry as ground truth otherwise.
+ * load.  The value is "sweep-model-<hash>", where <hash> is a
+ * build-time content hash over every model-layer source (see
+ * cmake/sweep_model_hash.cmake), so any code change that could alter
+ * model results invalidates old entries automatically — there is no
+ * manual bump to forget, which previously risked the differential
+ * self-check trusting a stale entry as ground truth.  Defined in
+ * explorer.cc from the generated header.
  */
-inline constexpr const char *kSweepModelVersion = "sweep-model-v1";
+extern const char *const kSweepModelVersion;
+
+/**
+ * The version stamp persistent sweep-cache entries are written under:
+ * kSweepModelVersion coupled with the result-codec version.  The CLI
+ * cache subcommands open the cache directory with exactly this stamp
+ * so their view matches what the explorer reads and writes.
+ */
+std::string sweepCacheVersionStamp();
 
 /** Sweep granularity knobs. */
 struct ExplorerOptions
@@ -205,6 +217,16 @@ class DesignSpaceExplorer
      * metrics collection is off.
      */
     void publishStats() const;
+
+    /**
+     * Publish the disk cache's on-disk footprint as
+     * sweep.diskcache.{entries,bytes} gauges.  Unlike publishStats()
+     * this scans the cache directory (O(entries)), so it is called
+     * only on explicit demand — `moonwalk cache stats`, the serve
+     * layer's "stats" command — never per sweep.  No-op when metrics
+     * collection or the disk layer is off.
+     */
+    void publishDiskUsage() const;
 
     /**
      * Memo key for the sweep cache: app|node|every sweep-relevant

@@ -8,16 +8,26 @@ namespace {
 
 constexpr uint32_t kMagic = 0x4d574552;  // "MWER"
 
-/** Append-only little encoder; plain memcpy of fixed-width values. */
+/**
+ * Append-only little encoder.  Fixed-width values are emitted
+ * byte-by-byte, least-significant first — the encoding is defined as
+ * little-endian, and shifting (rather than memcpy) makes the emitted
+ * bytes independent of the host's own byte order.
+ */
 class Writer
 {
   public:
     explicit Writer(std::string &out) : out_(out) {}
 
-    void u32(uint32_t v) { raw(&v, sizeof(v)); }
-    void u64(uint64_t v) { raw(&v, sizeof(v)); }
-    void i32(int32_t v) { raw(&v, sizeof(v)); }
-    void f64(double v) { raw(&v, sizeof(v)); }
+    void u32(uint32_t v) { le(v, 4); }
+    void u64(uint64_t v) { le(v, 8); }
+    void i32(int32_t v) { le(static_cast<uint32_t>(v), 4); }
+    void f64(double v)
+    {
+        uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        le(bits, 8);
+    }
     void str(const std::string &s)
     {
         u64(s.size());
@@ -25,9 +35,10 @@ class Writer
     }
 
   private:
-    void raw(const void *p, size_t n)
+    void le(uint64_t v, int bytes)
     {
-        out_.append(static_cast<const char *>(p), n);
+        for (int i = 0; i < bytes; ++i)
+            out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
     }
     std::string &out_;
 };
@@ -38,10 +49,31 @@ class Reader
   public:
     explicit Reader(std::string_view in) : in_(in) {}
 
-    bool u32(uint32_t *v) { return raw(v, sizeof(*v)); }
-    bool u64(uint64_t *v) { return raw(v, sizeof(*v)); }
-    bool i32(int32_t *v) { return raw(v, sizeof(*v)); }
-    bool f64(double *v) { return raw(v, sizeof(*v)); }
+    bool u32(uint32_t *v)
+    {
+        uint64_t wide = 0;
+        if (!le(&wide, 4))
+            return false;
+        *v = static_cast<uint32_t>(wide);
+        return true;
+    }
+    bool u64(uint64_t *v) { return le(v, 8); }
+    bool i32(int32_t *v)
+    {
+        uint32_t u = 0;
+        if (!u32(&u))
+            return false;
+        *v = static_cast<int32_t>(u);
+        return true;
+    }
+    bool f64(double *v)
+    {
+        uint64_t bits = 0;
+        if (!le(&bits, 8))
+            return false;
+        std::memcpy(v, &bits, sizeof(*v));
+        return true;
+    }
     bool str(std::string *s)
     {
         uint64_t n = 0;
@@ -54,12 +86,18 @@ class Reader
     bool exhausted() const { return pos_ == in_.size(); }
 
   private:
-    bool raw(void *p, size_t n)
+    bool le(uint64_t *v, int bytes)
     {
-        if (in_.size() - pos_ < n)
+        if (in_.size() - pos_ < static_cast<size_t>(bytes))
             return false;
-        std::memcpy(p, in_.data() + pos_, n);
-        pos_ += n;
+        uint64_t out = 0;
+        for (int i = 0; i < bytes; ++i) {
+            out |= static_cast<uint64_t>(
+                       static_cast<unsigned char>(in_[pos_ + i]))
+                << (8 * i);
+        }
+        pos_ += static_cast<size_t>(bytes);
+        *v = out;
         return true;
     }
     std::string_view in_;
@@ -165,6 +203,7 @@ encodeExplorationResult(const ExplorationResult &result)
     Writer w(out);
     w.u32(kMagic);
     w.u32(kResultCodecVersion);
+    w.u32(kResultCodecByteOrderMark);
     w.u64(result.evaluated);
     w.u64(result.feasible);
     w.u32(result.tco_optimal ? 1 : 0);
@@ -183,9 +222,14 @@ std::optional<ExplorationResult>
 decodeExplorationResult(std::string_view bytes)
 {
     Reader r(bytes);
-    uint32_t magic = 0, version = 0;
+    uint32_t magic = 0, version = 0, bom = 0;
     if (!r.u32(&magic) || magic != kMagic || !r.u32(&version) ||
         version != kResultCodecVersion)
+        return std::nullopt;
+    // The mark reads back correctly only from a little-endian
+    // encoding; a byte-swapped (foreign-order or legacy host-endian)
+    // payload fails here instead of misdecoding every field after it.
+    if (!r.u32(&bom) || bom != kResultCodecByteOrderMark)
         return std::nullopt;
 
     ExplorationResult result;

@@ -6,15 +6,23 @@
  * Every field of every DesignPoint is encoded verbatim — doubles by
  * bit pattern, strings length-prefixed — so a decoded result is
  * byte-for-byte indistinguishable from the freshly computed one (the
- * self-check harness digests both at precision 17 and insists).  The
- * encoding is host-endian: the cache lives on one machine, not on the
- * wire.
+ * self-check harness digests both at precision 17 and insists).
+ *
+ * Byte order is little-endian by definition, serialized byte-by-byte
+ * (no memcpy of multi-byte values), so the same entry bytes decode on
+ * any host.  Version 1 wrote raw host-endian words, which made a
+ * cache directory silently non-portable between hosts of different
+ * endianness; version 2 adds an explicit byte-order mark right after
+ * the magic/version words, and the decoder rejects any payload whose
+ * mark does not read back as little-endian — a foreign or legacy
+ * encoding is treated as corrupt and recomputed, never misdecoded.
  *
  * kResultCodecVersion is folded into the persistent cache's version
  * stamp, so a layout change silently invalidates old entries instead
  * of misdecoding them.  decode additionally re-verifies a leading
- * magic/version and exact trailing length, and returns nullopt — to
- * be treated as a corrupt entry — on any mismatch.
+ * magic/version/byte-order mark and exact trailing length, and
+ * returns nullopt — to be treated as a corrupt entry — on any
+ * mismatch.
  */
 #ifndef MOONWALK_DSE_RESULT_CODEC_HH
 #define MOONWALK_DSE_RESULT_CODEC_HH
@@ -28,8 +36,13 @@
 
 namespace moonwalk::dse {
 
-/** Bump on any layout change below. */
-inline constexpr uint32_t kResultCodecVersion = 1;
+/** Bump on any layout change below.  v2: explicit little-endian
+ *  encoding with a byte-order mark (v1 was raw host-endian). */
+inline constexpr uint32_t kResultCodecVersion = 2;
+
+/** The byte-order mark: these exact bytes follow the version word,
+ *  i.e. 0x04 0x03 0x02 0x01 on the wire (little-endian). */
+inline constexpr uint32_t kResultCodecByteOrderMark = 0x01020304;
 
 /** Serialize @p result; never fails. */
 std::string encodeExplorationResult(const ExplorationResult &result);

@@ -1,10 +1,12 @@
 #include "exec/persistent_cache.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #ifdef _WIN32
 #include <process.h>
@@ -253,6 +255,136 @@ PersistentCache::store(const std::string &key,
     }
     inserts_.fetch_add(1, std::memory_order_relaxed);
     return true;
+}
+
+namespace {
+
+/** True for names produced by entryPath(): 32 hex chars + ".mwc". */
+bool
+isEntryName(const std::string &name)
+{
+    const std::string suffix = ".mwc";
+    if (name.size() != 32 + suffix.size() ||
+        name.compare(32, suffix.size(), suffix) != 0)
+        return false;
+    for (size_t i = 0; i < 32; ++i) {
+        const char ch = name[i];
+        if (!((ch >= '0' && ch <= '9') || (ch >= 'a' && ch <= 'f')))
+            return false;
+    }
+    return true;
+}
+
+/** True for writer staging files: "<entry>.tmp.<pid>.<seq>". */
+bool
+isTempName(const std::string &name)
+{
+    return name.find(".mwc.tmp.") != std::string::npos;
+}
+
+} // namespace
+
+PersistentCacheUsage
+PersistentCache::usage() const
+{
+    PersistentCacheUsage u;
+    if (dir_.empty())
+        return u;
+    std::error_code ec;
+    fs::directory_iterator it(dir_, ec);
+    if (ec)
+        return u;
+    for (const auto &de : it) {
+        const std::string name = de.path().filename().string();
+        if (isEntryName(name)) {
+            ++u.entries;
+            std::error_code size_ec;
+            const auto size = fs::file_size(de.path(), size_ec);
+            if (!size_ec)
+                u.bytes += size;
+        } else if (isTempName(name)) {
+            ++u.temp_files;
+        }
+    }
+    return u;
+}
+
+PersistentCachePruneResult
+PersistentCache::prune(uint64_t max_bytes)
+{
+    PersistentCachePruneResult result;
+    if (dir_.empty()) {
+        return result;
+    }
+    struct Entry
+    {
+        fs::path path;
+        uint64_t bytes = 0;
+        fs::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+    uint64_t total_bytes = 0;
+    std::error_code ec;
+    fs::directory_iterator it(dir_, ec);
+    if (ec)
+        return result;
+    for (const auto &de : it) {
+        const std::string name = de.path().filename().string();
+        if (isTempName(name)) {
+            // A live writer holds its temp file only for the duration
+            // of one store(); anything observable here during an
+            // explicit prune is near-certainly a dead writer's
+            // leftover.  Removing a just-staged temp at worst costs
+            // that writer one failed rename, i.e. one recompute.
+            std::error_code rm_ec;
+            if (fs::remove(de.path(), rm_ec))
+                ++result.removed_temp_files;
+            continue;
+        }
+        if (!isEntryName(name))
+            continue;
+        Entry entry;
+        entry.path = de.path();
+        std::error_code size_ec, time_ec;
+        const auto size = fs::file_size(de.path(), size_ec);
+        entry.bytes = size_ec ? 0 : size;
+        entry.mtime = fs::last_write_time(de.path(), time_ec);
+        if (time_ec)
+            entry.mtime = fs::file_time_type::min();
+        total_bytes += entry.bytes;
+        entries.push_back(std::move(entry));
+    }
+
+    // Oldest publish time first; path breaks ties so the order is
+    // deterministic even on coarse-mtime filesystems.
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path < b.path;
+              });
+    for (const auto &entry : entries) {
+        if (total_bytes <= max_bytes)
+            break;
+        std::error_code rm_ec;
+        if (fs::remove(entry.path, rm_ec)) {
+            ++result.removed_entries;
+            result.removed_bytes += entry.bytes;
+            total_bytes -= entry.bytes;
+        }
+    }
+    result.after = usage();
+    if (result.removed_entries || result.removed_temp_files) {
+        MOONWALK_LOG(Info, "exec.diskcache")
+            .msg("pruned cache directory")
+            .field("dir", dir_)
+            .field("removed_entries", result.removed_entries)
+            .field("removed_bytes", result.removed_bytes)
+            .field("removed_temp_files", result.removed_temp_files)
+            .field("remaining_entries", result.after.entries)
+            .field("remaining_bytes", result.after.bytes);
+    }
+    return result;
 }
 
 void

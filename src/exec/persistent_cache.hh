@@ -50,6 +50,24 @@ struct PersistentCacheStats
     uint64_t corrupt = 0;    ///< integrity failures removed
 };
 
+/** On-disk footprint of a cache directory (entry files only; stale
+ *  temp files are counted separately so prune can report them). */
+struct PersistentCacheUsage
+{
+    uint64_t entries = 0;     ///< *.mwc entry files
+    uint64_t bytes = 0;       ///< their total size
+    uint64_t temp_files = 0;  ///< leftover *.tmp.* from dead writers
+};
+
+/** What one prune() pass removed, and what remains. */
+struct PersistentCachePruneResult
+{
+    uint64_t removed_entries = 0;
+    uint64_t removed_bytes = 0;
+    uint64_t removed_temp_files = 0;
+    PersistentCacheUsage after;
+};
+
 /** The cache.  All methods are safe to call from many threads. */
 class PersistentCache
 {
@@ -88,6 +106,24 @@ class PersistentCache
     /** Remove the entry for @p key, counting it as corrupt — for
      *  callers whose payload decode fails after the digest passed. */
     void discardCorrupt(const std::string &key);
+
+    /**
+     * Scan the directory and report entry count and on-disk bytes.
+     * O(entries); meant for explicit stats requests and prune passes,
+     * not per-lookup bookkeeping.  Zero when the cache is disabled or
+     * the directory is unreadable.
+     */
+    PersistentCacheUsage usage() const;
+
+    /**
+     * Shrink the directory to at most @p max_bytes of entry files by
+     * deleting entries oldest-modification-time first (an entry's
+     * mtime is its publish time, so this is LRU-by-write; hits do not
+     * refresh it).  Leftover temp files from crashed writers are
+     * always removed.  Safe against concurrent readers and writers:
+     * a pruned entry simply misses and recomputes.
+     */
+    PersistentCachePruneResult prune(uint64_t max_bytes);
 
     PersistentCacheStats stats() const;
     uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }

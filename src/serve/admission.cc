@@ -1,0 +1,69 @@
+#include "serve/admission.hh"
+
+#include <algorithm>
+
+#include "obs/metrics.hh"
+
+namespace moonwalk::serve {
+
+AdmissionController::AdmissionController(int queue_depth,
+                                        int per_connection)
+    : queue_depth_(std::max(1, queue_depth)),
+      per_connection_(std::max(1, per_connection))
+{
+}
+
+AdmitReject
+AdmissionController::tryAdmit(ConnectionBudget &conn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (inflight_ >= queue_depth_)
+            return AdmitReject::QueueFull;
+        if (conn.inflight >= per_connection_)
+            return AdmitReject::ConnectionLimit;
+        ++inflight_;
+        ++conn.inflight;
+    }
+    if (obs::metricsEnabled()) {
+        auto &g = obs::metrics().gauge("serve.queue.depth");
+        g.set(static_cast<double>(inflight()));
+        obs::metrics().gauge("serve.queue.depth_max")
+            .max(static_cast<double>(inflight()));
+    }
+    return AdmitReject::Admitted;
+}
+
+void
+AdmissionController::release(ConnectionBudget &conn)
+{
+    bool idle;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --inflight_;
+        --conn.inflight;
+        idle = inflight_ == 0;
+    }
+    if (obs::metricsEnabled()) {
+        obs::metrics().gauge("serve.queue.depth")
+            .set(static_cast<double>(inflight()));
+    }
+    if (idle)
+        idle_cv_.notify_all();
+}
+
+void
+AdmissionController::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+int
+AdmissionController::inflight() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inflight_;
+}
+
+} // namespace moonwalk::serve

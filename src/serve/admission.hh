@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Admission control for the sweep service: a bounded in-flight
+ * request budget (global queue depth) plus a per-connection cap, with
+ * fast-fail semantics — a request that cannot be admitted is rejected
+ * immediately with a 429-style error instead of queueing without
+ * bound and timing every client out at once.
+ *
+ * "In flight" spans admission to completion: requests waiting in pool
+ * deques and requests actively computing both hold a slot, so the
+ * global depth bounds the server's total outstanding work, which is
+ * what actually protects memory and tail latency.  The per-connection
+ * cap keeps one pipelining client from monopolizing the budget.
+ *
+ * drain() is the graceful-shutdown primitive: it blocks until every
+ * admitted request has released its slot, which (with the listener
+ * closed and readers stopped) means every response has been computed
+ * and handed to its connection writer.
+ */
+#ifndef MOONWALK_SERVE_ADMISSION_HH
+#define MOONWALK_SERVE_ADMISSION_HH
+
+#include <condition_variable>
+#include <mutex>
+
+namespace moonwalk::serve {
+
+/** One connection's admission state; owned by the connection. */
+struct ConnectionBudget
+{
+    int inflight = 0;  ///< guarded by the controller's mutex
+};
+
+/** Why tryAdmit() said no. */
+enum class AdmitReject
+{
+    Admitted,
+    QueueFull,        ///< global depth exhausted
+    ConnectionLimit,  ///< this connection's cap exhausted
+};
+
+/** The controller.  All methods are thread-safe. */
+class AdmissionController
+{
+  public:
+    /**
+     * @p queue_depth: total admitted-but-unfinished requests allowed
+     * across all connections.  @p per_connection: cap per connection.
+     * Both are clamped to >= 1.
+     */
+    AdmissionController(int queue_depth, int per_connection);
+
+    /** Claim a slot for @p conn, or say (cheaply) why not. */
+    AdmitReject tryAdmit(ConnectionBudget &conn);
+
+    /** Release a slot claimed by tryAdmit(); wakes drain(). */
+    void release(ConnectionBudget &conn);
+
+    /** Block until no request holds a slot. */
+    void drain();
+
+    int inflight() const;
+    int queueDepth() const { return queue_depth_; }
+    int perConnectionLimit() const { return per_connection_; }
+
+  private:
+    const int queue_depth_;
+    const int per_connection_;
+    mutable std::mutex mutex_;
+    std::condition_variable idle_cv_;
+    int inflight_ = 0;
+};
+
+} // namespace moonwalk::serve
+
+#endif // MOONWALK_SERVE_ADMISSION_HH

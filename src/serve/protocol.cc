@@ -1,0 +1,312 @@
+#include "serve/protocol.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/error.hh"
+
+namespace moonwalk::serve {
+
+namespace {
+
+constexpr const char *kValidCmds =
+    "ping, stats, explore, sweep, report";
+
+/** Option bounds: generous enough for any legitimate study, tight
+ *  enough that one request cannot commission an unbounded sweep. */
+constexpr int kMaxVoltageSteps = 512;
+constexpr int kMaxRcaCountSteps = 512;
+constexpr int kMaxDramsPerDie = 64;
+constexpr size_t kMaxDarkFractions = 16;
+
+bool
+fail(RequestError *error, int code, std::string reason,
+     std::string message)
+{
+    error->code = code;
+    error->reason = std::move(reason);
+    error->message = std::move(message);
+    return false;
+}
+
+/** Read an integral member in [lo, hi]; false (+diagnostic) on a
+ *  non-number, non-integer, or out-of-range value. */
+bool
+intOption(const Json &value, const std::string &key, int lo, int hi,
+          int *out, RequestError *error)
+{
+    if (!value.isNumber())
+        return fail(error, 400, "bad_option",
+                    "option '" + key + "' must be a number");
+    const double v = value.asDouble();
+    if (!std::isfinite(v) || v != std::floor(v) || v < lo || v > hi) {
+        return fail(error, 400, "bad_option",
+                    "option '" + key + "' must be an integer in [" +
+                        std::to_string(lo) + ", " +
+                        std::to_string(hi) + "]");
+    }
+    *out = static_cast<int>(v);
+    return true;
+}
+
+bool
+parseOptions(const Json &options, dse::ExplorerOptions *out,
+             RequestError *error)
+{
+    if (!options.isObject())
+        return fail(error, 400, "bad_option",
+                    "'options' must be an object");
+    for (const auto &key : options.keys()) {
+        const Json &value = options.at(key);
+        if (key == "voltage_steps") {
+            if (!intOption(value, key, 2, kMaxVoltageSteps,
+                           &out->voltage_steps, error))
+                return false;
+        } else if (key == "rca_count_steps") {
+            if (!intOption(value, key, 2, kMaxRcaCountSteps,
+                           &out->rca_count_steps, error))
+                return false;
+        } else if (key == "max_drams_per_die") {
+            if (!intOption(value, key, 1, kMaxDramsPerDie,
+                           &out->max_drams_per_die, error))
+                return false;
+        } else if (key == "dark_fractions") {
+            if (!value.isArray() || value.size() == 0 ||
+                value.size() > kMaxDarkFractions) {
+                return fail(error, 400, "bad_option",
+                            "option 'dark_fractions' must be an array "
+                            "of 1.." +
+                                std::to_string(kMaxDarkFractions) +
+                                " fractions");
+            }
+            std::vector<double> darks;
+            for (size_t i = 0; i < value.size(); ++i) {
+                const Json &d = value.at(i);
+                if (!d.isNumber() || !std::isfinite(d.asDouble()) ||
+                    d.asDouble() < 0.0 || d.asDouble() > 0.95) {
+                    return fail(error, 400, "bad_option",
+                                "dark_fractions entries must be "
+                                "numbers in [0, 0.95]");
+                }
+                darks.push_back(d.asDouble());
+            }
+            out->dark_fractions = std::move(darks);
+        } else {
+            return fail(error, 400, "unknown_option",
+                        "unknown option '" + key +
+                            "' (valid: voltage_steps, rca_count_steps, "
+                            "max_drams_per_die, dark_fractions)");
+        }
+    }
+    return true;
+}
+
+std::string
+validAppNames()
+{
+    std::string names;
+    for (const auto &app : apps::allApps()) {
+        if (!names.empty())
+            names += ", ";
+        names += app.name();
+    }
+    return names;
+}
+
+std::string
+validNodeNames()
+{
+    std::string names;
+    for (tech::NodeId node : tech::kAllNodes) {
+        if (!names.empty())
+            names += ", ";
+        names += tech::to_string(node);
+    }
+    return names;
+}
+
+void
+addBits(std::string &key, double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    char buf[2 + sizeof(bits) * 2 + 1];
+    std::snprintf(buf, sizeof(buf), "%016llx|",
+                  static_cast<unsigned long long>(bits));
+    key += buf;
+}
+
+} // namespace
+
+bool
+parseRequest(const std::string &line, Request *request,
+             RequestError *error)
+{
+    Json doc;
+    try {
+        doc = Json::parse(line);
+    } catch (const ModelError &e) {
+        return fail(error, 400, "bad_json",
+                    std::string("request is not valid JSON: ") +
+                        e.what());
+    }
+    if (!doc.isObject())
+        return fail(error, 400, "bad_request",
+                    "request must be a JSON object");
+
+    *request = Request{};
+    for (const auto &key : doc.keys()) {
+        const Json &value = doc.at(key);
+        if (key == "cmd") {
+            if (!value.isString())
+                return fail(error, 400, "bad_request",
+                            "'cmd' must be a string");
+            request->cmd = value.asString();
+        } else if (key == "app") {
+            if (!value.isString())
+                return fail(error, 400, "bad_request",
+                            "'app' must be a string");
+            for (const auto &app : apps::allApps())
+                if (app.name() == value.asString())
+                    request->app = app;
+            if (!request->app) {
+                return fail(error, 404, "unknown_app",
+                            "unknown application '" +
+                                value.asString() +
+                                "' (valid: " + validAppNames() + ")");
+            }
+        } else if (key == "node") {
+            if (!value.isString())
+                return fail(error, 400, "bad_request",
+                            "'node' must be a string");
+            for (tech::NodeId node : tech::kAllNodes)
+                if (tech::to_string(node) == value.asString())
+                    request->node = node;
+            if (!request->node) {
+                return fail(error, 404, "unknown_node",
+                            "unknown node '" + value.asString() +
+                                "' (valid: " + validNodeNames() +
+                                ")");
+            }
+        } else if (key == "tco") {
+            if (!value.isNumber() ||
+                !std::isfinite(value.asDouble()) ||
+                value.asDouble() < 0.0) {
+                return fail(error, 400, "bad_request",
+                            "'tco' must be a finite number >= 0");
+            }
+            request->workload_tco = value.asDouble();
+        } else if (key == "options") {
+            if (!parseOptions(value, &request->options, error))
+                return false;
+        } else if (key == "id") {
+            request->has_id = true;
+            request->id = value;
+        } else {
+            return fail(error, 400, "unknown_field",
+                        "unknown request field '" + key +
+                            "' (valid: cmd, app, node, tco, options, "
+                            "id)");
+        }
+    }
+
+    if (request->cmd.empty())
+        return fail(error, 400, "bad_request",
+                    "request needs a 'cmd' (one of: " +
+                        std::string(kValidCmds) + ")");
+    const bool known =
+        request->cmd == "ping" || request->cmd == "stats" ||
+        request->cmd == "explore" || request->cmd == "sweep" ||
+        request->cmd == "report";
+    if (!known)
+        return fail(error, 400, "unknown_cmd",
+                    "unknown cmd '" + request->cmd +
+                        "' (valid: " + kValidCmds + ")");
+
+    const bool needs_app = request->cmd == "explore" ||
+        request->cmd == "sweep" || request->cmd == "report";
+    if (needs_app && !request->app)
+        return fail(error, 400, "bad_request",
+                    "cmd '" + request->cmd + "' needs an 'app' "
+                    "(valid: " + validAppNames() + ")");
+    if (request->cmd == "explore" && !request->node)
+        return fail(error, 400, "bad_request",
+                    "cmd 'explore' needs a 'node' (valid: " +
+                        validNodeNames() + ")");
+    return true;
+}
+
+std::string
+optionsProfileKey(const dse::ExplorerOptions &options)
+{
+    // Verbatim field serialization, same discipline as sweepKey():
+    // profiles differing in any knob must never alias.
+    std::string key;
+    key += std::to_string(options.voltage_steps);
+    key += '|';
+    key += std::to_string(options.rca_count_steps);
+    key += '|';
+    key += std::to_string(options.max_drams_per_die);
+    key += '|';
+    key += std::to_string(options.keep_feasible_points ? 1 : 0);
+    key += '|';
+    key += std::to_string(options.dark_fractions.size());
+    key += '|';
+    for (double dark : options.dark_fractions)
+        addBits(key, dark);
+    return key;
+}
+
+std::string
+requestKey(const Request &request,
+           const dse::DesignSpaceExplorer &explorer)
+{
+    if (request.cmd == "explore")
+        return "explore|" +
+            explorer.sweepKey(request.app->rca, *request.node);
+    std::string key = request.cmd;
+    key += '|';
+    key += request.app ? request.app->name() : "";
+    key += '|';
+    addBits(key, request.workload_tco);
+    key += optionsProfileKey(explorer.options());
+    return key;
+}
+
+std::string
+okEnvelope(const std::string &result_payload, const Request *request)
+{
+    // Built by concatenation so all sharers of one result payload
+    // (see SingleFlight) emit byte-identical responses.
+    std::string out = "{\"ok\":true";
+    if (request && request->has_id) {
+        out += ",\"id\":";
+        out += request->id.dump();
+    }
+    out += ",\"result\":";
+    out += result_payload;
+    out += "}";
+    return out;
+}
+
+std::string
+errorEnvelope(const RequestError &error, bool has_id, const Json &id)
+{
+    Json err = Json::object();
+    err.set("code", error.code);
+    err.set("reason", error.reason);
+    err.set("message", error.message);
+    std::string out = "{\"ok\":false";
+    if (has_id) {
+        out += ",\"id\":";
+        out += id.dump();
+    }
+    out += ",\"error\":";
+    out += err.dump();
+    out += "}";
+    return out;
+}
+
+} // namespace moonwalk::serve

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Wire protocol of the sweep service: newline-delimited JSON over a
+ * plain TCP stream, one request object per line, one response object
+ * per line.  No third-party dependencies — util/json parses and
+ * serializes both sides.
+ *
+ * Requests:
+ *
+ *   {"cmd":"ping"}
+ *   {"cmd":"stats"}
+ *   {"cmd":"explore","app":"Bitcoin","node":"28nm",
+ *    "options":{"voltage_steps":8,...}}
+ *   {"cmd":"sweep","app":"Bitcoin","options":{...}}
+ *   {"cmd":"report","app":"Bitcoin","tco":30e6,"options":{...}}
+ *
+ * Every request may carry an "id" member (any JSON value), echoed
+ * verbatim in the response so pipelining clients can match responses
+ * that complete out of order.  "options" (optional) overrides sweep
+ * granularity per request; unknown fields, unknown option keys, and
+ * out-of-range values are rejected — the service is as strict as the
+ * CLI, a malformed request never silently degrades into a default.
+ *
+ * Responses:
+ *
+ *   {"ok":true,"id":...,"result":{...}}
+ *   {"ok":false,"id":...,"error":{"code":429,"reason":"overloaded",
+ *                                 "message":"..."}}
+ *
+ * Error codes follow HTTP conventions: 400 malformed request, 404
+ * unknown app/node, 429 admission rejected (fast-fail; retry later),
+ * 500 internal failure.  Identical requests always produce
+ * byte-identical "result" bytes (the single-flight layer shares the
+ * serialized payload; see service.hh).
+ */
+#ifndef MOONWALK_SERVE_PROTOCOL_HH
+#define MOONWALK_SERVE_PROTOCOL_HH
+
+#include <optional>
+#include <string>
+
+#include "apps/apps.hh"
+#include "dse/explorer.hh"
+#include "tech/node.hh"
+#include "util/json.hh"
+
+namespace moonwalk::serve {
+
+/** Longest accepted request line (bytes, newline excluded); longer
+ *  lines poison the connection (it is closed after one 400). */
+inline constexpr size_t kMaxRequestBytes = 1 << 20;
+
+/** A validated request, ready to execute. */
+struct Request
+{
+    std::string cmd;             ///< ping | stats | explore | sweep | report
+    std::optional<apps::AppSpec> app;  ///< explore/sweep/report
+    std::optional<tech::NodeId> node;  ///< explore
+    double workload_tco = 0.0;         ///< report
+    /** Sweep granularity for this request: defaults overridden by the
+     *  "options" member.  cache_dir/max_threads stay server-owned. */
+    dse::ExplorerOptions options;
+    bool has_id = false;
+    Json id;                     ///< echoed verbatim when has_id
+};
+
+/** A rejected request: HTTP-style code + machine reason + prose. */
+struct RequestError
+{
+    int code = 400;
+    std::string reason;   ///< stable token, e.g. "unknown_app"
+    std::string message;  ///< human diagnostic
+};
+
+/**
+ * Parse and validate one request line.  Returns true and fills
+ * @p request on success; returns false and fills @p error otherwise.
+ * @p error.code is 400 for malformed JSON/fields, 404 for an unknown
+ * app or node.
+ */
+bool parseRequest(const std::string &line, Request *request,
+                  RequestError *error);
+
+/**
+ * Canonical serialization of the per-request sweep options — the
+ * profile key under which the service shares explorer/optimizer
+ * instances (and their warm memo caches) across requests.
+ */
+std::string optionsProfileKey(const dse::ExplorerOptions &options);
+
+/**
+ * Single-flight key for @p request.  For "explore" this is the full
+ * serialized sweepKey of the (app, node, options, spec) tuple —
+ * byte-identical inputs, never a digest; other commands prepend their
+ * command and workload to the options profile.  @p explorer must be
+ * the explorer the request will run on (its options are part of the
+ * key).
+ */
+std::string requestKey(const Request &request,
+                       const dse::DesignSpaceExplorer &explorer);
+
+/** {"ok":true,...} envelope around an already-serialized result. */
+std::string okEnvelope(const std::string &result_payload,
+                       const Request *request);
+
+/** {"ok":false,...} envelope; @p id (may be null) is echoed when
+ *  @p has_id. */
+std::string errorEnvelope(const RequestError &error, bool has_id,
+                          const Json &id);
+
+} // namespace moonwalk::serve
+
+#endif // MOONWALK_SERVE_PROTOCOL_HH

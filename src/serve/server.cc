@@ -1,0 +1,429 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace moonwalk::serve {
+
+namespace {
+
+void
+countRequest(const char *which)
+{
+    if (obs::metricsEnabled())
+        obs::metrics().counter(std::string("serve.requests.") + which)
+            .inc();
+}
+
+} // namespace
+
+/** Per-connection state, shared by the reader and handler threads. */
+struct Server::Connection
+{
+    int fd = -1;
+    ConnectionBudget budget;
+
+    /** Serializes whole response lines onto the socket. */
+    std::mutex write_mutex;
+    /** Set on write/read failure; readers and writers give up. */
+    std::atomic<bool> dead{false};
+    /** Reader finished; the accept loop may join its thread. */
+    std::atomic<bool> reader_done{false};
+
+    /** Live handler threads (detached); the reader waits for zero
+     *  before closing fd, so no handler ever writes a closed fd. */
+    std::mutex handlers_mutex;
+    std::condition_variable handlers_cv;
+    int handlers_live = 0;
+
+    /** Send one response line (appending '\n'), atomically with
+     *  respect to other writers on this connection. */
+    void writeLine(const std::string &response)
+    {
+#ifndef _WIN32
+        if (dead.load(std::memory_order_relaxed))
+            return;
+        std::lock_guard<std::mutex> lock(write_mutex);
+        std::string out = response;
+        out.push_back('\n');
+        size_t sent = 0;
+        while (sent < out.size()) {
+            const ssize_t n =
+                ::send(fd, out.data() + sent, out.size() - sent,
+                       MSG_NOSIGNAL);
+            if (n <= 0) {
+                dead.store(true, std::memory_order_relaxed);
+                return;
+            }
+            sent += static_cast<size_t>(n);
+        }
+#else
+        (void)response;
+#endif
+    }
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      service_(options_.service),
+      admission_(options_.queue_depth, options_.max_conn_inflight)
+{
+}
+
+Server::~Server()
+{
+#ifndef _WIN32
+    if (listen_fd_ >= 0)
+        ::close(listen_fd_);
+    if (wake_read_fd_ >= 0)
+        ::close(wake_read_fd_);
+    if (wake_write_fd_ >= 0)
+        ::close(wake_write_fd_);
+#endif
+}
+
+#ifndef _WIN32
+
+bool
+Server::start(std::string *error)
+{
+    const auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        if (listen_fd_ >= 0) {
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+        }
+        return false;
+    };
+
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0)
+        return fail(std::string("pipe: ") + std::strerror(errno));
+    wake_read_fd_ = pipe_fds[0];
+    wake_write_fd_ = pipe_fds[1];
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port =
+        htons(static_cast<uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) !=
+        1)
+        return fail("invalid listen address '" + options_.host +
+                    "' (numeric IPv4 only)");
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        return fail(std::string("socket: ") + std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return fail("bind " + options_.host + ":" +
+                    std::to_string(options_.port) + ": " +
+                    std::strerror(errno));
+    if (::listen(listen_fd_, 64) != 0)
+        return fail(std::string("listen: ") + std::strerror(errno));
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_,
+                      reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0)
+        return fail(std::string("getsockname: ") +
+                    std::strerror(errno));
+    port_ = ntohs(bound.sin_port);
+
+    MOONWALK_LOG(Info, "serve")
+        .msg("listening")
+        .field("host", options_.host)
+        .field("port", port_)
+        .field("queue_depth", admission_.queueDepth())
+        .field("max_conn_inflight", admission_.perConnectionLimit());
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    stopping_.store(true, std::memory_order_relaxed);
+    if (wake_write_fd_ >= 0) {
+        const char byte = 'x';
+        // Async-signal-safe; the self-pipe is how SIGINT/SIGTERM
+        // reach the poll loop.  A full pipe still wakes the poller.
+        [[maybe_unused]] ssize_t n =
+            ::write(wake_write_fd_, &byte, 1);
+    }
+}
+
+void
+Server::run()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd fds[2] = {{listen_fd_, POLLIN, 0},
+                         {wake_read_fd_, POLLIN, 0}};
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            MOONWALK_LOG(Warn, "serve")
+                .msg("poll failed; shutting down")
+                .field("errno", std::strerror(errno));
+            break;
+        }
+        if (fds[1].revents & POLLIN)
+            break;
+        if (fds[0].revents & POLLIN)
+            acceptOne();
+        reapConnections(false);
+    }
+
+    // Graceful drain: no new connections, no new requests, every
+    // admitted request still answers.
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        for (auto &entry : conns_) {
+            if (entry.conn->fd >= 0)
+                ::shutdown(entry.conn->fd, SHUT_RD);
+        }
+    }
+    admission_.drain();
+    reapConnections(true);
+    MOONWALK_LOG(Info, "serve").msg("drained; exiting");
+}
+
+void
+Server::acceptOne()
+{
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0)
+        return;
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    if (obs::metricsEnabled()) {
+        obs::metrics().counter("serve.connections.accepted").inc();
+    }
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.push_back(
+        {conn, std::thread([this, conn] { readerLoop(conn); })});
+    if (obs::metricsEnabled())
+        obs::metrics().gauge("serve.connections.open")
+            .set(static_cast<double>(conns_.size()));
+}
+
+void
+Server::reapConnections(bool all)
+{
+    std::vector<std::thread> joinable;
+    {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        size_t keep = 0;
+        for (size_t i = 0; i < conns_.size(); ++i) {
+            if (all ||
+                conns_[i].conn->reader_done.load(
+                    std::memory_order_acquire)) {
+                joinable.push_back(std::move(conns_[i].reader));
+                continue;
+            }
+            // Guard the self-move: assigning a joinable std::thread
+            // to itself terminates the process.
+            if (keep != i)
+                conns_[keep] = std::move(conns_[i]);
+            ++keep;
+        }
+        conns_.erase(conns_.begin() +
+                         static_cast<std::ptrdiff_t>(keep),
+                     conns_.end());
+        if (obs::metricsEnabled())
+            obs::metrics().gauge("serve.connections.open")
+                .set(static_cast<double>(conns_.size()));
+    }
+    for (auto &t : joinable)
+        t.join();
+}
+
+void
+Server::readerLoop(const std::shared_ptr<Connection> &conn)
+{
+    std::string buffer;
+    char chunk[4096];
+    bool keep_going = true;
+    while (keep_going) {
+        const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (n <= 0)
+            break;
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t start = 0;
+        for (;;) {
+            const size_t nl = buffer.find('\n', start);
+            if (nl == std::string::npos)
+                break;
+            std::string line = buffer.substr(start, nl - start);
+            start = nl + 1;
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            if (line.empty())
+                continue;
+            if (!handleLine(conn, line)) {
+                keep_going = false;
+                break;
+            }
+        }
+        buffer.erase(0, start);
+        if (buffer.size() > kMaxRequestBytes) {
+            // Unframed flood: answer once, then drop the connection
+            // — resynchronizing inside a megabyte of garbage is not
+            // worth attempting.
+            countRequest("invalid");
+            conn->writeLine(errorEnvelope(
+                {400, "line_too_long",
+                 "request line exceeds " +
+                     std::to_string(kMaxRequestBytes) + " bytes"},
+                false, Json()));
+            break;
+        }
+    }
+
+    // Let every in-flight handler write its response before the fd
+    // goes away; admission drain in run() relies on this ordering.
+    {
+        std::unique_lock<std::mutex> lock(conn->handlers_mutex);
+        conn->handlers_cv.wait(
+            lock, [&] { return conn->handlers_live == 0; });
+    }
+    ::close(conn->fd);
+    conn->fd = -1;
+    conn->reader_done.store(true, std::memory_order_release);
+}
+
+bool
+Server::handleLine(const std::shared_ptr<Connection> &conn,
+                   const std::string &line)
+{
+    Request request;
+    RequestError error;
+    if (!parseRequest(line, &request, &error)) {
+        countRequest("invalid");
+        conn->writeLine(
+            errorEnvelope(error, request.has_id, request.id));
+        return true;  // framing is intact; keep the connection
+    }
+
+    // Cheap commands answer inline and skip admission: ping costs
+    // nothing, and stats must answer precisely when the server is
+    // loaded enough to reject sweeps.
+    if (request.cmd == "ping" || request.cmd == "stats") {
+        countRequest("accepted");
+        const auto payload = service_.handle(request);
+        conn->writeLine(okEnvelope(*payload, &request));
+        countRequest("completed");
+        return true;
+    }
+
+    switch (admission_.tryAdmit(conn->budget)) {
+    case AdmitReject::QueueFull:
+        countRequest("rejected");
+        conn->writeLine(errorEnvelope(
+            {429, "overloaded",
+             "server at queue depth " +
+                 std::to_string(admission_.queueDepth()) +
+                 "; retry later"},
+            request.has_id, request.id));
+        return true;
+    case AdmitReject::ConnectionLimit:
+        countRequest("rejected");
+        conn->writeLine(errorEnvelope(
+            {429, "connection_limit",
+             "connection already has " +
+                 std::to_string(
+                     admission_.perConnectionLimit()) +
+                 " requests in flight"},
+            request.has_id, request.id));
+        return true;
+    case AdmitReject::Admitted:
+        break;
+    }
+
+    countRequest("accepted");
+    spawnHandler(conn, std::move(request));
+    return true;
+}
+
+void
+Server::spawnHandler(const std::shared_ptr<Connection> &conn,
+                     Request request)
+{
+    {
+        std::lock_guard<std::mutex> lock(conn->handlers_mutex);
+        ++conn->handlers_live;
+    }
+    std::thread([this, conn, request = std::move(request)] {
+        std::string response;
+        try {
+            const auto payload = service_.handle(request);
+            response = okEnvelope(*payload, &request);
+        } catch (const std::exception &e) {
+            response = errorEnvelope(
+                {500, "internal_error", e.what()}, request.has_id,
+                request.id);
+        }
+        conn->writeLine(response);
+        admission_.release(conn->budget);
+        countRequest("completed");
+        {
+            std::lock_guard<std::mutex> lock(conn->handlers_mutex);
+            --conn->handlers_live;
+        }
+        conn->handlers_cv.notify_all();
+    }).detach();
+}
+
+#else  // _WIN32: the serve transport is POSIX-only.
+
+bool
+Server::start(std::string *error)
+{
+    if (error)
+        *error = "moonwalk serve is not supported on this platform";
+    return false;
+}
+
+void
+Server::requestStop()
+{
+    stopping_.store(true, std::memory_order_relaxed);
+}
+
+void Server::run() {}
+void Server::acceptOne() {}
+void Server::reapConnections(bool) {}
+void Server::readerLoop(const std::shared_ptr<Connection> &) {}
+bool
+Server::handleLine(const std::shared_ptr<Connection> &,
+                   const std::string &)
+{
+    return false;
+}
+void Server::spawnHandler(const std::shared_ptr<Connection> &, Request)
+{
+}
+
+#endif
+
+} // namespace moonwalk::serve

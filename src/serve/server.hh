@@ -1,0 +1,132 @@
+/**
+ * @file
+ * TCP transport of the sweep service: a single-listener,
+ * thread-per-connection server speaking the newline-delimited JSON
+ * protocol of protocol.hh, built directly on POSIX sockets (the repo
+ * takes no third-party dependencies).
+ *
+ * Concurrency model.  The accept loop runs on the caller of run();
+ * each connection gets a reader thread that parses request lines and
+ * answers cheap commands (ping, stats, every rejection) inline.
+ * Sweep-class commands pass admission control and then run on a
+ * per-request handler thread, so N concurrent identical requests are
+ * genuinely concurrent — which is what lets the single-flight layer
+ * dedup them — while the AdmissionController's global depth bounds
+ * the total number of handler threads alive at once.  The heavy
+ * lifting inside a handler (the exploration grid) still fans out on
+ * the shared exec::ThreadPool via parallelFor, whose caller
+ * participates, so handler threads add parallelism instead of
+ * fighting the pool for it.
+ *
+ * ping/stats bypass admission on purpose: observability must keep
+ * answering precisely when the server is saturated enough to reject
+ * sweeps.
+ *
+ * Shutdown.  requestStop() is async-signal-safe (one write() to a
+ * self-pipe); the CLI's SIGINT/SIGTERM handlers call it.  run() then
+ * stops accepting, half-closes every connection (SHUT_RD: no new
+ * requests, responses still flow), waits for admission to drain —
+ * every in-flight request computes and writes its response — joins
+ * the readers, and returns.  Clients see complete answers to
+ * everything the server admitted, then EOF.
+ */
+#ifndef MOONWALK_SERVE_SERVER_HH
+#define MOONWALK_SERVE_SERVER_HH
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.hh"
+#include "serve/service.hh"
+
+namespace moonwalk::serve {
+
+/** Transport knobs, wrapping the service's own options. */
+struct ServerOptions
+{
+    /** Numeric listen address; the default keeps the service private
+     *  to the machine (the protocol is unauthenticated). */
+    std::string host = "127.0.0.1";
+    /** 0 picks an ephemeral port; port() reports the real one. */
+    int port = 0;
+    /** Global admitted-but-unfinished request bound. */
+    int queue_depth = 64;
+    /** Per-connection in-flight cap. */
+    int max_conn_inflight = 8;
+    ServiceOptions service;
+};
+
+/** The server.  start() then run(); requestStop() from anywhere. */
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+    ~Server();
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind and listen.  False (with a diagnostic in @p error) when the
+     * address is invalid or taken; no threads exist yet at that point.
+     */
+    bool start(std::string *error);
+
+    /** The bound port; meaningful after start() succeeds. */
+    int port() const { return port_; }
+
+    /**
+     * Serve until requestStop(): accept connections, process requests,
+     * then drain and tear everything down.  Returns once every
+     * admitted request has been answered and every thread joined.
+     */
+    void run();
+
+    /**
+     * Ask run() to shut down gracefully.  Async-signal-safe: a single
+     * write() on a pre-opened pipe, callable from a signal handler.
+     */
+    void requestStop();
+
+    SweepService &service() { return service_; }
+    const ServerOptions &options() const { return options_; }
+
+  private:
+    struct Connection;
+
+    void acceptOne();
+    void readerLoop(const std::shared_ptr<Connection> &conn);
+    /** Parse + dispatch one request line; false closes the
+     *  connection (poisoned framing). */
+    bool handleLine(const std::shared_ptr<Connection> &conn,
+                    const std::string &line);
+    void spawnHandler(const std::shared_ptr<Connection> &conn,
+                      Request request);
+    /** Reap reader threads whose connections have finished. */
+    void reapConnections(bool all);
+
+    ServerOptions options_;
+    SweepService service_;
+    AdmissionController admission_;
+
+    int listen_fd_ = -1;
+    int wake_read_fd_ = -1;
+    int wake_write_fd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> stopping_{false};
+
+    struct ConnEntry
+    {
+        std::shared_ptr<Connection> conn;
+        std::thread reader;
+    };
+    std::mutex conns_mutex_;
+    std::vector<ConnEntry> conns_;
+};
+
+} // namespace moonwalk::serve
+
+#endif // MOONWALK_SERVE_SERVER_HH

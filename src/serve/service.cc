@@ -1,0 +1,194 @@
+#include "serve/service.hh"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/report.hh"
+#include "obs/metrics.hh"
+#include "tech/node.hh"
+#include "util/error.hh"
+
+namespace moonwalk::serve {
+
+namespace {
+
+/** Serialize one evaluated design point for the wire.  A subset of
+ *  DesignPoint chosen to match the CLI's report output: the full
+ *  configuration plus every figure of merit a client selecting
+ *  designs needs; per-component cost/TCO breakdowns stay behind the
+ *  "report" command, which returns the ReportGenerator's document. */
+Json
+pointJson(const dse::DesignPoint &p)
+{
+    Json j = Json::object();
+    j.set("rcas_per_die", p.config.rcas_per_die);
+    j.set("dies_per_lane", p.config.dies_per_lane);
+    j.set("drams_per_die", p.config.drams_per_die);
+    j.set("dies_per_server", p.config.diesPerServer());
+    j.set("vdd", p.config.vdd);
+    j.set("dark_fraction", p.config.dark_silicon_fraction);
+    j.set("die_area_mm2", p.die_area_mm2);
+    j.set("freq_mhz", p.freq_mhz);
+    j.set("die_power_w", p.die_power_w);
+    j.set("perf_ops", p.perf_ops);
+    j.set("wall_power_w", p.wall_power_w);
+    j.set("server_cost", p.server_cost);
+    j.set("cost_per_ops", p.cost_per_ops);
+    j.set("watts_per_ops", p.watts_per_ops);
+    j.set("tco_per_ops", p.tco_per_ops);
+    return j;
+}
+
+} // namespace
+
+SweepService::SweepService(ServiceOptions options)
+    : options_(std::move(options))
+{
+    if (options_.max_profiles < 1)
+        options_.max_profiles = 1;
+}
+
+std::shared_ptr<core::MoonwalkOptimizer>
+SweepService::profileFor(const dse::ExplorerOptions &options)
+{
+    const std::string key = optionsProfileKey(options);
+    std::lock_guard<std::mutex> lock(profiles_mutex_);
+    auto it = profiles_.find(key);
+    if (it != profiles_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        return it->second.optimizer;
+    }
+
+    // Server-owned knobs never come from the wire: every profile
+    // shares one disk cache directory, and thread width follows the
+    // process-global pool (options.max_threads stays 0).
+    dse::ExplorerOptions effective = options;
+    effective.cache_dir = options_.cache_dir;
+    auto optimizer = std::make_shared<core::MoonwalkOptimizer>(
+        dse::DesignSpaceExplorer{effective});
+
+    lru_.push_front(key);
+    profiles_.emplace(key, Profile{optimizer, lru_.begin()});
+    while (profiles_.size() >
+           static_cast<size_t>(options_.max_profiles)) {
+        profiles_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    return optimizer;
+}
+
+std::shared_ptr<const std::string>
+SweepService::handle(const Request &request)
+{
+    if (request.cmd == "ping") {
+        Json j = Json::object();
+        j.set("pong", true);
+        return std::make_shared<const std::string>(j.dump());
+    }
+    if (request.cmd == "stats") {
+        // Never single-flighted: a stats snapshot must reflect the
+        // moment of *this* request, not share a concurrent one.
+        publishStats();
+        Json j = Json::object();
+        j.set("metrics", obs::MetricsRegistry::instance().toJson());
+        Json flight = Json::object();
+        flight.set("hits", static_cast<double>(flight_.hits()));
+        flight.set("misses", static_cast<double>(flight_.misses()));
+        flight.set("inflight",
+                   static_cast<double>(flight_.inflightKeys()));
+        j.set("singleflight", std::move(flight));
+        {
+            std::lock_guard<std::mutex> lock(profiles_mutex_);
+            j.set("profiles", static_cast<double>(profiles_.size()));
+        }
+        return std::make_shared<const std::string>(j.dump());
+    }
+
+    auto optimizer = profileFor(request.options);
+    const std::string key = requestKey(request, optimizer->explorer());
+    return flight_.run(key, [&] {
+        if (options_.handler_delay_ms > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                options_.handler_delay_ms));
+        }
+        return computeResult(request, optimizer);
+    });
+}
+
+std::string
+SweepService::computeResult(
+    const Request &request,
+    const std::shared_ptr<core::MoonwalkOptimizer> &optimizer)
+{
+    if (request.cmd == "explore") {
+        const auto result = optimizer->explorer().explore(
+            request.app->rca, *request.node);
+        Json j = Json::object();
+        j.set("app", request.app->name());
+        j.set("node", tech::to_string(*request.node));
+        j.set("evaluated", static_cast<double>(result.evaluated));
+        j.set("feasible", static_cast<double>(result.feasible));
+        if (result.tco_optimal)
+            j.set("tco_optimal", pointJson(*result.tco_optimal));
+        else
+            j.set("tco_optimal", nullptr);
+        Json pareto = Json::array();
+        for (const auto &p : result.pareto)
+            pareto.push(pointJson(p));
+        j.set("pareto", std::move(pareto));
+        return j.dump();
+    }
+    if (request.cmd == "sweep") {
+        const auto &sweep = optimizer->sweepNodes(*request.app);
+        Json j = Json::object();
+        j.set("app", request.app->name());
+        Json nodes = Json::array();
+        for (const auto &r : sweep) {
+            Json row = Json::object();
+            row.set("node", tech::to_string(r.node));
+            row.set("tco_per_ops", r.optimal.tco_per_ops);
+            row.set("cost_per_ops", r.optimal.cost_per_ops);
+            row.set("watts_per_ops", r.optimal.watts_per_ops);
+            row.set("nre_total", r.nre.total());
+            row.set("design", pointJson(r.optimal));
+            nodes.push(std::move(row));
+        }
+        j.set("nodes", std::move(nodes));
+        return j.dump();
+    }
+    if (request.cmd == "report") {
+        core::ReportGenerator gen(*optimizer);
+        return gen.toJson(*request.app, request.workload_tco).dump();
+    }
+    throw ModelError("serve: unhandled command " + request.cmd);
+}
+
+void
+SweepService::publishStats() const
+{
+    if (!obs::metricsEnabled())
+        return;
+    std::vector<std::shared_ptr<core::MoonwalkOptimizer>> live;
+    {
+        std::lock_guard<std::mutex> lock(profiles_mutex_);
+        live.reserve(profiles_.size());
+        for (const auto &[key, profile] : profiles_)
+            live.push_back(profile.optimizer);
+    }
+    for (size_t i = 0; i < live.size(); ++i) {
+        live[i]->explorer().publishStats();
+        // Every profile layers over the same directory; one scan.
+        if (i == 0)
+            live[i]->explorer().publishDiskUsage();
+    }
+    auto &reg = obs::metrics();
+    reg.gauge("serve.singleflight.hits")
+        .set(static_cast<double>(flight_.hits()));
+    reg.gauge("serve.singleflight.misses")
+        .set(static_cast<double>(flight_.misses()));
+    reg.gauge("serve.profiles.open")
+        .set(static_cast<double>(live.size()));
+}
+
+} // namespace moonwalk::serve

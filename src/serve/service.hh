@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Request-scoped execution core of the sweep service.
+ *
+ * SweepService turns validated protocol requests into serialized JSON
+ * result payloads.  It is the reentrancy boundary the CLI never
+ * needed: where the one-shot front end owned a single process-lifetime
+ * optimizer, the service materializes an optimizer *per sweep-options
+ * profile*, on demand, in a small LRU-bounded pool.  Requests sharing
+ * a profile share an optimizer — and with it the explorer's sharded
+ * in-memory memo and warm per-worker thermal caches — while requests
+ * with different granularity get isolated instances whose sweep keys
+ * can never alias.  Every profile's explorer layers over the same
+ * persistent disk cache directory, so results survive both profile
+ * eviction and process restarts.
+ *
+ * Above the memo sits the single-flight layer, keyed by the full
+ * serialized sweepKey (see protocol.hh): N concurrent identical
+ * requests run one exploration, and the N-1 waiters share the
+ * leader's serialized payload pointer, making their response bytes
+ * identical by construction.  handle() is safe to call from any
+ * number of threads at once; it is designed to run on the shared
+ * exec::ThreadPool, whose caller-participating parallelFor guarantees
+ * a leader can always finish even when every other worker is parked
+ * on the same flight.
+ */
+#ifndef MOONWALK_SERVE_SERVICE_HH
+#define MOONWALK_SERVE_SERVICE_HH
+
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/optimizer.hh"
+#include "serve/protocol.hh"
+#include "serve/single_flight.hh"
+
+namespace moonwalk::serve {
+
+/** Service-level knobs (the server adds transport knobs on top). */
+struct ServiceOptions
+{
+    /** Persistent sweep-cache directory shared by every options
+     *  profile; empty falls back to MOONWALK_CACHE_DIR, else off. */
+    std::string cache_dir;
+    /**
+     * Distinct sweep-options profiles kept warm at once.  Each
+     * profile owns an optimizer (explorer + memo caches); the least
+     * recently used is dropped beyond this bound, so a client cycling
+     * through option values cannot grow the server without limit.
+     */
+    int max_profiles = 16;
+    /**
+     * Test hook: artificial delay (ms) inside every leader
+     * computation, before the sweep runs.  Lets the e2e test hold a
+     * flight open long enough to deterministically observe
+     * single-flight sharing and admission overflow.  0 in production.
+     */
+    int handler_delay_ms = 0;
+};
+
+/** The service.  One instance per server process. */
+class SweepService
+{
+  public:
+    explicit SweepService(ServiceOptions options);
+
+    const ServiceOptions &options() const { return options_; }
+
+    /**
+     * Execute @p request and return its serialized "result" payload
+     * (shared with every concurrent identical request).  Throws
+     * ModelError on model-level failure (e.g. no feasible design);
+     * the transport maps exceptions to 500 responses.
+     */
+    std::shared_ptr<const std::string> handle(const Request &request);
+
+    /** Single-flight totals (also published as serve.singleflight.*
+     *  counters when metrics are on). */
+    uint64_t singleFlightHits() const { return flight_.hits(); }
+    uint64_t singleFlightMisses() const { return flight_.misses(); }
+
+    /**
+     * Publish every live profile's cache statistics plus the disk
+     * cache's entry-count/byte gauges into the metrics registry (the
+     * "stats" command calls this before snapshotting, so its answer
+     * reflects the moment of the request).
+     */
+    void publishStats() const;
+
+  private:
+    /** One warm options profile: the optimizer plus its LRU hook. */
+    struct Profile
+    {
+        std::shared_ptr<core::MoonwalkOptimizer> optimizer;
+        std::list<std::string>::iterator lru_pos;
+    };
+
+    /** Optimizer for @p options' profile, creating/evicting under the
+     *  profile lock. */
+    std::shared_ptr<core::MoonwalkOptimizer>
+    profileFor(const dse::ExplorerOptions &options);
+
+    std::string computeResult(
+        const Request &request,
+        const std::shared_ptr<core::MoonwalkOptimizer> &optimizer);
+
+    ServiceOptions options_;
+    SingleFlight<std::string> flight_;
+
+    mutable std::mutex profiles_mutex_;
+    std::map<std::string, Profile> profiles_;
+    /** Most recent at front; guarded by profiles_mutex_. */
+    std::list<std::string> lru_;
+};
+
+} // namespace moonwalk::serve
+
+#endif // MOONWALK_SERVE_SERVICE_HH

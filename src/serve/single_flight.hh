@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Single-flight deduplication for identical concurrent computations.
+ *
+ * A long-lived sweep service facing a thundering herd of identical
+ * requests must not run the same multi-second exploration once per
+ * caller.  SingleFlight keys each computation by a string (the serve
+ * layer uses the full serialized sweepKey, so "identical" means
+ * bit-identical inputs, never a hash guess): the first caller on a
+ * key becomes the *leader* and runs the computation; every caller
+ * arriving while the leader is in flight becomes a *waiter* and
+ * blocks until the leader publishes, then receives the same
+ * shared_ptr — waiters observe byte-identical results by
+ * construction, without recomputing or copying.
+ *
+ * Entries live only while a computation is in flight: once the leader
+ * publishes (or throws), the key is removed, and the next caller
+ * leads again.  Memoization across completed requests is a different
+ * concern and stays where it already lives (the explorer's sharded
+ * memo and the persistent disk cache underneath it); stacking
+ * single-flight on top closes exactly the window those layers leave
+ * open — the interval between the first miss and its insert, during
+ * which a naive server computes N times.
+ *
+ * A leader's exception propagates to every waiter (each waiter
+ * rethrows the shared exception_ptr); the failed key is removed
+ * first, so a retry computes afresh instead of inheriting the error.
+ *
+ * Waiters block the calling thread.  When callers run on the shared
+ * exec pool this parks a worker, which is safe — the leader never
+ * needs an idle worker to finish, because exec::parallelFor's caller
+ * always participates in (and can fully drain) its own work — but it
+ * does reduce the pool's effective width; the serve layer bounds the
+ * damage with admission control.
+ */
+#ifndef MOONWALK_SERVE_SINGLE_FLIGHT_HH
+#define MOONWALK_SERVE_SINGLE_FLIGHT_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace moonwalk::serve {
+
+/**
+ * The deduplicator.  Value is the (immutable, shared) computation
+ * result; all methods are safe to call from many threads.
+ */
+template <typename Value>
+class SingleFlight
+{
+  public:
+    /**
+     * Run @p compute for @p key, deduplicating against concurrent
+     * calls: the leader computes, waiters block and share the
+     * leader's result.  @p was_shared (optional) reports whether this
+     * call received another caller's in-flight result rather than
+     * computing.  Rethrows the leader's exception on failure.
+     */
+    template <typename Compute>
+    std::shared_ptr<const Value> run(const std::string &key,
+                                     Compute &&compute,
+                                     bool *was_shared = nullptr)
+    {
+        std::shared_ptr<Flight> flight;
+        bool leader = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = inflight_.find(key);
+            if (it == inflight_.end()) {
+                flight = std::make_shared<Flight>();
+                inflight_.emplace(key, flight);
+                leader = true;
+            } else {
+                flight = it->second;
+            }
+        }
+        if (was_shared)
+            *was_shared = !leader;
+
+        if (!leader) {
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            std::unique_lock<std::mutex> lock(flight->mutex);
+            flight->done_cv.wait(lock, [&] { return flight->done; });
+            if (flight->error)
+                std::rethrow_exception(flight->error);
+            return flight->value;
+        }
+
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        std::shared_ptr<const Value> value;
+        std::exception_ptr error;
+        try {
+            value = std::make_shared<const Value>(compute());
+        } catch (...) {
+            error = std::current_exception();
+        }
+        // Unpublish before waking waiters: a brand-new caller landing
+        // after the erase must lead its own flight (and, on failure,
+        // must not join a flight that only carries an exception).
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inflight_.erase(key);
+        }
+        {
+            std::lock_guard<std::mutex> lock(flight->mutex);
+            flight->value = value;
+            flight->error = error;
+            flight->done = true;
+        }
+        flight->done_cv.notify_all();
+        if (error)
+            std::rethrow_exception(error);
+        return value;
+    }
+
+    /** Calls served by another caller's in-flight computation. */
+    uint64_t hits() const
+    {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    /** Calls that led a computation of their own. */
+    uint64_t misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    /** Keys currently in flight (diagnostics). */
+    size_t inflightKeys() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return inflight_.size();
+    }
+
+  private:
+    struct Flight
+    {
+        std::mutex mutex;
+        std::condition_variable done_cv;
+        bool done = false;
+        std::shared_ptr<const Value> value;
+        std::exception_ptr error;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<Flight>> inflight_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace moonwalk::serve
+
+#endif // MOONWALK_SERVE_SINGLE_FLIGHT_HH

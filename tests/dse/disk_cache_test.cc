@@ -108,6 +108,56 @@ TEST(ResultCodec, RoundTripsARealExplorationBitExactly)
     EXPECT_EQ(digest(*decoded), digest(result));
 }
 
+TEST(ResultCodec, WireFormatIsLittleEndianWithByteOrderMark)
+{
+    DesignSpaceExplorer explorer{coarse()};
+    const auto result =
+        explorer.explore(apps::bitcoin().rca, NodeId::N28);
+    const std::string bytes = encodeExplorationResult(result);
+    ASSERT_GE(bytes.size(), 12u);
+
+    // Header layout is fixed regardless of host endianness: magic
+    // "MWER" (0x4d574552), version, then the byte-order mark
+    // 0x01020304 — all little-endian, LSB first on the wire.
+    const auto u8 = [&](size_t i) {
+        return static_cast<unsigned char>(bytes[i]);
+    };
+    EXPECT_EQ(u8(0), 0x52);  // 'R'
+    EXPECT_EQ(u8(1), 0x45);  // 'E'
+    EXPECT_EQ(u8(2), 0x57);  // 'W'
+    EXPECT_EQ(u8(3), 0x4d);  // 'M'
+    EXPECT_EQ(u8(4), kResultCodecVersion & 0xff);
+    EXPECT_EQ(u8(8), 0x04);
+    EXPECT_EQ(u8(9), 0x03);
+    EXPECT_EQ(u8(10), 0x02);
+    EXPECT_EQ(u8(11), 0x01);
+}
+
+TEST(ResultCodec, RejectsAByteSwappedPayload)
+{
+    DesignSpaceExplorer explorer{coarse()};
+    const auto result =
+        explorer.explore(apps::bitcoin().rca, NodeId::N28);
+    std::string bytes = encodeExplorationResult(result);
+    ASSERT_TRUE(decodeExplorationResult(bytes).has_value());
+
+    // Simulate a cache written by a big-endian host under the raw
+    // host-endian v1 layout: every 32-bit header word byte-swapped.
+    std::string swapped = bytes;
+    for (size_t word = 0; word < 3; ++word) {
+        std::swap(swapped[4 * word + 0], swapped[4 * word + 3]);
+        std::swap(swapped[4 * word + 1], swapped[4 * word + 2]);
+    }
+    EXPECT_FALSE(decodeExplorationResult(swapped).has_value());
+
+    // Swapping only the mark (header otherwise intact) must also be
+    // rejected — a half-converted payload is corrupt, not decodable.
+    std::string marked = bytes;
+    std::swap(marked[8], marked[11]);
+    std::swap(marked[9], marked[10]);
+    EXPECT_FALSE(decodeExplorationResult(marked).has_value());
+}
+
 TEST(ResultCodec, RejectsTruncationAndTrailingGarbage)
 {
     DesignSpaceExplorer explorer{coarse()};

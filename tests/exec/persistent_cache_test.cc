@@ -1,6 +1,7 @@
 #include "exec/persistent_cache.hh"
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <thread>
@@ -236,4 +237,99 @@ TEST(PersistentCache, StatsSnapshotAggregatesAllCounters)
     EXPECT_EQ(s.inserts, 1u);
     EXPECT_EQ(s.evictions, 0u);
     EXPECT_EQ(s.corrupt, 0u);
+}
+
+TEST(PersistentCache, UsageCountsEntriesBytesAndTempLitter)
+{
+    TempDir dir("usage");
+    PersistentCache cache(dir.str(), "v1");
+    ASSERT_TRUE(cache.store("a", std::string(100, 'x')));
+    ASSERT_TRUE(cache.store("b", std::string(300, 'y')));
+
+    auto u = cache.usage();
+    EXPECT_EQ(u.entries, 2u);
+    // Entry files carry a header (version stamp, key, digest) on top
+    // of the payload, so bytes is a strict upper bound check.
+    EXPECT_GE(u.bytes, 400u);
+    EXPECT_EQ(u.temp_files, 0u);
+
+    // A stale temp file from a crashed writer is litter, not an entry.
+    writeFile(dir.str() + "/deadbeef.mwc.tmp.123.1", "partial");
+    u = cache.usage();
+    EXPECT_EQ(u.entries, 2u);
+    EXPECT_EQ(u.temp_files, 1u);
+}
+
+TEST(PersistentCache, UsageIsZeroWhenDisabled)
+{
+    PersistentCache cache("", "v1");
+    const auto u = cache.usage();
+    EXPECT_EQ(u.entries, 0u);
+    EXPECT_EQ(u.bytes, 0u);
+    EXPECT_EQ(u.temp_files, 0u);
+}
+
+TEST(PersistentCache, PruneEvictsOldestWritesFirst)
+{
+    TempDir dir("prune-lru");
+    PersistentCache cache(dir.str(), "v1");
+    ASSERT_TRUE(cache.store("old", std::string(200, 'a')));
+    ASSERT_TRUE(cache.store("new", std::string(200, 'b')));
+
+    // Make the age difference unambiguous instead of racing the
+    // filesystem clock: push "old"'s mtime firmly into the past.
+    for (const auto &e : fs::directory_iterator(dir.str())) {
+        const auto text = readFile(e.path().string());
+        if (text.find("old") != std::string::npos) {
+            fs::last_write_time(
+                e.path(),
+                fs::last_write_time(e.path()) -
+                    std::chrono::hours(1));
+        }
+    }
+
+    const auto total = cache.usage().bytes;
+    const auto r = cache.prune(total - 1);  // must drop exactly one
+    EXPECT_EQ(r.removed_entries, 1u);
+    EXPECT_EQ(r.after.entries, 1u);
+    EXPECT_LE(r.after.bytes, total - 1);
+
+    // LRU-by-write: the older entry went, the newer one survives.
+    EXPECT_FALSE(cache.load("old").has_value());
+    EXPECT_TRUE(cache.load("new").has_value());
+}
+
+TEST(PersistentCache, PruneToZeroClearsEverythingIncludingTemps)
+{
+    TempDir dir("prune-zero");
+    PersistentCache cache(dir.str(), "v1");
+    ASSERT_TRUE(cache.store("a", "payload-a"));
+    ASSERT_TRUE(cache.store("b", "payload-b"));
+    writeFile(dir.str() + "/deadbeef.mwc.tmp.9.1", "partial");
+
+    const auto r = cache.prune(0);
+    EXPECT_EQ(r.removed_entries, 2u);
+    EXPECT_GT(r.removed_bytes, 0u);
+    EXPECT_EQ(r.removed_temp_files, 1u);
+    EXPECT_EQ(r.after.entries, 0u);
+    EXPECT_EQ(r.after.bytes, 0u);
+
+    // A pruned entry is a plain miss; the cache keeps working.
+    EXPECT_FALSE(cache.load("a").has_value());
+    ASSERT_TRUE(cache.store("a", "recomputed"));
+    EXPECT_TRUE(cache.load("a").has_value());
+}
+
+TEST(PersistentCache, PruneUnderBudgetRemovesOnlyTempFiles)
+{
+    TempDir dir("prune-noop");
+    PersistentCache cache(dir.str(), "v1");
+    ASSERT_TRUE(cache.store("keep", "small"));
+    writeFile(dir.str() + "/deadbeef.mwc.tmp.7.1", "partial");
+
+    const auto r = cache.prune(1 << 20);
+    EXPECT_EQ(r.removed_entries, 0u);
+    EXPECT_EQ(r.removed_temp_files, 1u);
+    EXPECT_EQ(r.after.entries, 1u);
+    EXPECT_TRUE(cache.load("keep").has_value());
 }

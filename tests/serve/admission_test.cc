@@ -1,0 +1,99 @@
+#include "serve/admission.hh"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+using moonwalk::serve::AdmissionController;
+using moonwalk::serve::AdmitReject;
+using moonwalk::serve::ConnectionBudget;
+
+TEST(Admission, GlobalDepthBoundsTotalInflight)
+{
+    AdmissionController ctl(3, 8);
+    ConnectionBudget a, b;
+    EXPECT_EQ(ctl.tryAdmit(a), AdmitReject::Admitted);
+    EXPECT_EQ(ctl.tryAdmit(a), AdmitReject::Admitted);
+    EXPECT_EQ(ctl.tryAdmit(b), AdmitReject::Admitted);
+    EXPECT_EQ(ctl.inflight(), 3);
+    // Depth exhausted: every connection is refused, even a fresh one.
+    ConnectionBudget fresh;
+    EXPECT_EQ(ctl.tryAdmit(fresh), AdmitReject::QueueFull);
+    EXPECT_EQ(ctl.tryAdmit(a), AdmitReject::QueueFull);
+
+    ctl.release(b);
+    EXPECT_EQ(ctl.inflight(), 2);
+    EXPECT_EQ(ctl.tryAdmit(fresh), AdmitReject::Admitted);
+}
+
+TEST(Admission, PerConnectionCapRejectsOnePipeliningClient)
+{
+    AdmissionController ctl(8, 2);
+    ConnectionBudget greedy, other;
+    EXPECT_EQ(ctl.tryAdmit(greedy), AdmitReject::Admitted);
+    EXPECT_EQ(ctl.tryAdmit(greedy), AdmitReject::Admitted);
+    // The greedy connection is at its cap while the global budget
+    // still has room: the rejection names the connection, and other
+    // connections are unaffected.
+    EXPECT_EQ(ctl.tryAdmit(greedy), AdmitReject::ConnectionLimit);
+    EXPECT_EQ(ctl.tryAdmit(other), AdmitReject::Admitted);
+    EXPECT_EQ(ctl.inflight(), 3);
+
+    ctl.release(greedy);
+    EXPECT_EQ(ctl.tryAdmit(greedy), AdmitReject::Admitted);
+}
+
+TEST(Admission, GlobalExhaustionOutranksTheConnectionCap)
+{
+    // When both limits are hit, the answer is QueueFull: "the server
+    // is overloaded" is the actionable signal (retry later); the
+    // connection cap would wrongly suggest spreading across sockets.
+    AdmissionController ctl(2, 2);
+    ConnectionBudget conn;
+    EXPECT_EQ(ctl.tryAdmit(conn), AdmitReject::Admitted);
+    EXPECT_EQ(ctl.tryAdmit(conn), AdmitReject::Admitted);
+    EXPECT_EQ(ctl.tryAdmit(conn), AdmitReject::QueueFull);
+}
+
+TEST(Admission, LimitsClampToAtLeastOne)
+{
+    AdmissionController ctl(0, 0);
+    EXPECT_EQ(ctl.queueDepth(), 1);
+    EXPECT_EQ(ctl.perConnectionLimit(), 1);
+    ConnectionBudget conn;
+    EXPECT_EQ(ctl.tryAdmit(conn), AdmitReject::Admitted);
+    EXPECT_EQ(ctl.tryAdmit(conn), AdmitReject::QueueFull);
+}
+
+TEST(Admission, DrainWaitsForEveryRelease)
+{
+    AdmissionController ctl(4, 4);
+    ConnectionBudget conn;
+    ASSERT_EQ(ctl.tryAdmit(conn), AdmitReject::Admitted);
+    ASSERT_EQ(ctl.tryAdmit(conn), AdmitReject::Admitted);
+
+    std::atomic<bool> drained{false};
+    std::thread drainer([&] {
+        ctl.drain();
+        drained = true;
+    });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(drained.load());
+    ctl.release(conn);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(drained.load());
+    ctl.release(conn);
+    drainer.join();
+    EXPECT_TRUE(drained.load());
+    EXPECT_EQ(ctl.inflight(), 0);
+}
+
+TEST(Admission, DrainReturnsImmediatelyWhenIdle)
+{
+    AdmissionController ctl(4, 4);
+    ctl.drain();  // must not block
+    EXPECT_EQ(ctl.inflight(), 0);
+}

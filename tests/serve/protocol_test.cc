@@ -1,0 +1,183 @@
+#include "serve/protocol.hh"
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hh"
+#include "dse/explorer.hh"
+
+using moonwalk::Json;
+using moonwalk::serve::errorEnvelope;
+using moonwalk::serve::okEnvelope;
+using moonwalk::serve::optionsProfileKey;
+using moonwalk::serve::parseRequest;
+using moonwalk::serve::Request;
+using moonwalk::serve::RequestError;
+using moonwalk::serve::requestKey;
+
+namespace {
+
+Request
+mustParse(const std::string &line)
+{
+    Request request;
+    RequestError error;
+    EXPECT_TRUE(parseRequest(line, &request, &error))
+        << error.reason << ": " << error.message;
+    return request;
+}
+
+RequestError
+mustReject(const std::string &line)
+{
+    Request request;
+    RequestError error;
+    EXPECT_FALSE(parseRequest(line, &request, &error)) << line;
+    return error;
+}
+
+} // namespace
+
+TEST(ServeProtocol, ParsesTheFiveCommands)
+{
+    EXPECT_EQ(mustParse(R"({"cmd":"ping"})").cmd, "ping");
+    EXPECT_EQ(mustParse(R"({"cmd":"stats"})").cmd, "stats");
+
+    const Request explore = mustParse(
+        R"({"cmd":"explore","app":"Bitcoin","node":"28nm"})");
+    ASSERT_TRUE(explore.app.has_value());
+    EXPECT_EQ(explore.app->name(), "Bitcoin");
+    ASSERT_TRUE(explore.node.has_value());
+
+    EXPECT_EQ(mustParse(R"({"cmd":"sweep","app":"Bitcoin"})").cmd,
+              "sweep");
+    const Request report = mustParse(
+        R"({"cmd":"report","app":"Bitcoin","tco":30000000})");
+    EXPECT_DOUBLE_EQ(report.workload_tco, 30e6);
+}
+
+TEST(ServeProtocol, RejectsMalformedRequests)
+{
+    EXPECT_EQ(mustReject("{not json").reason, "bad_json");
+    EXPECT_EQ(mustReject("[1,2,3]").reason, "bad_request");
+    EXPECT_EQ(mustReject(R"({"app":"Bitcoin"})").reason,
+              "bad_request");  // no cmd
+    EXPECT_EQ(mustReject(R"({"cmd":"launch"})").reason,
+              "unknown_cmd");
+    EXPECT_EQ(mustReject(R"({"cmd":"ping","frobnicate":1})").reason,
+              "unknown_field");
+    // explore needs both app and node.
+    EXPECT_EQ(mustReject(R"({"cmd":"explore","node":"28nm"})").reason,
+              "bad_request");
+    EXPECT_EQ(
+        mustReject(R"({"cmd":"explore","app":"Bitcoin"})").reason,
+        "bad_request");
+}
+
+TEST(ServeProtocol, UnknownAppAndNodeAre404s)
+{
+    const RequestError app = mustReject(
+        R"({"cmd":"explore","app":"Dogecoin","node":"28nm"})");
+    EXPECT_EQ(app.code, 404);
+    EXPECT_EQ(app.reason, "unknown_app");
+
+    const RequestError node = mustReject(
+        R"({"cmd":"explore","app":"Bitcoin","node":"3nm"})");
+    EXPECT_EQ(node.code, 404);
+    EXPECT_EQ(node.reason, "unknown_node");
+}
+
+TEST(ServeProtocol, ValidatesSweepOptionsStrictly)
+{
+    const Request r = mustParse(
+        R"({"cmd":"sweep","app":"Bitcoin","options":{)"
+        R"("voltage_steps":6,"rca_count_steps":8,)"
+        R"("max_drams_per_die":2,"dark_fractions":[0.0,0.5]}})");
+    EXPECT_EQ(r.options.voltage_steps, 6);
+    EXPECT_EQ(r.options.rca_count_steps, 8);
+    EXPECT_EQ(r.options.max_drams_per_die, 2);
+    ASSERT_EQ(r.options.dark_fractions.size(), 2u);
+
+    EXPECT_EQ(mustReject(R"({"cmd":"sweep","app":"Bitcoin",)"
+                         R"("options":{"voltage_steps":1}})")
+                  .reason,
+              "bad_option");  // below minimum
+    EXPECT_EQ(mustReject(R"({"cmd":"sweep","app":"Bitcoin",)"
+                         R"("options":{"voltage_steps":6.5}})")
+                  .reason,
+              "bad_option");  // non-integer
+    EXPECT_EQ(mustReject(R"({"cmd":"sweep","app":"Bitcoin",)"
+                         R"("options":{"dark_fractions":[2.0]}})")
+                  .reason,
+              "bad_option");  // out of [0, 0.95]
+    EXPECT_EQ(mustReject(R"({"cmd":"sweep","app":"Bitcoin",)"
+                         R"("options":{"threads":4}})")
+                  .reason,
+              "unknown_option");
+}
+
+TEST(ServeProtocol, EnvelopesAreSingleLineAndEchoTheId)
+{
+    const Request with_id = mustParse(R"({"cmd":"ping","id":42})");
+    const std::string ok = okEnvelope("{\"pong\":true}", &with_id);
+    EXPECT_EQ(ok, R"({"ok":true,"id":42,"result":{"pong":true}})");
+    EXPECT_EQ(ok.find('\n'), std::string::npos);
+
+    const RequestError error{429, "overloaded", "retry later"};
+    const std::string err = errorEnvelope(error, true, with_id.id);
+    EXPECT_NE(err.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(err.find("\"id\":42"), std::string::npos);
+    EXPECT_NE(err.find("\"reason\":\"overloaded\""),
+              std::string::npos);
+    EXPECT_NE(err.find("\"code\":429"), std::string::npos);
+    EXPECT_EQ(err.find('\n'), std::string::npos);
+
+    // No id member at all when the request carried none — absent and
+    // null are different statements.
+    const Request no_id = mustParse(R"({"cmd":"ping"})");
+    EXPECT_EQ(okEnvelope("{}", &no_id).find("\"id\""),
+              std::string::npos);
+}
+
+TEST(ServeProtocol, ProfileKeySeparatesEveryKnob)
+{
+    moonwalk::dse::ExplorerOptions base;
+    const std::string base_key = optionsProfileKey(base);
+    EXPECT_EQ(optionsProfileKey(base), base_key);  // deterministic
+
+    auto variant = base;
+    variant.voltage_steps += 1;
+    EXPECT_NE(optionsProfileKey(variant), base_key);
+    variant = base;
+    variant.dark_fractions = {0.25};
+    EXPECT_NE(optionsProfileKey(variant), base_key);
+}
+
+TEST(ServeProtocol, RequestKeyIsExactOverInputs)
+{
+    moonwalk::dse::ExplorerOptions options;
+    options.voltage_steps = 4;
+    options.rca_count_steps = 4;
+    options.max_drams_per_die = 1;
+    options.dark_fractions = {0.0};
+    moonwalk::dse::DesignSpaceExplorer explorer{options};
+
+    const Request a = mustParse(
+        R"({"cmd":"explore","app":"Bitcoin","node":"28nm"})");
+    const Request b = mustParse(
+        R"({"cmd":"explore","app":"Bitcoin","node":"28nm","id":7})");
+    // The id routes responses; it is not part of the computation.
+    EXPECT_EQ(requestKey(a, explorer), requestKey(b, explorer));
+
+    const Request other_node = mustParse(
+        R"({"cmd":"explore","app":"Bitcoin","node":"40nm"})");
+    EXPECT_NE(requestKey(other_node, explorer),
+              requestKey(a, explorer));
+    const Request other_app = mustParse(
+        R"({"cmd":"explore","app":"Litecoin","node":"28nm"})");
+    EXPECT_NE(requestKey(other_app, explorer),
+              requestKey(a, explorer));
+
+    const Request sweep =
+        mustParse(R"({"cmd":"sweep","app":"Bitcoin"})");
+    EXPECT_NE(requestKey(sweep, explorer), requestKey(a, explorer));
+}

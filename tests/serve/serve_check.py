@@ -1,0 +1,301 @@
+#!/usr/bin/env python3
+"""End-to-end check of `moonwalk serve` over its real TCP socket.
+
+    serve_check.py <moonwalk-binary>
+
+Boots the daemon, then asserts the service contract the header
+comments promise:
+
+  1. N concurrent *identical* requests produce byte-identical
+     response payloads, serve.singleflight.hits == N-1, and exactly
+     one sweep evaluation (one disk-cache insert).
+  2. Distinct requests beyond the admission budget fast-fail with a
+     structured 429 instead of queueing or crashing.
+  3. A pipelining connection beyond its per-connection cap is told
+     "connection_limit" while the global budget still has room.
+  4. Malformed input gets a structured 400 and the connection stays
+     usable.
+  5. SIGTERM drains: an in-flight request is still answered, the
+     socket then reaches EOF, and the daemon exits with status 0.
+
+Exit status: 0 = all checks pass, 1 = a check failed, 2 = usage.
+"""
+
+import json
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+# Small but non-trivial sweep: big enough that concurrent callers
+# genuinely overlap, small enough to keep the test fast.
+OPTIONS = {
+    "voltage_steps": 6,
+    "rca_count_steps": 8,
+    "max_drams_per_die": 2,
+    "dark_fractions": [0.0],
+}
+
+failures = 0
+
+
+def check(ok, what):
+    global failures
+    if ok:
+        print(f"ok: {what}")
+    else:
+        failures += 1
+        print(f"FAIL: {what}", file=sys.stderr)
+
+
+def recv_line(sock, deadline_s=120.0):
+    """Read one newline-terminated response."""
+    sock.settimeout(deadline_s)
+    buf = b""
+    while not buf.endswith(b"\n"):
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise EOFError("connection closed mid-response")
+        buf += chunk
+    return buf
+
+
+def request_raw(port, line, deadline_s=120.0):
+    """One request on a fresh connection; returns the raw response."""
+    with socket.create_connection(("127.0.0.1", port)) as sock:
+        sock.sendall(line.encode() + b"\n")
+        return recv_line(sock, deadline_s)
+
+
+def request(port, obj, deadline_s=120.0):
+    return json.loads(request_raw(port, json.dumps(obj), deadline_s))
+
+
+class Daemon:
+    """One `moonwalk serve` process on an ephemeral port."""
+
+    def __init__(self, binary, cache_dir, extra_flags=()):
+        self.proc = subprocess.Popen(
+            [binary, "serve", "--port", "0",
+             "--cache-dir", cache_dir, *extra_flags],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        # The daemon announces its bound port on stdout:
+        #   moonwalk: listening on 127.0.0.1:PORT
+        line = self.proc.stdout.readline()
+        match = re.search(r"listening on [0-9.]+:(\d+)", line)
+        if not match:
+            self.proc.kill()
+            raise RuntimeError(f"no listen line, got: {line!r}")
+        self.port = int(match.group(1))
+
+    def stop(self, expect_clean=True):
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        try:
+            rc = self.proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait()
+            check(False, "daemon exited within 60s of SIGTERM")
+            return
+        if expect_clean:
+            check(rc == 0, f"daemon exit status 0 (got {rc})")
+
+
+def stats(port):
+    resp = request(port, {"cmd": "stats"})
+    assert resp["ok"], resp
+    return resp["result"]
+
+
+def check_singleflight(binary, cache_dir):
+    """N identical concurrent requests: one compute, N equal copies."""
+    n = 5
+    # The handler delay holds the leader open so all N genuinely
+    # overlap; queue_depth must be >= N because waiters hold
+    # admission slots too (admission runs before single-flight).
+    daemon = Daemon(binary, cache_dir,
+                    ("--queue-depth", str(n + 2),
+                     "--handler-delay-ms", "700"))
+    port = daemon.port
+    line = json.dumps({
+        "cmd": "explore", "app": "Bitcoin", "node": "28nm",
+        "options": OPTIONS,
+    })
+
+    responses = [None] * n
+    def worker(i):
+        responses[i] = request_raw(port, line)
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    check(all(r is not None for r in responses),
+          "all concurrent identical requests answered")
+    check(len(set(responses)) == 1,
+          "identical requests got byte-identical responses")
+    first = json.loads(responses[0])
+    check(first.get("ok") is True, "exploration succeeded")
+
+    s = stats(port)
+    hits = s["singleflight"]["hits"]
+    misses = s["singleflight"]["misses"]
+    inserts = s["metrics"]["gauges"].get("sweep.diskcache.inserts", 0)
+    check(hits == n - 1, f"singleflight hits == {n - 1} (got {hits})")
+    check(misses == 1, f"singleflight misses == 1 (got {misses})")
+    check(inserts == 1,
+          f"exactly one sweep evaluated/inserted (got {inserts})")
+    daemon.stop()
+
+
+def check_overload(binary, cache_dir):
+    """Distinct requests beyond the budget fast-fail with 429."""
+    depth = 2
+    daemon = Daemon(binary, cache_dir,
+                    ("--queue-depth", str(depth),
+                     "--handler-delay-ms", "1500"))
+    port = daemon.port
+    nodes = ["90nm", "65nm", "40nm", "28nm", "16nm"]
+    responses = [None] * len(nodes)
+
+    def worker(i):
+        responses[i] = request(port, {
+            "cmd": "explore", "app": "Bitcoin", "node": nodes[i],
+            "options": OPTIONS, "id": i,
+        })
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(len(nodes))]
+    for t in threads:
+        t.start()
+        time.sleep(0.1)  # admit in order; rejections are immediate
+    for t in threads:
+        t.join()
+
+    rejected = [r for r in responses if r and not r["ok"]]
+    served = [r for r in responses if r and r["ok"]]
+    check(len(rejected) == len(nodes) - depth,
+          f"{len(nodes) - depth} requests fast-failed "
+          f"(got {len(rejected)})")
+    check(all(r["error"]["code"] == 429 and
+              r["error"]["reason"] == "overloaded"
+              for r in rejected),
+          "rejections are structured 429 'overloaded'")
+    check(len(served) == depth, f"{depth} requests served")
+    # Rejections echo the id, so a pipelining client can tell which
+    # request was shed.
+    check(all("id" in r for r in rejected), "rejections echo the id")
+
+    # The daemon survived the burst and still answers.
+    check(request(port, {"cmd": "ping"})["ok"], "daemon alive after burst")
+    daemon.stop()
+
+
+def check_connection_limit(binary, cache_dir):
+    """One pipelining socket beyond its cap: 'connection_limit'."""
+    daemon = Daemon(binary, cache_dir,
+                    ("--queue-depth", "10",
+                     "--max-conn-inflight", "2",
+                     "--handler-delay-ms", "1500"))
+    port = daemon.port
+    with socket.create_connection(("127.0.0.1", port)) as sock:
+        for i, node in enumerate(["90nm", "65nm", "40nm"]):
+            req = {"cmd": "explore", "app": "Bitcoin", "node": node,
+                   "options": OPTIONS, "id": i}
+            sock.sendall(json.dumps(req).encode() + b"\n")
+            time.sleep(0.1)
+        responses = []
+        buf = b""
+        sock.settimeout(120)
+        while len(responses) < 3:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+            while b"\n" in buf:
+                line, buf = buf.split(b"\n", 1)
+                responses.append(json.loads(line))
+    rejected = [r for r in responses if not r["ok"]]
+    check(len(rejected) == 1,
+          f"third pipelined request rejected (got {len(rejected)})")
+    check(rejected and
+          rejected[0]["error"]["reason"] == "connection_limit",
+          "per-connection rejection says 'connection_limit'")
+    daemon.stop()
+
+
+def check_bad_input(binary, cache_dir):
+    """Malformed lines get structured errors; the connection lives."""
+    daemon = Daemon(binary, cache_dir)
+    port = daemon.port
+    with socket.create_connection(("127.0.0.1", port)) as sock:
+        sock.sendall(b"this is not json\n")
+        bad = json.loads(recv_line(sock))
+        check(not bad["ok"] and bad["error"]["code"] == 400 and
+              bad["error"]["reason"] == "bad_json",
+              "invalid JSON gets a structured 400")
+        # Same socket keeps working.
+        sock.sendall(b'{"cmd":"ping"}\n')
+        check(json.loads(recv_line(sock))["ok"],
+              "connection survives a malformed request")
+
+    resp = request(port, {"cmd": "explore", "app": "Dogecoin",
+                          "node": "28nm"})
+    check(not resp["ok"] and resp["error"]["code"] == 404 and
+          resp["error"]["reason"] == "unknown_app",
+          "unknown app gets a structured 404")
+    daemon.stop()
+
+
+def check_drain(binary, cache_dir):
+    """SIGTERM answers in-flight work, then exits cleanly."""
+    daemon = Daemon(binary, cache_dir, ("--handler-delay-ms", "800"))
+    port = daemon.port
+    with socket.create_connection(("127.0.0.1", port)) as sock:
+        req = {"cmd": "explore", "app": "Bitcoin", "node": "28nm",
+               "options": OPTIONS}
+        sock.sendall(json.dumps(req).encode() + b"\n")
+        time.sleep(0.3)  # request is now in flight
+        daemon.proc.send_signal(signal.SIGTERM)
+        resp = json.loads(recv_line(sock))
+        check(resp.get("ok") is True,
+              "in-flight request answered after SIGTERM")
+        sock.settimeout(30)
+        check(sock.recv(100) == b"", "connection EOF after drain")
+    daemon.stop()
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    with tempfile.TemporaryDirectory(prefix="moonwalk-serve-") as tmp:
+        # Each check gets its own cache dir: cross-check disk hits
+        # would hide the "exactly one evaluation" accounting.
+        check_singleflight(binary, os.path.join(tmp, "singleflight"))
+        check_overload(binary, os.path.join(tmp, "overload"))
+        check_connection_limit(binary,
+                               os.path.join(tmp, "connlimit"))
+        check_bad_input(binary, os.path.join(tmp, "badinput"))
+        check_drain(binary, os.path.join(tmp, "drain"))
+    if failures:
+        print(f"serve_check: {failures} check(s) failed",
+              file=sys.stderr)
+        return 1
+    print("serve_check: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+#include "serve/single_flight.hh"
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+using moonwalk::serve::SingleFlight;
+
+TEST(SingleFlight, SequentialCallsEachLead)
+{
+    SingleFlight<std::string> flight;
+    int computes = 0;
+    for (int i = 0; i < 3; ++i) {
+        bool shared = true;
+        auto value = flight.run(
+            "k",
+            [&] {
+                ++computes;
+                return std::string("v");
+            },
+            &shared);
+        EXPECT_EQ(*value, "v");
+        EXPECT_FALSE(shared);
+    }
+    // Entries live only while in flight, so sequential calls never
+    // dedupe — that is the memo/disk cache's job, not ours.
+    EXPECT_EQ(computes, 3);
+    EXPECT_EQ(flight.misses(), 3u);
+    EXPECT_EQ(flight.hits(), 0u);
+    EXPECT_EQ(flight.inflightKeys(), 0u);
+}
+
+TEST(SingleFlight, ConcurrentIdenticalKeysShareOneComputation)
+{
+    constexpr int kCallers = 8;
+    SingleFlight<std::string> flight;
+    std::atomic<int> computes{0};
+
+    // The leader's compute blocks until every other caller has
+    // registered as a waiter (waiters bump hits() before parking), so
+    // the dedupe is exercised deterministically, not by racing.
+    auto compute = [&] {
+        computes.fetch_add(1);
+        while (flight.hits() <
+               static_cast<uint64_t>(kCallers - 1)) {
+            std::this_thread::yield();
+        }
+        return std::string("result-bytes");
+    };
+
+    std::vector<std::shared_ptr<const std::string>> values(kCallers);
+    std::vector<char> was_shared(kCallers, 0);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kCallers; ++i) {
+        threads.emplace_back([&, i] {
+            bool shared = false;
+            values[i] = flight.run("key", compute, &shared);
+            was_shared[i] = shared ? 1 : 0;
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(computes.load(), 1);
+    EXPECT_EQ(flight.misses(), 1u);
+    EXPECT_EQ(flight.hits(),
+              static_cast<uint64_t>(kCallers - 1));
+    int leaders = 0;
+    for (int i = 0; i < kCallers; ++i) {
+        if (!was_shared[i])
+            ++leaders;
+        ASSERT_NE(values[i], nullptr);
+        // The exact same object, not merely equal bytes: waiters
+        // receive the leader's shared_ptr.
+        EXPECT_EQ(values[i].get(), values[0].get());
+    }
+    EXPECT_EQ(leaders, 1);
+    EXPECT_EQ(flight.inflightKeys(), 0u);
+}
+
+TEST(SingleFlight, DistinctKeysComputeIndependently)
+{
+    SingleFlight<int> flight;
+    auto a = flight.run("a", [] { return 1; });
+    auto b = flight.run("b", [] { return 2; });
+    EXPECT_EQ(*a, 1);
+    EXPECT_EQ(*b, 2);
+    EXPECT_EQ(flight.misses(), 2u);
+    EXPECT_EQ(flight.hits(), 0u);
+}
+
+TEST(SingleFlight, LeaderExceptionReachesWaitersThenClears)
+{
+    SingleFlight<std::string> flight;
+    std::atomic<bool> waiter_failed{false};
+
+    auto throwing = [&]() -> std::string {
+        while (flight.hits() < 1)
+            std::this_thread::yield();
+        throw std::runtime_error("sweep exploded");
+    };
+
+    std::thread leader([&] {
+        EXPECT_THROW(flight.run("k", throwing), std::runtime_error);
+    });
+    std::thread waiter([&] {
+        try {
+            flight.run("k", throwing);
+        } catch (const std::runtime_error &) {
+            waiter_failed = true;
+        }
+    });
+    leader.join();
+    waiter.join();
+    EXPECT_TRUE(waiter_failed.load());
+
+    // The failed key was unpublished, so a retry computes afresh
+    // instead of inheriting the stale exception.
+    auto value = flight.run("k", [] { return std::string("ok"); });
+    EXPECT_EQ(*value, "ok");
+    EXPECT_EQ(flight.inflightKeys(), 0u);
+}

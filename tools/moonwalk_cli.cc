@@ -24,6 +24,22 @@
  *                                 accounting) over N seeded random
  *                                 specs; failures print a
  *                                 reproducing seed
+ *   moonwalk serve [--port P] [--host H] [--queue-depth N]
+ *                  [--max-conn-inflight N]
+ *                                 long-lived sweep service: newline-
+ *                                 delimited JSON requests over TCP,
+ *                                 single-flight dedup of identical
+ *                                 concurrent requests, admission
+ *                                 control with fast-fail overload
+ *                                 errors, graceful SIGINT/SIGTERM
+ *                                 drain.  Prints one parseable
+ *                                 "listening on <host>:<port>" line
+ *                                 (port 0 picks an ephemeral port).
+ *   moonwalk cache stats          entry count / bytes of the
+ *                                 persistent sweep cache
+ *   moonwalk cache prune --max-bytes N
+ *                                 shrink the cache to N bytes,
+ *                                 oldest entries first
  *
  * <app> is one of: Bitcoin, Litecoin, "Video Transcode",
  * "Deep Learning".  <tco> accepts scientific notation (e.g. 30e6).
@@ -56,8 +72,10 @@
  */
 #include <cerrno>
 #include <cmath>
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,11 +83,13 @@
 #include "check/check.hh"
 #include "core/report.hh"
 #include "core/sensitivity.hh"
+#include "exec/persistent_cache.hh"
 #include "exec/thread_pool.hh"
 #include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
 #include "obs/trace.hh"
+#include "serve/server.hh"
 #include "sim/server_sim.hh"
 #include "tco/datacenter.hh"
 #include "util/error.hh"
@@ -87,25 +107,66 @@ namespace {
 
 constexpr const char *kCommands =
     "apps, nodes, sweep, report, select, ranges, porting, simulate, "
-    "provision, check, version";
+    "provision, check, serve, cache, version";
 constexpr const char *kFlags =
     "--json, --jobs <n>, --cache-dir <dir>, --metrics, "
     "--report-json <file>, --trace <file>, "
     "--log-level <error|warn|info|debug|off>, "
-    "--seeds <n>, --seed <s>";
+    "--seeds <n>, --seed <s>, --port <p>, --host <addr>, "
+    "--queue-depth <n>, --max-conn-inflight <n>, "
+    "--handler-delay-ms <n>, --max-bytes <n[K|M|G]>";
 
-// The active run report (set in main when --report-json is given) and
-// whether its artifact goes to stdout.  Command implementations write
-// human-readable output through out(), which swings to stderr in the
-// stdout-artifact case so stdout stays one parseable JSON document.
-moonwalk::obs::RunReport *g_report = nullptr;
-bool g_report_stdout = false;
-
-std::ostream &
-out()
+/**
+ * Per-invocation execution context.  Everything the one-shot front
+ * end used to keep in process-lifetime globals — the lazily built
+ * optimizer, the cache directory it was built with, the active run
+ * report and where human-readable output goes — lives here, so a
+ * command runs against an explicit, request-scoped object graph (the
+ * same shape the serve layer multiplexes per options profile).
+ */
+class Session
 {
-    return g_report_stdout ? std::cerr : std::cout;
-}
+  public:
+    explicit Session(std::string cache_dir)
+        : cache_dir_(std::move(cache_dir))
+    {
+    }
+
+    /** The optimizer, constructed on first use so metadata commands
+     *  (apps, nodes, version, cache, serve) never pay for one. */
+    core::MoonwalkOptimizer &optimizer()
+    {
+        if (!optimizer_) {
+            dse::ExplorerOptions eo;
+            eo.cache_dir = cache_dir_;
+            optimizer_.emplace(
+                dse::DesignSpaceExplorer{std::move(eo)});
+        }
+        return *optimizer_;
+    }
+    bool optimizerLive() const { return optimizer_.has_value(); }
+    const std::string &cacheDir() const { return cache_dir_; }
+
+    void attachReport(obs::RunReport *report, bool to_stdout)
+    {
+        report_ = report;
+        report_stdout_ = to_stdout;
+    }
+    obs::RunReport *report() { return report_; }
+
+    /** Human-readable output stream: stderr when a stdout-bound run
+     *  report needs stdout to stay one parseable JSON document. */
+    std::ostream &out()
+    {
+        return report_stdout_ ? std::cerr : std::cout;
+    }
+
+  private:
+    std::string cache_dir_;
+    std::optional<core::MoonwalkOptimizer> optimizer_;
+    obs::RunReport *report_ = nullptr;
+    bool report_stdout_ = false;
+};
 
 int
 usage()
@@ -116,6 +177,9 @@ usage()
         "  select <app> <tco> | ranges <app> | porting <app>\n"
         "  simulate <app> [load] | provision <app> <units>\n"
         "  check [--seeds <n>] [--seed <s>] | version\n"
+        "  serve [--port <p>] [--host <addr>] [--queue-depth <n>]\n"
+        "        [--max-conn-inflight <n>]\n"
+        "  cache stats | cache prune --max-bytes <n[K|M|G]>\n"
         "flags: " << kFlags << "\n";
     return 2;
 }
@@ -152,22 +216,6 @@ findApp(const std::string &name)
     return std::nullopt;
 }
 
-// --cache-dir, recorded before the first command runs; the optimizer
-// below is constructed lazily, so the flag reaches its explorer.
-std::string g_cache_dir;
-
-core::MoonwalkOptimizer &
-optimizer()
-{
-    static core::MoonwalkOptimizer opt = [] {
-        dse::ExplorerOptions eo;
-        eo.cache_dir = g_cache_dir;
-        return core::MoonwalkOptimizer{
-            dse::DesignSpaceExplorer{std::move(eo)}};
-    }();
-    return opt;
-}
-
 /**
  * Strict finite-double parse for numeric CLI arguments: the whole
  * token must be consumed and the value must be finite and in range.
@@ -199,19 +247,19 @@ badNumber(const std::string &what, const std::string &token,
 }
 
 int
-cmdApps()
+cmdApps(Session &s)
 {
     TextTable t({"Application", "RCA gates", "Unit", "Baseline"});
     for (const auto &app : apps::allApps()) {
         t.addRow({app.name(), si(app.rca.gate_count),
                   app.rca.perf_unit, app.baseline.hardware});
     }
-    t.print(out());
+    t.print(s.out());
     return 0;
 }
 
 int
-cmdNodes()
+cmdNodes(Session &s)
 {
     TextTable t({"Tech", "Mask $", "Wafer $", "Vdd", "Vth(eff)",
                  "DRAM gen", "BE $/gate"});
@@ -224,7 +272,7 @@ cmdNodes()
                   fixed(n.vdd_nominal, 1), fixed(n.vth, 3), gen,
                   fixed(n.backend_cost_per_gate, 3)});
     }
-    t.print(out());
+    t.print(s.out());
     return 0;
 }
 
@@ -234,9 +282,10 @@ cmdNodes()
  * nodes) plus a summary of the TCO-optimal design.
  */
 void
-recordSweepReport(obs::RunReport &report, const apps::AppSpec &app)
+recordSweepReport(Session &s, obs::RunReport &report,
+                  const apps::AppSpec &app)
 {
-    const auto &sweep = optimizer().sweepNodes(app);
+    const auto &sweep = s.optimizer().sweepNodes(app);
     if (sweep.empty())
         return;
 
@@ -275,42 +324,42 @@ recordSweepReport(obs::RunReport &report, const apps::AppSpec &app)
 }
 
 int
-cmdSweep(const apps::AppSpec &app)
+cmdSweep(Session &s, const apps::AppSpec &app)
 {
-    core::ReportGenerator gen(optimizer());
-    if (g_report) {
+    core::ReportGenerator gen(s.optimizer());
+    if (s.report()) {
         {
             // The sweep is memoized, so phasing it separately from
             // rendering costs one cache lookup, not a second sweep.
-            obs::RunReport::ScopedPhase phase(*g_report, "explore");
-            optimizer().sweepNodes(app);
+            obs::RunReport::ScopedPhase phase(*s.report(), "explore");
+            s.optimizer().sweepNodes(app);
         }
-        obs::RunReport::ScopedPhase phase(*g_report, "render");
-        gen.writeText(out(), app, 0.0);
-        recordSweepReport(*g_report, app);
+        obs::RunReport::ScopedPhase phase(*s.report(), "render");
+        gen.writeText(s.out(), app, 0.0);
+        recordSweepReport(s, *s.report(), app);
         return 0;
     }
-    gen.writeText(out(), app, 0.0);
+    gen.writeText(s.out(), app, 0.0);
     return 0;
 }
 
 int
-cmdReport(const apps::AppSpec &app, double tco, bool json)
+cmdReport(Session &s, const apps::AppSpec &app, double tco, bool json)
 {
-    core::ReportGenerator gen(optimizer());
+    core::ReportGenerator gen(s.optimizer());
     if (json)
-        out() << gen.toJson(app, tco).dump(2) << "\n";
+        s.out() << gen.toJson(app, tco).dump(2) << "\n";
     else
-        gen.writeText(out(), app, tco);
-    if (g_report)
-        recordSweepReport(*g_report, app);
+        gen.writeText(s.out(), app, tco);
+    if (s.report())
+        recordSweepReport(s, *s.report(), app);
     return 0;
 }
 
 int
-cmdSelect(const apps::AppSpec &app, double tco)
+cmdSelect(Session &s, const apps::AppSpec &app, double tco)
 {
-    auto &opt = optimizer();
+    auto &opt = s.optimizer();
     std::string pick = app.baseline.hardware;
     double total = tco;
     const double base = opt.baselineTcoPerOps(app);
@@ -321,45 +370,45 @@ cmdSelect(const apps::AppSpec &app, double tco)
                 pick = tech::to_string(*range.line.node);
         }
     }
-    out() << "workload: " << money(tco) << " pre-ASIC TCO\n"
-          << "build at: " << pick << "\n"
-          << "total (NRE + served TCO): " << money(total, 3)
-          << "  (saves " << money(tco - total, 3) << ", "
-          << percent(1.0 - total / tco) << ")\n";
+    s.out() << "workload: " << money(tco) << " pre-ASIC TCO\n"
+            << "build at: " << pick << "\n"
+            << "total (NRE + served TCO): " << money(total, 3)
+            << "  (saves " << money(tco - total, 3) << ", "
+            << percent(1.0 - total / tco) << ")\n";
     (void)base;
     return 0;
 }
 
 int
-cmdRanges(const apps::AppSpec &app)
+cmdRanges(Session &s, const apps::AppSpec &app)
 {
-    for (const auto &range : optimizer().optimalNodeRanges(app)) {
+    for (const auto &range : s.optimizer().optimalNodeRanges(app)) {
         const std::string who = range.line.node ?
             tech::to_string(*range.line.node) : app.baseline.hardware;
-        out() << money(range.b_low, 3) << " .. "
-              << (std::isinf(range.b_high) ? std::string("inf")
-                                           : money(range.b_high, 3))
-              << " : " << who << "\n";
+        s.out() << money(range.b_low, 3) << " .. "
+                << (std::isinf(range.b_high) ? std::string("inf")
+                                             : money(range.b_high, 3))
+                << " : " << who << "\n";
     }
     return 0;
 }
 
 int
-cmdPorting(const apps::AppSpec &app)
+cmdPorting(Session &s, const apps::AppSpec &app)
 {
     TextTable t({"From", "To", "TCO penalty"});
-    for (const auto &e : optimizer().portingStudy(app)) {
+    for (const auto &e : s.optimizer().portingStudy(app)) {
         t.addRow({tech::to_string(e.from), tech::to_string(e.to),
                   times(e.tco_penalty, 3)});
     }
-    t.print(out());
+    t.print(s.out());
     return 0;
 }
 
 int
-cmdSimulate(const apps::AppSpec &app, double load)
+cmdSimulate(Session &s, const apps::AppSpec &app, double load)
 {
-    auto &opt = optimizer();
+    auto &opt = s.optimizer();
     const core::NodeResult *r28 = nullptr;
     for (const auto &r : opt.sweepNodes(app))
         if (r.node == tech::NodeId::N28)
@@ -379,20 +428,20 @@ cmdSimulate(const apps::AppSpec &app, double load)
     w.arrival_rate = load * simulator.capacityOpsPerS() /
         w.ops_per_job;
     w.duration_s = 0.5;
-    const auto s = simulator.run(w);
-    out() << "offered " << percent(load, 0) << " of capacity -> "
-          << "achieved "
-          << percent(s.achieved_ops_per_s /
-                     simulator.capacityOpsPerS())
-          << ", p99 latency " << sig(s.latency_p99 * 1e3, 3)
-          << " ms, dropped " << s.jobs_dropped << "\n";
+    const auto res = simulator.run(w);
+    s.out() << "offered " << percent(load, 0) << " of capacity -> "
+            << "achieved "
+            << percent(res.achieved_ops_per_s /
+                       simulator.capacityOpsPerS())
+            << ", p99 latency " << sig(res.latency_p99 * 1e3, 3)
+            << " ms, dropped " << res.jobs_dropped << "\n";
     return 0;
 }
 
 int
-cmdProvision(const apps::AppSpec &app, double units)
+cmdProvision(Session &s, const apps::AppSpec &app, double units)
 {
-    auto &opt = optimizer();
+    auto &opt = s.optimizer();
     const core::NodeResult *r28 = nullptr;
     for (const auto &r : opt.sweepNodes(app))
         if (r.node == tech::NodeId::N28)
@@ -407,18 +456,18 @@ cmdProvision(const apps::AppSpec &app, double units)
     const auto plan = planner.plan(
         units * app.rca.perf_unit_scale, p.perf_ops,
         p.wall_power_w, p.server_cost);
-    out() << "target: " << sig(units, 4) << " "
-          << app.rca.perf_unit << " on 28nm " << app.name()
-          << " servers\n"
-          << "  servers        : " << plan.servers << " ("
-          << plan.servers_per_rack << " per rack)\n"
-          << "  racks          : " << plan.racks << "\n"
-          << "  critical power : "
-          << fixed(plan.critical_power_w / 1e6, 2) << " MW\n"
-          << "  server capex   : " << money(plan.server_capex, 3)
-          << "\n"
-          << "  lifetime TCO   : " << money(plan.totalCost(), 3)
-          << " (energy " << money(plan.tco.energy, 3) << ")\n";
+    s.out() << "target: " << sig(units, 4) << " "
+            << app.rca.perf_unit << " on 28nm " << app.name()
+            << " servers\n"
+            << "  servers        : " << plan.servers << " ("
+            << plan.servers_per_rack << " per rack)\n"
+            << "  racks          : " << plan.racks << "\n"
+            << "  critical power : "
+            << fixed(plan.critical_power_w / 1e6, 2) << " MW\n"
+            << "  server capex   : " << money(plan.server_capex, 3)
+            << "\n"
+            << "  lifetime TCO   : " << money(plan.totalCost(), 3)
+            << " (energy " << money(plan.tco.energy, 3) << ")\n";
     return 0;
 }
 
@@ -432,6 +481,16 @@ struct GlobalOptions
     int jobs = 0;  ///< 0 = MOONWALK_JOBS / hardware default
     unsigned long check_seeds = 25;  ///< `check`: seeds to run
     unsigned long check_seed = 1;    ///< `check`: first seed
+
+    // `serve` transport knobs.
+    std::string serve_host = "127.0.0.1";
+    int serve_port = 0;              ///< 0 = ephemeral, printed
+    int serve_queue_depth = 64;
+    int serve_conn_inflight = 8;
+    int serve_handler_delay_ms = 0;  ///< test hook; see service.hh
+
+    // `cache prune` budget; unset means the flag was not given.
+    std::optional<unsigned long long> max_bytes;
 };
 
 /** Parse a positive integer for --seeds / --seed; nullopt on junk. */
@@ -453,6 +512,37 @@ parseCount(const std::string &token)
     return value;
 }
 
+/**
+ * Parse a byte count for --max-bytes: a non-negative integer with an
+ * optional binary suffix (K, M, G, case-insensitive).  Zero is valid
+ * — "prune everything" is a legitimate request.
+ */
+std::optional<unsigned long long>
+parseBytes(const std::string &token)
+{
+    if (token.empty())
+        return std::nullopt;
+    size_t digits = token.size();
+    unsigned long long scale = 1;
+    const char last = token.back();
+    if (last == 'k' || last == 'K')
+        scale = 1024ULL, --digits;
+    else if (last == 'm' || last == 'M')
+        scale = 1024ULL * 1024, --digits;
+    else if (last == 'g' || last == 'G')
+        scale = 1024ULL * 1024 * 1024, --digits;
+    if (digits == 0 || digits > 15)
+        return std::nullopt;
+    unsigned long long value = 0;
+    for (size_t i = 0; i < digits; ++i) {
+        const char ch = token[i];
+        if (ch < '0' || ch > '9')
+            return std::nullopt;
+        value = value * 10 + static_cast<unsigned long long>(ch - '0');
+    }
+    return value * scale;
+}
+
 /** One-line exit-2 diagnostic for a bad job count. */
 int
 badJobs(const char *what, const std::string &token)
@@ -466,45 +556,209 @@ badJobs(const char *what, const std::string &token)
  * Dump the metrics registry, first publishing the sweep- and
  * thermal-cache totals (and derived hit rates) aggregated over the
  * long-lived evaluator and every parallel-sweep worker clone.  Routed
- * through out() so a stdout-bound run report keeps stdout to itself.
+ * through Session::out() so a stdout-bound run report keeps stdout to
+ * itself.
  */
 void
-dumpMetrics(bool json)
+dumpMetrics(Session &s, bool json)
 {
-    optimizer().explorer().publishStats();
+    if (s.optimizerLive())
+        s.optimizer().explorer().publishStats();
     auto &reg = obs::metrics();
     if (json)
-        out() << reg.toJson().dump(2) << "\n";
+        s.out() << reg.toJson().dump(2) << "\n";
     else
-        reg.writeTable(out());
+        reg.writeTable(s.out());
 }
 
 int
-cmdCheck(const GlobalOptions &g)
+cmdCheck(Session &s, const GlobalOptions &g)
 {
     check::CheckOptions opts;
     opts.seeds = g.check_seeds;
     opts.start_seed = g.check_seed;
-    opts.progress = &out();
+    opts.progress = &s.out();
     const auto report = check::runSelfCheck(opts);
-    check::writeReport(out(), report);
+    check::writeReport(s.out(), report);
     return report.ok() ? 0 : 1;
 }
 
+// The live server, for signal plumbing only: POSIX hands signals to a
+// bare function pointer, so the SIGINT/SIGTERM handlers need a place
+// to find the instance.  requestStop() is async-signal-safe.
+serve::Server *volatile g_serve_instance = nullptr;
+
+extern "C" void
+serveSignalHandler(int)
+{
+    if (auto *server = g_serve_instance)
+        server->requestStop();
+}
+
 int
-run(const std::vector<std::string> &args, const GlobalOptions &g)
+cmdServe(Session &s, const GlobalOptions &g)
+{
+    // The stats command answers from the registry, so collection must
+    // be on for the daemon regardless of --metrics.
+    obs::setMetricsEnabled(true);
+
+    serve::ServerOptions so;
+    so.host = g.serve_host;
+    so.port = g.serve_port;
+    so.queue_depth = g.serve_queue_depth;
+    so.max_conn_inflight = g.serve_conn_inflight;
+    so.service.cache_dir =
+        exec::PersistentCache::resolveDir(s.cacheDir());
+    so.service.handler_delay_ms = g.serve_handler_delay_ms;
+
+    serve::Server server(std::move(so));
+    std::string error;
+    if (!server.start(&error)) {
+        std::cerr << "moonwalk: " << error << "\n";
+        return 1;
+    }
+
+    g_serve_instance = &server;
+    std::signal(SIGINT, serveSignalHandler);
+    std::signal(SIGTERM, serveSignalHandler);
+
+    // One parseable line so scripts (and the e2e test) can discover
+    // an ephemeral port; flushed before the accept loop blocks.
+    std::cout << "moonwalk: listening on " << server.options().host
+              << ":" << server.port() << std::endl;
+
+    server.run();
+
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_serve_instance = nullptr;
+    return 0;
+}
+
+/** Shared preamble of the cache subcommands: resolve + open, or say
+ *  why not.  The open cache is cheap — construction only creates the
+ *  directory; no scan happens until usage()/prune(). */
+std::unique_ptr<exec::PersistentCache>
+openCache(const std::string &explicit_dir)
+{
+    const std::string dir =
+        exec::PersistentCache::resolveDir(explicit_dir);
+    if (dir.empty()) {
+        std::cerr << "moonwalk: no cache directory (give --cache-dir "
+                     "or set MOONWALK_CACHE_DIR)\n";
+        return nullptr;
+    }
+    return std::make_unique<exec::PersistentCache>(
+        dir, dse::sweepCacheVersionStamp());
+}
+
+/** Publish the on-disk footprint gauges the warm-cache CI job diffs. */
+void
+publishUsageGauges(const exec::PersistentCacheUsage &usage)
+{
+    if (!obs::metricsEnabled())
+        return;
+    auto &reg = obs::metrics();
+    reg.gauge("sweep.diskcache.entries")
+        .set(static_cast<double>(usage.entries));
+    reg.gauge("sweep.diskcache.bytes")
+        .set(static_cast<double>(usage.bytes));
+}
+
+int
+cmdCacheStats(Session &s, const GlobalOptions &g)
+{
+    auto cache = openCache(s.cacheDir());
+    if (!cache)
+        return 2;
+    const auto usage = cache->usage();
+    publishUsageGauges(usage);
+    if (g.json) {
+        Json j = Json::object();
+        j.set("dir", cache->directory());
+        j.set("version", cache->version());
+        j.set("entries", static_cast<double>(usage.entries));
+        j.set("bytes", static_cast<double>(usage.bytes));
+        j.set("temp_files", static_cast<double>(usage.temp_files));
+        s.out() << j.dump(2) << "\n";
+        return 0;
+    }
+    s.out() << "cache dir : " << cache->directory() << "\n"
+            << "version   : " << cache->version() << "\n"
+            << "entries   : " << usage.entries << "\n"
+            << "bytes     : " << usage.bytes << "\n"
+            << "temp files: " << usage.temp_files << "\n";
+    return 0;
+}
+
+int
+cmdCachePrune(Session &s, const GlobalOptions &g)
+{
+    if (!g.max_bytes) {
+        std::cerr << "moonwalk: cache prune needs --max-bytes "
+                     "<n[K|M|G]>\n";
+        return 2;
+    }
+    auto cache = openCache(s.cacheDir());
+    if (!cache)
+        return 2;
+    const auto result = cache->prune(*g.max_bytes);
+    publishUsageGauges(result.after);
+    if (g.json) {
+        Json j = Json::object();
+        j.set("dir", cache->directory());
+        j.set("max_bytes", static_cast<double>(*g.max_bytes));
+        j.set("removed_entries",
+              static_cast<double>(result.removed_entries));
+        j.set("removed_bytes",
+              static_cast<double>(result.removed_bytes));
+        j.set("removed_temp_files",
+              static_cast<double>(result.removed_temp_files));
+        j.set("entries", static_cast<double>(result.after.entries));
+        j.set("bytes", static_cast<double>(result.after.bytes));
+        s.out() << j.dump(2) << "\n";
+        return 0;
+    }
+    s.out() << "removed " << result.removed_entries << " entries ("
+            << result.removed_bytes << " bytes), "
+            << result.removed_temp_files << " temp files\n"
+            << "remaining: " << result.after.entries << " entries, "
+            << result.after.bytes << " bytes\n";
+    return 0;
+}
+
+int
+cmdCache(Session &s, const GlobalOptions &g,
+         const std::vector<std::string> &args)
+{
+    if (args.size() < 2)
+        return usage();
+    if (args[1] == "stats")
+        return cmdCacheStats(s, g);
+    if (args[1] == "prune")
+        return cmdCachePrune(s, g);
+    return badToken("cache subcommand", args[1], "stats, prune");
+}
+
+int
+run(Session &s, const std::vector<std::string> &args,
+    const GlobalOptions &g)
 {
     const std::string &cmd = args[0];
     if (cmd == "version") {
-        out() << "moonwalk " << MOONWALK_VERSION << "\n";
+        s.out() << "moonwalk " << MOONWALK_VERSION << "\n";
         return 0;
     }
     if (cmd == "apps")
-        return cmdApps();
+        return cmdApps(s);
     if (cmd == "nodes")
-        return cmdNodes();
+        return cmdNodes(s);
     if (cmd == "check")
-        return cmdCheck(g);
+        return cmdCheck(s, g);
+    if (cmd == "serve")
+        return cmdServe(s, g);
+    if (cmd == "cache")
+        return cmdCache(s, g, args);
 
     const bool known =
         cmd == "sweep" || cmd == "report" || cmd == "select" ||
@@ -520,7 +774,7 @@ run(const std::vector<std::string> &args, const GlobalOptions &g)
         return badToken("application", args[1], validAppNames());
 
     if (cmd == "sweep")
-        return cmdSweep(*app);
+        return cmdSweep(s, *app);
     if (cmd == "report") {
         double tco = 0.0;
         if (args.size() > 2) {
@@ -530,7 +784,7 @@ run(const std::vector<std::string> &args, const GlobalOptions &g)
                                  "a finite number >= 0");
             tco = *v;
         }
-        return cmdReport(*app, tco, g.json);
+        return cmdReport(s, *app, tco, g.json);
     }
     if (cmd == "select") {
         if (args.size() < 3)
@@ -539,12 +793,12 @@ run(const std::vector<std::string> &args, const GlobalOptions &g)
         if (!tco || *tco <= 0.0)
             return badNumber("baseline TCO", args[2],
                              "a finite number > 0, e.g. 30e6");
-        return cmdSelect(*app, *tco);
+        return cmdSelect(s, *app, *tco);
     }
     if (cmd == "ranges")
-        return cmdRanges(*app);
+        return cmdRanges(s, *app);
     if (cmd == "porting")
-        return cmdPorting(*app);
+        return cmdPorting(s, *app);
     if (cmd == "simulate") {
         double load = 0.8;
         if (args.size() > 2) {
@@ -554,7 +808,7 @@ run(const std::vector<std::string> &args, const GlobalOptions &g)
                                  "a fraction of capacity in (0, 1]");
             load = *v;
         }
-        return cmdSimulate(*app, load);
+        return cmdSimulate(s, *app, load);
     }
     // provision
     if (args.size() < 3)
@@ -563,7 +817,7 @@ run(const std::vector<std::string> &args, const GlobalOptions &g)
     if (!units || *units <= 0.0)
         return badNumber("provision target", args[2],
                          "a finite number > 0 in display units");
-    return cmdProvision(*app, *units);
+    return cmdProvision(s, *app, *units);
 }
 
 } // namespace
@@ -574,6 +828,7 @@ main(int argc, char **argv)
     std::vector<std::string> raw(argv + 1, argv + argc);
 
     GlobalOptions g;
+    std::string cache_dir;
     std::vector<std::string> args;
     for (size_t i = 0; i < raw.size(); ++i) {
         const std::string &a = raw[i];
@@ -581,13 +836,18 @@ main(int argc, char **argv)
             args.push_back(a);
             continue;
         }
+        const auto needsValue = [&](const char *what) -> bool {
+            if (i + 1 < raw.size())
+                return true;
+            std::cerr << "moonwalk: " << a << " needs " << what
+                      << "\n";
+            return false;
+        };
         if (a == "--json") {
             g.json = true;
         } else if (a == "--jobs") {
-            if (i + 1 >= raw.size()) {
-                std::cerr << "moonwalk: --jobs needs a thread count\n";
+            if (!needsValue("a thread count"))
                 return 2;
-            }
             const auto jobs = exec::parseJobs(raw[++i]);
             if (!jobs)
                 return badJobs("--jobs", raw[i]);
@@ -595,11 +855,8 @@ main(int argc, char **argv)
         } else if (a == "--metrics") {
             g.metrics = true;
         } else if (a == "--seeds" || a == "--seed") {
-            if (i + 1 >= raw.size()) {
-                std::cerr << "moonwalk: " << a
-                          << " needs a positive integer\n";
+            if (!needsValue("a positive integer"))
                 return 2;
-            }
             const auto value = parseCount(raw[++i]);
             if (!value) {
                 std::cerr << "moonwalk: " << a
@@ -612,37 +869,71 @@ main(int argc, char **argv)
             else
                 g.check_seed = *value;
         } else if (a == "--cache-dir") {
-            if (i + 1 >= raw.size()) {
-                std::cerr
-                    << "moonwalk: --cache-dir needs a directory\n";
+            if (!needsValue("a directory"))
                 return 2;
-            }
-            g_cache_dir = raw[++i];
+            cache_dir = raw[++i];
         } else if (a == "--report-json") {
-            if (i + 1 >= raw.size()) {
-                std::cerr
-                    << "moonwalk: --report-json needs a file path"
-                       " (or - for stdout)\n";
+            if (!needsValue("a file path (or - for stdout)"))
                 return 2;
-            }
             g.report_path = raw[++i];
         } else if (a == "--trace") {
-            if (i + 1 >= raw.size()) {
-                std::cerr << "moonwalk: --trace needs a file path\n";
+            if (!needsValue("a file path"))
                 return 2;
-            }
             g.trace_path = raw[++i];
         } else if (a == "--log-level") {
-            if (i + 1 >= raw.size()) {
-                std::cerr << "moonwalk: --log-level needs a level\n";
+            if (!needsValue("a level"))
                 return 2;
-            }
             const auto lvl = obs::logLevelFromString(raw[++i]);
             if (!lvl) {
                 return badToken("log level", raw[i],
                                 "error, warn, info, debug, off");
             }
             obs::setLogLevel(*lvl);
+        } else if (a == "--host") {
+            if (!needsValue("a numeric IPv4 address"))
+                return 2;
+            g.serve_host = raw[++i];
+        } else if (a == "--port") {
+            if (!needsValue("a port number"))
+                return 2;
+            const auto v = parseFinite(raw[++i]);
+            if (!v || *v < 0 || *v > 65535 ||
+                *v != static_cast<double>(static_cast<int>(*v)))
+                return badNumber("--port", raw[i],
+                                 "an integer in [0, 65535]");
+            g.serve_port = static_cast<int>(*v);
+        } else if (a == "--queue-depth" ||
+                   a == "--max-conn-inflight") {
+            if (!needsValue("a positive integer"))
+                return 2;
+            const auto value = parseCount(raw[++i]);
+            if (!value || *value > 100000) {
+                std::cerr << "moonwalk: " << a
+                          << " must be a positive integer, got '"
+                          << raw[i] << "'\n";
+                return 2;
+            }
+            if (a == "--queue-depth")
+                g.serve_queue_depth = static_cast<int>(*value);
+            else
+                g.serve_conn_inflight = static_cast<int>(*value);
+        } else if (a == "--handler-delay-ms") {
+            if (!needsValue("a delay in milliseconds"))
+                return 2;
+            const auto v = parseFinite(raw[++i]);
+            if (!v || *v < 0 || *v > 60000 ||
+                *v != static_cast<double>(static_cast<int>(*v)))
+                return badNumber("--handler-delay-ms", raw[i],
+                                 "an integer in [0, 60000]");
+            g.serve_handler_delay_ms = static_cast<int>(*v);
+        } else if (a == "--max-bytes") {
+            if (!needsValue("a byte count"))
+                return 2;
+            const auto v = parseBytes(raw[++i]);
+            if (!v)
+                return badNumber("--max-bytes", raw[i],
+                                 "a byte count, e.g. 64M");
+            g.max_bytes = *v;
         } else {
             return badToken("flag", a, kFlags);
         }
@@ -670,6 +961,8 @@ main(int argc, char **argv)
     if (!g.trace_path.empty())
         obs::traceCollector().start();
 
+    Session session(cache_dir);
+
     std::optional<obs::RunReport> report;
     if (!g.report_path.empty()) {
         std::string command;
@@ -679,8 +972,8 @@ main(int argc, char **argv)
             command += a;
         }
         report.emplace(command);
-        g_report = &*report;
-        g_report_stdout = obs::RunReport::toStdout(g.report_path);
+        session.attachReport(&*report,
+                             obs::RunReport::toStdout(g.report_path));
         Json argv_json = Json::array();
         for (const auto &a : raw)
             argv_json.push(a);
@@ -697,7 +990,7 @@ main(int argc, char **argv)
         std::optional<obs::RunReport::ScopedPhase> total;
         if (report)
             total.emplace(*report, "total");
-        rc = run(args, g);
+        rc = run(session, args, g);
     } catch (const ModelError &e) {
         std::cerr << "error: " << e.what() << "\n";
         rc = 1;
@@ -716,20 +1009,23 @@ main(int argc, char **argv)
         }
     }
     if (g.metrics)
-        dumpMetrics(g.json);
+        dumpMetrics(session, g.json);
     if (report) {
         // Publish final cache totals so the embedded metrics snapshot
         // reflects the whole run, then emit the artifact last.
-        optimizer().explorer().publishStats();
+        if (session.optimizerLive())
+            session.optimizer().explorer().publishStats();
+        const bool to_stdout =
+            obs::RunReport::toStdout(g.report_path);
         if (!report->writeTo(g.report_path)) {
             std::cerr << "moonwalk: cannot write run report to "
                       << g.report_path << "\n";
             rc = rc ? rc : 1;
-        } else if (!g_report_stdout) {
+        } else if (!to_stdout) {
             std::cerr << "moonwalk: wrote run report to "
                       << g.report_path << "\n";
         }
-        g_report = nullptr;
+        session.attachReport(nullptr, false);
     }
     return rc;
 }

@@ -20,7 +20,14 @@
  *     runner is noise); --wall-tol <x> makes a candidate phase slower
  *     than baseline * (1 + x) a regression.
  *   - perf.metrics: informational by default; each --metric
- *     <name>=<reltol> enforces one counter/gauge value.
+ *     <name>=<reltol> enforces one counter/gauge value.  A name
+ *     ending in '*' is a prefix glob and enforces every metric it
+ *     matches in either report (e.g. --metric 'sweep.diskcache.*=0'
+ *     pins the whole cache-gauge family at once).
+ *   - --metric-min <name>=<floor> checks the candidate alone: the
+ *     named counter/gauge must exist and be >= floor.  Useful for
+ *     "the warm run actually hit the cache" style assertions where
+ *     the baseline legitimately differs (cold run has hits == 0).
  *
  * Exit status: 0 = no regression, 1 = regression, 2 = usage or
  * unreadable/malformed input.
@@ -32,6 +39,7 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -53,7 +61,12 @@ usage()
         "  [--wall-tol <x>]       fail when a phase is slower than\n"
         "                         baseline * (1 + x); off by default\n"
         "  [--metric <name>=<x>]  enforce one perf metric within\n"
-        "                         relative tolerance x (repeatable)\n";
+        "                         relative tolerance x (repeatable;\n"
+        "                         a trailing '*' makes <name> a\n"
+        "                         prefix glob)\n"
+        "  [--metric-min <name>=<v>]  candidate-only floor: the\n"
+        "                         metric must exist and be >= v\n"
+        "                         (repeatable)\n";
     return 2;
 }
 
@@ -64,6 +77,7 @@ struct Options
     double rel_tol = 1e-9;
     double wall_tol = -1.0;  ///< < 0 = wall times informational
     std::map<std::string, double> metric_tols;
+    std::map<std::string, double> metric_mins;
 };
 
 /**
@@ -255,23 +269,86 @@ metricValue(const Json &report, const std::string &name, double *out)
     return false;
 }
 
+/** Every counter and gauge name appearing in @p report. */
+void
+collectMetricNames(const Json &report, std::set<std::string> *names)
+{
+    const Json &metrics = report.at("perf").at("metrics");
+    for (const char *kind : {"counters", "gauges"}) {
+        if (!metrics.contains(kind))
+            continue;
+        for (const auto &key : metrics.at(kind).keys())
+            names->insert(key);
+    }
+}
+
+void
+enforceMetric(const Json &base, const Json &cand,
+              const std::string &name, double tol)
+{
+    double b = 0.0, c = 0.0;
+    if (!metricValue(base, name, &b)) {
+        fail("metric '" + name + "' missing from baseline");
+        return;
+    }
+    if (!metricValue(cand, name, &c)) {
+        fail("metric '" + name + "' missing from candidate");
+        return;
+    }
+    if (!close(b, c, tol)) {
+        fail("metric '" + name + "': " + num(b) + " -> " + num(c) +
+             " (tol " + num(tol) + ")");
+    }
+}
+
 void
 compareMetrics(const Json &base, const Json &cand,
                const std::map<std::string, double> &tols)
 {
+    std::set<std::string> all_names;
     for (const auto &[name, tol] : tols) {
-        double b = 0.0, c = 0.0;
-        if (!metricValue(base, name, &b)) {
-            fail("metric '" + name + "' missing from baseline");
+        if (name.empty() || name.back() != '*') {
+            enforceMetric(base, cand, name, tol);
             continue;
         }
+        // Prefix glob: enforce every metric the prefix matches in
+        // either report.  No match at all means the glob is stale
+        // (typo, renamed family) — that's a failure, not a no-op.
+        if (all_names.empty()) {
+            collectMetricNames(base, &all_names);
+            collectMetricNames(cand, &all_names);
+        }
+        const std::string prefix = name.substr(0, name.size() - 1);
+        size_t matched = 0;
+        for (const auto &candidate_name : all_names) {
+            if (candidate_name.rfind(prefix, 0) != 0)
+                continue;
+            ++matched;
+            enforceMetric(base, cand, candidate_name, tol);
+        }
+        if (matched == 0)
+            fail("--metric glob '" + name +
+                 "' matched no metric in either report");
+    }
+}
+
+void
+checkMetricFloors(const Json &cand,
+                  const std::map<std::string, double> &mins)
+{
+    for (const auto &[name, floor] : mins) {
+        double c = 0.0;
         if (!metricValue(cand, name, &c)) {
-            fail("metric '" + name + "' missing from candidate");
+            fail("metric '" + name + "' missing from candidate "
+                 "(floor " + num(floor) + ")");
             continue;
         }
-        if (!close(b, c, tol)) {
-            fail("metric '" + name + "': " + num(b) + " -> " +
-                 num(c) + " (tol " + num(tol) + ")");
+        if (c < floor) {
+            fail("metric '" + name + "': " + num(c) +
+                 " below floor " + num(floor));
+        } else {
+            note("metric '" + name + "': " + num(c) + " >= " +
+                 num(floor));
         }
     }
 }
@@ -343,6 +420,24 @@ main(int argc, char **argv)
                     "--metric " + spec.substr(0, eq), spec);
             }
             opt.metric_tols[spec.substr(0, eq)] = *tol;
+        } else if (a == "--metric-min") {
+            const char *v = needsValue("--metric-min");
+            if (!v)
+                return 2;
+            const std::string spec = v;
+            const auto eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::cerr << "perf_check: --metric-min wants "
+                             "<name>=<floor>, got '" << spec
+                          << "'\n";
+                return 2;
+            }
+            const auto floor = parseTolerance(spec.substr(eq + 1));
+            if (!floor) {
+                return badTolerance(
+                    "--metric-min " + spec.substr(0, eq), spec);
+            }
+            opt.metric_mins[spec.substr(0, eq)] = *floor;
         } else {
             std::cerr << "perf_check: unknown flag '" << a << "'\n";
             return usage();
@@ -379,6 +474,7 @@ main(int argc, char **argv)
                       cand.at("outputs"), opt.rel_tol);
         comparePhases(base, cand, opt.wall_tol);
         compareMetrics(base, cand, opt.metric_tols);
+        checkMetricFloors(cand, opt.metric_mins);
     } catch (const moonwalk::ModelError &e) {
         std::cerr << "perf_check: " << e.what() << "\n";
         return 2;
