@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Load generator for `moonwalk serve`: boots the server in-process on
+ * an ephemeral loopback port and drives it with a deterministic
+ * traffic mix over real TCP sockets —
+ *
+ *   - duplicate class: 4 connections sending the *same* explore
+ *     request in barrier-released waves, so the single-flight layer
+ *     demonstrably dedups (hits >= 1 is a CI floor);
+ *   - unique class: 3 connections exploring distinct nodes, exercising
+ *     concurrent independent computes;
+ *   - control class: one connection alternating ping/stats, the
+ *     observability path that must keep answering under load.
+ *
+ * Two waves run back to back; the second is served from the explorer
+ * memo, so the bench covers cold and warm result sources.  Because the
+ * server runs in-process, the process-wide metrics registry that lands
+ * in the report's perf section *is* the server's registry: the full
+ * serve.* telemetry (request counters, latency/phase histograms,
+ * single-flight gauges) ships in the artifact for perf_check.
+ *
+ * The report's model rows carry only deterministic values (requests
+ * sent per class, ok/rejected/error response counts), so a checked-in
+ * baseline pins them exactly; throughput is published as an
+ * informational gauge (serve_load.achieved_rps), never compared.
+ *
+ * Flags mirror the bench harness: --report-json <path|off>
+ * (default BENCH_serve_load.json), --jobs <n>, --cache-dir <dir>.
+ * The harness itself is not reused because it owns a process-global
+ * optimizer; this bench's optimizers live inside the service's
+ * profile pool.
+ *
+ * Exit status: 0 when every response is ok, 1 otherwise.
+ */
+#ifndef _WIN32
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "serve/server.hh"
+#include "util/json.hh"
+
+using namespace moonwalk;
+
+namespace {
+
+// Traffic shape.  Fixed, so the report's model rows are
+// byte-identical run to run and a baseline can pin them.
+constexpr int kDuplicateConns = 4;
+constexpr int kUniqueConns = 3;
+constexpr int kWaves = 2;
+constexpr int kControlRequests = 8;
+// Holds each wave's leader open long enough that the other
+// duplicates deterministically join its flight.
+constexpr int kHandlerDelayMs = 120;
+
+// Same sweep resolution as tests/serve/serve_check.py: non-trivial
+// but fast.
+const char *kOptionsJson =
+    "{\"voltage_steps\":6,\"rca_count_steps\":8,"
+    "\"max_drams_per_die\":2,\"dark_fractions\":[0.0]}";
+
+std::string
+exploreRequest(const std::string &node)
+{
+    return std::string("{\"cmd\":\"explore\",\"app\":\"Bitcoin\","
+                       "\"node\":\"") +
+           node + "\",\"options\":" + kOptionsJson + "}";
+}
+
+/** One-shot gate: released threads all start their wave together. */
+class StartGate
+{
+  public:
+    void release()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            open_ = true;
+        }
+        cv_.notify_all();
+    }
+    void wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return open_; });
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool open_ = false;
+};
+
+/** Blocking loopback client: one socket, line-oriented. */
+class Client
+{
+  public:
+    explicit Client(int port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            return;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<uint16_t>(port));
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+    ~Client()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    bool ok() const { return fd_ >= 0; }
+
+    /** Send one request line, read one response line (sans '\n'). */
+    bool roundTrip(const std::string &request, std::string *response)
+    {
+        std::string line = request + "\n";
+        size_t sent = 0;
+        while (sent < line.size()) {
+            const ssize_t n =
+                ::send(fd_, line.data() + sent, line.size() - sent, 0);
+            if (n <= 0)
+                return false;
+            sent += static_cast<size_t>(n);
+        }
+        response->clear();
+        char buf[65536];
+        for (;;) {
+            const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+            if (n <= 0)
+                return false;
+            response->append(buf, static_cast<size_t>(n));
+            const auto nl = response->find('\n');
+            if (nl != std::string::npos) {
+                response->resize(nl);
+                return true;
+            }
+        }
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/** Response tallies; only ever deterministic counts. */
+struct Tally
+{
+    std::atomic<int> ok{0};
+    std::atomic<int> rejected{0};
+    std::atomic<int> error{0};
+
+    void classify(bool transport_ok, const std::string &response)
+    {
+        if (!transport_ok) {
+            ++error;
+            return;
+        }
+        try {
+            const Json j = Json::parse(response);
+            if (j.contains("ok") && j.at("ok").asBool())
+                ++ok;
+            else
+                ++rejected;
+        } catch (const std::exception &) {
+            ++error;
+        }
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string report_path = "BENCH_serve_load.json";
+    std::string cache_dir;
+    std::vector<std::string> raw(argv + (argc > 0 ? 1 : 0),
+                                 argv + argc);
+    for (size_t i = 0; i < raw.size(); ++i) {
+        const std::string &a = raw[i];
+        if (a == "--report-json" && i + 1 < raw.size()) {
+            report_path = raw[++i];
+        } else if (a == "--jobs" && i + 1 < raw.size()) {
+            const auto jobs = exec::parseJobs(raw[++i]);
+            if (!jobs) {
+                std::cerr << "serve_load: --jobs needs an integer in "
+                             "[1, "
+                          << exec::kMaxJobs << "]\n";
+                return 2;
+            }
+            exec::setGlobalConcurrency(*jobs);
+        } else if (a == "--cache-dir" && i + 1 < raw.size()) {
+            cache_dir = raw[++i];
+        } else {
+            std::cerr << "serve_load: unknown flag '" << a
+                      << "' (valid: --report-json <path|off>, "
+                         "--jobs <n>, --cache-dir <dir>)\n";
+            return 2;
+        }
+    }
+
+    obs::setMetricsEnabled(true);
+
+    serve::ServerOptions options;
+    options.port = 0;
+    // Every wave's duplicates + uniques in flight at once, with room.
+    options.queue_depth = kDuplicateConns + kUniqueConns + 4;
+    options.service.cache_dir = cache_dir;
+    options.service.handler_delay_ms = kHandlerDelayMs;
+
+    serve::Server server(options);
+    std::string error;
+    if (!server.start(&error)) {
+        std::cerr << "serve_load: " << error << "\n";
+        return 1;
+    }
+    const int port = server.port();
+    std::thread server_thread([&] { server.run(); });
+
+    const uint64_t bench_start_ns = obs::monotonicNowNs();
+
+    // Persistent connections, one per traffic stream.
+    std::vector<std::unique_ptr<Client>> duplicates;
+    for (int i = 0; i < kDuplicateConns; ++i)
+        duplicates.push_back(std::make_unique<Client>(port));
+    std::vector<std::unique_ptr<Client>> uniques;
+    for (int i = 0; i < kUniqueConns; ++i)
+        uniques.push_back(std::make_unique<Client>(port));
+    Client control(port);
+    bool connected = control.ok();
+    for (const auto &c : duplicates)
+        connected = connected && c->ok();
+    for (const auto &c : uniques)
+        connected = connected && c->ok();
+    if (!connected) {
+        std::cerr << "serve_load: cannot connect to 127.0.0.1:" << port
+                  << "\n";
+        server.requestStop();
+        server_thread.join();
+        return 1;
+    }
+
+    const std::string dup_line = exploreRequest("28nm");
+    const std::vector<std::string> unique_lines = {
+        exploreRequest("90nm"), exploreRequest("65nm"),
+        exploreRequest("40nm")};
+
+    Tally dup_tally, unique_tally, control_tally;
+    for (int wave = 0; wave < kWaves; ++wave) {
+        StartGate gate;
+        std::vector<std::thread> clients;
+        for (auto &c : duplicates) {
+            clients.emplace_back([&, client = c.get()] {
+                gate.wait();
+                std::string response;
+                dup_tally.classify(
+                    client->roundTrip(dup_line, &response), response);
+            });
+        }
+        for (size_t i = 0; i < uniques.size(); ++i) {
+            clients.emplace_back([&, i, client = uniques[i].get()] {
+                gate.wait();
+                std::string response;
+                unique_tally.classify(
+                    client->roundTrip(unique_lines[i], &response),
+                    response);
+            });
+        }
+        gate.release();
+        for (auto &t : clients)
+            t.join();
+
+        // Control stream between waves: ping/stats must answer while
+        // the serve-side caches are in whatever state the wave left.
+        for (int i = 0; i < kControlRequests / kWaves; ++i) {
+            const std::string line = (i % 2 == 0)
+                                         ? "{\"cmd\":\"ping\"}"
+                                         : "{\"cmd\":\"stats\"}";
+            std::string response;
+            control_tally.classify(control.roundTrip(line, &response),
+                                   response);
+        }
+    }
+
+    const double wall_s =
+        (obs::monotonicNowNs() - bench_start_ns) / 1e9;
+
+    server.requestStop();
+    server_thread.join();
+
+    // Final snapshot after drain, exactly like the daemon's own
+    // shutdown path; then the informational throughput gauge.
+    server.service().publishStats();
+    const int requests_total = kDuplicateConns * kWaves +
+                               kUniqueConns * kWaves +
+                               kControlRequests;
+    obs::metrics()
+        .gauge("serve_load.achieved_rps")
+        .set(wall_s > 0 ? requests_total / wall_s : 0.0);
+
+    const int ok_total =
+        dup_tally.ok + unique_tally.ok + control_tally.ok;
+    const int rejected_total = dup_tally.rejected +
+                               unique_tally.rejected +
+                               control_tally.rejected;
+    const int error_total =
+        dup_tally.error + unique_tally.error + control_tally.error;
+
+    std::cout << "serve_load: " << requests_total << " requests in "
+              << wall_s << "s (" << ok_total << " ok, "
+              << rejected_total << " rejected, " << error_total
+              << " transport errors)\n";
+    std::cout << "serve_load: singleflight hits="
+              << server.service().singleFlightHits()
+              << " misses=" << server.service().singleFlightMisses()
+              << "\n";
+
+    if (report_path != "off") {
+        obs::RunReport report("serve_load");
+        Json argv_json = Json::array();
+        for (const auto &a : raw)
+            argv_json.push(a);
+        report.setInput("argv", std::move(argv_json));
+        report.setInput("jobs", exec::defaultConcurrency());
+        report.setInput("duplicate_conns", kDuplicateConns);
+        report.setInput("unique_conns", kUniqueConns);
+        report.setInput("waves", kWaves);
+        report.setInput("control_requests", kControlRequests);
+        report.setInput("handler_delay_ms", kHandlerDelayMs);
+        report.addRow("serve_load.requests",
+                      {"duplicate", "unique", "control"},
+                      {double(kDuplicateConns * kWaves),
+                       double(kUniqueConns * kWaves),
+                       double(kControlRequests)});
+        report.addRow("serve_load.responses",
+                      {"ok", "rejected", "error"},
+                      {double(ok_total), double(rejected_total),
+                       double(error_total)});
+        report.setOutput("requests_total", requests_total);
+        report.recordPhase("total", wall_s * 1e3);
+        if (report.writeTo(report_path))
+            std::cerr << "wrote " << report_path << "\n";
+        else {
+            std::cerr << "cannot write run report to " << report_path
+                      << "\n";
+            return 1;
+        }
+    }
+
+    return ok_total == requests_total ? 0 : 1;
+}
+
+#else // _WIN32
+
+#include <iostream>
+
+int
+main()
+{
+    std::cout << "serve_load: POSIX sockets unavailable on this "
+                 "platform; skipping\n";
+    return 0;
+}
+
+#endif

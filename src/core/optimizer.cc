@@ -110,6 +110,13 @@ MoonwalkOptimizer::sweepNodes(const apps::AppSpec &app) const
         .first->second;
 }
 
+bool
+MoonwalkOptimizer::hasSweepCached(const apps::AppSpec &app) const
+{
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    return cache_.find(app.name()) != cache_.end();
+}
+
 void
 MoonwalkOptimizer::prefetch(const std::vector<apps::AppSpec> &apps)
     const

@@ -100,6 +100,14 @@ class MoonwalkOptimizer
         const;
 
     /**
+     * Whether sweepNodes(@p app) would be answered from the per-app
+     * cache (true after the first sweep for the app's name).  Lets
+     * the serve layer attribute a request's result to "memo" versus
+     * "computed" without racing the sweep itself.
+     */
+    bool hasSweepCached(const apps::AppSpec &app) const;
+
+    /**
      * Warm the per-app sweep cache for many applications in parallel
      * (apps x nodes x sweep cells all share the exec pool).  The
      * envelope (Figure 11) and parity (Figure 12) analyses call this

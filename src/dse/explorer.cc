@@ -281,12 +281,34 @@ DesignSpaceExplorer::sweepKey(const arch::RcaSpec &rca,
     return key;
 }
 
+const char *
+to_string(ExploreSource source)
+{
+    switch (source) {
+    case ExploreSource::Memo:
+        return "memo";
+    case ExploreSource::Disk:
+        return "disk";
+    case ExploreSource::Computed:
+        return "computed";
+    }
+    return "unknown";
+}
+
 ExplorationResult
 DesignSpaceExplorer::explore(const arch::RcaSpec &rca,
-                             tech::NodeId node) const
+                             tech::NodeId node,
+                             ExploreSource *source) const
 {
-    if (!options_.cache_sweeps)
+    if (!options_.cache_sweeps) {
+        if (source)
+            *source = ExploreSource::Computed;
         return exploreUncached(rca, node);
+    }
+    // A memo hit never runs the lambda, so Memo is the default the
+    // lambda overwrites when it does run.
+    if (source)
+        *source = ExploreSource::Memo;
     const std::string key = sweepKey(rca, node);
     auto result = sweep_cache_->getOrCompute(key, [&] {
         // Miss in memory: try the disk layer before recomputing.  A
@@ -295,11 +317,16 @@ DesignSpaceExplorer::explore(const arch::RcaSpec &rca,
         // trusted or propagated.
         if (disk_cache_) {
             if (auto blob = disk_cache_->load(key)) {
-                if (auto decoded = decodeExplorationResult(*blob))
+                if (auto decoded = decodeExplorationResult(*blob)) {
+                    if (source)
+                        *source = ExploreSource::Disk;
                     return std::move(*decoded);
+                }
                 disk_cache_->discardCorrupt(key);
             }
         }
+        if (source)
+            *source = ExploreSource::Computed;
         auto computed = exploreUncached(rca, node);
         if (disk_cache_)
             disk_cache_->store(key,

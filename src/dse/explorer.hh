@@ -93,6 +93,21 @@ struct ExplorerOptions
     bool keep_feasible_points = false;
 };
 
+/**
+ * Which layer satisfied an explore() call: the in-memory memo, the
+ * persistent disk cache, or a fresh computation.  Reported through
+ * explore()'s optional out-parameter so callers (the serve access
+ * log) can attribute latency to the layer that produced the result.
+ */
+enum class ExploreSource
+{
+    Memo,      ///< in-memory sharded memo hit
+    Disk,      ///< persistent-cache load (decoded and verified)
+    Computed,  ///< full sweep ran (cache miss or caching disabled)
+};
+
+const char *to_string(ExploreSource source);
+
 /** Everything an exploration produces. */
 struct ExplorationResult
 {
@@ -134,9 +149,11 @@ class DesignSpaceExplorer
     const ServerEvaluator &evaluator() const { return evaluator_; }
     const ExplorerOptions &options() const { return options_; }
 
-    /** Full sweep for @p rca at @p node. */
+    /** Full sweep for @p rca at @p node.  @p source (optional)
+     *  reports which cache layer satisfied the call. */
     ExplorationResult explore(const arch::RcaSpec &rca,
-                              tech::NodeId node) const;
+                              tech::NodeId node,
+                              ExploreSource *source = nullptr) const;
 
     /**
      * Voltage sweep at a fixed (RCAs/die, dies/lane, DRAMs/die)

@@ -14,8 +14,10 @@ AdmissionController::AdmissionController(int queue_depth,
 }
 
 AdmitReject
-AdmissionController::tryAdmit(ConnectionBudget &conn)
+AdmissionController::tryAdmit(ConnectionBudget &conn,
+                              RequestTelemetry *telemetry)
 {
+    PhaseTimer admission(telemetry, Phase::Admission);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (inflight_ >= queue_depth_)

@@ -23,6 +23,8 @@
 #include <condition_variable>
 #include <mutex>
 
+#include "serve/telemetry.hh"
+
 namespace moonwalk::serve {
 
 /** One connection's admission state; owned by the connection. */
@@ -50,8 +52,11 @@ class AdmissionController
      */
     AdmissionController(int queue_depth, int per_connection);
 
-    /** Claim a slot for @p conn, or say (cheaply) why not. */
-    AdmitReject tryAdmit(ConnectionBudget &conn);
+    /** Claim a slot for @p conn, or say (cheaply) why not.
+     *  @p telemetry (optional) receives the admission phase time —
+     *  mostly lock wait under contention. */
+    AdmitReject tryAdmit(ConnectionBudget &conn,
+                         RequestTelemetry *telemetry = nullptr);
 
     /** Release a slot claimed by tryAdmit(); wakes drain(). */
     void release(ConnectionBudget &conn);

@@ -142,16 +142,22 @@ addBits(std::string &key, double v)
 
 bool
 parseRequest(const std::string &line, Request *request,
-             RequestError *error)
+             RequestError *error, RequestTelemetry *telemetry)
 {
     Json doc;
-    try {
-        doc = Json::parse(line);
-    } catch (const ModelError &e) {
-        return fail(error, 400, "bad_json",
-                    std::string("request is not valid JSON: ") +
-                        e.what());
+    {
+        PhaseTimer parse(telemetry, Phase::Parse);
+        try {
+            doc = Json::parse(line);
+        } catch (const ModelError &e) {
+            return fail(error, 400, "bad_json",
+                        std::string("request is not valid JSON: ") +
+                            e.what());
+        }
     }
+    // Everything below is semantic validation of the parsed document;
+    // the timer covers every return path.
+    PhaseTimer validate(telemetry, Phase::Validate);
     if (!doc.isObject())
         return fail(error, 400, "bad_request",
                     "request must be a JSON object");

@@ -41,6 +41,7 @@
 
 #include "apps/apps.hh"
 #include "dse/explorer.hh"
+#include "serve/telemetry.hh"
 #include "tech/node.hh"
 #include "util/json.hh"
 
@@ -76,10 +77,12 @@ struct RequestError
  * Parse and validate one request line.  Returns true and fills
  * @p request on success; returns false and fills @p error otherwise.
  * @p error.code is 400 for malformed JSON/fields, 404 for an unknown
- * app or node.
+ * app or node.  @p telemetry (optional) receives the parse and
+ * validate phase timings plus the command label.
  */
 bool parseRequest(const std::string &line, Request *request,
-                  RequestError *error);
+                  RequestError *error,
+                  RequestTelemetry *telemetry = nullptr);
 
 /**
  * Canonical serialization of the per-request sweep options — the

@@ -34,6 +34,8 @@ countRequest(const char *which)
 struct Server::Connection
 {
     int fd = -1;
+    /** Peer address "ip:port", for the access log. */
+    std::string peer = "-";
     ConnectionBudget budget;
 
     /** Serializes whole response lines onto the socket. */
@@ -81,6 +83,16 @@ Server::Server(ServerOptions options)
       service_(options_.service),
       admission_(options_.queue_depth, options_.max_conn_inflight)
 {
+}
+
+void
+Server::writeResponse(const std::shared_ptr<Connection> &conn,
+                      const std::string &response,
+                      RequestTelemetry &telemetry)
+{
+    telemetry.bytes_out = response.size() + 1;  // writeLine adds '\n'
+    PhaseTimer write(&telemetry, Phase::Write);
+    conn->writeLine(response);
 }
 
 Server::~Server()
@@ -148,6 +160,11 @@ Server::start(std::string *error)
                     std::strerror(errno));
     port_ = ntohs(bound.sin_port);
 
+    // Telemetry epoch + eager registration: every serve.* metric
+    // exists (as an explicit zero) from the first stats snapshot.
+    markServeStart();
+    registerServeMetrics();
+
     MOONWALK_LOG(Info, "serve")
         .msg("listening")
         .field("host", options_.host)
@@ -211,11 +228,19 @@ Server::run()
 void
 Server::acceptOne()
 {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const int fd = ::accept(
+        listen_fd_, reinterpret_cast<sockaddr *>(&peer), &peer_len);
     if (fd < 0)
         return;
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    char addr[INET_ADDRSTRLEN] = "?";
+    if (peer.sin_family == AF_INET)
+        ::inet_ntop(AF_INET, &peer.sin_addr, addr, sizeof(addr));
+    conn->peer =
+        std::string(addr) + ":" + std::to_string(ntohs(peer.sin_port));
     if (obs::metricsEnabled()) {
         obs::metrics().counter("serve.connections.accepted").inc();
     }
@@ -268,6 +293,10 @@ Server::readerLoop(const std::shared_ptr<Connection> &conn)
         const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
         if (n <= 0)
             break;
+        // One clock read per recv: every complete line in this chunk
+        // arrived (at the latest) now, so this is the telemetry epoch
+        // its end-to-end latency is measured from.
+        const uint64_t arrival_ns = obs::monotonicNowNs();
         buffer.append(chunk, static_cast<size_t>(n));
         size_t start = 0;
         for (;;) {
@@ -280,7 +309,7 @@ Server::readerLoop(const std::shared_ptr<Connection> &conn)
                 line.pop_back();
             if (line.empty())
                 continue;
-            if (!handleLine(conn, line)) {
+            if (!handleLine(conn, line, arrival_ns)) {
                 keep_going = false;
                 break;
             }
@@ -291,11 +320,20 @@ Server::readerLoop(const std::shared_ptr<Connection> &conn)
             // — resynchronizing inside a megabyte of garbage is not
             // worth attempting.
             countRequest("invalid");
-            conn->writeLine(errorEnvelope(
-                {400, "line_too_long",
-                 "request line exceeds " +
-                     std::to_string(kMaxRequestBytes) + " bytes"},
-                false, Json()));
+            RequestTelemetry telemetry =
+                beginRequest(conn->peer, arrival_ns);
+            telemetry.bytes_in = buffer.size();
+            telemetry.outcome = "invalid";
+            telemetry.status = 400;
+            writeResponse(conn,
+                          errorEnvelope(
+                              {400, "line_too_long",
+                               "request line exceeds " +
+                                   std::to_string(kMaxRequestBytes) +
+                                   " bytes"},
+                              false, Json()),
+                          telemetry);
+            finishRequest(telemetry);
             break;
         }
     }
@@ -314,14 +352,23 @@ Server::readerLoop(const std::shared_ptr<Connection> &conn)
 
 bool
 Server::handleLine(const std::shared_ptr<Connection> &conn,
-                   const std::string &line)
+                   const std::string &line, uint64_t arrival_ns)
 {
+    RequestTelemetry telemetry = beginRequest(conn->peer, arrival_ns);
+    telemetry.bytes_in = line.size() + 1;  // + the newline
     Request request;
     RequestError error;
-    if (!parseRequest(line, &request, &error)) {
+    const bool parsed =
+        parseRequest(line, &request, &error, &telemetry);
+    telemetry.cmd = cmdLabel(request.cmd);
+    if (!parsed) {
         countRequest("invalid");
-        conn->writeLine(
-            errorEnvelope(error, request.has_id, request.id));
+        telemetry.outcome = "invalid";
+        telemetry.status = error.code;
+        writeResponse(conn,
+                      errorEnvelope(error, request.has_id, request.id),
+                      telemetry);
+        finishRequest(telemetry);
         return true;  // framing is intact; keep the connection
     }
 
@@ -330,62 +377,80 @@ Server::handleLine(const std::shared_ptr<Connection> &conn,
     // loaded enough to reject sweeps.
     if (request.cmd == "ping" || request.cmd == "stats") {
         countRequest("accepted");
-        const auto payload = service_.handle(request);
-        conn->writeLine(okEnvelope(*payload, &request));
+        const auto payload = service_.handle(request, &telemetry);
+        writeResponse(conn, okEnvelope(*payload, &request), telemetry);
         countRequest("completed");
+        finishRequest(telemetry);
         return true;
     }
 
-    switch (admission_.tryAdmit(conn->budget)) {
+    switch (admission_.tryAdmit(conn->budget, &telemetry)) {
     case AdmitReject::QueueFull:
         countRequest("rejected");
-        conn->writeLine(errorEnvelope(
-            {429, "overloaded",
-             "server at queue depth " +
-                 std::to_string(admission_.queueDepth()) +
-                 "; retry later"},
-            request.has_id, request.id));
+        telemetry.outcome = "rejected";
+        telemetry.status = 429;
+        writeResponse(conn,
+                      errorEnvelope(
+                          {429, "overloaded",
+                           "server at queue depth " +
+                               std::to_string(
+                                   admission_.queueDepth()) +
+                               "; retry later"},
+                          request.has_id, request.id),
+                      telemetry);
+        finishRequest(telemetry);
         return true;
     case AdmitReject::ConnectionLimit:
         countRequest("rejected");
-        conn->writeLine(errorEnvelope(
-            {429, "connection_limit",
-             "connection already has " +
-                 std::to_string(
-                     admission_.perConnectionLimit()) +
-                 " requests in flight"},
-            request.has_id, request.id));
+        telemetry.outcome = "rejected";
+        telemetry.status = 429;
+        writeResponse(conn,
+                      errorEnvelope(
+                          {429, "connection_limit",
+                           "connection already has " +
+                               std::to_string(
+                                   admission_.perConnectionLimit()) +
+                               " requests in flight"},
+                          request.has_id, request.id),
+                      telemetry);
+        finishRequest(telemetry);
         return true;
     case AdmitReject::Admitted:
         break;
     }
 
     countRequest("accepted");
-    spawnHandler(conn, std::move(request));
+    spawnHandler(conn, std::move(request), std::move(telemetry));
     return true;
 }
 
 void
 Server::spawnHandler(const std::shared_ptr<Connection> &conn,
-                     Request request)
+                     Request request, RequestTelemetry telemetry)
 {
     {
         std::lock_guard<std::mutex> lock(conn->handlers_mutex);
         ++conn->handlers_live;
     }
-    std::thread([this, conn, request = std::move(request)] {
+    std::thread([this, conn, request = std::move(request),
+                 telemetry = std::move(telemetry)]() mutable {
         std::string response;
         try {
-            const auto payload = service_.handle(request);
+            const auto payload = service_.handle(request, &telemetry);
             response = okEnvelope(*payload, &request);
         } catch (const std::exception &e) {
+            countRequest("failed");
+            telemetry.outcome = "error";
+            telemetry.status = 500;
+            telemetry.source = "error";
             response = errorEnvelope(
                 {500, "internal_error", e.what()}, request.has_id,
                 request.id);
         }
-        conn->writeLine(response);
+        writeResponse(conn, response, telemetry);
         admission_.release(conn->budget);
         countRequest("completed");
+        finishRequest(telemetry);
         {
             std::lock_guard<std::mutex> lock(conn->handlers_mutex);
             --conn->handlers_live;
@@ -416,11 +481,13 @@ void Server::reapConnections(bool) {}
 void Server::readerLoop(const std::shared_ptr<Connection> &) {}
 bool
 Server::handleLine(const std::shared_ptr<Connection> &,
-                   const std::string &)
+                   const std::string &, uint64_t)
 {
     return false;
 }
-void Server::spawnHandler(const std::shared_ptr<Connection> &, Request)
+void
+Server::spawnHandler(const std::shared_ptr<Connection> &, Request,
+                     RequestTelemetry)
 {
 }
 

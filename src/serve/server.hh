@@ -42,6 +42,7 @@
 
 #include "serve/admission.hh"
 #include "serve/service.hh"
+#include "serve/telemetry.hh"
 
 namespace moonwalk::serve {
 
@@ -100,11 +101,18 @@ class Server
     void acceptOne();
     void readerLoop(const std::shared_ptr<Connection> &conn);
     /** Parse + dispatch one request line; false closes the
-     *  connection (poisoned framing). */
+     *  connection (poisoned framing).  @p arrival_ns is the steady
+     *  clock when the line's last byte was received — the request's
+     *  telemetry epoch. */
     bool handleLine(const std::shared_ptr<Connection> &conn,
-                    const std::string &line);
+                    const std::string &line, uint64_t arrival_ns);
     void spawnHandler(const std::shared_ptr<Connection> &conn,
-                      Request request);
+                      Request request, RequestTelemetry telemetry);
+    /** Write one response line, timing the write phase and recording
+     *  the byte count into @p telemetry. */
+    void writeResponse(const std::shared_ptr<Connection> &conn,
+                       const std::string &response,
+                       RequestTelemetry &telemetry);
     /** Reap reader threads whose connections have finished. */
     void reapConnections(bool all);
 

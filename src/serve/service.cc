@@ -79,87 +79,153 @@ SweepService::profileFor(const dse::ExplorerOptions &options)
 }
 
 std::shared_ptr<const std::string>
-SweepService::handle(const Request &request)
+SweepService::handle(const Request &request,
+                     RequestTelemetry *telemetry)
 {
     if (request.cmd == "ping") {
-        Json j = Json::object();
-        j.set("pong", true);
+        Json j;
+        {
+            PhaseTimer compute(telemetry, Phase::Compute);
+            j = Json::object();
+            j.set("pong", true);
+        }
+        PhaseTimer serialize(telemetry, Phase::Serialize);
         return std::make_shared<const std::string>(j.dump());
     }
     if (request.cmd == "stats") {
         // Never single-flighted: a stats snapshot must reflect the
         // moment of *this* request, not share a concurrent one.
-        publishStats();
-        Json j = Json::object();
-        j.set("metrics", obs::MetricsRegistry::instance().toJson());
-        Json flight = Json::object();
-        flight.set("hits", static_cast<double>(flight_.hits()));
-        flight.set("misses", static_cast<double>(flight_.misses()));
-        flight.set("inflight",
-                   static_cast<double>(flight_.inflightKeys()));
-        j.set("singleflight", std::move(flight));
+        Json j;
         {
-            std::lock_guard<std::mutex> lock(profiles_mutex_);
-            j.set("profiles", static_cast<double>(profiles_.size()));
+            PhaseTimer compute(telemetry, Phase::Compute);
+            publishStats();
+            j = Json::object();
+            j.set("uptime_s", serveUptimeSeconds());
+            Json requests = Json::object();
+            requests.set("last_id",
+                         static_cast<double>(lastRequestId()));
+            j.set("requests", std::move(requests));
+            j.set("metrics",
+                  obs::MetricsRegistry::instance().toJson());
+            Json flight = Json::object();
+            flight.set("hits", static_cast<double>(flight_.hits()));
+            flight.set("misses",
+                       static_cast<double>(flight_.misses()));
+            flight.set("inflight",
+                       static_cast<double>(flight_.inflightKeys()));
+            j.set("singleflight", std::move(flight));
+            {
+                std::lock_guard<std::mutex> lock(profiles_mutex_);
+                j.set("profiles",
+                      static_cast<double>(profiles_.size()));
+            }
         }
+        PhaseTimer serialize(telemetry, Phase::Serialize);
         return std::make_shared<const std::string>(j.dump());
     }
 
     auto optimizer = profileFor(request.options);
     const std::string key = requestKey(request, optimizer->explorer());
-    return flight_.run(key, [&] {
-        if (options_.handler_delay_ms > 0) {
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                options_.handler_delay_ms));
-        }
-        return computeResult(request, optimizer);
-    });
+    bool shared = false;
+    uint64_t wait_ns = 0;
+    const uint64_t flight_begin_ns = obs::monotonicNowNs();
+    auto result = flight_.run(
+        key,
+        [&] {
+            // Only the leader's lambda runs, on the leader's own
+            // thread, so @p telemetry here is always the leader's.
+            if (telemetry)
+                telemetry->flight = "leader";
+            if (options_.handler_delay_ms > 0) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    options_.handler_delay_ms));
+            }
+            return computeResult(request, optimizer, telemetry);
+        },
+        &shared, &wait_ns);
+    if (telemetry && shared) {
+        telemetry->flight = "waiter";
+        telemetry->source = "flight";
+        telemetry->addPhase(Phase::FlightWait, flight_begin_ns,
+                            wait_ns);
+    }
+    return result;
 }
 
 std::string
 SweepService::computeResult(
     const Request &request,
-    const std::shared_ptr<core::MoonwalkOptimizer> &optimizer)
+    const std::shared_ptr<core::MoonwalkOptimizer> &optimizer,
+    RequestTelemetry *telemetry)
 {
     if (request.cmd == "explore") {
-        const auto result = optimizer->explorer().explore(
-            request.app->rca, *request.node);
-        Json j = Json::object();
-        j.set("app", request.app->name());
-        j.set("node", tech::to_string(*request.node));
-        j.set("evaluated", static_cast<double>(result.evaluated));
-        j.set("feasible", static_cast<double>(result.feasible));
-        if (result.tco_optimal)
-            j.set("tco_optimal", pointJson(*result.tco_optimal));
-        else
-            j.set("tco_optimal", nullptr);
-        Json pareto = Json::array();
-        for (const auto &p : result.pareto)
-            pareto.push(pointJson(p));
-        j.set("pareto", std::move(pareto));
+        Json j;
+        {
+            PhaseTimer compute(telemetry, Phase::Compute);
+            dse::ExploreSource source = dse::ExploreSource::Computed;
+            const auto result = optimizer->explorer().explore(
+                request.app->rca, *request.node, &source);
+            if (telemetry)
+                telemetry->source = dse::to_string(source);
+            j = Json::object();
+            j.set("app", request.app->name());
+            j.set("node", tech::to_string(*request.node));
+            j.set("evaluated", static_cast<double>(result.evaluated));
+            j.set("feasible", static_cast<double>(result.feasible));
+            if (result.tco_optimal)
+                j.set("tco_optimal", pointJson(*result.tco_optimal));
+            else
+                j.set("tco_optimal", nullptr);
+            Json pareto = Json::array();
+            for (const auto &p : result.pareto)
+                pareto.push(pointJson(p));
+            j.set("pareto", std::move(pareto));
+        }
+        PhaseTimer serialize(telemetry, Phase::Serialize);
         return j.dump();
     }
     if (request.cmd == "sweep") {
-        const auto &sweep = optimizer->sweepNodes(*request.app);
-        Json j = Json::object();
-        j.set("app", request.app->name());
-        Json nodes = Json::array();
-        for (const auto &r : sweep) {
-            Json row = Json::object();
-            row.set("node", tech::to_string(r.node));
-            row.set("tco_per_ops", r.optimal.tco_per_ops);
-            row.set("cost_per_ops", r.optimal.cost_per_ops);
-            row.set("watts_per_ops", r.optimal.watts_per_ops);
-            row.set("nre_total", r.nre.total());
-            row.set("design", pointJson(r.optimal));
-            nodes.push(std::move(row));
+        Json j;
+        {
+            PhaseTimer compute(telemetry, Phase::Compute);
+            if (telemetry)
+                telemetry->source =
+                    optimizer->hasSweepCached(*request.app)
+                    ? "memo"
+                    : "computed";
+            const auto &sweep = optimizer->sweepNodes(*request.app);
+            j = Json::object();
+            j.set("app", request.app->name());
+            Json nodes = Json::array();
+            for (const auto &r : sweep) {
+                Json row = Json::object();
+                row.set("node", tech::to_string(r.node));
+                row.set("tco_per_ops", r.optimal.tco_per_ops);
+                row.set("cost_per_ops", r.optimal.cost_per_ops);
+                row.set("watts_per_ops", r.optimal.watts_per_ops);
+                row.set("nre_total", r.nre.total());
+                row.set("design", pointJson(r.optimal));
+                nodes.push(std::move(row));
+            }
+            j.set("nodes", std::move(nodes));
         }
-        j.set("nodes", std::move(nodes));
+        PhaseTimer serialize(telemetry, Phase::Serialize);
         return j.dump();
     }
     if (request.cmd == "report") {
-        core::ReportGenerator gen(*optimizer);
-        return gen.toJson(*request.app, request.workload_tco).dump();
+        Json doc;
+        {
+            PhaseTimer compute(telemetry, Phase::Compute);
+            if (telemetry)
+                telemetry->source =
+                    optimizer->hasSweepCached(*request.app)
+                    ? "memo"
+                    : "computed";
+            core::ReportGenerator gen(*optimizer);
+            doc = gen.toJson(*request.app, request.workload_tco);
+        }
+        PhaseTimer serialize(telemetry, Phase::Serialize);
+        return doc.dump();
     }
     throw ModelError("serve: unhandled command " + request.cmd);
 }
@@ -189,6 +255,9 @@ SweepService::publishStats() const
         .set(static_cast<double>(flight_.misses()));
     reg.gauge("serve.profiles.open")
         .set(static_cast<double>(live.size()));
+    reg.gauge("serve.uptime_s").set(serveUptimeSeconds());
+    reg.gauge("serve.requests.last_id")
+        .max(static_cast<double>(lastRequestId()));
 }
 
 } // namespace moonwalk::serve

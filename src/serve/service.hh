@@ -73,9 +73,14 @@ class SweepService
      * Execute @p request and return its serialized "result" payload
      * (shared with every concurrent identical request).  Throws
      * ModelError on model-level failure (e.g. no feasible design);
-     * the transport maps exceptions to 500 responses.
+     * the transport maps exceptions to 500 responses.  @p telemetry
+     * (optional) receives the compute/serialize (leader) or
+     * flight-wait (waiter) phase timings, the single-flight role,
+     * and the result source (memo/disk/computed/flight).
      */
-    std::shared_ptr<const std::string> handle(const Request &request);
+    std::shared_ptr<const std::string>
+    handle(const Request &request,
+           RequestTelemetry *telemetry = nullptr);
 
     /** Single-flight totals (also published as serve.singleflight.*
      *  counters when metrics are on). */
@@ -105,7 +110,8 @@ class SweepService
 
     std::string computeResult(
         const Request &request,
-        const std::shared_ptr<core::MoonwalkOptimizer> &optimizer);
+        const std::shared_ptr<core::MoonwalkOptimizer> &optimizer,
+        RequestTelemetry *telemetry);
 
     ServiceOptions options_;
     SingleFlight<std::string> flight_;

@@ -46,6 +46,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.hh"
+
 namespace moonwalk::serve {
 
 /**
@@ -61,12 +63,16 @@ class SingleFlight
      * calls: the leader computes, waiters block and share the
      * leader's result.  @p was_shared (optional) reports whether this
      * call received another caller's in-flight result rather than
-     * computing.  Rethrows the leader's exception on failure.
+     * computing; @p wait_ns (optional) reports how long a waiter
+     * blocked on the leader (0 for the leader itself), so the serve
+     * telemetry can attribute a deduped request's latency to the
+     * flight-wait phase.  Rethrows the leader's exception on failure.
      */
     template <typename Compute>
     std::shared_ptr<const Value> run(const std::string &key,
                                      Compute &&compute,
-                                     bool *was_shared = nullptr)
+                                     bool *was_shared = nullptr,
+                                     uint64_t *wait_ns = nullptr)
     {
         std::shared_ptr<Flight> flight;
         bool leader = false;
@@ -83,11 +89,17 @@ class SingleFlight
         }
         if (was_shared)
             *was_shared = !leader;
+        if (wait_ns)
+            *wait_ns = 0;
 
         if (!leader) {
             hits_.fetch_add(1, std::memory_order_relaxed);
+            const uint64_t wait_begin =
+                wait_ns ? obs::monotonicNowNs() : 0;
             std::unique_lock<std::mutex> lock(flight->mutex);
             flight->done_cv.wait(lock, [&] { return flight->done; });
+            if (wait_ns)
+                *wait_ns = obs::monotonicNowNs() - wait_begin;
             if (flight->error)
                 std::rethrow_exception(flight->error);
             return flight->value;

@@ -1,0 +1,267 @@
+#include "serve/telemetry.hh"
+
+#include <atomic>
+#include <cstdio>
+
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace moonwalk::serve {
+
+namespace {
+
+std::atomic<uint64_t> g_next_request_id{0};
+std::atomic<uint64_t> g_serve_start_ns{0};
+std::atomic<double> g_slow_threshold_ms{-1.0};
+
+/** Fixed-point milliseconds for the access log: stable to parse,
+ *  precise enough (1 µs) for the additivity check. */
+std::string
+formatMs(uint64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(ns) / 1e6);
+    return buf;
+}
+
+} // namespace
+
+const std::array<Phase, kPhaseCount> kAllPhases = {
+    Phase::Parse,     Phase::Validate,  Phase::Admission,
+    Phase::FlightWait, Phase::Compute,  Phase::Serialize,
+    Phase::Write,
+};
+
+const std::array<const char *, 6> kCmdLabels = {
+    "ping", "stats", "explore", "sweep", "report", "other",
+};
+
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+    case Phase::Parse:
+        return "parse";
+    case Phase::Validate:
+        return "validate";
+    case Phase::Admission:
+        return "admission";
+    case Phase::FlightWait:
+        return "flight_wait";
+    case Phase::Compute:
+        return "compute";
+    case Phase::Serialize:
+        return "serialize";
+    case Phase::Write:
+        return "write";
+    }
+    return "unknown";
+}
+
+const char *
+cmdLabel(const std::string &cmd)
+{
+    for (const char *label : kCmdLabels)
+        if (cmd == label)
+            return label;
+    return "other";
+}
+
+void
+RequestTelemetry::addPhase(Phase phase, uint64_t begin_ns,
+                           uint64_t dur_ns)
+{
+    const size_t i = static_cast<size_t>(phase);
+    if (phase_begin_ns[i] == 0)
+        phase_begin_ns[i] = begin_ns;
+    phase_ns[i] += dur_ns;
+}
+
+PhaseTimer::PhaseTimer(RequestTelemetry *telemetry, Phase phase)
+    : telemetry_(telemetry), phase_(phase)
+{
+    if (telemetry_)
+        begin_ns_ = obs::monotonicNowNs();
+}
+
+void
+PhaseTimer::stop()
+{
+    if (!telemetry_)
+        return;
+    const uint64_t end_ns = obs::monotonicNowNs();
+    const uint64_t dur =
+        end_ns > begin_ns_ ? end_ns - begin_ns_ : 1;
+    telemetry_->addPhase(phase_, begin_ns_, dur);
+    telemetry_ = nullptr;
+}
+
+RequestTelemetry
+beginRequest(const std::string &peer, uint64_t start_ns)
+{
+    RequestTelemetry t;
+    t.id = g_next_request_id.fetch_add(1,
+                                       std::memory_order_relaxed) +
+        1;
+    t.peer = peer;
+    t.start_ns = start_ns;
+    return t;
+}
+
+uint64_t
+lastRequestId()
+{
+    return g_next_request_id.load(std::memory_order_relaxed);
+}
+
+void
+markServeStart()
+{
+    g_serve_start_ns.store(obs::monotonicNowNs(),
+                           std::memory_order_relaxed);
+}
+
+double
+serveUptimeSeconds()
+{
+    const uint64_t start =
+        g_serve_start_ns.load(std::memory_order_relaxed);
+    if (start == 0)
+        return 0.0;
+    const uint64_t now = obs::monotonicNowNs();
+    return now > start ? static_cast<double>(now - start) / 1e9 : 0.0;
+}
+
+void
+setSlowThresholdMs(double ms)
+{
+    g_slow_threshold_ms.store(ms, std::memory_order_relaxed);
+}
+
+double
+slowThresholdMs()
+{
+    return g_slow_threshold_ms.load(std::memory_order_relaxed);
+}
+
+void
+registerServeMetrics()
+{
+    auto &reg = obs::metrics();
+    for (const char *which :
+         {"accepted", "completed", "failed", "invalid", "rejected"})
+        reg.counter(std::string("serve.requests.") + which);
+    reg.counter("serve.connections.accepted");
+    for (const char *name :
+         {"serve.connections.open", "serve.queue.depth",
+          "serve.queue.depth_max", "serve.singleflight.hits",
+          "serve.singleflight.misses", "serve.profiles.open",
+          "serve.requests.last_id", "serve.uptime_s"})
+        reg.gauge(name);
+    for (const char *cmd : kCmdLabels)
+        reg.histogram(std::string("serve.latency.") + cmd + ".ns");
+    for (Phase phase : kAllPhases)
+        reg.histogram(std::string("serve.phase.") + phaseName(phase) +
+                      ".ns");
+}
+
+void
+finishRequest(RequestTelemetry &telemetry)
+{
+    const uint64_t end_ns = obs::monotonicNowNs();
+    const uint64_t total_ns = end_ns > telemetry.start_ns
+        ? end_ns - telemetry.start_ns
+        : 1;
+
+    if (obs::metricsEnabled()) {
+        auto &reg = obs::metrics();
+        reg.histogram(std::string("serve.latency.") + telemetry.cmd +
+                      ".ns")
+            .record(static_cast<double>(total_ns));
+        for (Phase phase : kAllPhases) {
+            const size_t i = static_cast<size_t>(phase);
+            if (telemetry.phase_begin_ns[i] == 0)
+                continue;
+            reg.histogram(std::string("serve.phase.") +
+                          phaseName(phase) + ".ns")
+                .record(static_cast<double>(telemetry.phase_ns[i]));
+        }
+        reg.gauge("serve.requests.last_id")
+            .max(static_cast<double>(telemetry.id));
+    }
+
+    const double total_ms = static_cast<double>(total_ns) / 1e6;
+    const double slow_ms = slowThresholdMs();
+    const bool slow = slow_ms >= 0.0 && total_ms >= slow_ms;
+    const obs::LogLevel level =
+        slow ? obs::LogLevel::Warn : obs::LogLevel::Info;
+    if (obs::logEnabled(level)) {
+        // MOONWALK_LOG takes a compile-time level token; the access
+        // log picks its level at runtime, so build the record direct.
+        obs::LogRecord record(level, "serve.access");
+        record.msg("request")
+            .field("id", telemetry.id)
+            .field("peer", telemetry.peer)
+            .field("cmd", telemetry.cmd)
+            .field("outcome", telemetry.outcome)
+            .field("status", telemetry.status)
+            .field("flight", telemetry.flight)
+            .field("source", telemetry.source)
+            .field("bytes_in", telemetry.bytes_in)
+            .field("bytes_out", telemetry.bytes_out)
+            .field("slow", slow ? "true" : "false")
+            .field("total_ms", formatMs(total_ns));
+        for (Phase phase : kAllPhases) {
+            const size_t i = static_cast<size_t>(phase);
+            if (telemetry.phase_begin_ns[i] == 0)
+                continue;
+            record.field(
+                (std::string(phaseName(phase)) + "_ms").c_str(),
+                formatMs(telemetry.phase_ns[i]));
+        }
+    }
+
+    auto &collector = obs::traceCollector();
+    if (collector.enabled()) {
+        // Map the request's steady-clock interval onto the
+        // collector's epoch: now is end-of-request, so the span
+        // starts total_us earlier.
+        const double end_us = collector.nowUs();
+        const double total_us = static_cast<double>(total_ns) / 1e3;
+        const double req_ts_us =
+            end_us > total_us ? end_us - total_us : 0.0;
+        obs::TraceEvent request;
+        request.name = std::string("serve.") + telemetry.cmd;
+        request.category = "serve";
+        request.ts_us = req_ts_us;
+        request.dur_us = total_us;
+        request.args = {
+            {"id", std::to_string(telemetry.id)},
+            {"peer", telemetry.peer},
+            {"outcome", telemetry.outcome},
+            {"flight", telemetry.flight},
+            {"source", telemetry.source},
+        };
+        collector.record(std::move(request));
+        for (Phase phase : kAllPhases) {
+            const size_t i = static_cast<size_t>(phase);
+            if (telemetry.phase_begin_ns[i] == 0)
+                continue;
+            obs::TraceEvent span;
+            span.name = std::string("serve.phase.") + phaseName(phase);
+            span.category = "serve";
+            span.ts_us = req_ts_us +
+                static_cast<double>(telemetry.phase_begin_ns[i] -
+                                    telemetry.start_ns) /
+                    1e3;
+            span.dur_us =
+                static_cast<double>(telemetry.phase_ns[i]) / 1e3;
+            span.args = {{"id", std::to_string(telemetry.id)}};
+            collector.record(std::move(span));
+        }
+    }
+}
+
+} // namespace moonwalk::serve

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Request-scoped telemetry for the sweep service.
+ *
+ * Every request line the server reads gets a RequestTelemetry: a
+ * process-monotonic id, the steady-clock instant the line arrived,
+ * and a per-phase stopwatch.  The transport threads the context
+ * through parse → validate → admission → single-flight →
+ * compute → serialize → write; each layer times only its own phase
+ * (PhaseTimer is a cheap RAII scope, two monotonic reads).  When the
+ * request completes, finishRequest():
+ *
+ *   - records the end-to-end latency into the per-command histogram
+ *     `serve.latency.<cmd>.ns` and each phase duration into
+ *     `serve.phase.<phase>.ns` (log-bucketed Histograms; P50/P90/P99
+ *     surface in `stats` and --metrics),
+ *   - emits one structured access-log line (component "serve.access")
+ *     with id, peer, cmd, outcome, byte counts, single-flight role,
+ *     result source, and the phase breakdown in milliseconds — at
+ *     info level normally, upgraded to warn when the request's total
+ *     latency reaches the --slow-ms threshold,
+ *   - under --trace, records a Chrome trace span for the request plus
+ *     one child span per phase, so the viewer shows the journey.
+ *
+ * Phases are disjoint intervals inside the request's lifetime, so
+ * their sum is ≤ the end-to-end latency by construction (the gap is
+ * untimed glue: thread dispatch, lock handoff).  The e2e test asserts
+ * this additivity.
+ *
+ * Everything here is transport-agnostic plain state; no sockets, no
+ * service types — server.cc, protocol.cc, admission.cc and service.cc
+ * all include this header without cycles.
+ */
+#ifndef MOONWALK_SERVE_TELEMETRY_HH
+#define MOONWALK_SERVE_TELEMETRY_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace moonwalk::serve {
+
+/** The timed phases of a request's journey, in pipeline order. */
+enum class Phase
+{
+    Parse = 0,   ///< line framing + JSON parse
+    Validate,    ///< semantic request validation
+    Admission,   ///< admission-control decision
+    FlightWait,  ///< waiter blocked on another caller's computation
+    Compute,     ///< leader model computation (sweep/explore/report)
+    Serialize,   ///< result document → wire bytes
+    Write,       ///< envelope onto the socket
+};
+
+inline constexpr size_t kPhaseCount = 7;
+
+/** Stable lowercase token ("parse", ..., "write"); names the
+ *  serve.phase.<phase>.ns histogram and the <phase>_ms log field. */
+const char *phaseName(Phase phase);
+
+/** All phases, pipeline order (for eager registration and dumps). */
+extern const std::array<Phase, kPhaseCount> kAllPhases;
+
+/** The known commands, for per-command latency histogram names;
+ *  unparseable or unknown commands fold into "other". */
+extern const std::array<const char *, 6> kCmdLabels;
+
+/** Map a request's cmd string onto a histogram label. */
+const char *cmdLabel(const std::string &cmd);
+
+/** One request's telemetry context.  Plain movable state; created by
+ *  beginRequest() on the reader thread and handed (by move) to the
+ *  handler thread that finishes the request. */
+struct RequestTelemetry
+{
+    /** Process-monotonic request id (first request is 1). */
+    uint64_t id = 0;
+    /** Peer address "ip:port" ("-" when unknown). */
+    std::string peer = "-";
+    /** Command label (see cmdLabel); "other" until parsed. */
+    const char *cmd = "other";
+    /** Steady-clock ns when the request line arrived. */
+    uint64_t start_ns = 0;
+
+    /** Per-phase duration and absolute start, ns.  A phase that never
+     *  ran has zero in both (phase_begin_ns distinguishes "ran for
+     *  <1ns" from "never ran" only in theory; durations are clamped
+     *  to >= 1ns when recorded). */
+    std::array<uint64_t, kPhaseCount> phase_ns{};
+    std::array<uint64_t, kPhaseCount> phase_begin_ns{};
+
+    size_t bytes_in = 0;
+    size_t bytes_out = 0;
+
+    /** Single-flight role: "none" | "leader" | "waiter". */
+    const char *flight = "none";
+    /** Where the result came from: "none" (control/rejected),
+     *  "computed", "memo", "disk", "flight" (shared from a leader),
+     *  or "error". */
+    const char *source = "none";
+
+    /** HTTP-style status of the response envelope. */
+    int status = 200;
+    /** "ok" | "invalid" | "rejected" | "error". */
+    const char *outcome = "ok";
+
+    /** Record one phase interval explicitly (PhaseTimer calls this). */
+    void addPhase(Phase phase, uint64_t begin_ns, uint64_t dur_ns);
+};
+
+/** RAII stopwatch for one phase.  Null telemetry makes it a no-op, so
+ *  library callers without a request context pay nothing. */
+class PhaseTimer
+{
+  public:
+    PhaseTimer(RequestTelemetry *telemetry, Phase phase);
+    ~PhaseTimer() { stop(); }
+
+    PhaseTimer(const PhaseTimer &) = delete;
+    PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+    /** Stop early (idempotent); the destructor calls this. */
+    void stop();
+
+  private:
+    RequestTelemetry *telemetry_;
+    Phase phase_;
+    uint64_t begin_ns_ = 0;
+};
+
+/** Mint the telemetry for one arriving request line: assigns the next
+ *  process-monotonic id and stamps @p start_ns as its arrival. */
+RequestTelemetry beginRequest(const std::string &peer,
+                              uint64_t start_ns);
+
+/** High-water mark of assigned request ids (0 before any request). */
+uint64_t lastRequestId();
+
+/** Stamp the server's start instant; serveUptimeSeconds() measures
+ *  from here.  Called once by Server::start(). */
+void markServeStart();
+
+/** Seconds since markServeStart() (0 when never marked). */
+double serveUptimeSeconds();
+
+/** Slow-request threshold in ms for the access log; negative turns
+ *  the upgrade off (the default).  At or above the threshold a
+ *  request logs at warn instead of info. */
+void setSlowThresholdMs(double ms);
+double slowThresholdMs();
+
+/**
+ * Eagerly register every serve.* metric this layer (and the
+ * transport) emits — counters, gauges, and all latency/phase
+ * histograms — so `stats` and --metrics report explicit zeros from
+ * the first snapshot instead of omitting never-touched metrics.
+ */
+void registerServeMetrics();
+
+/**
+ * Complete @p telemetry: record histograms, bump the request-id
+ * high-water gauge, emit the access-log line (warn when slow), and
+ * record Chrome trace spans when the collector is enabled.  Call
+ * exactly once, after the response has been written.
+ */
+void finishRequest(RequestTelemetry &telemetry);
+
+} // namespace moonwalk::serve
+
+#endif // MOONWALK_SERVE_TELEMETRY_HH

@@ -4,6 +4,9 @@
 
 #include "apps/apps.hh"
 #include "dse/explorer.hh"
+#include "obs/metrics.hh"
+#include "serve/service.hh"
+#include "serve/telemetry.hh"
 
 using moonwalk::Json;
 using moonwalk::serve::errorEnvelope;
@@ -136,6 +139,79 @@ TEST(ServeProtocol, EnvelopesAreSingleLineAndEchoTheId)
     const Request no_id = mustParse(R"({"cmd":"ping"})");
     EXPECT_EQ(okEnvelope("{}", &no_id).find("\"id\""),
               std::string::npos);
+}
+
+TEST(ServeTelemetry, PhaseAndCmdNamesAreByteStable)
+{
+    using moonwalk::serve::cmdLabel;
+    using moonwalk::serve::Phase;
+    using moonwalk::serve::phaseName;
+
+    // These tokens name histograms and log fields; dashboards and the
+    // perf_check baselines depend on them never changing.
+    EXPECT_STREQ(phaseName(Phase::Parse), "parse");
+    EXPECT_STREQ(phaseName(Phase::Validate), "validate");
+    EXPECT_STREQ(phaseName(Phase::Admission), "admission");
+    EXPECT_STREQ(phaseName(Phase::FlightWait), "flight_wait");
+    EXPECT_STREQ(phaseName(Phase::Compute), "compute");
+    EXPECT_STREQ(phaseName(Phase::Serialize), "serialize");
+    EXPECT_STREQ(phaseName(Phase::Write), "write");
+
+    EXPECT_STREQ(cmdLabel("ping"), "ping");
+    EXPECT_STREQ(cmdLabel("stats"), "stats");
+    EXPECT_STREQ(cmdLabel("explore"), "explore");
+    EXPECT_STREQ(cmdLabel("sweep"), "sweep");
+    EXPECT_STREQ(cmdLabel("report"), "report");
+    EXPECT_STREQ(cmdLabel("launch"), "other");
+    EXPECT_STREQ(cmdLabel(""), "other");
+}
+
+TEST(ServeTelemetry, RequestIdsAreProcessMonotonic)
+{
+    const auto a = moonwalk::serve::beginRequest("test", 1);
+    const auto b = moonwalk::serve::beginRequest("test", 2);
+    EXPECT_GT(a.id, 0u);
+    EXPECT_EQ(b.id, a.id + 1);
+    EXPECT_GE(moonwalk::serve::lastRequestId(), b.id);
+}
+
+TEST(ServeTelemetry, StatsReportsUptimeLastIdAndHistograms)
+{
+    namespace serve = moonwalk::serve;
+    moonwalk::obs::setMetricsEnabled(true);
+    serve::markServeStart();
+    serve::registerServeMetrics();
+    const uint64_t floor_id = serve::beginRequest("test", 1).id;
+
+    serve::SweepService service(serve::ServiceOptions{});
+    const Request stats = mustParse(R"({"cmd":"stats"})");
+    const auto payload = service.handle(stats);
+    ASSERT_TRUE(payload);
+    const Json j = Json::parse(*payload);
+
+    // Byte-stable field names: clients and the e2e check parse these.
+    ASSERT_TRUE(j.contains("uptime_s"));
+    EXPECT_GE(j.at("uptime_s").asDouble(), 0.0);
+    ASSERT_TRUE(j.contains("requests"));
+    ASSERT_TRUE(j.at("requests").contains("last_id"));
+    EXPECT_GE(j.at("requests").at("last_id").asDouble(),
+              static_cast<double>(floor_id));
+
+    ASSERT_TRUE(j.contains("metrics"));
+    ASSERT_TRUE(j.at("metrics").contains("histograms"));
+    const Json &histograms = j.at("metrics").at("histograms");
+    std::vector<std::string> names;
+    for (const char *cmd : serve::kCmdLabels)
+        names.push_back(std::string("serve.latency.") + cmd + ".ns");
+    for (const auto phase : serve::kAllPhases)
+        names.push_back(std::string("serve.phase.") +
+                        serve::phaseName(phase) + ".ns");
+    for (const auto &name : names) {
+        ASSERT_TRUE(histograms.contains(name)) << name;
+        const Json &h = histograms.at(name);
+        for (const char *field : {"count", "p50", "p90", "p99"})
+            EXPECT_TRUE(h.contains(field)) << name << "." << field;
+    }
 }
 
 TEST(ServeProtocol, ProfileKeySeparatesEveryKnob)

@@ -17,6 +17,12 @@ comments promise:
      usable.
   5. SIGTERM drains: an in-flight request is still answered, the
      socket then reaches EOF, and the daemon exits with status 0.
+  6. Telemetry: every completed request emits one structured access
+     line with monotonically increasing ids and an additive phase
+     breakdown (sum of phases <= end-to-end); --slow-ms 0 upgrades
+     every line to warn, the default leaves them at info; `stats`
+     reports uptime_s, requests.last_id, and P50/P90/P99 for every
+     serve.latency/serve.phase histogram under byte-stable names.
 
 Exit status: 0 = all checks pass, 1 = a check failed, 2 = usage.
 """
@@ -275,6 +281,106 @@ def check_drain(binary, cache_dir):
     daemon.stop()
 
 
+# One access-log line per completed request, e.g.
+#   [warn] serve.access: request id=3 peer=127.0.0.1:5321 cmd=stats
+#     outcome=ok status=200 flight=none source=none bytes_in=16
+#     bytes_out=2140 slow=true total_ms=0.626 parse_ms=0.004 ...
+# The field names and order are a stable contract.
+ACCESS_RE = re.compile(
+    r"\[(?P<level>warn|info)\] serve\.access: request"
+    r" id=(?P<id>\d+) peer=(?P<peer>\S+) cmd=(?P<cmd>\w+)"
+    r" outcome=(?P<outcome>\w+) status=(?P<status>\d+)"
+    r" flight=(?P<flight>\w+) source=(?P<source>\w+)"
+    r" bytes_in=(?P<bytes_in>\d+) bytes_out=(?P<bytes_out>\d+)"
+    r" slow=(?P<slow>true|false) total_ms=(?P<total_ms>\d+\.\d{3})"
+    r"(?P<phases>( [a-z_]+_ms=\d+\.\d{3})*)$")
+
+PHASE_RE = re.compile(r" ([a-z_]+)_ms=(\d+\.\d{3})")
+
+
+def access_lines(stderr_text):
+    """Parsed access-log records, in emission order."""
+    out = []
+    for line in stderr_text.splitlines():
+        if "serve.access" not in line:
+            continue
+        match = ACCESS_RE.match(line)
+        check(match is not None, f"access line parses: {line!r}")
+        if match:
+            out.append(match)
+    return out
+
+
+def check_telemetry(binary, cache_dir):
+    """Access log, phase additivity, slow upgrade, stats telemetry."""
+    daemon = Daemon(binary, cache_dir, ("--slow-ms", "0"))
+    port = daemon.port
+    check(request(port, {"cmd": "ping"})["ok"], "telemetry: ping ok")
+    explore = request(port, {"cmd": "explore", "app": "Bitcoin",
+                             "node": "28nm", "options": OPTIONS})
+    check(explore["ok"], "telemetry: explore ok")
+    s = stats(port)
+
+    # Byte-stable stats fields clients dashboard on.
+    check(s.get("uptime_s", -1) >= 0, "stats reports uptime_s >= 0")
+    check(s.get("requests", {}).get("last_id") == 3,
+          f"stats requests.last_id == 3 "
+          f"(got {s.get('requests')})")
+    histograms = s["metrics"]["histograms"]
+    names = ["serve.latency.%s.ns" % c for c in
+             ("ping", "stats", "explore", "sweep", "report", "other")]
+    names += ["serve.phase.%s.ns" % p for p in
+              ("parse", "validate", "admission", "flight_wait",
+               "compute", "serialize", "write")]
+    for name in names:
+        h = histograms.get(name)
+        check(h is not None and
+              all(k in h for k in ("count", "p50", "p90", "p99")),
+              f"stats histogram {name} has count/p50/p90/p99")
+    check(histograms["serve.latency.explore.ns"]["count"] == 1,
+          "explore latency histogram counted the one explore")
+    check(histograms["serve.latency.sweep.ns"]["count"] == 0,
+          "untouched sweep latency histogram is an explicit zero")
+
+    daemon.stop()
+    lines = access_lines(daemon.proc.stderr.read())
+    check(len(lines) == 3,
+          f"one access line per request (got {len(lines)})")
+    ids = [int(m.group("id")) for m in lines]
+    check(ids == sorted(ids) and len(set(ids)) == len(ids),
+          f"request ids strictly increase (got {ids})")
+    check(all(m.group("level") == "warn" and m.group("slow") == "true"
+              for m in lines),
+          "--slow-ms 0 upgrades every request to a slow warn")
+    cmds = [m.group("cmd") for m in lines]
+    check(cmds == ["ping", "explore", "stats"],
+          f"access log covers ping/explore/stats (got {cmds})")
+    for m in lines:
+        # Phases are disjoint sub-intervals of the request, so their
+        # sum must not exceed the end-to-end latency (small slack for
+        # the 1 µs-per-field rounding).
+        phase_sum = sum(float(v) for _, v in
+                        PHASE_RE.findall(m.group("phases")))
+        total = float(m.group("total_ms"))
+        check(phase_sum <= total * 1.05 + 1.0,
+              f"phase breakdown additive for {m.group('cmd')} "
+              f"(sum {phase_sum:.3f} <= total {total:.3f})")
+    explore_line = lines[1]
+    check(explore_line.group("flight") == "leader" and
+          explore_line.group("source") in ("computed", "disk", "memo"),
+          "explore line records single-flight role and result source")
+
+    # Without --slow-ms, the same traffic logs at info, not slow.
+    daemon = Daemon(binary, cache_dir)
+    check(request(daemon.port, {"cmd": "ping"})["ok"],
+          "telemetry: default-daemon ping ok")
+    daemon.stop()
+    lines = access_lines(daemon.proc.stderr.read())
+    check(len(lines) == 1 and lines[0].group("level") == "info" and
+          lines[0].group("slow") == "false",
+          "default daemon logs requests at info with slow=false")
+
+
 def main():
     if len(sys.argv) != 2:
         print(__doc__, file=sys.stderr)
@@ -289,6 +395,7 @@ def main():
                                os.path.join(tmp, "connlimit"))
         check_bad_input(binary, os.path.join(tmp, "badinput"))
         check_drain(binary, os.path.join(tmp, "drain"))
+        check_telemetry(binary, os.path.join(tmp, "telemetry"))
     if failures:
         print(f"serve_check: {failures} check(s) failed",
               file=sys.stderr)

@@ -114,7 +114,8 @@ constexpr const char *kFlags =
     "--log-level <error|warn|info|debug|off>, "
     "--seeds <n>, --seed <s>, --port <p>, --host <addr>, "
     "--queue-depth <n>, --max-conn-inflight <n>, "
-    "--handler-delay-ms <n>, --max-bytes <n[K|M|G]>";
+    "--handler-delay-ms <n>, --slow-ms <ms>, "
+    "--max-bytes <n[K|M|G]>";
 
 /**
  * Per-invocation execution context.  Everything the one-shot front
@@ -178,7 +179,7 @@ usage()
         "  simulate <app> [load] | provision <app> <units>\n"
         "  check [--seeds <n>] [--seed <s>] | version\n"
         "  serve [--port <p>] [--host <addr>] [--queue-depth <n>]\n"
-        "        [--max-conn-inflight <n>]\n"
+        "        [--max-conn-inflight <n>] [--slow-ms <ms>]\n"
         "  cache stats | cache prune --max-bytes <n[K|M|G]>\n"
         "flags: " << kFlags << "\n";
     return 2;
@@ -488,6 +489,8 @@ struct GlobalOptions
     int serve_queue_depth = 64;
     int serve_conn_inflight = 8;
     int serve_handler_delay_ms = 0;  ///< test hook; see service.hh
+    double serve_slow_ms = -1.0;     ///< access-log warn threshold
+    bool log_level_set = false;      ///< --log-level given explicitly
 
     // `cache prune` budget; unset means the flag was not given.
     std::optional<unsigned long long> max_bytes;
@@ -602,6 +605,12 @@ cmdServe(Session &s, const GlobalOptions &g)
     // be on for the daemon regardless of --metrics.
     obs::setMetricsEnabled(true);
 
+    // A daemon's access log is its primary operational record: default
+    // to info unless the operator chose a level (flag or environment).
+    if (!g.log_level_set && !std::getenv("MOONWALK_LOG"))
+        obs::setLogLevel(obs::LogLevel::Info);
+    serve::setSlowThresholdMs(g.serve_slow_ms);
+
     serve::ServerOptions so;
     so.host = g.serve_host;
     so.port = g.serve_port;
@@ -632,6 +641,11 @@ cmdServe(Session &s, const GlobalOptions &g)
     std::signal(SIGINT, SIG_DFL);
     std::signal(SIGTERM, SIG_DFL);
     g_serve_instance = nullptr;
+
+    // Final telemetry publish after the drain, so the --metrics dump
+    // and --report-json artifact main() emits next carry the complete
+    // run (a short-lived CI daemon loses nothing at exit).
+    server.service().publishStats();
     return 0;
 }
 
@@ -889,6 +903,7 @@ main(int argc, char **argv)
                                 "error, warn, info, debug, off");
             }
             obs::setLogLevel(*lvl);
+            g.log_level_set = true;
         } else if (a == "--host") {
             if (!needsValue("a numeric IPv4 address"))
                 return 2;
@@ -917,6 +932,14 @@ main(int argc, char **argv)
                 g.serve_queue_depth = static_cast<int>(*value);
             else
                 g.serve_conn_inflight = static_cast<int>(*value);
+        } else if (a == "--slow-ms") {
+            if (!needsValue("a threshold in milliseconds"))
+                return 2;
+            const auto v = parseFinite(raw[++i]);
+            if (!v || *v < 0)
+                return badNumber("--slow-ms", raw[i],
+                                 "a number of milliseconds >= 0");
+            g.serve_slow_ms = *v;
         } else if (a == "--handler-delay-ms") {
             if (!needsValue("a delay in milliseconds"))
                 return 2;
